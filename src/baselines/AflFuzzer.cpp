@@ -1,0 +1,242 @@
+//===- baselines/AflFuzzer.cpp - AFL-style mutational fuzzer --------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/AflFuzzer.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+using namespace pfuzz;
+
+namespace {
+
+constexpr size_t MapSize = 1 << 16;
+
+/// AFL's hit-count bucketing: collapses counts into 8 classes so loop
+/// iteration counts don't register as endless novelty.
+uint8_t bucketOf(uint32_t Count) {
+  if (Count == 0)
+    return 0;
+  if (Count == 1)
+    return 1 << 0;
+  if (Count == 2)
+    return 1 << 1;
+  if (Count == 3)
+    return 1 << 2;
+  if (Count <= 7)
+    return 1 << 3;
+  if (Count <= 15)
+    return 1 << 4;
+  if (Count <= 31)
+    return 1 << 5;
+  if (Count <= 127)
+    return 1 << 6;
+  return 1 << 7;
+}
+
+/// Fills \p Map with bucketed edge hits from a branch trace, hashing
+/// (previous, current) pairs like AFL's shared-memory bitmap.
+void traceToMap(const std::vector<uint32_t> &Trace,
+                std::array<uint32_t, MapSize> &Hits) {
+  Hits.fill(0);
+  uint32_t Prev = 0;
+  for (uint32_t Entry : Trace) {
+    uint32_t Cur = (Entry * 2654435761u) & (MapSize - 1);
+    ++Hits[Cur ^ Prev];
+    Prev = Cur >> 1;
+  }
+}
+
+struct Seed {
+  std::string Data;
+  uint32_t FoundNew = 0; // how many virgin map bytes it lit up
+};
+
+const char InterestingBytes[] = {'\0', '\n', ' ',  '0',  '9',  'a',
+                                 'z',  'A',  '{',  '}',  '[',  ']',
+                                 '(',  ')',  '"',  ',',  ';',  '=',
+                                 '<',  '>',  '/',  '\\', '\'', '\x7f'};
+
+class AflCampaign {
+public:
+  AflCampaign(const Subject &S, const FuzzerOptions &Opts,
+              const AflOptions &Afl)
+      : S(S), Opts(Opts), Afl(Afl), R(Opts.Seed) {
+    Virgin.fill(0);
+  }
+
+  FuzzReport run();
+
+private:
+  /// Executes \p Input, updates the virgin map / queue / valid coverage.
+  void execOne(const std::string &Input);
+
+  std::string mutate(const std::string &Base);
+
+  const Subject &S;
+  const FuzzerOptions &Opts;
+  AflOptions Afl;
+  Rng R;
+  std::array<uint8_t, MapSize> Virgin;
+  std::array<uint32_t, MapSize> Scratch;
+  std::vector<Seed> Queue;
+  FuzzReport Report;
+};
+
+} // namespace
+
+void AflCampaign::execOne(const std::string &Input) {
+  // Comparison-progress feedback needs the comparison events (the CTP
+  // transformation would bake the extra edges into the binary; here the
+  // Full-mode runtime supplies them).
+  InstrumentationMode Mode = Afl.Cmp == CmpFeedback::None
+                                 ? InstrumentationMode::CoverageOnly
+                                 : InstrumentationMode::Full;
+  RunResult RR = S.execute(Input, Mode);
+  ++Report.Executions;
+  traceToMap(RR.BranchTrace, Scratch);
+  if (Afl.Cmp != CmpFeedback::None) {
+    // One synthetic edge per (comparison, matched prefix length): the
+    // nested-if expansion of strcmp that AFL-CTP performs.
+    for (const ComparisonEvent &E : RR.Comparisons) {
+      if (E.Kind != CompareKind::StrEq)
+        continue;
+      uint32_t Prefix = 0;
+      while (Prefix < E.Actual.size() && Prefix < E.Expected.size() &&
+             E.Actual[Prefix] == E.Expected[Prefix])
+        ++Prefix;
+      uint32_t Feature = 0x9DC5u + Prefix * 0x01000193u;
+      if (Afl.Cmp == CmpFeedback::PerKeyword)
+        for (char C : E.Expected)
+          Feature = (Feature ^ static_cast<unsigned char>(C)) * 0x01000193u;
+      ++Scratch[Feature & (MapSize - 1)];
+    }
+  }
+  uint32_t NewBytes = 0;
+  for (size_t I = 0; I != MapSize; ++I) {
+    if (Scratch[I] == 0)
+      continue;
+    uint8_t Bucket = bucketOf(Scratch[I]);
+    if ((Virgin[I] & Bucket) == 0) {
+      Virgin[I] |= Bucket;
+      ++NewBytes;
+    }
+  }
+  if (NewBytes != 0 && Input.size() <= Opts.MaxInputLen)
+    Queue.push_back({Input, NewBytes});
+  if (RR.ExitCode == 0) {
+    if (Opts.OnValidInput)
+      Opts.OnValidInput(Input);
+    bool NewValidCoverage = false;
+    for (uint32_t B : RR.coveredBranches())
+      if (Report.ValidBranches.insert(B).second)
+        NewValidCoverage = true;
+    if (NewValidCoverage)
+      Report.ValidInputs.push_back(Input);
+  }
+}
+
+std::string AflCampaign::mutate(const std::string &Base) {
+  std::string Out = Base;
+  // Havoc: a stacked sequence of 1..8 random mutations.
+  uint64_t Stack = 1 + R.below(8);
+  for (uint64_t I = 0; I != Stack; ++I) {
+    switch (R.below(8)) {
+    case 0: // flip a bit
+      if (!Out.empty()) {
+        size_t Pos = R.below(Out.size());
+        Out[Pos] = static_cast<char>(Out[Pos] ^ (1 << R.below(8)));
+      }
+      break;
+    case 1: // overwrite with a random byte
+      if (!Out.empty())
+        Out[R.below(Out.size())] = static_cast<char>(R.nextByte());
+      break;
+    case 2: // overwrite with an interesting byte
+      if (!Out.empty())
+        Out[R.below(Out.size())] =
+            InterestingBytes[R.below(sizeof(InterestingBytes))];
+      break;
+    case 3: { // insert a random byte
+      size_t Pos = R.below(Out.size() + 1);
+      Out.insert(Out.begin() + Pos, static_cast<char>(R.nextByte()));
+      break;
+    }
+    case 4: { // insert an interesting byte
+      size_t Pos = R.below(Out.size() + 1);
+      Out.insert(Out.begin() + Pos,
+                 InterestingBytes[R.below(sizeof(InterestingBytes))]);
+      break;
+    }
+    case 5: // delete a byte
+      if (!Out.empty())
+        Out.erase(Out.begin() + R.below(Out.size()));
+      break;
+    case 6: { // clone a block
+      if (!Out.empty() && Out.size() < Opts.MaxInputLen) {
+        size_t From = R.below(Out.size());
+        size_t Len = 1 + R.below(std::min<size_t>(Out.size() - From, 8));
+        size_t To = R.below(Out.size() + 1);
+        Out.insert(To, Out.substr(From, Len));
+      }
+      break;
+    }
+    case 7: { // splice with another queue entry
+      if (!Queue.empty()) {
+        const std::string &Other = R.pick(Queue).Data;
+        if (!Other.empty()) {
+          size_t Cut = R.below(Out.size() + 1);
+          size_t OtherCut = R.below(Other.size());
+          Out = Out.substr(0, Cut) + Other.substr(OtherCut);
+        }
+      }
+      break;
+    }
+    }
+    if (Out.size() > Opts.MaxInputLen)
+      Out.resize(Opts.MaxInputLen);
+  }
+  return Out;
+}
+
+FuzzReport AflCampaign::run() {
+  // The paper gives AFL a single space character as the starting corpus.
+  execOne(" ");
+  uint64_t SampleEvery = std::max<uint64_t>(1, Opts.MaxExecutions / 256);
+  while (Report.Executions < Opts.MaxExecutions) {
+    // Pick a seed: bias towards recent finds and small inputs.
+    const Seed *Chosen = nullptr;
+    if (!Queue.empty()) {
+      size_t Tries = 3;
+      for (size_t T = 0; T != Tries; ++T) {
+        const Seed &Cand = Queue[R.below(Queue.size())];
+        if (Chosen == nullptr || Cand.Data.size() < Chosen->Data.size())
+          Chosen = &Cand;
+      }
+    }
+    std::string Base = Chosen != nullptr ? Chosen->Data : " ";
+    uint64_t Energy = 32 + R.below(64);
+    for (uint64_t E = 0;
+         E != Energy && Report.Executions < Opts.MaxExecutions; ++E) {
+      execOne(mutate(Base));
+      if (Report.Executions % SampleEvery == 0)
+        Report.CoverageTimeline.emplace_back(Report.Executions,
+                                             Report.ValidBranches.size());
+    }
+  }
+  Report.CoverageTimeline.emplace_back(Report.Executions,
+                                       Report.ValidBranches.size());
+  return std::move(Report);
+}
+
+AflFuzzer::AflFuzzer(AflOptions Options) : Options(Options) {}
+
+FuzzReport AflFuzzer::run(const Subject &S, const FuzzerOptions &Opts) {
+  return AflCampaign(S, Opts, Options).run();
+}

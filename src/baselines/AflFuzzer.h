@@ -1,0 +1,59 @@
+//===- baselines/AflFuzzer.h - AFL-style mutational fuzzer -------*- C++ -*-==//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A coverage-guided mutational fuzzer in the mould of AFL, the paper's
+/// "lexical" baseline: a 64 KiB edge-coverage bitmap with logarithmic
+/// hit-count buckets, a seed queue favouring small inputs that found new
+/// coverage, and a havoc mutation stage (bit flips, interesting bytes,
+/// inserts/deletes/copies, splicing). Seeded with a single space character
+/// per the paper's setup (Section 5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_BASELINES_AFLFUZZER_H
+#define PFUZZ_BASELINES_AFLFUZZER_H
+
+#include "core/Fuzzer.h"
+
+namespace pfuzz {
+
+/// Comparison-progress feedback mode, after the AFL-CTP / laf-intel
+/// transformation the paper discusses in Section 6.2.
+enum class CmpFeedback {
+  /// Plain AFL: edge coverage only.
+  None,
+  /// AFL-CTP on code-reusing parsers: string-comparison progress is
+  /// visible, but "prefixes of different keywords are indistinguishable
+  /// regarding coverage" — the feature is the matched prefix length only.
+  SharedSite,
+  /// The paper's hypothetical: "if indeed it is possible to transform
+  /// strcmp() in such a way that for different keywords AFL recognizes
+  /// new coverage" — the feature keys on (keyword, prefix length).
+  PerKeyword,
+};
+
+/// Options for the AFL-style baseline.
+struct AflOptions {
+  CmpFeedback Cmp = CmpFeedback::None;
+};
+
+/// AFL-style baseline fuzzer.
+class AflFuzzer final : public Fuzzer {
+public:
+  explicit AflFuzzer(AflOptions Options = AflOptions());
+
+  std::string_view name() const override { return "afl"; }
+
+  FuzzReport run(const Subject &S, const FuzzerOptions &Opts) override;
+
+private:
+  AflOptions Options;
+};
+
+} // namespace pfuzz
+
+#endif // PFUZZ_BASELINES_AFLFUZZER_H

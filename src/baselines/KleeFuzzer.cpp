@@ -1,0 +1,162 @@
+//===- baselines/KleeFuzzer.cpp - Constraint-based baseline ---------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/KleeFuzzer.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+using namespace pfuzz;
+
+namespace {
+
+/// Hard cap on pending states; beyond it new forks are dropped — the
+/// moral equivalent of KLEE spending its memory/time budget on state
+/// bookkeeping once paths explode.
+constexpr size_t MaxStates = 1 << 19;
+
+class KleeCampaign {
+public:
+  KleeCampaign(const Subject &S, const FuzzerOptions &Opts)
+      : S(S), Opts(Opts), R(Opts.Seed) {}
+
+  FuzzReport run();
+
+private:
+  void forkFrom(const std::string &Input, const RunResult &RR,
+                bool Prioritise);
+
+  /// Alternative operand values a comparison admits (the satisfying
+  /// assignments a solver would produce).
+  std::vector<std::string> solutions(const ComparisonEvent &E);
+
+  /// \p Prioritise mirrors KLEE's coverage-optimised searcher
+  /// (nurs:covnew): states forked from a run that covered new code jump
+  /// the queue.
+  void pushState(std::string Input, bool Prioritise) {
+    if (Input.size() > Opts.MaxInputLen || States.size() >= MaxStates)
+      return;
+    if (!SeenInputs.insert(Input).second)
+      return;
+    if (Prioritise)
+      States.push_front(std::move(Input));
+    else
+      States.push_back(std::move(Input));
+  }
+
+  const Subject &S;
+  const FuzzerOptions &Opts;
+  Rng R;
+  std::deque<std::string> States;
+  std::unordered_set<std::string> SeenInputs;
+  std::unordered_set<uint32_t> AllCovered; // new-code filter for emission
+  FuzzReport Report;
+};
+
+} // namespace
+
+std::vector<std::string> KleeCampaign::solutions(const ComparisonEvent &E) {
+  std::vector<std::string> Out;
+  switch (E.Kind) {
+  case CompareKind::CharEq:
+    Out.push_back(E.Expected);
+    break;
+  case CompareKind::CharSet:
+    for (char C : E.Expected)
+      Out.push_back(std::string(1, C));
+    break;
+  case CompareKind::CharRange: {
+    // A range check is a single branch; a solver returns one model per
+    // branch outcome, not an enumeration of the range. Three
+    // representatives keep the state fan-out KLEE-like while still giving
+    // downstream arithmetic (hex decoding) some value diversity.
+    unsigned Lo = static_cast<unsigned char>(E.Expected[0]);
+    unsigned Hi = static_cast<unsigned char>(E.Expected[1]);
+    Out.push_back(std::string(1, static_cast<char>(Lo)));
+    if (Hi != Lo) {
+      Out.push_back(std::string(1, static_cast<char>(Hi)));
+      if (Hi - Lo > 1)
+        Out.push_back(std::string(1, static_cast<char>(Lo + (Hi - Lo) / 2)));
+    }
+    break;
+  }
+  case CompareKind::StrEq:
+    Out.push_back(E.Expected);
+    break;
+  }
+  return Out;
+}
+
+void KleeCampaign::forkFrom(const std::string &Input, const RunResult &RR,
+                            bool Prioritise) {
+  for (const ComparisonEvent &E : RR.Comparisons) {
+    if (E.Taint.empty())
+      continue;
+    // Branch-negation targeting: the instrumented comparison records its
+    // conditional branch right after the event; if the *flipped* outcome
+    // was never covered, satisfying this comparison reaches new code and
+    // the forked state jumps the queue (KLEE's covnew searcher).
+    bool TargetsNewCode =
+        E.TracePosition < RR.BranchTrace.size() &&
+        AllCovered.count(RR.BranchTrace[E.TracePosition] ^ 1u) == 0;
+    size_t Begin = std::min<size_t>(E.Taint.minIndex(), Input.size());
+    size_t End = std::min<size_t>(E.Taint.maxIndex() + 1, Input.size());
+    for (std::string &Sol : solutions(E)) {
+      // Substitute the solved bytes, keep the unconstrained suffix.
+      std::string Forked =
+          Input.substr(0, Begin) + Sol + Input.substr(End);
+      if (Forked != Input)
+        pushState(std::move(Forked), Prioritise || TargetsNewCode);
+    }
+  }
+  // Symbolic input length (KLEE's symbolic stdin): a state where the
+  // input ends earlier, and -- when the program tried to read further --
+  // one where an additional unconstrained byte exists. The filler byte's
+  // value is arbitrary; the next run's comparisons constrain it.
+  if (!Input.empty())
+    pushState(Input.substr(0, Input.size() - 1), /*Prioritise=*/false);
+  if (RR.hitEof())
+    pushState(Input + 'A', Prioritise);
+}
+
+FuzzReport KleeCampaign::run() {
+  pushState("", /*Prioritise=*/false);
+  uint64_t SampleEvery = std::max<uint64_t>(1, Opts.MaxExecutions / 256);
+  while (!States.empty() && Report.Executions < Opts.MaxExecutions) {
+    std::string Input = std::move(States.front());
+    States.pop_front();
+    RunResult RR = S.execute(Input, InstrumentationMode::Full);
+    ++Report.Executions;
+    bool NewCode = false;
+    for (uint32_t B : RR.coveredBranches())
+      if (AllCovered.insert(B).second)
+        NewCode = true;
+    if (RR.ExitCode == 0) {
+      if (Opts.OnValidInput)
+        Opts.OnValidInput(Input);
+      bool NewValid = false;
+      for (uint32_t B : RR.coveredBranches())
+        if (Report.ValidBranches.insert(B).second)
+          NewValid = true;
+      if (NewValid || NewCode)
+        Report.ValidInputs.push_back(Input);
+    }
+    forkFrom(Input, RR, NewCode);
+    if (Report.Executions % SampleEvery == 0)
+      Report.CoverageTimeline.emplace_back(Report.Executions,
+                                           Report.ValidBranches.size());
+  }
+  Report.CoverageTimeline.emplace_back(Report.Executions,
+                                       Report.ValidBranches.size());
+  return std::move(Report);
+}
+
+FuzzReport KleeFuzzer::run(const Subject &S, const FuzzerOptions &Opts) {
+  return KleeCampaign(S, Opts).run();
+}

@@ -1,0 +1,46 @@
+//===- baselines/RandomFuzzer.cpp - Blackbox random fuzzer ----------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/RandomFuzzer.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+
+using namespace pfuzz;
+
+FuzzReport RandomFuzzer::run(const Subject &S, const FuzzerOptions &Opts) {
+  Rng R(Opts.Seed);
+  FuzzReport Report;
+  uint64_t SampleEvery = std::max<uint64_t>(1, Opts.MaxExecutions / 256);
+  while (Report.Executions < Opts.MaxExecutions) {
+    // Geometric-ish length distribution, mostly short inputs.
+    size_t Len = R.below(8) == 0 ? R.below(64) : R.below(8);
+    std::string Input;
+    Input.reserve(Len);
+    for (size_t I = 0; I != Len; ++I)
+      Input.push_back(R.chance(1, 8) ? static_cast<char>(R.nextByte())
+                                     : R.nextPrintable());
+    RunResult RR = S.execute(Input, InstrumentationMode::CoverageOnly);
+    ++Report.Executions;
+    if (RR.ExitCode == 0) {
+      if (Opts.OnValidInput)
+        Opts.OnValidInput(Input);
+      bool NewValid = false;
+      for (uint32_t B : RR.coveredBranches())
+        if (Report.ValidBranches.insert(B).second)
+          NewValid = true;
+      if (NewValid)
+        Report.ValidInputs.push_back(Input);
+    }
+    if (Report.Executions % SampleEvery == 0)
+      Report.CoverageTimeline.emplace_back(Report.Executions,
+                                           Report.ValidBranches.size());
+  }
+  Report.CoverageTimeline.emplace_back(Report.Executions,
+                                       Report.ValidBranches.size());
+  return Report;
+}

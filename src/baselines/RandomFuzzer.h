@@ -1,0 +1,31 @@
+//===- baselines/RandomFuzzer.h - Blackbox random fuzzer ---------*- C++ -*-==//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Miller-style blackbox fuzzing (the paper's Section 6.1 starting point):
+/// inputs of random length and content, no feedback at all. Included as a
+/// floor for the comparisons and for the ablation benches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_BASELINES_RANDOMFUZZER_H
+#define PFUZZ_BASELINES_RANDOMFUZZER_H
+
+#include "core/Fuzzer.h"
+
+namespace pfuzz {
+
+/// Feedback-free random-input baseline.
+class RandomFuzzer final : public Fuzzer {
+public:
+  std::string_view name() const override { return "random"; }
+
+  FuzzReport run(const Subject &S, const FuzzerOptions &Opts) override;
+};
+
+} // namespace pfuzz
+
+#endif // PFUZZ_BASELINES_RANDOMFUZZER_H

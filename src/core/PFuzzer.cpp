@@ -1,0 +1,424 @@
+//===- core/PFuzzer.cpp - Parser-directed fuzzer --------------------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PFuzzer.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace pfuzz;
+
+Fuzzer::~Fuzzer() = default;
+
+PFuzzer::PFuzzer(HeuristicOptions Heur) { Options.Heur = Heur; }
+
+PFuzzer::PFuzzer(PFuzzerOptions Options) : Options(Options) {}
+
+namespace {
+
+/// Queue cap; when exceeded the worst-scored half is dropped at the next
+/// re-rank (the paper's prototype lets the queue grow; we bound memory).
+constexpr size_t MaxQueueSize = 100000;
+
+/// A not-yet-executed input in the priority queue (Algorithm 1, line 3).
+struct Candidate {
+  std::string Input;
+  /// Length of substitution chain from the initial input (line 50).
+  uint32_t NumParents = 0;
+  /// Average stack size between the last two comparisons of the parent run.
+  double AvgStack = 0;
+  /// Length of the replacement that produced this candidate (line 49).
+  uint32_t ReplacementLen = 1;
+  /// Branches the parent run covered (up to the last accepted character)
+  /// that were not yet covered by valid inputs at creation time. Shrinks
+  /// at re-rank as vBr grows.
+  std::vector<uint32_t> NewBranches;
+  /// Hash of the parent run's parse path (for path-novelty ranking).
+  uint64_t PathHash = 0;
+  double Score = 0;
+};
+
+bool scoreLess(const Candidate &A, const Candidate &B) {
+  return A.Score < B.Score;
+}
+
+uint64_t hashBranches(const std::vector<uint32_t> &Branches) {
+  uint64_t H = 0xCBF29CE484222325ULL;
+  for (uint32_t B : Branches) {
+    H ^= B;
+    H *= 0x100000001B3ULL;
+  }
+  return H;
+}
+
+/// One pFuzzer campaign against one subject.
+class Campaign {
+public:
+  Campaign(const Subject &S, const FuzzerOptions &Opts,
+           const PFuzzerOptions &Config)
+      : S(S), Opts(Opts), Config(Config), Heur(Config.Heur), R(Opts.Seed) {}
+
+  FuzzReport run();
+
+private:
+  /// Runs \p Input; on a valid run with new coverage performs the
+  /// validInp bookkeeping. Returns true in that case (line 27-35).
+  bool runCheck(const std::string &Input, RunResult &RR);
+
+  /// Heuristic-relevant facts extracted from one run.
+  struct RunStats {
+    std::vector<uint32_t> NewBranches;
+    double AvgStack = 0;
+    uint64_t PathHash = 0;
+    uint32_t LastIdx = 0;
+    bool HaveIdx = false;
+  };
+
+  /// Computes coverage/stack/path statistics of \p RR per Section 3.1
+  /// (coverage only up to the first comparison of the last character).
+  RunStats computeStats(const RunResult &RR);
+
+  /// Generates substitution candidates from the comparisons of \p RR on
+  /// \p Input (procedure addInputs, lines 19-25).
+  void addInputs(const std::string &Input, const RunResult &RR,
+                 const RunStats &Stats, uint32_t ParentCount);
+
+  /// Puts \p Input back into the queue after a run that tried to read
+  /// past the end: the parser wants more input, so the prefix deserves
+  /// further random extensions (Section 2: "continue with the generated
+  /// prefix"). Path-novelty decay keeps this from looping forever.
+  void requeuePrefix(const std::string &Input, const RunStats &Stats,
+                     uint32_t ParentCount);
+
+  /// Recomputes all queue scores against the grown vBr (lines 40-43) and
+  /// enforces the queue cap.
+  void rescoreQueue();
+
+  void pushCandidate(Candidate C);
+  Candidate popBest();
+
+  /// The possible replacement strings a comparison admits.
+  std::vector<std::string> expansions(const ComparisonEvent &E);
+
+  double scoreOf(const Candidate &C) {
+    HeuristicInputs In;
+    In.NewBranches = static_cast<uint32_t>(C.NewBranches.size());
+    In.InputLen = static_cast<uint32_t>(C.Input.size());
+    In.ReplacementLen = C.ReplacementLen;
+    In.AvgStackSize = C.AvgStack;
+    In.NumParents = C.NumParents;
+    auto It = PathCounts.find(C.PathHash);
+    In.PathCount = It == PathCounts.end() ? 0 : It->second;
+    return heuristicScore(In, Heur);
+  }
+
+  char randomChar() {
+    // "A random character from the set of all ASCII characters"; we skew
+    // towards printables with occasional whitespace/control bytes.
+    uint64_t Roll = R.below(16);
+    if (Roll == 0)
+      return '\n';
+    if (Roll == 1)
+      return '\t';
+    return R.nextPrintable();
+  }
+
+  const Subject &S;
+  const FuzzerOptions &Opts;
+  const PFuzzerOptions &Config;
+  const HeuristicOptions &Heur;
+  Rng R;
+  FuzzReport Report;
+  std::vector<Candidate> Queue; // max-heap by Score
+  /// Branches covered by valid inputs (Algorithm 1's vBr, line 2); lives
+  /// directly in the report.
+  std::set<uint32_t> &VBr = Report.ValidBranches;
+  std::unordered_map<uint64_t, uint32_t> PathCounts;
+  std::unordered_set<std::string> Enqueued;
+  /// How often each prefix was re-enqueued for another random extension;
+  /// bounded so retired prefixes stop consuming budget.
+  std::unordered_map<std::string, uint32_t> RequeueCounts;
+  uint64_t LastRescore = 0;
+};
+
+} // namespace
+
+FuzzReport Campaign::run() {
+  std::string Input(1, randomChar()); // line 4
+  uint32_t ParentCount = 0;
+  uint64_t SampleEvery = std::max<uint64_t>(1, Opts.MaxExecutions / 256);
+  while (Report.Executions < Opts.MaxExecutions) {
+    RunResult RR;
+    bool Valid = runCheck(Input, RR); // line 7
+    RunStats Stats = computeStats(RR);
+    ++PathCounts[Stats.PathHash];
+    if (Valid) {
+      if (!Config.ResetOnValid)
+        addInputs(Input, RR, Stats, ParentCount); // via validInp, line 44
+    } else {
+      // "After every rejection, we satisfy the comparisons leading to
+      // rejection": substitutions from the bare run first. (A random
+      // extension could merge into the last token -- e.g. a letter after
+      // a keyword -- and hide these alternatives.)
+      addInputs(Input, RR, Stats, ParentCount);
+      if (Report.Executions >= Opts.MaxExecutions)
+        break;
+      std::string EInp = Input + randomChar(); // line 15
+      RunResult RE;
+      // Line 9-12: run the extended input; whether it turned out valid or
+      // not, its comparisons seed the next substitutions.
+      runCheck(EInp, RE);
+      RunStats EStats = computeStats(RE);
+      ++PathCounts[EStats.PathHash];
+      addInputs(EInp, RE, EStats, ParentCount);
+    }
+    // A run that read past the end wants more input: keep the prefix
+    // alive so it receives further random extensions (unless valid
+    // inputs are configured to reset instead of continue).
+    if (RR.hitEof() && Input.size() < Opts.MaxInputLen &&
+        !(Valid && Config.ResetOnValid))
+      requeuePrefix(Input, Stats, ParentCount);
+    if (Report.Executions / SampleEvery !=
+        (Report.Executions + 1) / SampleEvery)
+      Report.CoverageTimeline.emplace_back(Report.Executions, VBr.size());
+    // Path-novelty decay: candidate scores embed the path counts of their
+    // creation time; refresh them periodically so lineages that keep
+    // re-executing the same parse path sink in the queue (Section 3.2's
+    // "ranking those highest that cover new paths").
+    if (Report.Executions >= LastRescore + 384) {
+      LastRescore = Report.Executions;
+      rescoreQueue();
+    }
+    if (Queue.empty()) {
+      // Search exhausted (tiny languages): restart from a fresh random
+      // character to keep exploring different seeds.
+      Input.assign(1, randomChar());
+      ParentCount = 0;
+      continue;
+    }
+    Candidate Best = popBest(); // line 14
+    if (Opts.Verbose)
+      std::fprintf(stderr,
+                   "pop score=%.1f new=%zu len=%zu rep=%u par=%u [%s]\n",
+                   Best.Score, Best.NewBranches.size(), Best.Input.size(),
+                   Best.ReplacementLen, Best.NumParents,
+                   Best.Input.c_str());
+    Input = std::move(Best.Input);
+    ParentCount = Best.NumParents;
+  }
+  Report.CoverageTimeline.emplace_back(Report.Executions, VBr.size());
+  return std::move(Report);
+}
+
+bool Campaign::runCheck(const std::string &Input, RunResult &RR) {
+  RR = S.execute(Input, InstrumentationMode::Full);
+  ++Report.Executions;
+  std::vector<uint32_t> Covered = RR.coveredBranches();
+  if (RR.ExitCode != 0)
+    return false;
+  if (Opts.OnValidInput)
+    Opts.OnValidInput(Input);
+  bool NewCoverage = false;
+  for (uint32_t B : Covered) {
+    if (!VBr.count(B)) {
+      NewCoverage = true;
+      break;
+    }
+  }
+  if (!NewCoverage)
+    return false; // line 29: valid requires exit 0 AND new branches
+  // validInp (lines 37-45): print, grow vBr, re-rank the queue.
+  Report.ValidInputs.push_back(Input);
+  VBr.insert(Covered.begin(), Covered.end());
+  Report.CoverageTimeline.emplace_back(Report.Executions, VBr.size());
+  rescoreQueue();
+  return true;
+}
+
+std::vector<std::string> Campaign::expansions(const ComparisonEvent &E) {
+  std::vector<std::string> Out;
+  switch (E.Kind) {
+  case CompareKind::CharEq:
+    Out.push_back(E.Expected);
+    break;
+  case CompareKind::CharSet:
+    for (char C : E.Expected)
+      Out.push_back(std::string(1, C));
+    break;
+  case CompareKind::CharRange: {
+    unsigned Lo = static_cast<unsigned char>(E.Expected[0]);
+    unsigned Hi = static_cast<unsigned char>(E.Expected[1]);
+    if (Hi - Lo + 1 <= 16) {
+      for (unsigned C = Lo; C <= Hi; ++C)
+        Out.push_back(std::string(1, static_cast<char>(C)));
+    } else {
+      // Large range: the boundaries plus a deterministic random sample.
+      Out.push_back(std::string(1, static_cast<char>(Lo)));
+      Out.push_back(std::string(1, static_cast<char>(Hi)));
+      for (int I = 0; I < 6; ++I)
+        Out.push_back(std::string(
+            1, static_cast<char>(Lo + R.below(Hi - Lo + 1))));
+    }
+    break;
+  }
+  case CompareKind::StrEq:
+    Out.push_back(E.Expected);
+    break;
+  }
+  return Out;
+}
+
+Campaign::RunStats Campaign::computeStats(const RunResult &RR) {
+  RunStats Stats;
+  // The last compared input position: substitutions always happen at the
+  // last index where a comparison took place (Section 3). Comparisons on
+  // the EOF sentinel are excluded -- "an attempt to access a character
+  // beyond the length of the input" means the parser wants *more* input,
+  // which Algorithm 1 serves with the random extension (line 15), not
+  // with substitution. Implicit-flow events are invisible to the
+  // taint-based extraction and are skipped as well.
+  for (const ComparisonEvent &E : RR.Comparisons) {
+    if (E.Implicit || E.OnEof || E.Taint.empty())
+      continue;
+    Stats.LastIdx = std::max(Stats.LastIdx, E.Taint.maxIndex());
+    Stats.HaveIdx = true;
+  }
+
+  // Coverage credit for the heuristic: Section 3.1 counts coverage only
+  // "up to the last accepted character" so error-handling code after the
+  // rejection point earns nothing. Operationally we cut the trace right
+  // after the run's last comparison: once the parser stops examining
+  // input, everything that follows is error unwinding. (This also gives
+  // runs that accepted a whole keyword credit for the parser progress the
+  // keyword unlocked, which a cut at the *first* comparison of the last
+  // character would discard.)
+  uint32_t Cutoff = static_cast<uint32_t>(RR.BranchTrace.size());
+  for (const ComparisonEvent &E : RR.Comparisons)
+    if (!E.Implicit)
+      Cutoff = E.TracePosition + 1;
+  std::vector<uint32_t> UpTo = RR.coveredBranchesUpTo(Cutoff);
+  for (uint32_t B : UpTo)
+    if (!VBr.count(B))
+      Stats.NewBranches.push_back(B);
+  Stats.PathHash = hashBranches(UpTo);
+
+  // Average stack size between the second-last and last comparison.
+  const ComparisonEvent *Last = nullptr, *SecondLast = nullptr;
+  for (const ComparisonEvent &E : RR.Comparisons) {
+    if (E.Implicit)
+      continue;
+    SecondLast = Last;
+    Last = &E;
+  }
+  if (Last != nullptr)
+    Stats.AvgStack = SecondLast != nullptr
+                         ? (Last->StackDepth + SecondLast->StackDepth) / 2.0
+                         : Last->StackDepth;
+  return Stats;
+}
+
+void Campaign::addInputs(const std::string &Input, const RunResult &RR,
+                         const RunStats &Stats, uint32_t ParentCount) {
+  if (!Stats.HaveIdx)
+    return;
+  for (const ComparisonEvent &E : RR.Comparisons) {
+    if (E.Implicit || E.OnEof || E.Taint.empty())
+      continue;
+    // Substitutions happen at the last compared index -- except for
+    // string comparisons, which are always worth satisfying ("values that
+    // stem from string comparisons ... will likely lead to the complex
+    // input structures we want to cover", Section 3). Runtime keyword and
+    // member-name strcmps (tinyc/mjs execute the program) fire *after*
+    // parse-time comparisons at later indices, so a strict last-index
+    // rule would drop them.
+    if (E.Taint.maxIndex() != Stats.LastIdx &&
+        E.Kind != CompareKind::StrEq)
+      continue;
+    size_t SpliceAt = std::min<size_t>(E.Taint.minIndex(), Input.size());
+    for (std::string &Rep : expansions(E)) {
+      Candidate C;
+      C.Input = Input.substr(0, SpliceAt) + Rep;
+      if (C.Input == Input || C.Input.size() > Opts.MaxInputLen)
+        continue;
+      if (!Enqueued.insert(C.Input).second)
+        continue;
+      C.NumParents = ParentCount + 1;
+      C.AvgStack = Stats.AvgStack;
+      C.ReplacementLen = static_cast<uint32_t>(Rep.size());
+      C.NewBranches = Stats.NewBranches;
+      C.PathHash = Stats.PathHash;
+      C.Score = scoreOf(C);
+      pushCandidate(std::move(C));
+    }
+  }
+}
+
+void Campaign::requeuePrefix(const std::string &Input, const RunStats &Stats,
+                             uint32_t ParentCount) {
+  uint32_t &Count = RequeueCounts[Input];
+  if (Count >= 12)
+    return; // retired: this prefix had its chances
+  ++Count;
+  Candidate C;
+  C.Input = Input;
+  C.NumParents = ParentCount;
+  C.AvgStack = Stats.AvgStack;
+  C.ReplacementLen = 1;
+  C.NewBranches = Stats.NewBranches;
+  C.PathHash = Stats.PathHash;
+  // Deliberately bypasses the Enqueued dedup: the same prefix re-enters
+  // once per execution so a fresh random extension gets its chance; each
+  // round costs it an extra score point so retries drain gradually.
+  C.Score = scoreOf(C) - Count;
+  if (Opts.Verbose)
+    std::fprintf(stderr, "requeue score=%.1f count=%u [%s]\n", C.Score,
+                 Count, C.Input.c_str());
+  pushCandidate(std::move(C));
+}
+
+void Campaign::pushCandidate(Candidate C) {
+  Queue.push_back(std::move(C));
+  std::push_heap(Queue.begin(), Queue.end(), scoreLess);
+  if (Queue.size() > MaxQueueSize)
+    rescoreQueue();
+}
+
+Candidate Campaign::popBest() {
+  std::pop_heap(Queue.begin(), Queue.end(), scoreLess);
+  Candidate Best = std::move(Queue.back());
+  Queue.pop_back();
+  return Best;
+}
+
+void Campaign::rescoreQueue() {
+  for (Candidate &C : Queue) {
+    // vBr only grows, so the not-yet-covered set only shrinks.
+    C.NewBranches.erase(std::remove_if(C.NewBranches.begin(),
+                                       C.NewBranches.end(),
+                                       [this](uint32_t B) {
+                                         return VBr.count(B) != 0;
+                                       }),
+                        C.NewBranches.end());
+    C.Score = scoreOf(C);
+  }
+  if (Queue.size() > MaxQueueSize) {
+    std::nth_element(Queue.begin(), Queue.begin() + MaxQueueSize / 2,
+                     Queue.end(),
+                     [](const Candidate &A, const Candidate &B) {
+                       return A.Score > B.Score;
+                     });
+    Queue.resize(MaxQueueSize / 2);
+  }
+  std::make_heap(Queue.begin(), Queue.end(), scoreLess);
+}
+
+FuzzReport PFuzzer::run(const Subject &S, const FuzzerOptions &Opts) {
+  return Campaign(S, Opts, Options).run();
+}

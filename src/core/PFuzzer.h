@@ -1,0 +1,53 @@
+//===- core/PFuzzer.h - Parser-directed fuzzer -------------------*- C++ -*-==//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// pFuzzer — the paper's contribution (Section 3, Algorithm 1). Grows
+/// inputs one character at a time: EOF accesses trigger appends, rejected
+/// characters are replaced with values the parser compared them against
+/// (keyword strcmps splice whole keywords), and a branch-coverage-based
+/// heuristic queue chooses which candidate to execute next. Every valid
+/// input that covers new code is emitted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_CORE_PFUZZER_H
+#define PFUZZ_CORE_PFUZZER_H
+
+#include "core/Fuzzer.h"
+#include "core/Heuristic.h"
+
+namespace pfuzz {
+
+/// pFuzzer configuration beyond the heuristic terms.
+struct PFuzzerOptions {
+  HeuristicOptions Heur;
+
+  /// Section 2 offers two continuations after a valid input: "we may
+  /// decide to output the string and reset the prefix to empty string,
+  /// or continue with the generated prefix". The default continues;
+  /// setting this stops expanding valid inputs (their substitution
+  /// children and re-extensions are not enqueued).
+  bool ResetOnValid = false;
+};
+
+/// The parser-directed fuzzer.
+class PFuzzer final : public Fuzzer {
+public:
+  explicit PFuzzer(HeuristicOptions Heur = HeuristicOptions());
+  explicit PFuzzer(PFuzzerOptions Options);
+
+  std::string_view name() const override { return "pfuzzer"; }
+
+  FuzzReport run(const Subject &S, const FuzzerOptions &Opts) override;
+
+private:
+  PFuzzerOptions Options;
+};
+
+} // namespace pfuzz
+
+#endif // PFUZZ_CORE_PFUZZER_H

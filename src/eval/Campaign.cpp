@@ -1,0 +1,94 @@
+//===- eval/Campaign.cpp - Tool x subject campaign runner -----------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Campaign.h"
+
+#include "baselines/AflFuzzer.h"
+#include "baselines/KleeFuzzer.h"
+#include "baselines/RandomFuzzer.h"
+#include "core/PFuzzer.h"
+
+using namespace pfuzz;
+
+std::unique_ptr<Fuzzer> pfuzz::makeFuzzer(ToolKind Kind) {
+  switch (Kind) {
+  case ToolKind::PFuzzer:
+    return std::make_unique<PFuzzer>();
+  case ToolKind::Afl:
+    return std::make_unique<AflFuzzer>();
+  case ToolKind::Klee:
+    return std::make_unique<KleeFuzzer>();
+  case ToolKind::Random:
+    return std::make_unique<RandomFuzzer>();
+  }
+  return nullptr;
+}
+
+std::string_view pfuzz::toolName(ToolKind Kind) {
+  switch (Kind) {
+  case ToolKind::PFuzzer:
+    return "pFuzzer";
+  case ToolKind::Afl:
+    return "AFL";
+  case ToolKind::Klee:
+    return "KLEE";
+  case ToolKind::Random:
+    return "Random";
+  }
+  return "?";
+}
+
+uint64_t CampaignBudgets::executionsFor(ToolKind Kind) const {
+  switch (Kind) {
+  case ToolKind::PFuzzer:
+    return PFuzzerExecs;
+  case ToolKind::Afl:
+    return AflExecs;
+  case ToolKind::Klee:
+    return KleeExecs;
+  case ToolKind::Random:
+    return RandomExecs;
+  }
+  return 0;
+}
+
+void CampaignBudgets::scale(uint64_t Factor) {
+  PFuzzerExecs *= Factor;
+  AflExecs *= Factor;
+  KleeExecs *= Factor;
+  RandomExecs *= Factor;
+}
+
+CampaignResult pfuzz::runCampaign(ToolKind Kind, const Subject &S,
+                                  uint64_t Executions, uint64_t Seed,
+                                  int Runs) {
+  CampaignResult Best;
+  Best.Tool = Kind;
+  Best.SubjectName = S.name();
+  bool HaveBest = false;
+  for (int RunIdx = 0; RunIdx < Runs; ++RunIdx) {
+    std::unique_ptr<Fuzzer> Tool = makeFuzzer(Kind);
+    TokenCoverage Tokens(S.name());
+    FuzzerOptions Opts;
+    Opts.Seed = Seed + static_cast<uint64_t>(RunIdx);
+    Opts.MaxExecutions = Executions;
+    Opts.OnValidInput = [&Tokens](std::string_view Input) {
+      Tokens.addInput(Input);
+    };
+    FuzzReport Report = Tool->run(S, Opts);
+    bool Better =
+        !HaveBest ||
+        Report.ValidBranches.size() > Best.Report.ValidBranches.size() ||
+        (Report.ValidBranches.size() == Best.Report.ValidBranches.size() &&
+         Tokens.found().size() > Best.TokensFound.size());
+    if (Better) {
+      Best.Report = std::move(Report);
+      Best.TokensFound = Tokens.found();
+      HaveBest = true;
+    }
+  }
+  return Best;
+}

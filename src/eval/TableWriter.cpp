@@ -1,0 +1,76 @@
+//===- eval/TableWriter.cpp - Fixed-width table output --------------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/TableWriter.h"
+
+#include <algorithm>
+
+using namespace pfuzz;
+
+TableWriter::TableWriter(std::vector<std::string> Header) {
+  Rows.push_back(std::move(Header));
+}
+
+void TableWriter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+void TableWriter::print(std::FILE *Out) const {
+  std::vector<size_t> Widths;
+  for (const auto &Row : Rows) {
+    if (Widths.size() < Row.size())
+      Widths.resize(Row.size(), 0);
+    for (size_t I = 0; I != Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  }
+  for (size_t RowIdx = 0; RowIdx != Rows.size(); ++RowIdx) {
+    const auto &Row = Rows[RowIdx];
+    std::string Line;
+    for (size_t I = 0; I != Row.size(); ++I) {
+      Line += Row[I];
+      if (I + 1 != Row.size())
+        Line += std::string(Widths[I] - Row[I].size() + 2, ' ');
+    }
+    std::fprintf(Out, "%s\n", Line.c_str());
+    if (RowIdx == 0) {
+      size_t Total = 0;
+      for (size_t I = 0; I != Widths.size(); ++I)
+        Total += Widths[I] + (I + 1 != Widths.size() ? 2 : 0);
+      std::fprintf(Out, "%s\n", std::string(Total, '-').c_str());
+    }
+  }
+}
+
+void pfuzz::printBar(std::FILE *Out, const std::string &Label,
+                     double Fraction, int Width) {
+  int Filled = static_cast<int>(Fraction * Width + 0.5);
+  Filled = std::clamp(Filled, 0, Width);
+  std::string Bar(static_cast<size_t>(Filled), '#');
+  Bar += std::string(static_cast<size_t>(Width - Filled), '.');
+  std::fprintf(Out, "  %-10s |%s| %5.1f%%\n", Label.c_str(), Bar.c_str(),
+               Fraction * 100.0);
+}
+
+void pfuzz::printSeries(
+    std::FILE *Out, const std::string &Label,
+    const std::vector<std::pair<uint64_t, uint64_t>> &Samples,
+    uint64_t MaxValue, int Width) {
+  static const char *const Levels[] = {" ", ".", ":", "-", "=", "+",
+                                       "*", "#", "%", "@"};
+  std::string Row;
+  for (int I = 0; I != Width; ++I) {
+    size_t Idx = Samples.empty()
+                     ? 0
+                     : (static_cast<size_t>(I) * Samples.size()) / Width;
+    uint64_t Value = Samples.empty() ? 0 : Samples[Idx].second;
+    size_t Level =
+        MaxValue == 0 ? 0 : (Value * 9 + MaxValue / 2) / MaxValue;
+    Row += Levels[std::min<size_t>(Level, 9)];
+  }
+  uint64_t Final = Samples.empty() ? 0 : Samples.back().second;
+  std::fprintf(Out, "  %-10s |%s| %llu outcomes\n", Label.c_str(),
+               Row.c_str(), static_cast<unsigned long long>(Final));
+}

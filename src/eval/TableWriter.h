@@ -1,0 +1,50 @@
+//===- eval/TableWriter.h - Fixed-width table output -------------*- C++ -*-==//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-width text tables and horizontal ASCII bar charts, used by every
+/// bench binary to print the paper's tables and figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_EVAL_TABLEWRITER_H
+#define PFUZZ_EVAL_TABLEWRITER_H
+
+#include <cstdint>
+#include <cstdio>
+#include <utility>
+#include <string>
+#include <vector>
+
+namespace pfuzz {
+
+/// Collects rows and prints them with per-column widths.
+class TableWriter {
+public:
+  explicit TableWriter(std::vector<std::string> Header);
+
+  void addRow(std::vector<std::string> Cells);
+
+  /// Prints the table (header, separator, rows) to \p Out.
+  void print(std::FILE *Out) const;
+
+private:
+  std::vector<std::vector<std::string>> Rows; // Rows[0] is the header
+};
+
+/// Prints one horizontal bar scaled so that 100% is \p Width characters.
+void printBar(std::FILE *Out, const std::string &Label, double Fraction,
+              int Width = 50);
+
+/// Prints a coverage-over-time series as a sparkline-style row: one
+/// character per sample, scaled to \p MaxValue.
+void printSeries(std::FILE *Out, const std::string &Label,
+                 const std::vector<std::pair<uint64_t, uint64_t>> &Samples,
+                 uint64_t MaxValue, int Width = 50);
+
+} // namespace pfuzz
+
+#endif // PFUZZ_EVAL_TABLEWRITER_H

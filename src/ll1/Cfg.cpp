@@ -1,0 +1,161 @@
+//===- ll1/Cfg.cpp - Context-free grammars for LL(1) parsing --------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ll1/Cfg.h"
+
+#include <cassert>
+
+using namespace pfuzz;
+
+int32_t Cfg::addNonTerminal(std::string_view Name) {
+  auto It = NameIds.find(Name);
+  if (It != NameIds.end())
+    return It->second;
+  int32_t Id = static_cast<int32_t>(Names.size());
+  Names.emplace_back(Name);
+  NameIds.emplace(std::string(Name), Id);
+  ByLhs.emplace_back();
+  Analyzed = false;
+  return Id;
+}
+
+void Cfg::addProduction(int32_t NonTerminal, std::vector<CfgSymbol> Symbols) {
+  assert(NonTerminal >= 0 &&
+         static_cast<size_t>(NonTerminal) < Names.size() &&
+         "unknown nonterminal");
+  ByLhs[NonTerminal].push_back(static_cast<uint32_t>(Productions.size()));
+  Productions.push_back({NonTerminal, std::move(Symbols)});
+  Analyzed = false;
+}
+
+void Cfg::addProductionSpec(int32_t NonTerminal, std::string_view Rhs) {
+  std::vector<CfgSymbol> Symbols;
+  size_t I = 0;
+  while (I < Rhs.size()) {
+    if (Rhs[I] == '<') {
+      size_t Close = Rhs.find('>', I);
+      assert(Close != std::string_view::npos && "unterminated <NonTerm>");
+      Symbols.push_back(CfgSymbol::nonTerminal(
+          addNonTerminal(Rhs.substr(I + 1, Close - I - 1))));
+      I = Close + 1;
+      continue;
+    }
+    Symbols.push_back(CfgSymbol::terminal(Rhs[I]));
+    ++I;
+  }
+  addProduction(NonTerminal, std::move(Symbols));
+}
+
+void Cfg::analyze() const {
+  if (Analyzed)
+    return;
+  size_t N = Names.size();
+  Nullable.assign(N, false);
+  First.assign(N, {});
+  Follow.assign(N, {});
+
+  // Nullable and FIRST by joint fixpoint.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const Production &P : Productions) {
+      bool AllNullable = true;
+      for (const CfgSymbol &Sym : P.Rhs) {
+        if (Sym.IsTerminal) {
+          if (AllNullable && First[P.Lhs].insert(Sym.Terminal).second)
+            Changed = true;
+          AllNullable = false;
+          break;
+        }
+        if (AllNullable)
+          for (char C : First[Sym.NonTerminal])
+            if (First[P.Lhs].insert(C).second)
+              Changed = true;
+        if (!Nullable[Sym.NonTerminal]) {
+          AllNullable = false;
+          break;
+        }
+      }
+      if (AllNullable && !Nullable[P.Lhs]) {
+        Nullable[P.Lhs] = true;
+        Changed = true;
+      }
+    }
+  }
+
+  // FOLLOW fixpoint; '\0' marks end-of-input after the start symbol.
+  Follow[0].insert('\0');
+  Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const Production &P : Productions) {
+      for (size_t I = 0; I != P.Rhs.size(); ++I) {
+        const CfgSymbol &Sym = P.Rhs[I];
+        if (Sym.IsTerminal)
+          continue;
+        bool TailNullable = true;
+        for (size_t J = I + 1; J != P.Rhs.size(); ++J) {
+          const CfgSymbol &Next = P.Rhs[J];
+          if (Next.IsTerminal) {
+            if (TailNullable &&
+                Follow[Sym.NonTerminal].insert(Next.Terminal).second)
+              Changed = true;
+            TailNullable = false;
+            break;
+          }
+          if (TailNullable)
+            for (char C : First[Next.NonTerminal])
+              if (Follow[Sym.NonTerminal].insert(C).second)
+                Changed = true;
+          if (!Nullable[Next.NonTerminal]) {
+            TailNullable = false;
+            break;
+          }
+        }
+        if (TailNullable)
+          for (char C : Follow[P.Lhs])
+            if (Follow[Sym.NonTerminal].insert(C).second)
+              Changed = true;
+      }
+    }
+  }
+  Analyzed = true;
+}
+
+bool Cfg::isNullable(int32_t NonTerminal) const {
+  analyze();
+  return Nullable[NonTerminal];
+}
+
+const std::set<char> &Cfg::firstOf(int32_t NonTerminal) const {
+  analyze();
+  return First[NonTerminal];
+}
+
+const std::set<char> &Cfg::followOf(int32_t NonTerminal) const {
+  analyze();
+  return Follow[NonTerminal];
+}
+
+std::set<char> Cfg::firstOfSequence(const std::vector<CfgSymbol> &Symbols,
+                                    bool &SequenceNullable) const {
+  analyze();
+  std::set<char> Out;
+  SequenceNullable = true;
+  for (const CfgSymbol &Sym : Symbols) {
+    if (Sym.IsTerminal) {
+      Out.insert(Sym.Terminal);
+      SequenceNullable = false;
+      return Out;
+    }
+    Out.insert(First[Sym.NonTerminal].begin(), First[Sym.NonTerminal].end());
+    if (!Nullable[Sym.NonTerminal]) {
+      SequenceNullable = false;
+      return Out;
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,112 @@
+//===- ll1/Cfg.h - Context-free grammars for LL(1) parsing -------*- C++ -*-==//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small character-level CFG representation with nullable/FIRST/FOLLOW
+/// computation — the front half of the Section 7.1 future-work item
+/// (table-driven parsers): "instead of code coverage, one could implement
+/// coverage of table elements". Terminals are single characters; the
+/// table construction lives in ll1/Ll1Table.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_LL1_CFG_H
+#define PFUZZ_LL1_CFG_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pfuzz {
+
+/// A grammar symbol: a terminal character or a nonterminal id.
+struct CfgSymbol {
+  bool IsTerminal = true;
+  char Terminal = '\0';
+  int32_t NonTerminal = -1;
+
+  static CfgSymbol terminal(char C) {
+    CfgSymbol S;
+    S.IsTerminal = true;
+    S.Terminal = C;
+    return S;
+  }
+  static CfgSymbol nonTerminal(int32_t Id) {
+    CfgSymbol S;
+    S.IsTerminal = false;
+    S.NonTerminal = Id;
+    return S;
+  }
+};
+
+/// A character-level context-free grammar.
+class Cfg {
+public:
+  /// Adds (or finds) a nonterminal by name; the first added nonterminal
+  /// is the start symbol.
+  int32_t addNonTerminal(std::string_view Name);
+
+  /// Adds a production NonTerminal -> Symbols (empty = epsilon).
+  void addProduction(int32_t NonTerminal, std::vector<CfgSymbol> Symbols);
+
+  /// Convenience: adds a production given a compact right-hand side where
+  /// lowercase/punctuation characters are terminals and <Name> references
+  /// a nonterminal, e.g. "(<E>)" or "+<T><R>". An empty string is epsilon.
+  void addProductionSpec(int32_t NonTerminal, std::string_view Rhs);
+
+  size_t numNonTerminals() const { return Names.size(); }
+  const std::string &nameOf(int32_t Id) const { return Names[Id]; }
+  int32_t startSymbol() const { return 0; }
+
+  struct Production {
+    int32_t Lhs;
+    std::vector<CfgSymbol> Rhs;
+  };
+  const std::vector<Production> &productions() const { return Productions; }
+
+  /// Productions with the given left-hand side (indices into
+  /// productions()).
+  const std::vector<uint32_t> &productionsOf(int32_t NonTerminal) const {
+    return ByLhs[NonTerminal];
+  }
+
+  //===--------------------------------------------------------------------===
+  // Classic LL analyses (computed on demand, cached).
+  //===--------------------------------------------------------------------===
+
+  bool isNullable(int32_t NonTerminal) const;
+
+  /// FIRST set of a nonterminal (terminal characters only).
+  const std::set<char> &firstOf(int32_t NonTerminal) const;
+
+  /// FOLLOW set; '\0' denotes end-of-input.
+  const std::set<char> &followOf(int32_t NonTerminal) const;
+
+  /// FIRST of a sentential form (sequence of symbols); sets \p Nullable
+  /// to whether the whole sequence derives epsilon.
+  std::set<char> firstOfSequence(const std::vector<CfgSymbol> &Symbols,
+                                 bool &Nullable) const;
+
+private:
+  void analyze() const;
+
+  std::vector<std::string> Names;
+  std::map<std::string, int32_t, std::less<>> NameIds;
+  std::vector<Production> Productions;
+  std::vector<std::vector<uint32_t>> ByLhs;
+
+  mutable bool Analyzed = false;
+  mutable std::vector<bool> Nullable;
+  mutable std::vector<std::set<char>> First;
+  mutable std::vector<std::set<char>> Follow;
+};
+
+} // namespace pfuzz
+
+#endif // PFUZZ_LL1_CFG_H

@@ -1,0 +1,56 @@
+//===- ll1/Ll1Table.cpp - LL(1) parse table construction ------------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ll1/Ll1Table.h"
+
+#include <algorithm>
+
+using namespace pfuzz;
+
+std::optional<Ll1Table> Ll1Table::build(const Cfg &G, std::string *Error) {
+  Ll1Table Table;
+  size_t N = G.numNonTerminals();
+  Table.Cells.assign(N * 129u, -1);
+  Table.Expected.assign(N, {});
+
+  auto Set = [&](int32_t NT, char Lookahead, uint32_t ProdIdx) -> bool {
+    uint32_t Cell = Table.cellIndex(NT, Lookahead);
+    if (Table.Cells[Cell] != -1 &&
+        Table.Cells[Cell] != static_cast<int32_t>(ProdIdx)) {
+      if (Error != nullptr)
+        *Error = "LL(1) conflict at <" + G.nameOf(NT) + ", '" +
+                 std::string(1, Lookahead) + "'>";
+      return false;
+    }
+    Table.Cells[Cell] = static_cast<int32_t>(ProdIdx);
+    return true;
+  };
+
+  const auto &Productions = G.productions();
+  for (uint32_t P = 0; P != Productions.size(); ++P) {
+    const Cfg::Production &Prod = Productions[P];
+    bool RhsNullable = false;
+    std::set<char> FirstSet = G.firstOfSequence(Prod.Rhs, RhsNullable);
+    for (char C : FirstSet)
+      if (!Set(Prod.Lhs, C, P))
+        return std::nullopt;
+    if (RhsNullable)
+      for (char C : G.followOf(Prod.Lhs))
+        if (!Set(Prod.Lhs, C, P))
+          return std::nullopt;
+  }
+
+  for (size_t NT = 0; NT != N; ++NT) {
+    std::set<char> Chars;
+    for (unsigned C = 0; C != 129; ++C) {
+      if (Table.Cells[NT * 129 + C] == -1)
+        continue;
+      Chars.insert(C == 128 ? '\0' : static_cast<char>(C));
+    }
+    Table.Expected[NT].assign(Chars.begin(), Chars.end());
+  }
+  return Table;
+}

@@ -1,0 +1,64 @@
+//===- ll1/Ll1Table.h - LL(1) parse table construction -----------*- C++ -*-==//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LL(1) parse-table construction from a Cfg, with conflict detection.
+/// The table is the "program" of a table-driven parser: Section 7.1 notes
+/// that such parsers define their state "based on the table [they read]
+/// rather the code [they are] currently executing", so our coverage for
+/// them counts *table elements* instead of branch sites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_LL1_LL1TABLE_H
+#define PFUZZ_LL1_LL1TABLE_H
+
+#include "ll1/Cfg.h"
+
+#include <optional>
+
+namespace pfuzz {
+
+/// An LL(1) parse table: (nonterminal, lookahead byte) -> production.
+class Ll1Table {
+public:
+  /// Builds the table; returns nullopt (and fills \p Error) when the
+  /// grammar is not LL(1).
+  static std::optional<Ll1Table> build(const Cfg &G, std::string *Error);
+
+  /// Production index for (NonTerminal, Lookahead), or -1 on error
+  /// entries. Lookahead '\0' is end-of-input.
+  int32_t lookup(int32_t NonTerminal, char Lookahead) const {
+    return Cells[cellIndex(NonTerminal, Lookahead)];
+  }
+
+  /// Dense cell id for coverage accounting (Section 7.1's "coverage of
+  /// table elements").
+  uint32_t cellIndex(int32_t NonTerminal, char Lookahead) const {
+    return static_cast<uint32_t>(NonTerminal) * 129u +
+           (Lookahead == '\0' ? 128u
+                              : static_cast<unsigned char>(Lookahead) % 128u);
+  }
+
+  /// Total number of cells (the coverage denominator contribution).
+  uint32_t numCells() const {
+    return static_cast<uint32_t>(Cells.size());
+  }
+
+  /// The lookahead characters with non-error entries for a nonterminal —
+  /// exactly what the table-driven parser compares the input against.
+  const std::vector<char> &expectedFor(int32_t NonTerminal) const {
+    return Expected[NonTerminal];
+  }
+
+private:
+  std::vector<int32_t> Cells;          // NumNonTerminals x 129
+  std::vector<std::vector<char>> Expected;
+};
+
+} // namespace pfuzz
+
+#endif // PFUZZ_LL1_LL1TABLE_H

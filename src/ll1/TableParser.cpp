@@ -1,0 +1,75 @@
+//===- ll1/TableParser.cpp - Table-driven parser engine -------------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ll1/TableParser.h"
+
+#include <string>
+#include <vector>
+
+using namespace pfuzz;
+
+int pfuzz::parseWithTable(ExecutionContext &Ctx, const Cfg &G,
+                          const Ll1Table &Table) {
+  ExecutionContext::FunctionScope Scope(Ctx, "tableParse");
+  std::vector<CfgSymbol> Stack;
+  Stack.push_back(CfgSymbol::nonTerminal(G.startSymbol()));
+
+  // Generous step bound: each step either consumes input or expands a
+  // production; LL(1) tables cannot loop without consuming, but a buggy
+  // grammar should fail closed.
+  uint64_t Steps = 0;
+  const uint64_t MaxSteps = 64 * (Ctx.input().size() + 4) + 1024;
+
+  while (!Stack.empty()) {
+    if (++Steps > MaxSteps)
+      return 1;
+    CfgSymbol Top = Stack.back();
+    Stack.pop_back();
+    TChar Look = Ctx.peekChar();
+
+    if (Top.IsTerminal) {
+      // Predicted terminal: one tracked comparison against the input.
+      if (!Ctx.cmpEq(Look, Top.Terminal))
+        return 1;
+      Ctx.nextChar();
+      continue;
+    }
+
+    // Nonterminal: probe the lookahead against the row's expected set.
+    // A real table parser indexes the row directly (an implicit flow);
+    // the probe models the comparisons the row encodes, exactly like the
+    // expansion of the row into a switch. Bytes outside the table are
+    // errors.
+    if (!Look.isEof() && static_cast<unsigned char>(Look.ch()) >= 128)
+      return 1;
+    char Lookahead = Look.isEof() ? '\0' : Look.ch();
+    bool Known = false;
+    for (char Expected : Table.expectedFor(Top.NonTerminal)) {
+      if (Expected == '\0')
+        continue; // EOF column: not a character comparison
+      if (Ctx.cmpEq(Look, Expected))
+        Known = true;
+    }
+    (void)Known;
+    int32_t ProdIdx = Table.lookup(Top.NonTerminal, Lookahead);
+    // Coverage of table elements (Section 7.1): every consulted cell is
+    // a site; its outcome bit records hit vs error entry.
+    Ctx.recordBranch(Table.cellIndex(Top.NonTerminal, Lookahead),
+                     ProdIdx >= 0);
+    if (ProdIdx < 0)
+      return 1;
+    const Cfg::Production &Prod = G.productions()[ProdIdx];
+    for (auto It = Prod.Rhs.rbegin(), E = Prod.Rhs.rend(); It != E; ++It)
+      Stack.push_back(*It);
+  }
+
+  // The stack drained; the input must be exhausted too.
+  TChar End = Ctx.peekChar();
+  Ctx.recordBranch(Table.numCells(), End.isEof());
+  if (!End.isEof())
+    return 1;
+  return 0;
+}

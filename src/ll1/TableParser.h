@@ -1,0 +1,39 @@
+//===- ll1/TableParser.h - Table-driven parser engine ------------*- C++ -*-==//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generic table-driven LL(1) parser over the instrumented runtime —
+/// the Section 7.1 future-work item. Two properties matter for fuzzing:
+///
+///  * Character comparisons still exist: matching a predicted terminal
+///    against the input, and probing the lookahead against a
+///    nonterminal's expected set, go through the tracked comparison
+///    primitives ("the implicit paths and character comparisons do also
+///    exist in a table driven parser").
+///  * Code coverage is useless (the engine is one loop), so coverage is
+///    counted over *table elements*: each (nonterminal, lookahead) cell
+///    access records a pseudo branch site, as the paper proposes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_LL1_TABLEPARSER_H
+#define PFUZZ_LL1_TABLEPARSER_H
+
+#include "ll1/Ll1Table.h"
+#include "runtime/ExecutionContext.h"
+
+namespace pfuzz {
+
+/// Runs the table-driven parse of the input in \p Ctx against grammar
+/// \p G with parse table \p Table. Returns 0 iff the whole input is a
+/// sentence. Coverage sites [0, Table.numCells()) are table cells;
+/// callers report numBranchSites() accordingly.
+int parseWithTable(ExecutionContext &Ctx, const Cfg &G,
+                   const Ll1Table &Table);
+
+} // namespace pfuzz
+
+#endif // PFUZZ_LL1_TABLEPARSER_H

@@ -1,0 +1,116 @@
+//===- mining/Grammar.h - Mined context-free grammars ------------*- C++ -*-==//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Context-free grammars mined from derivation trees (Section 7.4): one
+/// nonterminal per parser function, one alternative per distinct child
+/// layout observed across valid runs. GrammarMiner accumulates trees;
+/// Grammar is the immutable result used by the generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_MINING_GRAMMAR_H
+#define PFUZZ_MINING_GRAMMAR_H
+
+#include "mining/DerivationTree.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pfuzz {
+
+/// A terminal string or a nonterminal reference.
+struct GrammarSymbol {
+  bool IsTerminal = true;
+  std::string Text;         // terminal text (may be empty)
+  int32_t NonTerminal = -1; // nonterminal id when !IsTerminal
+
+  static GrammarSymbol terminal(std::string Text) {
+    GrammarSymbol S;
+    S.IsTerminal = true;
+    S.Text = std::move(Text);
+    return S;
+  }
+  static GrammarSymbol nonTerminal(int32_t Id) {
+    GrammarSymbol S;
+    S.IsTerminal = false;
+    S.NonTerminal = Id;
+    return S;
+  }
+  bool operator==(const GrammarSymbol &O) const {
+    return IsTerminal == O.IsTerminal && Text == O.Text &&
+           NonTerminal == O.NonTerminal;
+  }
+  bool operator<(const GrammarSymbol &O) const {
+    if (IsTerminal != O.IsTerminal)
+      return IsTerminal < O.IsTerminal;
+    if (NonTerminal != O.NonTerminal)
+      return NonTerminal < O.NonTerminal;
+    return Text < O.Text;
+  }
+};
+
+/// One alternative of a nonterminal.
+struct GrammarRule {
+  std::vector<GrammarSymbol> Symbols;
+  bool operator<(const GrammarRule &O) const { return Symbols < O.Symbols; }
+};
+
+/// An immutable mined grammar.
+class Grammar {
+public:
+  Grammar(std::vector<std::string> NonTerminalNames,
+          std::vector<std::vector<GrammarRule>> Alternatives, int32_t Start);
+
+  int32_t start() const { return Start; }
+  size_t numNonTerminals() const { return Names.size(); }
+  const std::string &nameOf(int32_t Id) const { return Names[Id]; }
+  const std::vector<GrammarRule> &alternativesOf(int32_t Id) const {
+    return Alternatives[Id];
+  }
+  size_t numAlternatives() const;
+
+  /// Minimum expansion depth of a nonterminal (1 = has an alternative of
+  /// terminals only). Used by the generator to close recursion.
+  uint32_t minDepthOf(int32_t Id) const { return MinDepth[Id]; }
+
+  /// BNF-style rendering.
+  std::string toString() const;
+
+private:
+  std::vector<std::string> Names;
+  std::vector<std::vector<GrammarRule>> Alternatives;
+  int32_t Start;
+  std::vector<uint32_t> MinDepth;
+};
+
+/// Accumulates derivation trees into a grammar.
+class GrammarMiner {
+public:
+  /// Harvests one derivation tree; duplicate rule layouts collapse.
+  void addTree(const DerivationTree &Tree);
+
+  /// Number of trees harvested so far.
+  size_t numTrees() const { return Trees; }
+
+  /// Builds the grammar; the start symbol is the synthetic "<start>".
+  Grammar build() const;
+
+private:
+  int32_t internName(const std::string &Name);
+
+  std::map<std::string, int32_t> NameIds;
+  std::vector<std::string> Names;
+  std::vector<std::set<GrammarRule>> Rules;
+  size_t Trees = 0;
+};
+
+} // namespace pfuzz
+
+#endif // PFUZZ_MINING_GRAMMAR_H

@@ -1,0 +1,60 @@
+//===- mining/GrammarGenerator.cpp - Grammar-based generation -------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mining/GrammarGenerator.h"
+
+#include <cassert>
+
+using namespace pfuzz;
+
+std::string GrammarGenerator::generate(uint32_t MaxDepth, uint32_t MaxLen) {
+  std::string Out;
+  WorkBudget = 4096;
+  if (G.numNonTerminals() != 0)
+    expand(G.start(), 0, MaxDepth, MaxLen, Out);
+  return Out;
+}
+
+void GrammarGenerator::expand(int32_t NonTerminal, uint32_t Depth,
+                              uint32_t MaxDepth, uint32_t MaxLen,
+                              std::string &Out) {
+  const std::vector<GrammarRule> &Alts = G.alternativesOf(NonTerminal);
+  if (Alts.empty() || Out.size() >= MaxLen || WorkBudget == 0)
+    return;
+  --WorkBudget;
+  const GrammarRule *Chosen = nullptr;
+  // Once the work budget runs low, stop free exploration and close.
+  if (Depth < MaxDepth && WorkBudget > 512) {
+    Chosen = &Alts[R.below(Alts.size())];
+  } else {
+    // Budget exhausted: close the derivation along a minimum-depth
+    // alternative (ties broken randomly).
+    uint32_t Best = ~0u;
+    uint32_t Count = 0;
+    for (const GrammarRule &Rule : Alts) {
+      uint32_t Deepest = 0;
+      for (const GrammarSymbol &Sym : Rule.Symbols)
+        if (!Sym.IsTerminal)
+          Deepest = std::max(Deepest, G.minDepthOf(Sym.NonTerminal));
+      if (Deepest < Best) {
+        Best = Deepest;
+        Chosen = &Rule;
+        Count = 1;
+      } else if (Deepest == Best && R.below(++Count) == 0) {
+        Chosen = &Rule;
+      }
+    }
+  }
+  assert(Chosen != nullptr && "nonterminal without alternatives");
+  for (const GrammarSymbol &Sym : Chosen->Symbols) {
+    if (Out.size() >= MaxLen)
+      return;
+    if (Sym.IsTerminal)
+      Out += Sym.Text;
+    else
+      expand(Sym.NonTerminal, Depth + 1, MaxDepth, MaxLen, Out);
+  }
+}

@@ -1,0 +1,48 @@
+//===- mining/GrammarGenerator.h - Grammar-based generation ------*- C++ -*-==//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Random sentence generation from a mined grammar — the back half of the
+/// Section 7.4 pipeline ("use the mined grammar for generating longer and
+/// more complex sequences that contain recursive structures"). Expansion
+/// is depth-budgeted: while budget remains, alternatives are chosen
+/// uniformly; once it runs out, the generator switches to minimum-depth
+/// alternatives so every sentence closes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_MINING_GRAMMARGENERATOR_H
+#define PFUZZ_MINING_GRAMMARGENERATOR_H
+
+#include "mining/Grammar.h"
+#include "support/Rng.h"
+
+namespace pfuzz {
+
+/// Random sentence generator over a mined grammar.
+class GrammarGenerator {
+public:
+  GrammarGenerator(const Grammar &G, uint64_t Seed) : G(G), R(Seed) {}
+
+  /// Generates one sentence. \p MaxDepth bounds the free-choice phase;
+  /// \p MaxLen truncates pathological blowups (a truncated sentence is
+  /// still returned; callers validate against the subject anyway). A
+  /// work budget additionally bounds the total number of expansions, so
+  /// grammars with wide epsilon-heavy rules cannot explode.
+  std::string generate(uint32_t MaxDepth = 16, uint32_t MaxLen = 400);
+
+private:
+  void expand(int32_t NonTerminal, uint32_t Depth, uint32_t MaxDepth,
+              uint32_t MaxLen, std::string &Out);
+
+  const Grammar &G;
+  Rng R;
+  uint32_t WorkBudget = 0;
+};
+
+} // namespace pfuzz
+
+#endif // PFUZZ_MINING_GRAMMARGENERATOR_H

@@ -1,0 +1,70 @@
+//===- mining/MiningPipeline.cpp - The Section 7.4 pipeline ---------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mining/MiningPipeline.h"
+
+#include "core/PFuzzer.h"
+#include "mining/GrammarGenerator.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace pfuzz;
+
+Grammar pfuzz::mineGrammar(const Subject &S,
+                           const std::vector<std::string> &ValidInputs) {
+  GrammarMiner Miner;
+  for (const std::string &Input : ValidInputs) {
+    RunResult RR = S.execute(Input, InstrumentationMode::Full);
+    if (RR.ExitCode != 0)
+      continue; // defensive: mine only from accepted inputs
+    if (std::optional<DerivationTree> Tree =
+            DerivationTree::fromRun(RR, Input))
+      Miner.addTree(*Tree);
+  }
+  return Miner.build();
+}
+
+PipelineResult pfuzz::runMiningPipeline(const Subject &S,
+                                        uint64_t ExploreExecs,
+                                        uint64_t GenerateCount,
+                                        uint64_t Seed) {
+  PipelineResult Result;
+
+  // Phase 1: parser-directed exploration.
+  PFuzzer Explorer;
+  FuzzerOptions Opts;
+  Opts.Seed = Seed;
+  Opts.MaxExecutions = ExploreExecs;
+  FuzzReport Report = Explorer.run(S, Opts);
+  Result.SeedInputs = Report.ValidInputs;
+  std::set<uint32_t> Covered = Report.ValidBranches;
+  Result.SeedBranches = Covered.size();
+  for (const std::string &Input : Result.SeedInputs)
+    Result.MaxSeedLen = std::max(Result.MaxSeedLen, Input.size());
+
+  // Phase 2: grammar mining from the explored valid inputs.
+  Grammar G = mineGrammar(S, Result.SeedInputs);
+  Result.GrammarNonTerminals = G.numNonTerminals();
+  Result.GrammarAlternatives = G.numAlternatives();
+
+  // Phase 3: grammar-based generation of longer, recursive inputs.
+  GrammarGenerator Generator(G, Seed + 0x9E3779B9);
+  for (uint64_t I = 0; I != GenerateCount; ++I) {
+    std::string Sentence = Generator.generate();
+    ++Result.Generated;
+    RunResult RR = S.execute(Sentence, InstrumentationMode::CoverageOnly);
+    if (RR.ExitCode != 0)
+      continue;
+    ++Result.GeneratedValid;
+    Result.MaxGeneratedValidLen =
+        std::max(Result.MaxGeneratedValidLen, Sentence.size());
+    for (uint32_t B : RR.coveredBranches())
+      Covered.insert(B);
+  }
+  Result.CombinedBranches = Covered.size();
+  return Result;
+}

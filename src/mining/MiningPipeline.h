@@ -1,0 +1,63 @@
+//===- mining/MiningPipeline.h - The Section 7.4 pipeline --------*- C++ -*-==//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The full Section 7.4 pipeline: "rely on parser-directed fuzzing for
+/// initial exploration, use a tool to mine the grammar from the resulting
+/// sequences, and use the mined grammar for generating longer and more
+/// complex sequences that contain recursive structures."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_MINING_MININGPIPELINE_H
+#define PFUZZ_MINING_MININGPIPELINE_H
+
+#include "core/Fuzzer.h"
+#include "mining/Grammar.h"
+
+namespace pfuzz {
+
+/// Outcome of one pipeline run.
+struct PipelineResult {
+  /// Valid inputs pFuzzer discovered during exploration.
+  std::vector<std::string> SeedInputs;
+
+  /// The grammar mined from the seeds' derivation trees.
+  size_t GrammarNonTerminals = 0;
+  size_t GrammarAlternatives = 0;
+
+  /// Grammar-generated sentences and how many the subject accepted.
+  uint64_t Generated = 0;
+  uint64_t GeneratedValid = 0;
+
+  /// Longest valid inputs from each phase (recursion payoff measure).
+  size_t MaxSeedLen = 0;
+  size_t MaxGeneratedValidLen = 0;
+
+  /// Branch outcomes covered by valid inputs: exploration only, and after
+  /// adding the grammar-generated phase.
+  size_t SeedBranches = 0;
+  size_t CombinedBranches = 0;
+
+  double validRatio() const {
+    return Generated == 0 ? 0
+                          : static_cast<double>(GeneratedValid) / Generated;
+  }
+};
+
+/// Mines a grammar from \p ValidInputs by re-executing each against \p S
+/// and harvesting derivation trees.
+Grammar mineGrammar(const Subject &S,
+                    const std::vector<std::string> &ValidInputs);
+
+/// Runs the whole pipeline: pFuzzer exploration with \p ExploreExecs, then
+/// \p GenerateCount grammar-based sentences (validated against \p S).
+PipelineResult runMiningPipeline(const Subject &S, uint64_t ExploreExecs,
+                                 uint64_t GenerateCount, uint64_t Seed);
+
+} // namespace pfuzz
+
+#endif // PFUZZ_MINING_MININGPIPELINE_H

@@ -1,0 +1,134 @@
+//===- runtime/ExecutionContext.cpp - Instrumented execution --------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ExecutionContext.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pfuzz;
+
+std::vector<uint32_t> RunResult::coveredBranchesUpTo(uint32_t End) const {
+  uint32_t Limit = std::min<uint32_t>(End, BranchTrace.size());
+  std::vector<uint32_t> Covered(BranchTrace.begin(),
+                                BranchTrace.begin() + Limit);
+  std::sort(Covered.begin(), Covered.end());
+  Covered.erase(std::unique(Covered.begin(), Covered.end()), Covered.end());
+  return Covered;
+}
+
+TChar ExecutionContext::nextChar() {
+  TChar C = peekChar(0);
+  // Advance even past the end so repeated EOF reads access fresh indices,
+  // matching a C program walking a pointer past the buffer.
+  ++Cursor;
+  return C;
+}
+
+TChar ExecutionContext::peekChar(uint32_t Lookahead) {
+  uint64_t Index = static_cast<uint64_t>(Cursor) + Lookahead;
+  if (Index >= Input.size()) {
+    if (Mode == InstrumentationMode::Full)
+      Result.EofAccesses.push_back({static_cast<uint32_t>(Index)});
+    // The EOF sentinel still carries the accessed index as taint so that
+    // comparisons against it can be attributed to a position.
+    return TChar(EofChar, TaintSet::forIndex(static_cast<uint32_t>(Index)));
+  }
+  return TChar(static_cast<unsigned char>(Input[Index]),
+               TaintSet::forIndex(static_cast<uint32_t>(Index)));
+}
+
+void ExecutionContext::ungetChar() {
+  assert(Cursor > 0 && "ungetChar at start of input");
+  --Cursor;
+}
+
+void ExecutionContext::recordComparison(const TChar &C, CompareKind Kind,
+                                        std::string Expected, bool Matched,
+                                        bool Implicit) {
+  if (Mode != InstrumentationMode::Full)
+    return;
+  ComparisonEvent Event;
+  Event.Taint = C.taint();
+  Event.Kind = Kind;
+  Event.Expected = std::move(Expected);
+  if (!C.isEof())
+    Event.Actual.push_back(C.ch());
+  Event.Matched = Matched;
+  Event.OnEof = C.isEof();
+  Event.Implicit = Implicit;
+  Event.StackDepth = StackDepth;
+  Event.TracePosition = static_cast<uint32_t>(Result.BranchTrace.size());
+  Result.Comparisons.push_back(std::move(Event));
+}
+
+/// Comparisons operate on unsigned byte values, like a C parser comparing
+/// `unsigned char` input bytes.
+static unsigned byteOf(char C) { return static_cast<unsigned char>(C); }
+
+bool ExecutionContext::cmpEq(const TChar &C, char Expected, bool Implicit) {
+  bool Matched = !C.isEof() && byteOf(C.ch()) == byteOf(Expected);
+  recordComparison(C, CompareKind::CharEq, std::string(1, Expected), Matched,
+                   Implicit);
+  return Matched;
+}
+
+bool ExecutionContext::cmpRange(const TChar &C, char Lo, char Hi,
+                                bool Implicit) {
+  assert(byteOf(Lo) <= byteOf(Hi) && "inverted comparison range");
+  bool Matched = !C.isEof() && byteOf(C.ch()) >= byteOf(Lo) &&
+                 byteOf(C.ch()) <= byteOf(Hi);
+  std::string Expected;
+  Expected.push_back(Lo);
+  Expected.push_back(Hi);
+  recordComparison(C, CompareKind::CharRange, std::move(Expected), Matched,
+                   Implicit);
+  return Matched;
+}
+
+bool ExecutionContext::cmpSet(const TChar &C, std::string_view Set,
+                              bool Implicit) {
+  bool Matched = !C.isEof() && Set.find(C.ch()) != std::string_view::npos;
+  recordComparison(C, CompareKind::CharSet, std::string(Set), Matched,
+                   Implicit);
+  return Matched;
+}
+
+bool ExecutionContext::cmpStr(const TString &S, std::string_view Expected) {
+  bool Matched = S.view() == Expected;
+  if (Mode == InstrumentationMode::Full) {
+    ComparisonEvent Event;
+    Event.Taint = S.taint();
+    Event.Kind = CompareKind::StrEq;
+    Event.Expected = std::string(Expected);
+    Event.Actual = S.str();
+    Event.Matched = Matched;
+    Event.OnEof = false;
+    Event.StackDepth = StackDepth;
+    Event.TracePosition = static_cast<uint32_t>(Result.BranchTrace.size());
+    Result.Comparisons.push_back(std::move(Event));
+  }
+  return Matched;
+}
+
+void ExecutionContext::enterFunction(const char *Name) {
+  int32_t NextId = static_cast<int32_t>(Result.FunctionNames.size());
+  auto [It, Inserted] =
+      FunctionIds.try_emplace(static_cast<const void *>(Name), NextId);
+  if (Inserted)
+    Result.FunctionNames.push_back(Name);
+  Result.CallTrace.push_back({It->second, Cursor});
+}
+
+void ExecutionContext::exitFunction() {
+  Result.CallTrace.push_back({-1, Cursor});
+}
+
+bool ExecutionContext::recordBranch(uint32_t SiteId, bool Taken) {
+  if (Mode != InstrumentationMode::Off)
+    Result.BranchTrace.push_back((SiteId << 1) | (Taken ? 1u : 0u));
+  return Taken;
+}

@@ -1,0 +1,202 @@
+//===- runtime/ExecutionContext.h - Instrumented execution ------*- C++ -*-==//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ExecutionContext is the instrumented-execution substrate: it plays the
+/// role of the paper's LLVM instrumentation pass plus runtime (Section 4).
+/// Subjects read input through it, route every input-derived comparison
+/// through the cmp* primitives, and record branch outcomes through
+/// recordBranch (via the macros in runtime/Instrument.h). After a run the
+/// fuzzer inspects the collected RunResult.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_RUNTIME_EXECUTIONCONTEXT_H
+#define PFUZZ_RUNTIME_EXECUTIONCONTEXT_H
+
+#include "runtime/Events.h"
+#include "taint/TaintedValue.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pfuzz {
+
+/// How much the runtime records. Off gives an uninstrumented "twin" used to
+/// measure instrumentation overhead (the paper reports a ~100x slowdown);
+/// CoverageOnly is what an AFL-style fuzzer consumes.
+enum class InstrumentationMode {
+  Off,
+  CoverageOnly,
+  Full,
+};
+
+/// One entry of the function-call trace: an activation entering or
+/// leaving, with the input cursor at that moment. The grammar miner
+/// (src/mining) rebuilds derivation trees from this.
+struct CallEvent {
+  /// Index into RunResult::FunctionNames, or -1 for a function exit.
+  int32_t NameId = -1;
+  /// Input cursor position when the event fired.
+  uint32_t Cursor = 0;
+};
+
+/// Everything one instrumented execution produced.
+struct RunResult {
+  /// Subject exit code; 0 means the input was accepted as valid.
+  int ExitCode = 1;
+
+  /// Comparisons of tainted values, in execution order (Full mode only).
+  std::vector<ComparisonEvent> Comparisons;
+
+  /// Accesses past the end of the input (Full mode only).
+  std::vector<EofEvent> EofAccesses;
+
+  /// Branch trace: each entry is (SiteId << 1) | TakenBit, in execution
+  /// order (CoverageOnly and Full).
+  std::vector<uint32_t> BranchTrace;
+
+  /// Function enter/exit events in execution order (Full mode only);
+  /// Section 4: "the sequence of function calls together with current
+  /// stack contents".
+  std::vector<CallEvent> CallTrace;
+
+  /// Interned function names referenced by CallTrace.
+  std::vector<std::string> FunctionNames;
+
+  /// Returns true if the program tried to read past the end of input.
+  bool hitEof() const { return !EofAccesses.empty(); }
+
+  /// Returns the set of distinct branch-trace entries in Trace[0..End).
+  /// End is clamped to the trace length.
+  std::vector<uint32_t> coveredBranchesUpTo(uint32_t End) const;
+
+  /// Returns all distinct branch-trace entries.
+  std::vector<uint32_t> coveredBranches() const {
+    return coveredBranchesUpTo(static_cast<uint32_t>(BranchTrace.size()));
+  }
+};
+
+/// The per-execution instrumentation state handed to a Subject::run call.
+class ExecutionContext {
+public:
+  explicit ExecutionContext(
+      std::string_view Input,
+      InstrumentationMode Mode = InstrumentationMode::Full)
+      : Input(Input), Mode(Mode) {}
+
+  //===--------------------------------------------------------------------===
+  // Input access
+  //===--------------------------------------------------------------------===
+
+  /// Reads the next character and advances; yields the EOF sentinel (and
+  /// records an EofEvent) past the end of input.
+  TChar nextChar();
+
+  /// Reads the character \p Lookahead positions ahead without consuming.
+  /// Lookahead 0 is the character nextChar would return.
+  TChar peekChar(uint32_t Lookahead = 0);
+
+  /// Current read position.
+  uint32_t position() const { return Cursor; }
+
+  /// Puts the last consumed character back. At most the entire input can be
+  /// rewound; subjects use this for one-character lookahead pushback.
+  void ungetChar();
+
+  /// True if the cursor is at or past the end of input. Does NOT count as
+  /// an EOF access: the paper detects EOF via attempted reads, and subjects
+  /// that call an explicit "are we at the end" predicate (an feof() analog)
+  /// would hide the signal the fuzzer needs. Only tinyC/mjs-style trailing
+  /// checks use this.
+  bool atEnd() const { return Cursor >= Input.size(); }
+
+  const std::string &input() const { return Input; }
+
+  //===--------------------------------------------------------------------===
+  // Tracked comparisons (Full mode records ComparisonEvents)
+  //===--------------------------------------------------------------------===
+
+  /// `C == Expected`. Returns the concrete outcome. \p Implicit marks a
+  /// comparison that reaches the input only through an implicit flow; see
+  /// ComparisonEvent::Implicit.
+  bool cmpEq(const TChar &C, char Expected, bool Implicit = false);
+
+  /// `Lo <= C && C <= Hi`.
+  bool cmpRange(const TChar &C, char Lo, char Hi, bool Implicit = false);
+
+  /// `strchr(Set, C) != nullptr` (C must be non-EOF to match).
+  bool cmpSet(const TChar &C, std::string_view Set, bool Implicit = false);
+
+  /// `strcmp(S, Expected) == 0` — the wrapped-strcmp of Section 4.
+  bool cmpStr(const TString &S, std::string_view Expected);
+
+  //===--------------------------------------------------------------------===
+  // Coverage and call-stack instrumentation
+  //===--------------------------------------------------------------------===
+
+  /// Records branch site \p SiteId with outcome \p Taken; returns Taken so
+  /// the macro is usable inside conditions.
+  bool recordBranch(uint32_t SiteId, bool Taken);
+
+  /// RAII scope emitted at function entry by PF_FUNC. \p Name is the
+  /// enclosing function's __func__ literal; Full mode records a call
+  /// trace from it for derivation-tree mining.
+  class FunctionScope {
+  public:
+    FunctionScope(ExecutionContext &Ctx, const char *Name) : Ctx(Ctx) {
+      ++Ctx.StackDepth;
+      if (Ctx.StackDepth > Ctx.MaxStackDepth)
+        Ctx.MaxStackDepth = Ctx.StackDepth;
+      if (Ctx.Mode == InstrumentationMode::Full)
+        Ctx.enterFunction(Name);
+    }
+    ~FunctionScope() {
+      --Ctx.StackDepth;
+      if (Ctx.Mode == InstrumentationMode::Full)
+        Ctx.exitFunction();
+    }
+    FunctionScope(const FunctionScope &) = delete;
+    FunctionScope &operator=(const FunctionScope &) = delete;
+
+  private:
+    ExecutionContext &Ctx;
+  };
+
+  uint32_t stackDepth() const { return StackDepth; }
+  uint32_t maxStackDepth() const { return MaxStackDepth; }
+
+  InstrumentationMode mode() const { return Mode; }
+
+  /// Moves the collected result out of the context. The subject's exit
+  /// code must be stored with setExitCode before calling this.
+  RunResult takeResult() { return std::move(Result); }
+
+  void setExitCode(int Code) { Result.ExitCode = Code; }
+
+private:
+  void recordComparison(const TChar &C, CompareKind Kind,
+                        std::string Expected, bool Matched, bool Implicit);
+  void enterFunction(const char *Name);
+  void exitFunction();
+
+  std::string Input;
+  InstrumentationMode Mode;
+  uint32_t Cursor = 0;
+  /// Interning map from __func__ literals to FunctionNames indices; keyed
+  /// by pointer (string literals are stable for the process lifetime).
+  std::map<const void *, int32_t> FunctionIds;
+  uint32_t StackDepth = 0;
+  uint32_t MaxStackDepth = 0;
+  RunResult Result;
+};
+
+} // namespace pfuzz
+
+#endif // PFUZZ_RUNTIME_EXECUTIONCONTEXT_H

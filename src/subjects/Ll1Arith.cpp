@@ -1,0 +1,106 @@
+//===- subjects/Ll1Arith.cpp - Table-driven arithmetic subject ------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 2 arithmetic language again — but parsed by a *table-
+/// driven* LL(1) parser instead of recursive descent, implementing the
+/// Section 7.1 future-work item. The language is identical to the arith
+/// subject (cross-checked by tests), and coverage is counted over parse-
+/// table elements rather than code branches.
+///
+/// LL(1) grammar (S is the start symbol; D' and R are right-recursive
+/// tail nonterminals; SIGN and the tails are nullable):
+///
+///   S    -> E
+///   E    -> SIGN T R
+///   SIGN -> '+' | '-' | epsilon
+///   R    -> '+' T R | '-' T R | epsilon
+///   T    -> '(' I ')' | N        (I is E without the leading-sign rule
+///   I    -> SIGN T R              folded back in; same as E)
+///   N    -> D D'
+///   D'   -> D D' | epsilon
+///   D    -> '0' | ... | '9'
+///
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Subject.h"
+
+#include "ll1/TableParser.h"
+
+#include <cassert>
+#include <memory>
+
+using namespace pfuzz;
+
+namespace {
+
+/// Grammar plus its parse table, built once.
+struct Ll1ArithMachine {
+  Cfg G;
+  Ll1Table Table;
+
+  Ll1ArithMachine(Cfg Grammar, Ll1Table T)
+      : G(std::move(Grammar)), Table(std::move(T)) {}
+
+  static const Ll1ArithMachine &instance() {
+    static const Ll1ArithMachine Machine = make();
+    return Machine;
+  }
+
+private:
+  static Ll1ArithMachine make() {
+    Cfg G;
+    int32_t S = G.addNonTerminal("S");
+    int32_t E = G.addNonTerminal("E");
+    int32_t Sign = G.addNonTerminal("SIGN");
+    int32_t R = G.addNonTerminal("R");
+    int32_t T = G.addNonTerminal("T");
+    int32_t N = G.addNonTerminal("N");
+    int32_t DTail = G.addNonTerminal("D'");
+    int32_t D = G.addNonTerminal("D");
+    G.addProductionSpec(S, "<E>");
+    G.addProductionSpec(E, "<SIGN><T><R>");
+    G.addProductionSpec(Sign, "+");
+    G.addProductionSpec(Sign, "-");
+    G.addProductionSpec(Sign, "");
+    G.addProductionSpec(R, "+<T><R>");
+    G.addProductionSpec(R, "-<T><R>");
+    G.addProductionSpec(R, "");
+    G.addProductionSpec(T, "(<E>)");
+    G.addProductionSpec(T, "<N>");
+    G.addProductionSpec(N, "<D><D'>");
+    G.addProductionSpec(DTail, "<D><D'>");
+    G.addProductionSpec(DTail, "");
+    for (char C = '0'; C <= '9'; ++C)
+      G.addProductionSpec(D, std::string_view(&C, 1));
+    std::string Error;
+    std::optional<Ll1Table> Table = Ll1Table::build(G, &Error);
+    assert(Table.has_value() && "arith grammar must be LL(1)");
+    return Ll1ArithMachine(std::move(G), std::move(*Table));
+  }
+};
+
+class Ll1ArithSubject final : public Subject {
+public:
+  std::string_view name() const override { return "ll1arith"; }
+
+  uint32_t numBranchSites() const override {
+    // Table cells plus the end-of-input site; see TableParser.
+    return Ll1ArithMachine::instance().Table.numCells() + 1;
+  }
+
+  int run(ExecutionContext &Ctx) const override {
+    const Ll1ArithMachine &M = Ll1ArithMachine::instance();
+    return parseWithTable(Ctx, M.G, M.Table);
+  }
+};
+
+} // namespace
+
+const Subject &pfuzz::ll1ArithSubject() {
+  static const Ll1ArithSubject Instance;
+  return Instance;
+}

@@ -1,0 +1,2567 @@
+//===- subjects/Mjs.cpp - mJS (JavaScript subset) subject -----------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A JavaScript-subset engine modelled on cesanta/mjs, the paper's most
+/// complex evaluation subject. It has the full token spectrum of Table 4:
+/// single-character punctuation, compound operators up to >>>=, 31
+/// keywords from `if` to `instanceof`, plus built-in global and member
+/// names (Object, JSON, NaN, undefined, stringify, indexOf, ...) that are
+/// resolved at runtime through the wrapped strcmp — which is how pFuzzer
+/// synthesises them (Section 5.3 mentions typeof inputs and long keyword
+/// coverage).
+///
+/// Structure mirrors the original: a lexer interleaved with a recursive-
+/// descent parser (token kinds are untainted enums — the Section 7.2 taint
+/// break), plus a tree-walking evaluator executed on valid programs with
+/// semantic checking disabled (undeclared identifiers read as undefined,
+/// as the paper's setup requires).
+///
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Subject.h"
+
+#include "runtime/Instrument.h"
+#include "support/Ascii.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <limits>
+#include <map>
+#include <memory>
+
+using namespace pfuzz;
+
+PF_INSTRUMENT_BEGIN()
+
+namespace {
+
+enum class Tok {
+  // Single-character punctuation.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket, Semi, Comma, Dot,
+  Question, Colon, Plus, Minus, Star, Slash, Percent, Lt, Gt, Assign, Not,
+  Tilde, Amp, Pipe, Caret,
+  // Two-character operators.
+  EqEq, NotEq, LtEq, GtEq, AmpAmp, PipePipe, PlusPlus, MinusMinus, PlusEq,
+  MinusEq, StarEq, SlashEq, PercentEq, AmpEq, PipeEq, CaretEq, Shl, Shr,
+  Arrow,
+  // Three- and four-character operators.
+  EqEqEq, NotEqEq, ShlEq, ShrEq, Ushr, UshrEq,
+  // Literals.
+  Number, String, Ident,
+  // Keywords.
+  KwIf, KwIn, KwDo, KwOf, KwFor, KwLet, KwNew, KwVar, KwTry, KwTrue, KwNull,
+  KwVoid, KwWith, KwElse, KwThis, KwCase, KwFalse, KwThrow, KwWhile,
+  KwBreak, KwCatch, KwConst, KwReturn, KwDelete, KwTypeof, KwSwitch,
+  KwDefault, KwFinally, KwContinue, KwFunction, KwDebugger, KwInstanceof,
+  // Sentinels.
+  Eoi, Error,
+};
+
+enum class NodeKind {
+  // Statements.
+  Block, VarDecl, ExprStmt, If, While, DoWhile, ForClassic, ForIn, Return,
+  Break, Continue, Throw, Try, Switch, SwitchCase, With, FuncDecl, Debugger,
+  Empty,
+  // Expressions.
+  NumberLit, StringLit, BoolLit, NullLit, ThisExpr, Ident, ArrayLit,
+  ObjectLit, ObjectProp, FuncExpr, ArrowFn, Unary, Postfix, Binary, Cond,
+  AssignExpr, Member, Index, Call, NewExpr, Param,
+};
+
+struct Node {
+  NodeKind Kind;
+  Tok Op = Tok::Error;       // operator for Unary/Postfix/Binary/Assign
+  double Num = 0;            // NumberLit value, BoolLit truth
+  std::string Str;           // StringLit contents (concrete bytes)
+  TString Name;              // identifier / member name, with taints
+  std::vector<Node *> Kids;
+};
+
+/// Evaluation step budget; generated programs may loop forever.
+constexpr uint64_t MjsStepLimit = 30000;
+/// Parser and evaluator recursion cap.
+constexpr uint32_t MjsDepthLimit = 150;
+
+//===----------------------------------------------------------------------===
+// Runtime values
+//===----------------------------------------------------------------------===
+
+struct JsObject;
+
+struct JsValue {
+  enum class Type {
+    Undefined,
+    Null,
+    Boolean,
+    Number,
+    String,
+    Object,
+    Array,
+    Function,
+  };
+  Type Ty = Type::Undefined;
+  double Num = 0;
+  bool Bool = false;
+  std::string Str;
+  // Objects live in the engine's per-run arena (freed when the run ends),
+  // so cyclic structures like `o.x = o` cannot leak.
+  JsObject *Obj = nullptr;                // Object and Array payload
+  const Node *Fn = nullptr;               // user function body
+  int Builtin = -1;                       // builtin method id
+
+  static JsValue undef() { return JsValue(); }
+  static JsValue null() {
+    JsValue V;
+    V.Ty = Type::Null;
+    return V;
+  }
+  static JsValue boolean(bool B) {
+    JsValue V;
+    V.Ty = Type::Boolean;
+    V.Bool = B;
+    return V;
+  }
+  static JsValue number(double N) {
+    JsValue V;
+    V.Ty = Type::Number;
+    V.Num = N;
+    return V;
+  }
+  static JsValue string(std::string S) {
+    JsValue V;
+    V.Ty = Type::String;
+    V.Str = std::move(S);
+    return V;
+  }
+};
+
+struct JsObject {
+  std::map<std::string, JsValue> Props;
+  std::vector<JsValue> Elems; // used when the object is an array
+  bool IsArray = false;
+};
+
+/// Statement completion records (break/continue/return/throw unwinding).
+enum class Completion { Normal, Break, Continue, Return, Throw };
+
+struct ExecResult {
+  Completion Kind = Completion::Normal;
+  JsValue Value;
+};
+
+//===----------------------------------------------------------------------===
+// Engine
+//===----------------------------------------------------------------------===
+
+class Mjs {
+public:
+  /// \p Semantic enables the post-parse semantic checking the paper
+  /// disabled for the evaluation ("we disabled semantic checking in mjs
+  /// as this is out of scope") and discusses as a limitation in
+  /// Section 7.3: reads of undeclared identifiers become errors that are
+  /// "verified after the parsing phase".
+  explicit Mjs(ExecutionContext &Ctx, bool Semantic = false)
+      : Ctx(Ctx), Semantic(Semantic) {}
+
+  /// Parses the whole input as a program; on success, executes it.
+  /// Returns 0 iff the input parses (and, with semantic checking on,
+  /// passes the delayed semantic constraints: exit code 2 otherwise).
+  int runProgram() {
+    nextToken();
+    std::vector<Node *> Stmts;
+    while (PF_BR(Ctx, CurTok != Tok::Eoi)) {
+      Node *S = parseStatement();
+      if (PF_BR(Ctx, S == nullptr))
+        return 1;
+      Stmts.push_back(S);
+    }
+    execProgram(Stmts);
+    if (PF_BR(Ctx, Semantic && SemanticError))
+      return 2; // passed the parser, failed the semantic checks (§7.3)
+    return 0;
+  }
+
+private:
+  //===--------------------------------------------------------------------===
+  // Lexer
+  //===--------------------------------------------------------------------===
+
+  /// Consumes one input character unconditionally.
+  void bump() { Ctx.nextChar(); }
+
+  void nextToken() {
+    PF_FUNC(Ctx);
+    // Skip whitespace and // and /* */ comments, like the original lexer.
+    for (;;) {
+      while (PF_IF_SET(Ctx, Ctx.peekChar(), " \t\n\r"))
+        bump();
+      if (!PF_IF_EQ(Ctx, Ctx.peekChar(), '/'))
+        break;
+      if (PF_IF_EQ(Ctx, Ctx.peekChar(1), '/')) {
+        bump();
+        bump();
+        while (PF_BR(Ctx, !Ctx.peekChar().isEof()) &&
+               !PF_IF_EQ(Ctx, Ctx.peekChar(), '\n'))
+          bump();
+        continue;
+      }
+      if (PF_IF_EQ(Ctx, Ctx.peekChar(1), '*')) {
+        bump();
+        bump();
+        for (;;) {
+          TChar C = Ctx.peekChar();
+          if (PF_BR(Ctx, C.isEof())) {
+            CurTok = Tok::Error; // unterminated block comment
+            return;
+          }
+          bump();
+          if (PF_IF_EQ(Ctx, C, '*') &&
+              PF_IF_EQ(Ctx, Ctx.peekChar(), '/')) {
+            bump();
+            break;
+          }
+        }
+        continue;
+      }
+      break; // a lone '/' is the division operator
+    }
+    TChar C = Ctx.peekChar();
+    if (PF_BR(Ctx, C.isEof())) {
+      CurTok = Tok::Eoi;
+      return;
+    }
+    if (PF_IF_RANGE(Ctx, C, '0', '9')) {
+      lexNumber();
+      return;
+    }
+    if (PF_BR(Ctx, isIdentStartChar(C))) {
+      lexWord();
+      return;
+    }
+    if (PF_IF_EQ(Ctx, C, '"')) {
+      bump();
+      lexString('"');
+      return;
+    }
+    if (PF_IF_EQ(Ctx, C, '\'')) {
+      bump();
+      lexString('\'');
+      return;
+    }
+    lexPunct(C);
+  }
+
+  bool isIdentStartChar(const TChar &C) {
+    if (Ctx.cmpRange(C, 'a', 'z'))
+      return true;
+    if (Ctx.cmpRange(C, 'A', 'Z'))
+      return true;
+    return Ctx.cmpSet(C, "_$");
+  }
+
+  bool isIdentBodyChar(const TChar &C) {
+    if (Ctx.cmpRange(C, 'a', 'z'))
+      return true;
+    if (Ctx.cmpRange(C, 'A', 'Z'))
+      return true;
+    if (Ctx.cmpRange(C, '0', '9'))
+      return true;
+    return Ctx.cmpSet(C, "_$");
+  }
+
+  void lexNumber() {
+    PF_FUNC(Ctx);
+    double Value = 0;
+    while (PF_IF_RANGE(Ctx, Ctx.peekChar(), '0', '9')) {
+      TChar D = Ctx.nextChar();
+      Value = Value * 10 + (D.value() - '0');
+    }
+    if (PF_IF_EQ(Ctx, Ctx.peekChar(), '.')) {
+      // A fraction needs at least one digit; `1.` is a syntax error here.
+      if (PF_IF_RANGE(Ctx, Ctx.peekChar(1), '0', '9')) {
+        bump(); // '.'
+        double Scale = 0.1;
+        while (PF_IF_RANGE(Ctx, Ctx.peekChar(), '0', '9')) {
+          TChar D = Ctx.nextChar();
+          Value += (D.value() - '0') * Scale;
+          Scale *= 0.1;
+        }
+      }
+    }
+    CurTok = Tok::Number;
+    TokNumber = Value;
+  }
+
+  void lexWord() {
+    PF_FUNC(Ctx);
+    TString Word;
+    Word.push_back(Ctx.nextChar());
+    while (PF_BR(Ctx, isIdentBodyChar(Ctx.peekChar())))
+      Word.push_back(Ctx.nextChar());
+    // Keyword recognition via the wrapped strcmp, as in mjs's lexer.
+    struct Keyword {
+      const char *Text;
+      Tok Kind;
+    };
+    static const Keyword Keywords[] = {
+        {"if", Tok::KwIf},
+        {"in", Tok::KwIn},
+        {"do", Tok::KwDo},
+        {"of", Tok::KwOf},
+        {"for", Tok::KwFor},
+        {"let", Tok::KwLet},
+        {"new", Tok::KwNew},
+        {"var", Tok::KwVar},
+        {"try", Tok::KwTry},
+        {"true", Tok::KwTrue},
+        {"null", Tok::KwNull},
+        {"void", Tok::KwVoid},
+        {"with", Tok::KwWith},
+        {"else", Tok::KwElse},
+        {"this", Tok::KwThis},
+        {"case", Tok::KwCase},
+        {"false", Tok::KwFalse},
+        {"throw", Tok::KwThrow},
+        {"while", Tok::KwWhile},
+        {"break", Tok::KwBreak},
+        {"catch", Tok::KwCatch},
+        {"const", Tok::KwConst},
+        {"return", Tok::KwReturn},
+        {"delete", Tok::KwDelete},
+        {"typeof", Tok::KwTypeof},
+        {"switch", Tok::KwSwitch},
+        {"default", Tok::KwDefault},
+        {"finally", Tok::KwFinally},
+        {"continue", Tok::KwContinue},
+        {"function", Tok::KwFunction},
+        {"debugger", Tok::KwDebugger},
+        {"instanceof", Tok::KwInstanceof},
+    };
+    for (const Keyword &K : Keywords) {
+      if (PF_BR(Ctx, Ctx.cmpStr(Word, K.Text))) {
+        CurTok = K.Kind;
+        return;
+      }
+    }
+    CurTok = Tok::Ident;
+    TokWord = std::move(Word);
+  }
+
+  void lexString(char Quote) {
+    PF_FUNC(Ctx);
+    std::string Text;
+    for (;;) {
+      TChar C = Ctx.peekChar();
+      if (PF_BR(Ctx, C.isEof())) {
+        CurTok = Tok::Error; // unterminated string
+        return;
+      }
+      bump();
+      if (PF_BR(Ctx, Ctx.cmpEq(C, Quote))) {
+        CurTok = Tok::String;
+        TokString = std::move(Text);
+        return;
+      }
+      if (PF_IF_EQ(Ctx, C, '\n')) {
+        CurTok = Tok::Error; // raw newline inside a string literal
+        return;
+      }
+      if (PF_IF_EQ(Ctx, C, '\\')) {
+        TChar E = Ctx.peekChar();
+        if (PF_BR(Ctx, E.isEof())) {
+          CurTok = Tok::Error;
+          return;
+        }
+        bump();
+        if (PF_IF_SET(Ctx, E, "nrtbf0\\\"'")) {
+          Text.push_back(unescape(E.ch()));
+          continue;
+        }
+        Text.push_back(E.ch()); // unknown escapes keep the character
+        continue;
+      }
+      Text.push_back(C.ch());
+    }
+  }
+
+  static char unescape(char C) {
+    switch (C) {
+    case 'n':
+      return '\n';
+    case 'r':
+      return '\r';
+    case 't':
+      return '\t';
+    case 'b':
+      return '\b';
+    case 'f':
+      return '\f';
+    case '0':
+      return '\0';
+    default:
+      return C;
+    }
+  }
+
+  void lexPunct(TChar C) {
+    PF_FUNC(Ctx);
+    bump();
+    if (PF_IF_EQ(Ctx, C, '(')) { CurTok = Tok::LParen; return; }
+    if (PF_IF_EQ(Ctx, C, ')')) { CurTok = Tok::RParen; return; }
+    if (PF_IF_EQ(Ctx, C, '{')) { CurTok = Tok::LBrace; return; }
+    if (PF_IF_EQ(Ctx, C, '}')) { CurTok = Tok::RBrace; return; }
+    if (PF_IF_EQ(Ctx, C, '[')) { CurTok = Tok::LBracket; return; }
+    if (PF_IF_EQ(Ctx, C, ']')) { CurTok = Tok::RBracket; return; }
+    if (PF_IF_EQ(Ctx, C, ';')) { CurTok = Tok::Semi; return; }
+    if (PF_IF_EQ(Ctx, C, ',')) { CurTok = Tok::Comma; return; }
+    if (PF_IF_EQ(Ctx, C, '.')) { CurTok = Tok::Dot; return; }
+    if (PF_IF_EQ(Ctx, C, '?')) { CurTok = Tok::Question; return; }
+    if (PF_IF_EQ(Ctx, C, ':')) { CurTok = Tok::Colon; return; }
+    if (PF_IF_EQ(Ctx, C, '~')) { CurTok = Tok::Tilde; return; }
+    if (PF_IF_EQ(Ctx, C, '+')) {
+      if (PF_IF_EQ(Ctx, Ctx.peekChar(), '+')) {
+        bump();
+        CurTok = Tok::PlusPlus;
+        return;
+      }
+      if (PF_IF_EQ(Ctx, Ctx.peekChar(), '=')) {
+        bump();
+        CurTok = Tok::PlusEq;
+        return;
+      }
+      CurTok = Tok::Plus;
+      return;
+    }
+    if (PF_IF_EQ(Ctx, C, '-')) {
+      if (PF_IF_EQ(Ctx, Ctx.peekChar(), '-')) {
+        bump();
+        CurTok = Tok::MinusMinus;
+        return;
+      }
+      if (PF_IF_EQ(Ctx, Ctx.peekChar(), '=')) {
+        bump();
+        CurTok = Tok::MinusEq;
+        return;
+      }
+      CurTok = Tok::Minus;
+      return;
+    }
+    if (PF_IF_EQ(Ctx, C, '*')) {
+      if (PF_IF_EQ(Ctx, Ctx.peekChar(), '=')) {
+        bump();
+        CurTok = Tok::StarEq;
+        return;
+      }
+      CurTok = Tok::Star;
+      return;
+    }
+    if (PF_IF_EQ(Ctx, C, '/')) {
+      if (PF_IF_EQ(Ctx, Ctx.peekChar(), '=')) {
+        bump();
+        CurTok = Tok::SlashEq;
+        return;
+      }
+      CurTok = Tok::Slash;
+      return;
+    }
+    if (PF_IF_EQ(Ctx, C, '%')) {
+      if (PF_IF_EQ(Ctx, Ctx.peekChar(), '=')) {
+        bump();
+        CurTok = Tok::PercentEq;
+        return;
+      }
+      CurTok = Tok::Percent;
+      return;
+    }
+    if (PF_IF_EQ(Ctx, C, '=')) {
+      if (PF_IF_EQ(Ctx, Ctx.peekChar(), '=')) {
+        bump();
+        if (PF_IF_EQ(Ctx, Ctx.peekChar(), '=')) {
+          bump();
+          CurTok = Tok::EqEqEq;
+          return;
+        }
+        CurTok = Tok::EqEq;
+        return;
+      }
+      if (PF_IF_EQ(Ctx, Ctx.peekChar(), '>')) {
+        bump();
+        CurTok = Tok::Arrow;
+        return;
+      }
+      CurTok = Tok::Assign;
+      return;
+    }
+    if (PF_IF_EQ(Ctx, C, '!')) {
+      if (PF_IF_EQ(Ctx, Ctx.peekChar(), '=')) {
+        bump();
+        if (PF_IF_EQ(Ctx, Ctx.peekChar(), '=')) {
+          bump();
+          CurTok = Tok::NotEqEq;
+          return;
+        }
+        CurTok = Tok::NotEq;
+        return;
+      }
+      CurTok = Tok::Not;
+      return;
+    }
+    if (PF_IF_EQ(Ctx, C, '<')) {
+      if (PF_IF_EQ(Ctx, Ctx.peekChar(), '<')) {
+        bump();
+        if (PF_IF_EQ(Ctx, Ctx.peekChar(), '=')) {
+          bump();
+          CurTok = Tok::ShlEq;
+          return;
+        }
+        CurTok = Tok::Shl;
+        return;
+      }
+      if (PF_IF_EQ(Ctx, Ctx.peekChar(), '=')) {
+        bump();
+        CurTok = Tok::LtEq;
+        return;
+      }
+      CurTok = Tok::Lt;
+      return;
+    }
+    if (PF_IF_EQ(Ctx, C, '>')) {
+      if (PF_IF_EQ(Ctx, Ctx.peekChar(), '>')) {
+        bump();
+        if (PF_IF_EQ(Ctx, Ctx.peekChar(), '>')) {
+          bump();
+          if (PF_IF_EQ(Ctx, Ctx.peekChar(), '=')) {
+            bump();
+            CurTok = Tok::UshrEq;
+            return;
+          }
+          CurTok = Tok::Ushr;
+          return;
+        }
+        if (PF_IF_EQ(Ctx, Ctx.peekChar(), '=')) {
+          bump();
+          CurTok = Tok::ShrEq;
+          return;
+        }
+        CurTok = Tok::Shr;
+        return;
+      }
+      if (PF_IF_EQ(Ctx, Ctx.peekChar(), '=')) {
+        bump();
+        CurTok = Tok::GtEq;
+        return;
+      }
+      CurTok = Tok::Gt;
+      return;
+    }
+    if (PF_IF_EQ(Ctx, C, '&')) {
+      if (PF_IF_EQ(Ctx, Ctx.peekChar(), '&')) {
+        bump();
+        CurTok = Tok::AmpAmp;
+        return;
+      }
+      if (PF_IF_EQ(Ctx, Ctx.peekChar(), '=')) {
+        bump();
+        CurTok = Tok::AmpEq;
+        return;
+      }
+      CurTok = Tok::Amp;
+      return;
+    }
+    if (PF_IF_EQ(Ctx, C, '|')) {
+      if (PF_IF_EQ(Ctx, Ctx.peekChar(), '|')) {
+        bump();
+        CurTok = Tok::PipePipe;
+        return;
+      }
+      if (PF_IF_EQ(Ctx, Ctx.peekChar(), '=')) {
+        bump();
+        CurTok = Tok::PipeEq;
+        return;
+      }
+      CurTok = Tok::Pipe;
+      return;
+    }
+    if (PF_IF_EQ(Ctx, C, '^')) {
+      if (PF_IF_EQ(Ctx, Ctx.peekChar(), '=')) {
+        bump();
+        CurTok = Tok::CaretEq;
+        return;
+      }
+      CurTok = Tok::Caret;
+      return;
+    }
+    CurTok = Tok::Error;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Parser
+  //===--------------------------------------------------------------------===
+
+  Node *newNode(NodeKind Kind) {
+    Arena.push_back(Node{});
+    Arena.back().Kind = Kind;
+    return &Arena.back();
+  }
+
+  bool expect(Tok Kind) {
+    if (PF_BR(Ctx, CurTok != Kind))
+      return false;
+    nextToken();
+    return true;
+  }
+
+  Node *parseStatement() {
+    PF_FUNC(Ctx);
+    if (PF_BR(Ctx, ++Depth > MjsDepthLimit))
+      return nullptr;
+    Node *S = parseStatementImpl();
+    --Depth;
+    return S;
+  }
+
+  Node *parseStatementImpl() {
+    PF_FUNC(Ctx);
+    switch (CurTok) {
+    case Tok::LBrace:
+      return parseBlock();
+    case Tok::Semi:
+      nextToken();
+      return newNode(NodeKind::Empty);
+    case Tok::KwIf:
+      return parseIf();
+    case Tok::KwWhile:
+      return parseWhile();
+    case Tok::KwDo:
+      return parseDoWhile();
+    case Tok::KwFor:
+      return parseFor();
+    case Tok::KwVar:
+    case Tok::KwLet:
+    case Tok::KwConst: {
+      Node *D = parseVarDecl();
+      if (PF_BR(Ctx, D == nullptr) || PF_BR(Ctx, !expect(Tok::Semi)))
+        return nullptr;
+      return D;
+    }
+    case Tok::KwReturn: {
+      nextToken();
+      Node *S = newNode(NodeKind::Return);
+      if (PF_BR(Ctx, CurTok != Tok::Semi)) {
+        Node *E = parseExpression();
+        if (PF_BR(Ctx, E == nullptr))
+          return nullptr;
+        S->Kids.push_back(E);
+      }
+      if (PF_BR(Ctx, !expect(Tok::Semi)))
+        return nullptr;
+      return S;
+    }
+    case Tok::KwBreak:
+      nextToken();
+      if (PF_BR(Ctx, !expect(Tok::Semi)))
+        return nullptr;
+      return newNode(NodeKind::Break);
+    case Tok::KwContinue:
+      nextToken();
+      if (PF_BR(Ctx, !expect(Tok::Semi)))
+        return nullptr;
+      return newNode(NodeKind::Continue);
+    case Tok::KwThrow: {
+      nextToken();
+      Node *E = parseExpression();
+      if (PF_BR(Ctx, E == nullptr) || PF_BR(Ctx, !expect(Tok::Semi)))
+        return nullptr;
+      Node *S = newNode(NodeKind::Throw);
+      S->Kids.push_back(E);
+      return S;
+    }
+    case Tok::KwTry:
+      return parseTry();
+    case Tok::KwSwitch:
+      return parseSwitch();
+    case Tok::KwWith:
+      return parseWith();
+    case Tok::KwFunction:
+      return parseFunctionDecl();
+    case Tok::KwDebugger:
+      nextToken();
+      if (PF_BR(Ctx, !expect(Tok::Semi)))
+        return nullptr;
+      return newNode(NodeKind::Debugger);
+    default: {
+      Node *E = parseExpression();
+      if (PF_BR(Ctx, E == nullptr) || PF_BR(Ctx, !expect(Tok::Semi)))
+        return nullptr;
+      Node *S = newNode(NodeKind::ExprStmt);
+      S->Kids.push_back(E);
+      return S;
+    }
+    }
+  }
+
+  Node *parseBlock() {
+    PF_FUNC(Ctx);
+    nextToken(); // consume '{'
+    Node *B = newNode(NodeKind::Block);
+    while (PF_BR(Ctx, CurTok != Tok::RBrace)) {
+      if (PF_BR(Ctx, CurTok == Tok::Eoi || CurTok == Tok::Error))
+        return nullptr;
+      Node *S = parseStatement();
+      if (PF_BR(Ctx, S == nullptr))
+        return nullptr;
+      B->Kids.push_back(S);
+    }
+    nextToken(); // consume '}'
+    return B;
+  }
+
+  Node *parseIf() {
+    PF_FUNC(Ctx);
+    nextToken();
+    if (PF_BR(Ctx, !expect(Tok::LParen)))
+      return nullptr;
+    Node *Cond = parseExpression();
+    if (PF_BR(Ctx, Cond == nullptr) || PF_BR(Ctx, !expect(Tok::RParen)))
+      return nullptr;
+    Node *Then = parseStatement();
+    if (PF_BR(Ctx, Then == nullptr))
+      return nullptr;
+    Node *S = newNode(NodeKind::If);
+    S->Kids = {Cond, Then};
+    if (PF_BR(Ctx, CurTok == Tok::KwElse)) {
+      nextToken();
+      Node *Else = parseStatement();
+      if (PF_BR(Ctx, Else == nullptr))
+        return nullptr;
+      S->Kids.push_back(Else);
+    }
+    return S;
+  }
+
+  Node *parseWhile() {
+    PF_FUNC(Ctx);
+    nextToken();
+    if (PF_BR(Ctx, !expect(Tok::LParen)))
+      return nullptr;
+    Node *Cond = parseExpression();
+    if (PF_BR(Ctx, Cond == nullptr) || PF_BR(Ctx, !expect(Tok::RParen)))
+      return nullptr;
+    Node *Body = parseStatement();
+    if (PF_BR(Ctx, Body == nullptr))
+      return nullptr;
+    Node *S = newNode(NodeKind::While);
+    S->Kids = {Cond, Body};
+    return S;
+  }
+
+  Node *parseDoWhile() {
+    PF_FUNC(Ctx);
+    nextToken();
+    Node *Body = parseStatement();
+    if (PF_BR(Ctx, Body == nullptr))
+      return nullptr;
+    if (PF_BR(Ctx, CurTok != Tok::KwWhile))
+      return nullptr;
+    nextToken();
+    if (PF_BR(Ctx, !expect(Tok::LParen)))
+      return nullptr;
+    Node *Cond = parseExpression();
+    if (PF_BR(Ctx, Cond == nullptr) || PF_BR(Ctx, !expect(Tok::RParen)) ||
+        PF_BR(Ctx, !expect(Tok::Semi)))
+      return nullptr;
+    Node *S = newNode(NodeKind::DoWhile);
+    S->Kids = {Body, Cond};
+    return S;
+  }
+
+  /// var/let/const name [= expr] (, name [= expr])*
+  Node *parseVarDecl() {
+    PF_FUNC(Ctx);
+    nextToken(); // consume the declaration keyword
+    Node *D = newNode(NodeKind::VarDecl);
+    for (;;) {
+      if (PF_BR(Ctx, CurTok != Tok::Ident))
+        return nullptr;
+      Node *Binding = newNode(NodeKind::Param);
+      Binding->Name = TokWord;
+      nextToken();
+      if (PF_BR(Ctx, CurTok == Tok::Assign)) {
+        nextToken();
+        Node *Init = parseAssignment();
+        if (PF_BR(Ctx, Init == nullptr))
+          return nullptr;
+        Binding->Kids.push_back(Init);
+      }
+      D->Kids.push_back(Binding);
+      if (PF_BR(Ctx, CurTok == Tok::Comma)) {
+        nextToken();
+        continue;
+      }
+      return D;
+    }
+  }
+
+  /// Three-form for: classic `for(init;cond;step)`, `for (x in e)`,
+  /// `for (x of e)`.
+  Node *parseFor() {
+    PF_FUNC(Ctx);
+    nextToken();
+    if (PF_BR(Ctx, !expect(Tok::LParen)))
+      return nullptr;
+    // for-in / for-of with optional declarator.
+    bool Declared = CurTok == Tok::KwVar || CurTok == Tok::KwLet;
+    if (PF_BR(Ctx, Declared || CurTok == Tok::Ident)) {
+      Tok LoopWord = Declared ? peekAfterDeclIdent() : peekLoopWord();
+      if (PF_BR(Ctx, LoopWord == Tok::KwIn || LoopWord == Tok::KwOf)) {
+        if (Declared)
+          nextToken(); // consume var/let
+        if (PF_BR(Ctx, CurTok != Tok::Ident))
+          return nullptr;
+        Node *Var = newNode(NodeKind::Ident);
+        Var->Name = TokWord;
+        nextToken(); // consume the identifier
+        bool IsOf = CurTok == Tok::KwOf;
+        nextToken(); // consume in/of
+        Node *Seq = parseExpression();
+        if (PF_BR(Ctx, Seq == nullptr) || PF_BR(Ctx, !expect(Tok::RParen)))
+          return nullptr;
+        Node *Body = parseStatement();
+        if (PF_BR(Ctx, Body == nullptr))
+          return nullptr;
+        Node *S = newNode(NodeKind::ForIn);
+        S->Num = IsOf ? 1 : 0;
+        S->Kids = {Var, Seq, Body};
+        return S;
+      }
+    }
+    // Classic for.
+    Node *Init = nullptr;
+    if (PF_BR(Ctx, CurTok == Tok::KwVar || CurTok == Tok::KwLet ||
+                        CurTok == Tok::KwConst)) {
+      Init = parseVarDecl();
+      if (PF_BR(Ctx, Init == nullptr))
+        return nullptr;
+    } else if (PF_BR(Ctx, CurTok != Tok::Semi)) {
+      Init = parseExpression();
+      if (PF_BR(Ctx, Init == nullptr))
+        return nullptr;
+    }
+    if (PF_BR(Ctx, !expect(Tok::Semi)))
+      return nullptr;
+    Node *Cond = nullptr;
+    if (PF_BR(Ctx, CurTok != Tok::Semi)) {
+      Cond = parseExpression();
+      if (PF_BR(Ctx, Cond == nullptr))
+        return nullptr;
+    }
+    if (PF_BR(Ctx, !expect(Tok::Semi)))
+      return nullptr;
+    Node *Step = nullptr;
+    if (PF_BR(Ctx, CurTok != Tok::RParen)) {
+      Step = parseExpression();
+      if (PF_BR(Ctx, Step == nullptr))
+        return nullptr;
+    }
+    if (PF_BR(Ctx, !expect(Tok::RParen)))
+      return nullptr;
+    Node *Body = parseStatement();
+    if (PF_BR(Ctx, Body == nullptr))
+      return nullptr;
+    Node *S = newNode(NodeKind::ForClassic);
+    S->Kids = {Init ? Init : newNode(NodeKind::Empty),
+               Cond ? Cond : newNode(NodeKind::Empty),
+               Step ? Step : newNode(NodeKind::Empty), Body};
+    return S;
+  }
+
+  /// With CurTok == Ident, returns the token after it without consuming
+  /// anything (used to disambiguate for-in/for-of from classic for).
+  Tok peekLoopWord() { return CurTok == Tok::Ident ? NextLoopTok() : CurTok; }
+
+  /// With CurTok == var/let, returns the token after `var ident`.
+  Tok peekAfterDeclIdent() { return NextLoopTok2(); }
+
+  // The lexer has no pushback, so the for-header disambiguation scans the
+  // raw upcoming characters without instrumentation — a hand-rolled
+  // two-token lookahead buffer, like the one the original parser keeps.
+
+  /// With CurTok == Ident (already consumed), classifies the next word.
+  Tok NextLoopTok() {
+    uint32_t I = Ctx.position();
+    return scanForInOf(I);
+  }
+
+  /// With CurTok == var/let, classifies the word after `var ident`.
+  Tok NextLoopTok2() {
+    const std::string &In = Ctx.input();
+    uint32_t I = Ctx.position();
+    while (I < In.size() && isAsciiSpace(In[I]))
+      ++I;
+    if (I >= In.size() || !isIdentStart(In[I]))
+      return Tok::Error;
+    while (I < In.size() && isIdentBody(In[I]))
+      ++I;
+    return scanForInOf(I);
+  }
+
+  Tok scanForInOf(uint32_t I) {
+    const std::string &In = Ctx.input();
+    while (I < In.size() && isAsciiSpace(In[I]))
+      ++I;
+    if (I >= In.size())
+      return Tok::Error;
+    if (In.compare(I, 2, "in") == 0 &&
+        (I + 2 >= In.size() || !isIdentBody(In[I + 2])))
+      return Tok::KwIn;
+    if (In.compare(I, 2, "of") == 0 &&
+        (I + 2 >= In.size() || !isIdentBody(In[I + 2])))
+      return Tok::KwOf;
+    return Tok::Error;
+  }
+
+  Node *parseTry() {
+    PF_FUNC(Ctx);
+    nextToken();
+    if (PF_BR(Ctx, CurTok != Tok::LBrace))
+      return nullptr;
+    Node *Body = parseBlock();
+    if (PF_BR(Ctx, Body == nullptr))
+      return nullptr;
+    Node *S = newNode(NodeKind::Try);
+    S->Kids.push_back(Body);
+    bool SawHandler = false;
+    if (PF_BR(Ctx, CurTok == Tok::KwCatch)) {
+      nextToken();
+      Node *Param = newNode(NodeKind::Param);
+      if (PF_BR(Ctx, CurTok == Tok::LParen)) {
+        nextToken();
+        if (PF_BR(Ctx, CurTok != Tok::Ident))
+          return nullptr;
+        Param->Name = TokWord;
+        nextToken();
+        if (PF_BR(Ctx, !expect(Tok::RParen)))
+          return nullptr;
+      }
+      if (PF_BR(Ctx, CurTok != Tok::LBrace))
+        return nullptr;
+      Node *Handler = parseBlock();
+      if (PF_BR(Ctx, Handler == nullptr))
+        return nullptr;
+      S->Kids.push_back(Param);
+      S->Kids.push_back(Handler);
+      SawHandler = true;
+    }
+    if (PF_BR(Ctx, CurTok == Tok::KwFinally)) {
+      nextToken();
+      if (PF_BR(Ctx, CurTok != Tok::LBrace))
+        return nullptr;
+      Node *Fin = parseBlock();
+      if (PF_BR(Ctx, Fin == nullptr))
+        return nullptr;
+      S->Kids.push_back(Fin);
+      SawHandler = true;
+    }
+    if (PF_BR(Ctx, !SawHandler))
+      return nullptr; // try requires catch or finally
+    return S;
+  }
+
+  Node *parseSwitch() {
+    PF_FUNC(Ctx);
+    nextToken();
+    if (PF_BR(Ctx, !expect(Tok::LParen)))
+      return nullptr;
+    Node *Disc = parseExpression();
+    if (PF_BR(Ctx, Disc == nullptr) || PF_BR(Ctx, !expect(Tok::RParen)) ||
+        PF_BR(Ctx, CurTok != Tok::LBrace))
+      return nullptr;
+    nextToken(); // consume '{'
+    Node *S = newNode(NodeKind::Switch);
+    S->Kids.push_back(Disc);
+    bool SawDefault = false;
+    while (PF_BR(Ctx, CurTok != Tok::RBrace)) {
+      Node *Case = newNode(NodeKind::SwitchCase);
+      if (PF_BR(Ctx, CurTok == Tok::KwCase)) {
+        nextToken();
+        Node *Label = parseExpression();
+        if (PF_BR(Ctx, Label == nullptr))
+          return nullptr;
+        Case->Kids.push_back(Label);
+      } else if (PF_BR(Ctx, CurTok == Tok::KwDefault)) {
+        if (PF_BR(Ctx, SawDefault))
+          return nullptr; // at most one default clause
+        SawDefault = true;
+        nextToken();
+        Case->Num = 1; // marks the default clause
+      } else {
+        return nullptr;
+      }
+      if (PF_BR(Ctx, !expect(Tok::Colon)))
+        return nullptr;
+      while (PF_BR(Ctx, CurTok != Tok::KwCase && CurTok != Tok::KwDefault &&
+                            CurTok != Tok::RBrace)) {
+        if (PF_BR(Ctx, CurTok == Tok::Eoi || CurTok == Tok::Error))
+          return nullptr;
+        Node *Stmt = parseStatement();
+        if (PF_BR(Ctx, Stmt == nullptr))
+          return nullptr;
+        Case->Kids.push_back(Stmt);
+      }
+      S->Kids.push_back(Case);
+    }
+    nextToken(); // consume '}'
+    return S;
+  }
+
+  Node *parseWith() {
+    PF_FUNC(Ctx);
+    nextToken();
+    if (PF_BR(Ctx, !expect(Tok::LParen)))
+      return nullptr;
+    Node *Obj = parseExpression();
+    if (PF_BR(Ctx, Obj == nullptr) || PF_BR(Ctx, !expect(Tok::RParen)))
+      return nullptr;
+    Node *Body = parseStatement();
+    if (PF_BR(Ctx, Body == nullptr))
+      return nullptr;
+    Node *S = newNode(NodeKind::With);
+    S->Kids = {Obj, Body};
+    return S;
+  }
+
+  Node *parseFunctionDecl() {
+    PF_FUNC(Ctx);
+    nextToken(); // consume "function"
+    if (PF_BR(Ctx, CurTok != Tok::Ident))
+      return nullptr;
+    Node *S = newNode(NodeKind::FuncDecl);
+    S->Name = TokWord;
+    nextToken();
+    if (PF_BR(Ctx, !parseFunctionRest(S)))
+      return nullptr;
+    return S;
+  }
+
+  /// Parses `( params ) { body }` into \p Fn: parameters first, the body
+  /// block as the last child.
+  bool parseFunctionRest(Node *Fn) {
+    PF_FUNC(Ctx);
+    if (PF_BR(Ctx, !expect(Tok::LParen)))
+      return false;
+    if (PF_BR(Ctx, CurTok != Tok::RParen)) {
+      for (;;) {
+        if (PF_BR(Ctx, CurTok != Tok::Ident))
+          return false;
+        Node *P = newNode(NodeKind::Param);
+        P->Name = TokWord;
+        Fn->Kids.push_back(P);
+        nextToken();
+        if (PF_BR(Ctx, CurTok == Tok::Comma)) {
+          nextToken();
+          continue;
+        }
+        break;
+      }
+    }
+    if (PF_BR(Ctx, !expect(Tok::RParen)))
+      return false;
+    if (PF_BR(Ctx, CurTok != Tok::LBrace))
+      return false;
+    Node *Body = parseBlock();
+    if (PF_BR(Ctx, Body == nullptr))
+      return false;
+    Fn->Kids.push_back(Body);
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Expression parsing (precedence climbing)
+  //===--------------------------------------------------------------------===
+
+  Node *parseExpression() {
+    PF_FUNC(Ctx);
+    if (PF_BR(Ctx, ++Depth > MjsDepthLimit))
+      return nullptr;
+    Node *E = parseAssignment();
+    --Depth;
+    return E;
+  }
+
+  static bool isAssignOp(Tok T) {
+    switch (T) {
+    case Tok::Assign:
+    case Tok::PlusEq:
+    case Tok::MinusEq:
+    case Tok::StarEq:
+    case Tok::SlashEq:
+    case Tok::PercentEq:
+    case Tok::AmpEq:
+    case Tok::PipeEq:
+    case Tok::CaretEq:
+    case Tok::ShlEq:
+    case Tok::ShrEq:
+    case Tok::UshrEq:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  Node *parseAssignment() {
+    PF_FUNC(Ctx);
+    Node *Lhs = parseConditional();
+    if (PF_BR(Ctx, Lhs == nullptr))
+      return nullptr;
+    // `ident => body` arrow function.
+    if (PF_BR(Ctx, Lhs->Kind == NodeKind::Ident && CurTok == Tok::Arrow)) {
+      nextToken();
+      Node *Fn = newNode(NodeKind::ArrowFn);
+      Node *P = newNode(NodeKind::Param);
+      P->Name = Lhs->Name;
+      Fn->Kids.push_back(P);
+      Node *Body =
+          CurTok == Tok::LBrace ? parseBlock() : parseAssignment();
+      if (PF_BR(Ctx, Body == nullptr))
+        return nullptr;
+      Fn->Kids.push_back(Body);
+      return Fn;
+    }
+    if (PF_BR(Ctx, isAssignOp(CurTok))) {
+      bool Assignable = Lhs->Kind == NodeKind::Ident ||
+                        Lhs->Kind == NodeKind::Member ||
+                        Lhs->Kind == NodeKind::Index;
+      if (PF_BR(Ctx, !Assignable))
+        return nullptr;
+      Node *A = newNode(NodeKind::AssignExpr);
+      A->Op = CurTok;
+      nextToken();
+      Node *Rhs = parseAssignment();
+      if (PF_BR(Ctx, Rhs == nullptr))
+        return nullptr;
+      A->Kids = {Lhs, Rhs};
+      return A;
+    }
+    return Lhs;
+  }
+
+  Node *parseConditional() {
+    PF_FUNC(Ctx);
+    Node *Cond = parseBinary(0);
+    if (PF_BR(Ctx, Cond == nullptr))
+      return nullptr;
+    if (PF_BR(Ctx, CurTok != Tok::Question))
+      return Cond;
+    nextToken();
+    Node *Then = parseAssignment();
+    if (PF_BR(Ctx, Then == nullptr) || PF_BR(Ctx, !expect(Tok::Colon)))
+      return nullptr;
+    Node *Else = parseAssignment();
+    if (PF_BR(Ctx, Else == nullptr))
+      return nullptr;
+    Node *E = newNode(NodeKind::Cond);
+    E->Kids = {Cond, Then, Else};
+    return E;
+  }
+
+  /// Binary-operator precedence; higher binds tighter. Returns -1 for
+  /// non-binary tokens.
+  int precedenceOf(Tok T) {
+    switch (T) {
+    case Tok::PipePipe:
+      return 1;
+    case Tok::AmpAmp:
+      return 2;
+    case Tok::Pipe:
+      return 3;
+    case Tok::Caret:
+      return 4;
+    case Tok::Amp:
+      return 5;
+    case Tok::EqEq:
+    case Tok::NotEq:
+    case Tok::EqEqEq:
+    case Tok::NotEqEq:
+      return 6;
+    case Tok::Lt:
+    case Tok::Gt:
+    case Tok::LtEq:
+    case Tok::GtEq:
+    case Tok::KwIn:
+    case Tok::KwInstanceof:
+      return 7;
+    case Tok::Shl:
+    case Tok::Shr:
+    case Tok::Ushr:
+      return 8;
+    case Tok::Plus:
+    case Tok::Minus:
+      return 9;
+    case Tok::Star:
+    case Tok::Slash:
+    case Tok::Percent:
+      return 10;
+    default:
+      return -1;
+    }
+  }
+
+  Node *parseBinary(int MinPrec) {
+    PF_FUNC(Ctx);
+    Node *Lhs = parseUnary();
+    if (PF_BR(Ctx, Lhs == nullptr))
+      return nullptr;
+    for (;;) {
+      int Prec = precedenceOf(CurTok);
+      if (PF_BR(Ctx, Prec < 0 || Prec < MinPrec))
+        return Lhs;
+      Tok Op = CurTok;
+      nextToken();
+      Node *Rhs = parseBinary(Prec + 1);
+      if (PF_BR(Ctx, Rhs == nullptr))
+        return nullptr;
+      Node *B = newNode(NodeKind::Binary);
+      B->Op = Op;
+      B->Kids = {Lhs, Rhs};
+      Lhs = B;
+    }
+  }
+
+  Node *parseUnary() {
+    PF_FUNC(Ctx);
+    if (PF_BR(Ctx, ++Depth > MjsDepthLimit))
+      return nullptr;
+    Node *E = parseUnaryImpl();
+    --Depth;
+    return E;
+  }
+
+  Node *parseUnaryImpl() {
+    PF_FUNC(Ctx);
+    switch (CurTok) {
+    case Tok::Not:
+    case Tok::Tilde:
+    case Tok::Plus:
+    case Tok::Minus:
+    case Tok::PlusPlus:
+    case Tok::MinusMinus:
+    case Tok::KwTypeof:
+    case Tok::KwDelete:
+    case Tok::KwVoid: {
+      Tok Op = CurTok;
+      nextToken();
+      Node *Operand = parseUnary();
+      if (PF_BR(Ctx, Operand == nullptr))
+        return nullptr;
+      Node *U = newNode(NodeKind::Unary);
+      U->Op = Op;
+      U->Kids.push_back(Operand);
+      return U;
+    }
+    case Tok::KwNew: {
+      nextToken();
+      Node *Target = parseUnary();
+      if (PF_BR(Ctx, Target == nullptr))
+        return nullptr;
+      Node *N = newNode(NodeKind::NewExpr);
+      N->Kids.push_back(Target);
+      return N;
+    }
+    default:
+      return parsePostfix();
+    }
+  }
+
+  Node *parsePostfix() {
+    PF_FUNC(Ctx);
+    Node *E = parsePrimary();
+    if (PF_BR(Ctx, E == nullptr))
+      return nullptr;
+    for (;;) {
+      if (PF_BR(Ctx, CurTok == Tok::Dot)) {
+        nextToken();
+        // Member names may also be keywords (obj.delete is fine in mjs).
+        if (PF_BR(Ctx, CurTok != Tok::Ident && !isKeywordTok(CurTok)))
+          return nullptr;
+        Node *M = newNode(NodeKind::Member);
+        M->Name = CurTok == Tok::Ident ? TokWord : keywordWord(CurTok);
+        nextToken();
+        M->Kids.push_back(E);
+        E = M;
+        continue;
+      }
+      if (PF_BR(Ctx, CurTok == Tok::LBracket)) {
+        nextToken();
+        Node *Idx = parseExpression();
+        if (PF_BR(Ctx, Idx == nullptr) || PF_BR(Ctx, !expect(Tok::RBracket)))
+          return nullptr;
+        Node *I = newNode(NodeKind::Index);
+        I->Kids = {E, Idx};
+        E = I;
+        continue;
+      }
+      if (PF_BR(Ctx, CurTok == Tok::LParen)) {
+        nextToken();
+        Node *C = newNode(NodeKind::Call);
+        C->Kids.push_back(E);
+        if (PF_BR(Ctx, CurTok != Tok::RParen)) {
+          for (;;) {
+            Node *Arg = parseAssignment();
+            if (PF_BR(Ctx, Arg == nullptr))
+              return nullptr;
+            C->Kids.push_back(Arg);
+            if (PF_BR(Ctx, CurTok == Tok::Comma)) {
+              nextToken();
+              continue;
+            }
+            break;
+          }
+        }
+        if (PF_BR(Ctx, !expect(Tok::RParen)))
+          return nullptr;
+        E = C;
+        continue;
+      }
+      if (PF_BR(Ctx, CurTok == Tok::PlusPlus || CurTok == Tok::MinusMinus)) {
+        Node *P = newNode(NodeKind::Postfix);
+        P->Op = CurTok;
+        P->Kids.push_back(E);
+        nextToken();
+        E = P;
+        continue;
+      }
+      return E;
+    }
+  }
+
+  static bool isKeywordTok(Tok T) {
+    return T >= Tok::KwIf && T <= Tok::KwInstanceof;
+  }
+
+  /// Reconstructs the spelled word of a keyword used as a member name.
+  /// The taint is lost here, mirroring a real lexer that returns an enum.
+  TString keywordWord(Tok T) {
+    static const char *const Words[] = {
+        "if",     "in",      "do",       "of",       "for",      "let",
+        "new",    "var",     "try",      "true",     "null",     "void",
+        "with",   "else",    "this",     "case",     "false",    "throw",
+        "while",  "break",   "catch",    "const",    "return",   "delete",
+        "typeof", "switch",  "default",  "finally",  "continue", "function",
+        "debugger", "instanceof"};
+    TString W;
+    int Index = static_cast<int>(T) - static_cast<int>(Tok::KwIf);
+    for (const char *P = Words[Index]; *P; ++P)
+      W.appendLiteral(*P);
+    return W;
+  }
+
+  Node *parsePrimary() {
+    PF_FUNC(Ctx);
+    switch (CurTok) {
+    case Tok::Number: {
+      Node *N = newNode(NodeKind::NumberLit);
+      N->Num = TokNumber;
+      nextToken();
+      return N;
+    }
+    case Tok::String: {
+      Node *N = newNode(NodeKind::StringLit);
+      N->Str = TokString;
+      nextToken();
+      return N;
+    }
+    case Tok::Ident: {
+      Node *N = newNode(NodeKind::Ident);
+      N->Name = TokWord;
+      nextToken();
+      return N;
+    }
+    case Tok::KwTrue: {
+      Node *N = newNode(NodeKind::BoolLit);
+      N->Num = 1;
+      nextToken();
+      return N;
+    }
+    case Tok::KwFalse: {
+      Node *N = newNode(NodeKind::BoolLit);
+      N->Num = 0;
+      nextToken();
+      return N;
+    }
+    case Tok::KwNull:
+      nextToken();
+      return newNode(NodeKind::NullLit);
+    case Tok::KwThis:
+      nextToken();
+      return newNode(NodeKind::ThisExpr);
+    case Tok::LParen: {
+      nextToken();
+      Node *E = parseExpression();
+      if (PF_BR(Ctx, E == nullptr) || PF_BR(Ctx, !expect(Tok::RParen)))
+        return nullptr;
+      return E;
+    }
+    case Tok::LBracket: {
+      nextToken();
+      Node *A = newNode(NodeKind::ArrayLit);
+      if (PF_BR(Ctx, CurTok != Tok::RBracket)) {
+        for (;;) {
+          Node *E = parseAssignment();
+          if (PF_BR(Ctx, E == nullptr))
+            return nullptr;
+          A->Kids.push_back(E);
+          if (PF_BR(Ctx, CurTok == Tok::Comma)) {
+            nextToken();
+            continue;
+          }
+          break;
+        }
+      }
+      if (PF_BR(Ctx, !expect(Tok::RBracket)))
+        return nullptr;
+      return A;
+    }
+    case Tok::LBrace: {
+      // Object literal (only reachable in expression position).
+      nextToken();
+      Node *O = newNode(NodeKind::ObjectLit);
+      if (PF_BR(Ctx, CurTok != Tok::RBrace)) {
+        for (;;) {
+          Node *P = newNode(NodeKind::ObjectProp);
+          if (PF_BR(Ctx, CurTok == Tok::Ident)) {
+            P->Name = TokWord;
+            nextToken();
+          } else if (PF_BR(Ctx, CurTok == Tok::String)) {
+            for (char C : TokString)
+              P->Name.appendLiteral(C);
+            nextToken();
+          } else {
+            return nullptr;
+          }
+          if (PF_BR(Ctx, !expect(Tok::Colon)))
+            return nullptr;
+          Node *V = parseAssignment();
+          if (PF_BR(Ctx, V == nullptr))
+            return nullptr;
+          P->Kids.push_back(V);
+          O->Kids.push_back(P);
+          if (PF_BR(Ctx, CurTok == Tok::Comma)) {
+            nextToken();
+            continue;
+          }
+          break;
+        }
+      }
+      if (PF_BR(Ctx, !expect(Tok::RBrace)))
+        return nullptr;
+      return O;
+    }
+    case Tok::KwFunction: {
+      nextToken();
+      Node *Fn = newNode(NodeKind::FuncExpr);
+      if (PF_BR(Ctx, CurTok == Tok::Ident)) {
+        Fn->Name = TokWord;
+        nextToken();
+      }
+      if (PF_BR(Ctx, !parseFunctionRest(Fn)))
+        return nullptr;
+      return Fn;
+    }
+    default:
+      return nullptr;
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Evaluator — semantic checking disabled: unknown names read as
+  // undefined, operators coerce freely; only reachable on valid programs.
+  //===--------------------------------------------------------------------===
+
+  using Scope = std::map<std::string, JsValue>;
+
+  void execProgram(const std::vector<Node *> &Stmts) {
+    PF_FUNC(Ctx);
+    Steps = 0;
+    Scopes.clear();
+    Scopes.emplace_back(); // global scope
+    for (Node *S : Stmts) {
+      ExecResult R = execStatement(S);
+      if (PF_BR(Ctx, R.Kind == Completion::Throw))
+        return; // uncaught exception terminates the program (exit stays 0:
+                // the input parsed; semantic checking is out of scope)
+      if (PF_BR(Ctx, Steps > MjsStepLimit))
+        return;
+    }
+  }
+
+  bool outOfBudget() { return ++Steps > MjsStepLimit || EvalDepth > 400; }
+
+  ExecResult execStatement(Node *S) {
+    PF_FUNC(Ctx);
+    ExecResult R;
+    if (PF_BR(Ctx, outOfBudget()))
+      return R;
+    ++EvalDepth;
+    R = execStatementImpl(S);
+    --EvalDepth;
+    return R;
+  }
+
+  ExecResult execStatementImpl(Node *S) {
+    PF_FUNC(Ctx);
+    ExecResult R;
+    switch (S->Kind) {
+    case NodeKind::Empty:
+    case NodeKind::Debugger:
+      return R;
+    case NodeKind::Block:
+      for (Node *Kid : S->Kids) {
+        R = execStatement(Kid);
+        if (PF_BR(Ctx, R.Kind != Completion::Normal))
+          return R;
+      }
+      return R;
+    case NodeKind::VarDecl:
+      for (Node *Binding : S->Kids) {
+        JsValue V = Binding->Kids.empty() ? JsValue::undef()
+                                          : evalExpr(Binding->Kids[0]);
+        setVar(Binding->Name.str(), V);
+      }
+      return R;
+    case NodeKind::ExprStmt:
+      evalExpr(S->Kids[0]);
+      return R;
+    case NodeKind::If:
+      if (PF_BR(Ctx, truthy(evalExpr(S->Kids[0]))))
+        return execStatement(S->Kids[1]);
+      if (PF_BR(Ctx, S->Kids.size() > 2))
+        return execStatement(S->Kids[2]);
+      return R;
+    case NodeKind::While:
+      while (PF_BR(Ctx, truthy(evalExpr(S->Kids[0])))) {
+        if (PF_BR(Ctx, Steps > MjsStepLimit))
+          return R;
+        ExecResult Body = execStatement(S->Kids[1]);
+        if (PF_BR(Ctx, Body.Kind == Completion::Break))
+          return R;
+        if (PF_BR(Ctx, Body.Kind == Completion::Return ||
+                           Body.Kind == Completion::Throw))
+          return Body;
+      }
+      return R;
+    case NodeKind::DoWhile:
+      do {
+        if (PF_BR(Ctx, Steps > MjsStepLimit))
+          return R;
+        ExecResult Body = execStatement(S->Kids[0]);
+        if (PF_BR(Ctx, Body.Kind == Completion::Break))
+          return R;
+        if (PF_BR(Ctx, Body.Kind == Completion::Return ||
+                           Body.Kind == Completion::Throw))
+          return Body;
+      } while (PF_BR(Ctx, truthy(evalExpr(S->Kids[1]))));
+      return R;
+    case NodeKind::ForClassic: {
+      Node *Init = S->Kids[0];
+      if (PF_BR(Ctx, Init->Kind == NodeKind::VarDecl))
+        execStatement(Init);
+      else if (PF_BR(Ctx, Init->Kind != NodeKind::Empty))
+        evalExpr(Init);
+      for (;;) {
+        if (PF_BR(Ctx, Steps > MjsStepLimit))
+          return R;
+        if (PF_BR(Ctx, S->Kids[1]->Kind != NodeKind::Empty &&
+                           !truthy(evalExpr(S->Kids[1]))))
+          return R;
+        ExecResult Body = execStatement(S->Kids[3]);
+        if (PF_BR(Ctx, Body.Kind == Completion::Break))
+          return R;
+        if (PF_BR(Ctx, Body.Kind == Completion::Return ||
+                           Body.Kind == Completion::Throw))
+          return Body;
+        if (PF_BR(Ctx, S->Kids[2]->Kind != NodeKind::Empty))
+          evalExpr(S->Kids[2]);
+        ++Steps;
+      }
+    }
+    case NodeKind::ForIn: {
+      JsValue Seq = evalExpr(S->Kids[1]);
+      std::vector<JsValue> Items = enumerate(Seq, /*Values=*/S->Num != 0);
+      for (JsValue &Item : Items) {
+        if (PF_BR(Ctx, Steps > MjsStepLimit))
+          return R;
+        setVar(S->Kids[0]->Name.str(), Item);
+        ExecResult Body = execStatement(S->Kids[2]);
+        if (PF_BR(Ctx, Body.Kind == Completion::Break))
+          return R;
+        if (PF_BR(Ctx, Body.Kind == Completion::Return ||
+                           Body.Kind == Completion::Throw))
+          return Body;
+      }
+      return R;
+    }
+    case NodeKind::Return:
+      R.Kind = Completion::Return;
+      if (PF_BR(Ctx, !S->Kids.empty()))
+        R.Value = evalExpr(S->Kids[0]);
+      return R;
+    case NodeKind::Break:
+      R.Kind = Completion::Break;
+      return R;
+    case NodeKind::Continue:
+      R.Kind = Completion::Continue;
+      return R;
+    case NodeKind::Throw:
+      R.Kind = Completion::Throw;
+      R.Value = evalExpr(S->Kids[0]);
+      return R;
+    case NodeKind::Try: {
+      ExecResult Body = execStatement(S->Kids[0]);
+      size_t Next = 1;
+      if (PF_BR(Ctx, S->Kids.size() > 2 &&
+                         S->Kids[1]->Kind == NodeKind::Param &&
+                         S->Kids[2]->Kind == NodeKind::Block)) {
+        // catch clause present
+        if (PF_BR(Ctx, Body.Kind == Completion::Throw)) {
+          if (!S->Kids[1]->Name.empty())
+            setVar(S->Kids[1]->Name.str(), Body.Value);
+          Body = execStatement(S->Kids[2]);
+        }
+        Next = 3;
+      }
+      if (PF_BR(Ctx, Next < S->Kids.size())) {
+        ExecResult Fin = execStatement(S->Kids[Next]);
+        if (PF_BR(Ctx, Fin.Kind != Completion::Normal))
+          return Fin;
+      }
+      if (PF_BR(Ctx, Body.Kind == Completion::Throw))
+        return ExecResult(); // swallowed by try without rethrow semantics
+      return Body;
+    }
+    case NodeKind::Switch: {
+      JsValue Disc = evalExpr(S->Kids[0]);
+      bool Matched = false;
+      for (size_t I = 1, E = S->Kids.size(); I != E; ++I) {
+        Node *Case = S->Kids[I];
+        size_t FirstStmt = Case->Num != 0 ? 0 : 1;
+        if (PF_BR(Ctx, !Matched)) {
+          if (PF_BR(Ctx, Case->Num != 0))
+            Matched = true; // default clause
+          else if (PF_BR(Ctx, strictEquals(Disc, evalExpr(Case->Kids[0]))))
+            Matched = true;
+        }
+        if (PF_BR(Ctx, !Matched))
+          continue;
+        for (size_t K = FirstStmt, KE = Case->Kids.size(); K != KE; ++K) {
+          ExecResult Res = execStatement(Case->Kids[K]);
+          if (PF_BR(Ctx, Res.Kind == Completion::Break))
+            return R;
+          if (PF_BR(Ctx, Res.Kind != Completion::Normal))
+            return Res;
+        }
+      }
+      return R;
+    }
+    case NodeKind::With: {
+      // Scoping through the object is a semantic feature; we evaluate the
+      // object and the body in the current scope.
+      evalExpr(S->Kids[0]);
+      return execStatement(S->Kids[1]);
+    }
+    case NodeKind::FuncDecl: {
+      JsValue Fn;
+      Fn.Ty = JsValue::Type::Function;
+      Fn.Fn = S;
+      setVar(S->Name.str(), Fn);
+      return R;
+    }
+    default:
+      // Expression node in statement position cannot happen post-parse.
+      return R;
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Expression evaluation
+  //===--------------------------------------------------------------------===
+
+  JsValue evalExpr(Node *E) {
+    PF_FUNC(Ctx);
+    if (PF_BR(Ctx, outOfBudget()))
+      return JsValue::undef();
+    ++EvalDepth;
+    JsValue V = evalExprImpl(E);
+    --EvalDepth;
+    return V;
+  }
+
+  JsValue evalExprImpl(Node *E);
+
+  /// Builtin member-name ids, resolved via wrapped strcmp chains.
+  enum BuiltinMember {
+    BmLength,
+    BmPush,
+    BmPop,
+    BmShift,
+    BmSlice,
+    BmSplit,
+    BmMap,
+    BmCharAt,
+    BmIndexOf,
+    BmStringify,
+    BmUnknown,
+  };
+
+  /// Resolves \p Name against the builtin member table. The comparisons go
+  /// through the wrapped strcmp, so the taints of the member name flow
+  /// into the events — this is how pFuzzer synthesises indexOf, stringify
+  /// and friends (Table 4).
+  int resolveMember(const TString &Name) {
+    PF_FUNC(Ctx);
+    if (PF_IF_STR(Ctx, Name, "length"))
+      return BmLength;
+    if (PF_IF_STR(Ctx, Name, "push"))
+      return BmPush;
+    if (PF_IF_STR(Ctx, Name, "pop"))
+      return BmPop;
+    if (PF_IF_STR(Ctx, Name, "shift"))
+      return BmShift;
+    if (PF_IF_STR(Ctx, Name, "slice"))
+      return BmSlice;
+    if (PF_IF_STR(Ctx, Name, "split"))
+      return BmSplit;
+    if (PF_IF_STR(Ctx, Name, "map"))
+      return BmMap;
+    if (PF_IF_STR(Ctx, Name, "charAt"))
+      return BmCharAt;
+    if (PF_IF_STR(Ctx, Name, "indexOf"))
+      return BmIndexOf;
+    if (PF_IF_STR(Ctx, Name, "stringify"))
+      return BmStringify;
+    return BmUnknown;
+  }
+
+  JsValue lookupGlobal(const TString &Name, bool &Known);
+  JsValue memberOf(const JsValue &Base, const TString &Name);
+  JsValue callFunction(const JsValue &Callee, const JsValue &ThisVal,
+                       std::vector<JsValue> &Args);
+  JsValue callBuiltin(int Builtin, const JsValue &ThisVal,
+                      std::vector<JsValue> &Args);
+  JsValue evalBinary(Tok Op, Node *LhsNode, Node *RhsNode);
+  JsValue applyArith(Tok Op, const JsValue &L, const JsValue &R);
+  bool looseEquals(const JsValue &A, const JsValue &B);
+  std::string jsonStringify(const JsValue &V);
+
+  std::vector<JsValue> enumerate(const JsValue &Seq, bool Values) {
+    std::vector<JsValue> Items;
+    if (Seq.Ty == JsValue::Type::Object && Seq.Obj) {
+      if (Seq.Obj->IsArray) {
+        for (size_t I = 0, E = Seq.Obj->Elems.size(); I != E; ++I)
+          Items.push_back(Values ? Seq.Obj->Elems[I]
+                                 : JsValue::number(static_cast<double>(I)));
+      } else {
+        for (const auto &[Key, Val] : Seq.Obj->Props)
+          Items.push_back(Values ? Val : JsValue::string(Key));
+      }
+    } else if (Seq.Ty == JsValue::Type::String && Values) {
+      for (char C : Seq.Str)
+        Items.push_back(JsValue::string(std::string(1, C)));
+    }
+    return Items;
+  }
+
+  bool truthy(const JsValue &V) {
+    switch (V.Ty) {
+    case JsValue::Type::Undefined:
+    case JsValue::Type::Null:
+      return false;
+    case JsValue::Type::Boolean:
+      return V.Bool;
+    case JsValue::Type::Number:
+      return V.Num != 0 && V.Num == V.Num;
+    case JsValue::Type::String:
+      return !V.Str.empty();
+    default:
+      return true;
+    }
+  }
+
+  double toNumber(const JsValue &V) {
+    switch (V.Ty) {
+    case JsValue::Type::Number:
+      return V.Num;
+    case JsValue::Type::Boolean:
+      return V.Bool ? 1 : 0;
+    case JsValue::Type::String: {
+      char *End = nullptr;
+      double D = std::strtod(V.Str.c_str(), &End);
+      if (End == V.Str.c_str() && !V.Str.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+      return D;
+    }
+    case JsValue::Type::Null:
+      return 0;
+    default:
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+
+  std::string toStringValue(const JsValue &V);
+
+  bool strictEquals(const JsValue &A, const JsValue &B) {
+    if (A.Ty != B.Ty)
+      return false;
+    switch (A.Ty) {
+    case JsValue::Type::Undefined:
+    case JsValue::Type::Null:
+      return true;
+    case JsValue::Type::Boolean:
+      return A.Bool == B.Bool;
+    case JsValue::Type::Number:
+      return A.Num == B.Num;
+    case JsValue::Type::String:
+      return A.Str == B.Str;
+    case JsValue::Type::Object:
+    case JsValue::Type::Array:
+      return A.Obj == B.Obj;
+    case JsValue::Type::Function:
+      return A.Fn == B.Fn && A.Builtin == B.Builtin;
+    }
+    return false;
+  }
+
+  JsValue *findVar(const std::string &Name) {
+    for (auto It = Scopes.rbegin(), E = Scopes.rend(); It != E; ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+  void setVar(const std::string &Name, const JsValue &V) {
+    if (JsValue *Existing = findVar(Name)) {
+      *Existing = V;
+      return;
+    }
+    Scopes.back()[Name] = V;
+  }
+
+  JsValue evalAssignTo(Node *Lhs, const JsValue &V);
+
+  ExecutionContext &Ctx;
+  bool Semantic = false;
+  bool SemanticError = false;
+  Tok CurTok = Tok::Eoi;
+  double TokNumber = 0;
+  std::string TokString;
+  TString TokWord;
+  std::deque<Node> Arena;
+  uint32_t Depth = 0;
+  uint64_t Steps = 0;
+  uint32_t EvalDepth = 0;
+  std::vector<Scope> Scopes;
+  /// Per-run object arena; owns every JsObject the evaluator creates.
+  std::deque<JsObject> ObjectArena;
+
+  JsObject *newObject() {
+    ObjectArena.emplace_back();
+    return &ObjectArena.back();
+  }
+};
+
+//===----------------------------------------------------------------------===
+// Evaluator implementation
+//===----------------------------------------------------------------------===
+
+static int32_t toInt32(double D) {
+  if (D != D || D == std::numeric_limits<double>::infinity() ||
+      D == -std::numeric_limits<double>::infinity())
+    return 0;
+  return static_cast<int32_t>(static_cast<int64_t>(D));
+}
+
+std::string Mjs::toStringValue(const JsValue &V) {
+  switch (V.Ty) {
+  case JsValue::Type::Undefined:
+    return "undefined";
+  case JsValue::Type::Null:
+    return "null";
+  case JsValue::Type::Boolean:
+    return V.Bool ? "true" : "false";
+  case JsValue::Type::Number: {
+    if (V.Num != V.Num)
+      return "NaN";
+    if (V.Num == static_cast<double>(static_cast<int64_t>(V.Num))) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%lld",
+                    static_cast<long long>(V.Num));
+      return Buf;
+    }
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%g", V.Num);
+    return Buf;
+  }
+  case JsValue::Type::String:
+    return V.Str;
+  case JsValue::Type::Function:
+    return "[function]";
+  case JsValue::Type::Object:
+  case JsValue::Type::Array:
+    if (V.Obj && V.Obj->IsArray) {
+      std::string Out;
+      for (size_t I = 0, E = V.Obj->Elems.size(); I != E; ++I) {
+        if (I != 0)
+          Out += ",";
+        Out += toStringValue(V.Obj->Elems[I]);
+      }
+      return Out;
+    }
+    return "[object Object]";
+  }
+  return "";
+}
+
+/// Resolves an unbound identifier against the global table — tracked
+/// strcmps, so pFuzzer can synthesise Object/JSON/NaN/undefined.
+JsValue Mjs::lookupGlobal(const TString &Name, bool &Known) {
+  PF_FUNC(Ctx);
+  Known = true;
+  if (PF_IF_STR(Ctx, Name, "undefined"))
+    return JsValue::undef();
+  if (PF_IF_STR(Ctx, Name, "NaN"))
+    return JsValue::number(std::numeric_limits<double>::quiet_NaN());
+  if (PF_IF_STR(Ctx, Name, "Object")) {
+    JsValue V;
+    V.Ty = JsValue::Type::Object;
+    V.Obj = newObject();
+    return V;
+  }
+  if (PF_IF_STR(Ctx, Name, "JSON")) {
+    JsValue V;
+    V.Ty = JsValue::Type::Object;
+    V.Obj = newObject();
+    return V;
+  }
+  Known = false; // without semantic checking, unknown reads are fine
+  return JsValue::undef();
+}
+
+JsValue Mjs::memberOf(const JsValue &Base, const TString &Name) {
+  PF_FUNC(Ctx);
+  int Bm = resolveMember(Name);
+  if (PF_BR(Ctx, Bm == BmLength)) {
+    if (PF_BR(Ctx, Base.Ty == JsValue::Type::String))
+      return JsValue::number(static_cast<double>(Base.Str.size()));
+    if (PF_BR(Ctx, Base.Obj && Base.Obj->IsArray))
+      return JsValue::number(static_cast<double>(Base.Obj->Elems.size()));
+    return JsValue::undef();
+  }
+  if (PF_BR(Ctx, Bm != BmUnknown)) {
+    JsValue Fn;
+    Fn.Ty = JsValue::Type::Function;
+    Fn.Builtin = Bm;
+    return Fn;
+  }
+  if (PF_BR(Ctx, Base.Ty == JsValue::Type::Object && Base.Obj != nullptr)) {
+    auto It = Base.Obj->Props.find(Name.str());
+    if (PF_BR(Ctx, It != Base.Obj->Props.end()))
+      return It->second;
+  }
+  return JsValue::undef();
+}
+
+JsValue Mjs::callBuiltin(int Builtin, const JsValue &ThisVal,
+                         std::vector<JsValue> &Args) {
+  PF_FUNC(Ctx);
+  switch (Builtin) {
+  case BmPush:
+    if (PF_BR(Ctx, ThisVal.Obj && ThisVal.Obj->IsArray)) {
+      for (JsValue &A : Args)
+        ThisVal.Obj->Elems.push_back(A);
+      return JsValue::number(
+          static_cast<double>(ThisVal.Obj->Elems.size()));
+    }
+    return JsValue::undef();
+  case BmPop:
+    if (PF_BR(Ctx, ThisVal.Obj && ThisVal.Obj->IsArray &&
+                       !ThisVal.Obj->Elems.empty())) {
+      JsValue Last = ThisVal.Obj->Elems.back();
+      ThisVal.Obj->Elems.pop_back();
+      return Last;
+    }
+    return JsValue::undef();
+  case BmShift:
+    if (PF_BR(Ctx, ThisVal.Obj && ThisVal.Obj->IsArray &&
+                       !ThisVal.Obj->Elems.empty())) {
+      JsValue First = ThisVal.Obj->Elems.front();
+      ThisVal.Obj->Elems.erase(ThisVal.Obj->Elems.begin());
+      return First;
+    }
+    return JsValue::undef();
+  case BmSlice: {
+    double Start = Args.empty() ? 0 : toNumber(Args[0]);
+    if (PF_BR(Ctx, ThisVal.Ty == JsValue::Type::String)) {
+      size_t From = Start < 0 ? 0 : static_cast<size_t>(Start);
+      if (From > ThisVal.Str.size())
+        From = ThisVal.Str.size();
+      return JsValue::string(ThisVal.Str.substr(From));
+    }
+    if (PF_BR(Ctx, ThisVal.Obj && ThisVal.Obj->IsArray)) {
+      JsValue Out;
+      Out.Ty = JsValue::Type::Object;
+      Out.Obj = newObject();
+      Out.Obj->IsArray = true;
+      size_t From = Start < 0 ? 0 : static_cast<size_t>(Start);
+      for (size_t I = From, E = ThisVal.Obj->Elems.size(); I < E; ++I)
+        Out.Obj->Elems.push_back(ThisVal.Obj->Elems[I]);
+      return Out;
+    }
+    return JsValue::undef();
+  }
+  case BmSplit:
+    if (PF_BR(Ctx, ThisVal.Ty == JsValue::Type::String)) {
+      std::string Sep = Args.empty() ? "" : toStringValue(Args[0]);
+      JsValue Out;
+      Out.Ty = JsValue::Type::Object;
+      Out.Obj = newObject();
+      Out.Obj->IsArray = true;
+      if (PF_BR(Ctx, Sep.empty())) {
+        for (char C : ThisVal.Str)
+          Out.Obj->Elems.push_back(JsValue::string(std::string(1, C)));
+        return Out;
+      }
+      size_t Pos = 0;
+      for (;;) {
+        size_t Next = ThisVal.Str.find(Sep, Pos);
+        if (Next == std::string::npos)
+          break;
+        Out.Obj->Elems.push_back(
+            JsValue::string(ThisVal.Str.substr(Pos, Next - Pos)));
+        Pos = Next + Sep.size();
+      }
+      Out.Obj->Elems.push_back(JsValue::string(ThisVal.Str.substr(Pos)));
+      return Out;
+    }
+    return JsValue::undef();
+  case BmMap:
+    if (PF_BR(Ctx, ThisVal.Obj && ThisVal.Obj->IsArray && !Args.empty())) {
+      JsValue Out;
+      Out.Ty = JsValue::Type::Object;
+      Out.Obj = newObject();
+      Out.Obj->IsArray = true;
+      for (JsValue &Elem : ThisVal.Obj->Elems) {
+        std::vector<JsValue> CallArgs = {Elem};
+        Out.Obj->Elems.push_back(
+            callFunction(Args[0], JsValue::undef(), CallArgs));
+        if (PF_BR(Ctx, Steps > MjsStepLimit))
+          break;
+      }
+      return Out;
+    }
+    return JsValue::undef();
+  case BmCharAt:
+    if (PF_BR(Ctx, ThisVal.Ty == JsValue::Type::String)) {
+      double Idx = Args.empty() ? 0 : toNumber(Args[0]);
+      if (PF_BR(Ctx, Idx >= 0 && Idx < ThisVal.Str.size()))
+        return JsValue::string(
+            std::string(1, ThisVal.Str[static_cast<size_t>(Idx)]));
+      return JsValue::string("");
+    }
+    return JsValue::undef();
+  case BmIndexOf: {
+    if (PF_BR(Ctx, ThisVal.Ty == JsValue::Type::String)) {
+      std::string Needle = Args.empty() ? "" : toStringValue(Args[0]);
+      size_t Pos = ThisVal.Str.find(Needle);
+      return JsValue::number(
+          Pos == std::string::npos ? -1 : static_cast<double>(Pos));
+    }
+    if (PF_BR(Ctx, ThisVal.Obj && ThisVal.Obj->IsArray && !Args.empty())) {
+      for (size_t I = 0, E = ThisVal.Obj->Elems.size(); I != E; ++I)
+        if (strictEquals(ThisVal.Obj->Elems[I], Args[0]))
+          return JsValue::number(static_cast<double>(I));
+      return JsValue::number(-1);
+    }
+    return JsValue::number(-1);
+  }
+  case BmStringify:
+    if (PF_BR(Ctx, !Args.empty()))
+      return JsValue::string(jsonStringify(Args[0]));
+    return JsValue::undef();
+  default:
+    return JsValue::undef();
+  }
+}
+
+/// Minimal JSON.stringify used by the BmStringify builtin.
+std::string Mjs::jsonStringify(const JsValue &V) {
+  switch (V.Ty) {
+  case JsValue::Type::Undefined:
+  case JsValue::Type::Function:
+    return "null";
+  case JsValue::Type::Null:
+    return "null";
+  case JsValue::Type::Boolean:
+    return V.Bool ? "true" : "false";
+  case JsValue::Type::Number:
+    return toStringValue(V);
+  case JsValue::Type::String:
+    return "\"" + V.Str + "\"";
+  case JsValue::Type::Object:
+  case JsValue::Type::Array: {
+    if (!V.Obj)
+      return "null";
+    std::string Out;
+    if (V.Obj->IsArray) {
+      Out = "[";
+      for (size_t I = 0, E = V.Obj->Elems.size(); I != E; ++I) {
+        if (I != 0)
+          Out += ",";
+        Out += jsonStringify(V.Obj->Elems[I]);
+      }
+      return Out + "]";
+    }
+    Out = "{";
+    bool FirstProp = true;
+    for (const auto &[Key, Val] : V.Obj->Props) {
+      if (!FirstProp)
+        Out += ",";
+      FirstProp = false;
+      Out += "\"" + Key + "\":" + jsonStringify(Val);
+    }
+    return Out + "}";
+  }
+  }
+  return "null";
+}
+
+JsValue Mjs::callFunction(const JsValue &Callee, const JsValue &ThisVal,
+                          std::vector<JsValue> &Args) {
+  PF_FUNC(Ctx);
+  if (PF_BR(Ctx, Callee.Ty != JsValue::Type::Function))
+    return JsValue::undef(); // calling a non-function: undefined, not error
+  if (PF_BR(Ctx, Callee.Builtin >= 0))
+    return callBuiltin(Callee.Builtin, ThisVal, Args);
+  const Node *Fn = Callee.Fn;
+  if (PF_BR(Ctx, Fn == nullptr))
+    return JsValue::undef();
+  if (PF_BR(Ctx, outOfBudget()))
+    return JsValue::undef();
+  // Bind parameters (all children except the trailing body).
+  Scopes.emplace_back();
+  size_t NumParams = Fn->Kids.size() - 1;
+  for (size_t I = 0; I != NumParams; ++I)
+    Scopes.back()[Fn->Kids[I]->Name.str()] =
+        I < Args.size() ? Args[I] : JsValue::undef();
+  Node *Body = Fn->Kids.back();
+  JsValue Ret;
+  if (PF_BR(Ctx, Body->Kind == NodeKind::Block)) {
+    ExecResult R = execStatement(Body);
+    if (PF_BR(Ctx, R.Kind == Completion::Return))
+      Ret = R.Value;
+  } else {
+    Ret = evalExpr(Body); // arrow function with expression body
+  }
+  Scopes.pop_back();
+  return Ret;
+}
+
+JsValue Mjs::evalAssignTo(Node *Lhs, const JsValue &V) {
+  PF_FUNC(Ctx);
+  if (PF_BR(Ctx, Lhs->Kind == NodeKind::Ident)) {
+    setVar(Lhs->Name.str(), V);
+    return V;
+  }
+  if (PF_BR(Ctx, Lhs->Kind == NodeKind::Member)) {
+    JsValue Base = evalExpr(Lhs->Kids[0]);
+    if (PF_BR(Ctx, Base.Ty == JsValue::Type::Object && Base.Obj != nullptr))
+      Base.Obj->Props[Lhs->Name.str()] = V;
+    return V;
+  }
+  if (PF_BR(Ctx, Lhs->Kind == NodeKind::Index)) {
+    JsValue Base = evalExpr(Lhs->Kids[0]);
+    JsValue Idx = evalExpr(Lhs->Kids[1]);
+    if (PF_BR(Ctx, Base.Obj && Base.Obj->IsArray)) {
+      double N = toNumber(Idx);
+      if (PF_BR(Ctx, N >= 0 && N < 4096)) {
+        size_t I = static_cast<size_t>(N);
+        if (I >= Base.Obj->Elems.size())
+          Base.Obj->Elems.resize(I + 1);
+        Base.Obj->Elems[I] = V;
+      }
+    } else if (PF_BR(Ctx, Base.Ty == JsValue::Type::Object &&
+                             Base.Obj != nullptr)) {
+      Base.Obj->Props[toStringValue(Idx)] = V;
+    }
+    return V;
+  }
+  return V;
+}
+
+JsValue Mjs::evalBinary(Tok Op, Node *LhsNode, Node *RhsNode) {
+  PF_FUNC(Ctx);
+  // Short-circuit operators evaluate the RHS lazily.
+  if (PF_BR(Ctx, Op == Tok::AmpAmp)) {
+    JsValue L = evalExpr(LhsNode);
+    if (PF_BR(Ctx, !truthy(L)))
+      return L;
+    return evalExpr(RhsNode);
+  }
+  if (PF_BR(Ctx, Op == Tok::PipePipe)) {
+    JsValue L = evalExpr(LhsNode);
+    if (PF_BR(Ctx, truthy(L)))
+      return L;
+    return evalExpr(RhsNode);
+  }
+  JsValue L = evalExpr(LhsNode);
+  JsValue R = evalExpr(RhsNode);
+  switch (Op) {
+  case Tok::Plus:
+    if (PF_BR(Ctx, L.Ty == JsValue::Type::String ||
+                       R.Ty == JsValue::Type::String))
+      return JsValue::string(toStringValue(L) + toStringValue(R));
+    return JsValue::number(toNumber(L) + toNumber(R));
+  case Tok::Minus:
+    return JsValue::number(toNumber(L) - toNumber(R));
+  case Tok::Star:
+    return JsValue::number(toNumber(L) * toNumber(R));
+  case Tok::Slash:
+    return JsValue::number(toNumber(L) / toNumber(R));
+  case Tok::Percent: {
+    double A = toNumber(L), B = toNumber(R);
+    if (PF_BR(Ctx, B == 0 || B != B || A != A))
+      return JsValue::number(std::numeric_limits<double>::quiet_NaN());
+    return JsValue::number(A - B * static_cast<int64_t>(A / B));
+  }
+  case Tok::Lt:
+  case Tok::Gt:
+  case Tok::LtEq:
+  case Tok::GtEq: {
+    if (PF_BR(Ctx, L.Ty == JsValue::Type::String &&
+                       R.Ty == JsValue::Type::String)) {
+      int Cmp = L.Str.compare(R.Str);
+      return JsValue::boolean(Op == Tok::Lt     ? Cmp < 0
+                              : Op == Tok::Gt   ? Cmp > 0
+                              : Op == Tok::LtEq ? Cmp <= 0
+                                                : Cmp >= 0);
+    }
+    double A = toNumber(L), B = toNumber(R);
+    if (PF_BR(Ctx, A != A || B != B))
+      return JsValue::boolean(false);
+    return JsValue::boolean(Op == Tok::Lt     ? A < B
+                            : Op == Tok::Gt   ? A > B
+                            : Op == Tok::LtEq ? A <= B
+                                              : A >= B);
+  }
+  case Tok::EqEq:
+  case Tok::NotEq: {
+    bool Eq = looseEquals(L, R);
+    return JsValue::boolean(Op == Tok::EqEq ? Eq : !Eq);
+  }
+  case Tok::EqEqEq:
+    return JsValue::boolean(strictEquals(L, R));
+  case Tok::NotEqEq:
+    return JsValue::boolean(!strictEquals(L, R));
+  case Tok::Amp:
+    return JsValue::number(toInt32(toNumber(L)) & toInt32(toNumber(R)));
+  case Tok::Pipe:
+    return JsValue::number(toInt32(toNumber(L)) | toInt32(toNumber(R)));
+  case Tok::Caret:
+    return JsValue::number(toInt32(toNumber(L)) ^ toInt32(toNumber(R)));
+  case Tok::Shl:
+    return JsValue::number(toInt32(toNumber(L))
+                           << (toInt32(toNumber(R)) & 31));
+  case Tok::Shr:
+    return JsValue::number(toInt32(toNumber(L)) >>
+                           (toInt32(toNumber(R)) & 31));
+  case Tok::Ushr:
+    return JsValue::number(static_cast<uint32_t>(toInt32(toNumber(L))) >>
+                           (toInt32(toNumber(R)) & 31));
+  case Tok::KwIn:
+    if (PF_BR(Ctx, R.Ty == JsValue::Type::Object && R.Obj != nullptr)) {
+      if (PF_BR(Ctx, R.Obj->IsArray)) {
+        double N = toNumber(L);
+        return JsValue::boolean(N >= 0 && N < R.Obj->Elems.size());
+      }
+      return JsValue::boolean(R.Obj->Props.count(toStringValue(L)) != 0);
+    }
+    return JsValue::boolean(false);
+  case Tok::KwInstanceof:
+    // No prototype chains: everything is an instance of nothing.
+    return JsValue::boolean(false);
+  default:
+    return JsValue::undef();
+  }
+}
+
+bool Mjs::looseEquals(const JsValue &A, const JsValue &B) {
+  if (A.Ty == B.Ty)
+    return strictEquals(A, B);
+  bool ANullish =
+      A.Ty == JsValue::Type::Undefined || A.Ty == JsValue::Type::Null;
+  bool BNullish =
+      B.Ty == JsValue::Type::Undefined || B.Ty == JsValue::Type::Null;
+  if (ANullish || BNullish)
+    return ANullish && BNullish;
+  return toNumber(A) == toNumber(B);
+}
+
+JsValue Mjs::evalExprImpl(Node *E) {
+  PF_FUNC(Ctx);
+  switch (E->Kind) {
+  case NodeKind::NumberLit:
+    return JsValue::number(E->Num);
+  case NodeKind::StringLit:
+    return JsValue::string(E->Str);
+  case NodeKind::BoolLit:
+    return JsValue::boolean(E->Num != 0);
+  case NodeKind::NullLit:
+    return JsValue::null();
+  case NodeKind::ThisExpr:
+    return JsValue::undef(); // no receiver semantics at top level
+  case NodeKind::Ident: {
+    if (JsValue *V = findVar(E->Name.str()))
+      return *V;
+    bool Known = false;
+    JsValue V = lookupGlobal(E->Name, Known);
+    // Section 7.3: a delayed, context-sensitive constraint. The parser
+    // accepted the identifier long ago; only execution notices the
+    // missing declaration.
+    if (PF_BR(Ctx, Semantic && !Known))
+      SemanticError = true;
+    return V;
+  }
+  case NodeKind::ArrayLit: {
+    JsValue V;
+    V.Ty = JsValue::Type::Object;
+    V.Obj = newObject();
+    V.Obj->IsArray = true;
+    for (Node *Kid : E->Kids)
+      V.Obj->Elems.push_back(evalExpr(Kid));
+    return V;
+  }
+  case NodeKind::ObjectLit: {
+    JsValue V;
+    V.Ty = JsValue::Type::Object;
+    V.Obj = newObject();
+    for (Node *Prop : E->Kids)
+      V.Obj->Props[Prop->Name.str()] = evalExpr(Prop->Kids[0]);
+    return V;
+  }
+  case NodeKind::FuncExpr:
+  case NodeKind::ArrowFn: {
+    JsValue V;
+    V.Ty = JsValue::Type::Function;
+    V.Fn = E;
+    return V;
+  }
+  case NodeKind::Unary: {
+    if (PF_BR(Ctx, E->Op == Tok::PlusPlus || E->Op == Tok::MinusMinus)) {
+      double N = toNumber(evalExpr(E->Kids[0]));
+      JsValue New =
+          JsValue::number(E->Op == Tok::PlusPlus ? N + 1 : N - 1);
+      return evalAssignTo(E->Kids[0], New);
+    }
+    JsValue V = evalExpr(E->Kids[0]);
+    switch (E->Op) {
+    case Tok::Not:
+      return JsValue::boolean(!truthy(V));
+    case Tok::Tilde:
+      return JsValue::number(~toInt32(toNumber(V)));
+    case Tok::Plus:
+      return JsValue::number(toNumber(V));
+    case Tok::Minus:
+      return JsValue::number(-toNumber(V));
+    case Tok::KwTypeof:
+      switch (V.Ty) {
+      case JsValue::Type::Undefined:
+        return JsValue::string("undefined");
+      case JsValue::Type::Null:
+        return JsValue::string("object");
+      case JsValue::Type::Boolean:
+        return JsValue::string("boolean");
+      case JsValue::Type::Number:
+        return JsValue::string("number");
+      case JsValue::Type::String:
+        return JsValue::string("string");
+      case JsValue::Type::Function:
+        return JsValue::string("function");
+      default:
+        return JsValue::string("object");
+      }
+    case Tok::KwDelete:
+      return JsValue::boolean(true); // property removal is a no-op here
+    case Tok::KwVoid:
+      return JsValue::undef();
+    default:
+      return JsValue::undef();
+    }
+  }
+  case NodeKind::Postfix: {
+    double N = toNumber(evalExpr(E->Kids[0]));
+    evalAssignTo(E->Kids[0], JsValue::number(
+                                 E->Op == Tok::PlusPlus ? N + 1 : N - 1));
+    return JsValue::number(N);
+  }
+  case NodeKind::Binary:
+    return evalBinary(E->Op, E->Kids[0], E->Kids[1]);
+  case NodeKind::Cond:
+    return PF_BR(Ctx, truthy(evalExpr(E->Kids[0]))) ? evalExpr(E->Kids[1])
+                                                    : evalExpr(E->Kids[2]);
+  case NodeKind::AssignExpr: {
+    JsValue Rhs = evalExpr(E->Kids[1]);
+    if (PF_BR(Ctx, E->Op != Tok::Assign)) {
+      // Compound assignment: combine with the current value.
+      Tok BinOp;
+      switch (E->Op) {
+      case Tok::PlusEq: BinOp = Tok::Plus; break;
+      case Tok::MinusEq: BinOp = Tok::Minus; break;
+      case Tok::StarEq: BinOp = Tok::Star; break;
+      case Tok::SlashEq: BinOp = Tok::Slash; break;
+      case Tok::PercentEq: BinOp = Tok::Percent; break;
+      case Tok::AmpEq: BinOp = Tok::Amp; break;
+      case Tok::PipeEq: BinOp = Tok::Pipe; break;
+      case Tok::CaretEq: BinOp = Tok::Caret; break;
+      case Tok::ShlEq: BinOp = Tok::Shl; break;
+      case Tok::ShrEq: BinOp = Tok::Shr; break;
+      default: BinOp = Tok::Ushr; break; // UshrEq
+      }
+      JsValue Cur = evalExpr(E->Kids[0]);
+      Rhs = applyArith(BinOp, Cur, Rhs);
+    }
+    return evalAssignTo(E->Kids[0], Rhs);
+  }
+  case NodeKind::Member: {
+    JsValue Base = evalExpr(E->Kids[0]);
+    return memberOf(Base, E->Name);
+  }
+  case NodeKind::Index: {
+    JsValue Base = evalExpr(E->Kids[0]);
+    JsValue Idx = evalExpr(E->Kids[1]);
+    if (PF_BR(Ctx, Base.Obj && Base.Obj->IsArray)) {
+      double N = toNumber(Idx);
+      if (PF_BR(Ctx, N >= 0 && N < Base.Obj->Elems.size()))
+        return Base.Obj->Elems[static_cast<size_t>(N)];
+      return JsValue::undef();
+    }
+    if (PF_BR(Ctx, Base.Ty == JsValue::Type::String)) {
+      double N = toNumber(Idx);
+      if (PF_BR(Ctx, N >= 0 && N < Base.Str.size()))
+        return JsValue::string(
+            std::string(1, Base.Str[static_cast<size_t>(N)]));
+      return JsValue::undef();
+    }
+    if (PF_BR(Ctx, Base.Ty == JsValue::Type::Object && Base.Obj != nullptr)) {
+      auto It = Base.Obj->Props.find(toStringValue(Idx));
+      if (It != Base.Obj->Props.end())
+        return It->second;
+    }
+    return JsValue::undef();
+  }
+  case NodeKind::Call: {
+    Node *CalleeNode = E->Kids[0];
+    JsValue ThisVal;
+    JsValue Callee;
+    if (PF_BR(Ctx, CalleeNode->Kind == NodeKind::Member)) {
+      ThisVal = evalExpr(CalleeNode->Kids[0]);
+      Callee = memberOf(ThisVal, CalleeNode->Name);
+    } else {
+      Callee = evalExpr(CalleeNode);
+    }
+    std::vector<JsValue> Args;
+    for (size_t I = 1, N = E->Kids.size(); I != N; ++I)
+      Args.push_back(evalExpr(E->Kids[I]));
+    return callFunction(Callee, ThisVal, Args);
+  }
+  case NodeKind::NewExpr: {
+    evalExpr(E->Kids[0]);
+    JsValue V;
+    V.Ty = JsValue::Type::Object;
+    V.Obj = newObject();
+    return V;
+  }
+  default:
+    return JsValue::undef();
+  }
+}
+
+/// Plain arithmetic application used by compound assignment (the operands
+/// are already evaluated).
+JsValue Mjs::applyArith(Tok Op, const JsValue &L, const JsValue &R) {
+  switch (Op) {
+  case Tok::Plus:
+    if (L.Ty == JsValue::Type::String || R.Ty == JsValue::Type::String)
+      return JsValue::string(toStringValue(L) + toStringValue(R));
+    return JsValue::number(toNumber(L) + toNumber(R));
+  case Tok::Minus:
+    return JsValue::number(toNumber(L) - toNumber(R));
+  case Tok::Star:
+    return JsValue::number(toNumber(L) * toNumber(R));
+  case Tok::Slash:
+    return JsValue::number(toNumber(L) / toNumber(R));
+  case Tok::Percent: {
+    double A = toNumber(L), B = toNumber(R);
+    if (B == 0 || B != B || A != A)
+      return JsValue::number(std::numeric_limits<double>::quiet_NaN());
+    return JsValue::number(A - B * static_cast<int64_t>(A / B));
+  }
+  case Tok::Amp:
+    return JsValue::number(toInt32(toNumber(L)) & toInt32(toNumber(R)));
+  case Tok::Pipe:
+    return JsValue::number(toInt32(toNumber(L)) | toInt32(toNumber(R)));
+  case Tok::Caret:
+    return JsValue::number(toInt32(toNumber(L)) ^ toInt32(toNumber(R)));
+  case Tok::Shl:
+    return JsValue::number(toInt32(toNumber(L))
+                           << (toInt32(toNumber(R)) & 31));
+  case Tok::Shr:
+    return JsValue::number(toInt32(toNumber(L)) >>
+                           (toInt32(toNumber(R)) & 31));
+  case Tok::Ushr:
+    return JsValue::number(static_cast<uint32_t>(toInt32(toNumber(L))) >>
+                           (toInt32(toNumber(R)) & 31));
+  default:
+    return JsValue::undef();
+  }
+}
+
+} // namespace
+
+PF_INSTRUMENT_END(MjsNumBranchSites)
+
+namespace {
+
+class MjsSubject final : public Subject {
+public:
+  std::string_view name() const override { return "mjs"; }
+  uint32_t numBranchSites() const override { return MjsNumBranchSites; }
+  int run(ExecutionContext &Ctx) const override {
+    return Mjs(Ctx).runProgram();
+  }
+};
+
+class MjsSemSubject final : public Subject {
+public:
+  std::string_view name() const override { return "mjssem"; }
+  uint32_t numBranchSites() const override { return MjsNumBranchSites; }
+  int run(ExecutionContext &Ctx) const override {
+    return Mjs(Ctx, /*Semantic=*/true).runProgram();
+  }
+};
+
+} // namespace
+
+const Subject &pfuzz::mjsSubject() {
+  static const MjsSubject Instance;
+  return Instance;
+}
+
+const Subject &pfuzz::mjsSemSubject() {
+  static const MjsSemSubject Instance;
+  return Instance;
+}

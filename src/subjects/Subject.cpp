@@ -1,0 +1,42 @@
+//===- subjects/Subject.cpp - Program-under-test interface ----------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Subject.h"
+
+using namespace pfuzz;
+
+Subject::~Subject() = default;
+
+RunResult Subject::execute(std::string_view Input,
+                           InstrumentationMode Mode) const {
+  ExecutionContext Ctx(Input, Mode);
+  int ExitCode = run(Ctx);
+  Ctx.setExitCode(ExitCode);
+  return Ctx.takeResult();
+}
+
+bool Subject::accepts(std::string_view Input) const {
+  ExecutionContext Ctx(Input, InstrumentationMode::Off);
+  return run(Ctx) == 0;
+}
+
+const Subject *pfuzz::findSubject(std::string_view Name) {
+  for (const Subject *S : allSubjects())
+    if (S->name() == Name)
+      return S;
+  return nullptr;
+}
+
+std::vector<const Subject *> pfuzz::evaluationSubjects() {
+  return {&iniSubject(), &csvSubject(), &jsonSubject(), &tinycSubject(),
+          &mjsSubject()};
+}
+
+std::vector<const Subject *> pfuzz::allSubjects() {
+  return {&arithSubject(),   &dyckSubject(),  &iniSubject(),
+          &csvSubject(),     &jsonSubject(),  &ll1ArithSubject(),
+          &tinycSubject(),   &mjsSubject(),   &mjsSemSubject()};
+}

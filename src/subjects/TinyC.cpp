@@ -1,0 +1,548 @@
+//===- subjects/TinyC.cpp - Tiny-C subject --------------------------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Tiny-C compiler/interpreter modelled on Marc Feeley's tiny-c (the
+/// gist the paper evaluates). Grammar:
+///
+///   program   ::= statement <end of input>
+///   statement ::= "if" parenExpr statement ["else" statement]
+///               | "while" parenExpr statement
+///               | "do" statement "while" parenExpr ";"
+///               | "{" statement* "}"
+///               | expr ";" | ";"
+///   expr      ::= test | id "=" expr
+///   test      ::= sum ["<" sum]
+///   sum       ::= term (("+" | "-") term)*
+///   term      ::= id | int | parenExpr
+///
+/// Identifiers are single letters a..z; keywords (do, else, if, while) are
+/// recognised by the lexer via the wrapped strcmp. Tokenization is
+/// interleaved with parsing and the parser branches on *untainted* token
+/// kinds — the taint break of Section 7.2: only the lexer-level character
+/// and keyword comparisons are visible to pFuzzer.
+///
+/// Valid programs are executed by a tree-walking interpreter (with a step
+/// cap replacing the paper's manual while(9); fix), so loop/branch
+/// handling code is only covered by inputs that actually contain those
+/// constructs — the reason pFuzzer out-covers AFL on this subject.
+///
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Subject.h"
+
+#include "runtime/Instrument.h"
+
+#include <deque>
+
+using namespace pfuzz;
+
+PF_INSTRUMENT_BEGIN()
+
+namespace {
+
+enum class TokKind {
+  Eoi,
+  Do,
+  Else,
+  If,
+  While,
+  LeftBrace,
+  RightBrace,
+  LeftParen,
+  RightParen,
+  Plus,
+  Minus,
+  Less,
+  Semicolon,
+  Equal,
+  Int,
+  Id,
+  Error,
+};
+
+enum class NodeKind {
+  Var,
+  Const,
+  Add,
+  Sub,
+  LessThan,
+  Assign,
+  If1,
+  If2,
+  WhileLoop,
+  DoLoop,
+  Empty,
+  Seq,
+  ExprStmt,
+  Prog,
+};
+
+struct Node {
+  NodeKind Kind;
+  int Value = 0; // variable index or constant
+  Node *Op1 = nullptr;
+  Node *Op2 = nullptr;
+  Node *Op3 = nullptr;
+};
+
+/// The interpreter aborts after this many evaluation steps; replaces the
+/// paper's manual termination fix for generated infinite loops.
+constexpr uint64_t TinyCStepLimit = 20000;
+
+class TinyC {
+public:
+  explicit TinyC(ExecutionContext &Ctx) : Ctx(Ctx) {}
+
+  /// Parses and runs one program. Returns 0 iff the input parses.
+  int runProgram() {
+    nextToken();
+    Node *Prog = parseProgram();
+    if (PF_BR(Ctx, Prog == nullptr))
+      return 1;
+    execute(Prog);
+    return 0;
+  }
+
+private:
+  //===--------------------------------------------------------------------===
+  // Lexer — character-level comparisons are tracked; the token kind that
+  // the parser consumes is an untainted enum (the taint break).
+  //===--------------------------------------------------------------------===
+
+  void nextToken() {
+    PF_FUNC(Ctx);
+    // Skip whitespace (tiny-c checks ' ' and '\n' explicitly).
+    while (PF_IF_SET(Ctx, Ctx.peekChar(), " \n\t"))
+      Ctx.nextChar();
+    TChar C = Ctx.peekChar();
+    if (PF_BR(Ctx, C.isEof())) {
+      Tok = TokKind::Eoi;
+      return;
+    }
+    if (PF_IF_EQ(Ctx, C, '{')) {
+      Ctx.nextChar();
+      Tok = TokKind::LeftBrace;
+      return;
+    }
+    if (PF_IF_EQ(Ctx, C, '}')) {
+      Ctx.nextChar();
+      Tok = TokKind::RightBrace;
+      return;
+    }
+    if (PF_IF_EQ(Ctx, C, '(')) {
+      Ctx.nextChar();
+      Tok = TokKind::LeftParen;
+      return;
+    }
+    if (PF_IF_EQ(Ctx, C, ')')) {
+      Ctx.nextChar();
+      Tok = TokKind::RightParen;
+      return;
+    }
+    if (PF_IF_EQ(Ctx, C, '+')) {
+      Ctx.nextChar();
+      Tok = TokKind::Plus;
+      return;
+    }
+    if (PF_IF_EQ(Ctx, C, '-')) {
+      Ctx.nextChar();
+      Tok = TokKind::Minus;
+      return;
+    }
+    if (PF_IF_EQ(Ctx, C, '<')) {
+      Ctx.nextChar();
+      Tok = TokKind::Less;
+      return;
+    }
+    if (PF_IF_EQ(Ctx, C, ';')) {
+      Ctx.nextChar();
+      Tok = TokKind::Semicolon;
+      return;
+    }
+    if (PF_IF_EQ(Ctx, C, '=')) {
+      Ctx.nextChar();
+      Tok = TokKind::Equal;
+      return;
+    }
+    if (PF_IF_RANGE(Ctx, C, '0', '9')) {
+      TokValue = 0;
+      while (PF_IF_RANGE(Ctx, Ctx.peekChar(), '0', '9')) {
+        TChar Digit = Ctx.nextChar();
+        TokValue = TokValue * 10 + (Digit.value() - '0');
+        if (PF_BR(Ctx, TokValue > 1000000))
+          TokValue = 1000000; // saturate, tiny-c ints are small
+      }
+      Tok = TokKind::Int;
+      return;
+    }
+    if (PF_IF_RANGE(Ctx, C, 'a', 'z')) {
+      // Accumulate the identifier; taints flow into the TString so the
+      // keyword strcmps below are attributable to input positions.
+      TString Word;
+      while (PF_IF_RANGE(Ctx, Ctx.peekChar(), 'a', 'z'))
+        Word.push_back(Ctx.nextChar());
+      if (PF_IF_STR(Ctx, Word, "do")) {
+        Tok = TokKind::Do;
+        return;
+      }
+      if (PF_IF_STR(Ctx, Word, "else")) {
+        Tok = TokKind::Else;
+        return;
+      }
+      if (PF_IF_STR(Ctx, Word, "if")) {
+        Tok = TokKind::If;
+        return;
+      }
+      if (PF_IF_STR(Ctx, Word, "while")) {
+        Tok = TokKind::While;
+        return;
+      }
+      if (PF_BR(Ctx, Word.size() == 1)) {
+        Tok = TokKind::Id;
+        TokValue = Word.str()[0] - 'a';
+        return;
+      }
+      Tok = TokKind::Error; // multi-letter non-keyword
+      return;
+    }
+    Tok = TokKind::Error;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Parser — branches on untainted token kinds only.
+  //===--------------------------------------------------------------------===
+
+  Node *newNode(NodeKind Kind, int Value = 0) {
+    Arena.push_back(Node{Kind, Value, nullptr, nullptr, nullptr});
+    return &Arena.back();
+  }
+
+  /// program ::= statement EOI
+  Node *parseProgram() {
+    PF_FUNC(Ctx);
+    Node *Stmt = parseStatement();
+    if (PF_BR(Ctx, Stmt == nullptr))
+      return nullptr;
+    if (PF_BR(Ctx, Tok != TokKind::Eoi))
+      return nullptr;
+    Node *Prog = newNode(NodeKind::Prog);
+    Prog->Op1 = Stmt;
+    return Prog;
+  }
+
+  /// parenExpr ::= "(" expr ")"
+  Node *parseParenExpr() {
+    PF_FUNC(Ctx);
+    if (PF_BR(Ctx, Tok != TokKind::LeftParen))
+      return nullptr;
+    nextToken();
+    Node *E = parseExpr();
+    if (PF_BR(Ctx, E == nullptr))
+      return nullptr;
+    if (PF_BR(Ctx, Tok != TokKind::RightParen))
+      return nullptr;
+    nextToken();
+    return E;
+  }
+
+  Node *parseStatement() {
+    PF_FUNC(Ctx);
+    // Nesting cap: protects the host stack from fuzzer-generated towers of
+    // parentheses/braces (tiny-c itself would segfault).
+    if (PF_BR(Ctx, ++Depth > 200))
+      return nullptr;
+    Node *Stmt = parseStatementImpl();
+    --Depth;
+    return Stmt;
+  }
+
+  Node *parseStatementImpl() {
+    PF_FUNC(Ctx);
+    if (PF_BR(Ctx, Tok == TokKind::If))
+      return parseIf();
+    if (PF_BR(Ctx, Tok == TokKind::While))
+      return parseWhile();
+    if (PF_BR(Ctx, Tok == TokKind::Do))
+      return parseDo();
+    if (PF_BR(Ctx, Tok == TokKind::LeftBrace))
+      return parseBlock();
+    if (PF_BR(Ctx, Tok == TokKind::Semicolon)) {
+      nextToken();
+      return newNode(NodeKind::Empty);
+    }
+    Node *E = parseExpr();
+    if (PF_BR(Ctx, E == nullptr))
+      return nullptr;
+    if (PF_BR(Ctx, Tok != TokKind::Semicolon))
+      return nullptr;
+    nextToken();
+    Node *Stmt = newNode(NodeKind::ExprStmt);
+    Stmt->Op1 = E;
+    return Stmt;
+  }
+
+  Node *parseIf() {
+    PF_FUNC(Ctx);
+    nextToken(); // consume "if"
+    Node *Cond = parseParenExpr();
+    if (PF_BR(Ctx, Cond == nullptr))
+      return nullptr;
+    Node *Then = parseStatement();
+    if (PF_BR(Ctx, Then == nullptr))
+      return nullptr;
+    if (PF_BR(Ctx, Tok == TokKind::Else)) {
+      nextToken();
+      Node *Else = parseStatement();
+      if (PF_BR(Ctx, Else == nullptr))
+        return nullptr;
+      Node *Stmt = newNode(NodeKind::If2);
+      Stmt->Op1 = Cond;
+      Stmt->Op2 = Then;
+      Stmt->Op3 = Else;
+      return Stmt;
+    }
+    Node *Stmt = newNode(NodeKind::If1);
+    Stmt->Op1 = Cond;
+    Stmt->Op2 = Then;
+    return Stmt;
+  }
+
+  Node *parseWhile() {
+    PF_FUNC(Ctx);
+    nextToken(); // consume "while"
+    Node *Cond = parseParenExpr();
+    if (PF_BR(Ctx, Cond == nullptr))
+      return nullptr;
+    Node *Body = parseStatement();
+    if (PF_BR(Ctx, Body == nullptr))
+      return nullptr;
+    Node *Stmt = newNode(NodeKind::WhileLoop);
+    Stmt->Op1 = Cond;
+    Stmt->Op2 = Body;
+    return Stmt;
+  }
+
+  /// do statement while parenExpr ;
+  Node *parseDo() {
+    PF_FUNC(Ctx);
+    nextToken(); // consume "do"
+    Node *Body = parseStatement();
+    if (PF_BR(Ctx, Body == nullptr))
+      return nullptr;
+    if (PF_BR(Ctx, Tok != TokKind::While))
+      return nullptr;
+    nextToken();
+    Node *Cond = parseParenExpr();
+    if (PF_BR(Ctx, Cond == nullptr))
+      return nullptr;
+    if (PF_BR(Ctx, Tok != TokKind::Semicolon))
+      return nullptr;
+    nextToken();
+    Node *Stmt = newNode(NodeKind::DoLoop);
+    Stmt->Op1 = Body;
+    Stmt->Op2 = Cond;
+    return Stmt;
+  }
+
+  Node *parseBlock() {
+    PF_FUNC(Ctx);
+    nextToken(); // consume "{"
+    Node *Block = newNode(NodeKind::Empty);
+    while (PF_BR(Ctx, Tok != TokKind::RightBrace)) {
+      if (PF_BR(Ctx, Tok == TokKind::Eoi || Tok == TokKind::Error))
+        return nullptr;
+      Node *Stmt = parseStatement();
+      if (PF_BR(Ctx, Stmt == nullptr))
+        return nullptr;
+      Node *Seq = newNode(NodeKind::Seq);
+      Seq->Op1 = Block;
+      Seq->Op2 = Stmt;
+      Block = Seq;
+    }
+    nextToken(); // consume "}"
+    return Block;
+  }
+
+  /// expr ::= test | id "=" expr — resolved with one token of lookahead,
+  /// as in tiny-c: parse a test; if it was a bare variable and '=' follows,
+  /// it becomes an assignment target.
+  Node *parseExpr() {
+    PF_FUNC(Ctx);
+    Node *T = parseTest();
+    if (PF_BR(Ctx, T == nullptr))
+      return nullptr;
+    if (PF_BR(Ctx, T->Kind == NodeKind::Var && Tok == TokKind::Equal)) {
+      nextToken();
+      Node *Rhs = parseExpr();
+      if (PF_BR(Ctx, Rhs == nullptr))
+        return nullptr;
+      Node *Set = newNode(NodeKind::Assign, T->Value);
+      Set->Op1 = Rhs;
+      return Set;
+    }
+    return T;
+  }
+
+  /// test ::= sum ["<" sum]
+  Node *parseTest() {
+    PF_FUNC(Ctx);
+    Node *Lhs = parseSum();
+    if (PF_BR(Ctx, Lhs == nullptr))
+      return nullptr;
+    if (PF_BR(Ctx, Tok != TokKind::Less))
+      return Lhs;
+    nextToken();
+    Node *Rhs = parseSum();
+    if (PF_BR(Ctx, Rhs == nullptr))
+      return nullptr;
+    Node *Lt = newNode(NodeKind::LessThan);
+    Lt->Op1 = Lhs;
+    Lt->Op2 = Rhs;
+    return Lt;
+  }
+
+  /// sum ::= term (("+" | "-") term)*
+  Node *parseSum() {
+    PF_FUNC(Ctx);
+    Node *Lhs = parseTerm();
+    if (PF_BR(Ctx, Lhs == nullptr))
+      return nullptr;
+    while (PF_BR(Ctx, Tok == TokKind::Plus || Tok == TokKind::Minus)) {
+      NodeKind Kind =
+          Tok == TokKind::Plus ? NodeKind::Add : NodeKind::Sub;
+      nextToken();
+      Node *Rhs = parseTerm();
+      if (PF_BR(Ctx, Rhs == nullptr))
+        return nullptr;
+      Node *Bin = newNode(Kind);
+      Bin->Op1 = Lhs;
+      Bin->Op2 = Rhs;
+      Lhs = Bin;
+    }
+    return Lhs;
+  }
+
+  /// term ::= id | int | parenExpr
+  Node *parseTerm() {
+    PF_FUNC(Ctx);
+    if (PF_BR(Ctx, ++Depth > 200))
+      return nullptr;
+    Node *T = parseTermImpl();
+    --Depth;
+    return T;
+  }
+
+  Node *parseTermImpl() {
+    PF_FUNC(Ctx);
+    if (PF_BR(Ctx, Tok == TokKind::Id)) {
+      Node *Var = newNode(NodeKind::Var, TokValue);
+      nextToken();
+      return Var;
+    }
+    if (PF_BR(Ctx, Tok == TokKind::Int)) {
+      Node *Cst = newNode(NodeKind::Const, TokValue);
+      nextToken();
+      return Cst;
+    }
+    return parseParenExpr();
+  }
+
+  //===--------------------------------------------------------------------===
+  // Interpreter — only reachable through valid programs.
+  //===--------------------------------------------------------------------===
+
+  void execute(Node *Prog) {
+    PF_FUNC(Ctx);
+    Steps = 0;
+    eval(Prog);
+  }
+
+  int eval(Node *N) {
+    PF_FUNC(Ctx);
+    if (PF_BR(Ctx, ++Steps > TinyCStepLimit))
+      return 0; // budget exhausted; treat as a terminated hang
+    switch (N->Kind) {
+    case NodeKind::Var:
+      return Vars[N->Value];
+    case NodeKind::Const:
+      return N->Value;
+    case NodeKind::Add:
+      return eval(N->Op1) + eval(N->Op2);
+    case NodeKind::Sub:
+      return eval(N->Op1) - eval(N->Op2);
+    case NodeKind::LessThan:
+      return PF_BR(Ctx, eval(N->Op1) < eval(N->Op2)) ? 1 : 0;
+    case NodeKind::Assign:
+      return Vars[N->Value] = eval(N->Op1);
+    case NodeKind::If1:
+      if (PF_BR(Ctx, eval(N->Op1) != 0))
+        eval(N->Op2);
+      return 0;
+    case NodeKind::If2:
+      if (PF_BR(Ctx, eval(N->Op1) != 0))
+        eval(N->Op2);
+      else
+        eval(N->Op3);
+      return 0;
+    case NodeKind::WhileLoop:
+      while (PF_BR(Ctx, eval(N->Op1) != 0)) {
+        if (PF_BR(Ctx, Steps > TinyCStepLimit))
+          return 0;
+        eval(N->Op2);
+      }
+      return 0;
+    case NodeKind::DoLoop:
+      do {
+        if (PF_BR(Ctx, Steps > TinyCStepLimit))
+          return 0;
+        eval(N->Op1);
+      } while (PF_BR(Ctx, eval(N->Op2) != 0));
+      return 0;
+    case NodeKind::Empty:
+      return 0;
+    case NodeKind::Seq:
+      eval(N->Op1);
+      eval(N->Op2);
+      return 0;
+    case NodeKind::ExprStmt:
+      return eval(N->Op1);
+    case NodeKind::Prog:
+      return eval(N->Op1);
+    }
+    return 0;
+  }
+
+  ExecutionContext &Ctx;
+  TokKind Tok = TokKind::Eoi;
+  int TokValue = 0;
+  std::deque<Node> Arena;
+  int Vars[26] = {};
+  uint64_t Steps = 0;
+  uint32_t Depth = 0;
+};
+
+} // namespace
+
+PF_INSTRUMENT_END(TinyCNumBranchSites)
+
+namespace {
+
+class TinyCSubject final : public Subject {
+public:
+  std::string_view name() const override { return "tinyc"; }
+  uint32_t numBranchSites() const override { return TinyCNumBranchSites; }
+  int run(ExecutionContext &Ctx) const override {
+    return TinyC(Ctx).runProgram();
+  }
+};
+
+} // namespace
+
+const Subject &pfuzz::tinycSubject() {
+  static const TinyCSubject Instance;
+  return Instance;
+}

@@ -1,0 +1,61 @@
+//===- support/Ascii.h - Locale-independent character predicates -*- C++ -*-==//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Locale-independent ASCII character classification. The subjects must not
+/// depend on the host locale (the paper's subjects parse byte streams), so
+/// <cctype> is avoided throughout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_SUPPORT_ASCII_H
+#define PFUZZ_SUPPORT_ASCII_H
+
+namespace pfuzz {
+
+inline bool isAsciiDigit(char C) { return C >= '0' && C <= '9'; }
+
+inline bool isAsciiLower(char C) { return C >= 'a' && C <= 'z'; }
+
+inline bool isAsciiUpper(char C) { return C >= 'A' && C <= 'Z'; }
+
+inline bool isAsciiAlpha(char C) { return isAsciiLower(C) || isAsciiUpper(C); }
+
+inline bool isAsciiAlnum(char C) { return isAsciiAlpha(C) || isAsciiDigit(C); }
+
+inline bool isAsciiSpace(char C) {
+  return C == ' ' || C == '\t' || C == '\n' || C == '\r' || C == '\v' ||
+         C == '\f';
+}
+
+inline bool isAsciiPrintable(char C) { return C >= 0x20 && C <= 0x7E; }
+
+inline bool isIdentStart(char C) { return isAsciiAlpha(C) || C == '_'; }
+
+inline bool isIdentBody(char C) { return isAsciiAlnum(C) || C == '_'; }
+
+inline bool isHexDigit(char C) {
+  return isAsciiDigit(C) || (C >= 'a' && C <= 'f') || (C >= 'A' && C <= 'F');
+}
+
+/// Returns the numeric value of hex digit \p C, or -1 if not a hex digit.
+inline int hexValue(char C) {
+  if (isAsciiDigit(C))
+    return C - '0';
+  if (C >= 'a' && C <= 'f')
+    return C - 'a' + 10;
+  if (C >= 'A' && C <= 'F')
+    return C - 'A' + 10;
+  return -1;
+}
+
+inline char toAsciiLower(char C) {
+  return isAsciiUpper(C) ? static_cast<char>(C - 'A' + 'a') : C;
+}
+
+} // namespace pfuzz
+
+#endif // PFUZZ_SUPPORT_ASCII_H

@@ -1,0 +1,71 @@
+//===- support/CommandLine.cpp - Minimal flag parser ----------------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdlib>
+
+using namespace pfuzz;
+
+CommandLine::CommandLine(int Argc, const char *const *Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (!startsWith(Arg, "--")) {
+      Positional.push_back(Arg);
+      continue;
+    }
+    if (Arg == "--") {
+      Ok = false;
+      return;
+    }
+    std::string Body = Arg.substr(2);
+    size_t Eq = Body.find('=');
+    if (Eq == std::string::npos) {
+      Values[Body] = "true";
+      Queried[Body] = false;
+    } else {
+      Values[Body.substr(0, Eq)] = Body.substr(Eq + 1);
+      Queried[Body.substr(0, Eq)] = false;
+    }
+  }
+}
+
+std::string CommandLine::getString(const std::string &Name,
+                                   const std::string &Default) const {
+  Queried[Name] = true;
+  auto It = Values.find(Name);
+  return It == Values.end() ? Default : It->second;
+}
+
+int64_t CommandLine::getInt(const std::string &Name, int64_t Default) const {
+  Queried[Name] = true;
+  auto It = Values.find(Name);
+  if (It == Values.end())
+    return Default;
+  char *End = nullptr;
+  int64_t Value = std::strtoll(It->second.c_str(), &End, 10);
+  if (End == It->second.c_str() || *End != '\0')
+    return Default;
+  return Value;
+}
+
+bool CommandLine::getBool(const std::string &Name, bool Default) const {
+  Queried[Name] = true;
+  auto It = Values.find(Name);
+  if (It == Values.end())
+    return Default;
+  return It->second == "true" || It->second == "1" || It->second.empty();
+}
+
+std::vector<std::string> CommandLine::unqueried() const {
+  std::vector<std::string> Out;
+  for (const auto &[Name, WasQueried] : Queried)
+    if (!WasQueried)
+      Out.push_back(Name);
+  return Out;
+}

@@ -1,0 +1,62 @@
+//===- support/CommandLine.h - Minimal flag parser ---------------*- C++ -*-==//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal `--name=value` command-line parser used by the bench and
+/// example binaries. Unknown flags are rejected so typos surface instead of
+/// silently running a default campaign.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_SUPPORT_COMMANDLINE_H
+#define PFUZZ_SUPPORT_COMMANDLINE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pfuzz {
+
+/// Parsed command line: `--name=value` pairs, bare `--name` flags (value
+/// "true"), and positional arguments.
+class CommandLine {
+public:
+  /// Parses \p Argv. On an argument that is neither a flag nor positional
+  /// (e.g. a lone "--"), parsing stops and ok() is false.
+  CommandLine(int Argc, const char *const *Argv);
+
+  bool ok() const { return Ok; }
+
+  /// Returns the string value for \p Name, or \p Default when absent.
+  std::string getString(const std::string &Name,
+                        const std::string &Default) const;
+
+  /// Returns the integer value for \p Name, or \p Default when absent or
+  /// malformed.
+  int64_t getInt(const std::string &Name, int64_t Default) const;
+
+  /// Returns the boolean value for \p Name ("", "1", "true" => true).
+  bool getBool(const std::string &Name, bool Default) const;
+
+  bool has(const std::string &Name) const { return Values.count(Name) != 0; }
+
+  const std::vector<std::string> &positional() const { return Positional; }
+
+  /// Returns the flag names that were never queried via get*/has. Benches
+  /// call this to reject typos.
+  std::vector<std::string> unqueried() const;
+
+private:
+  bool Ok = true;
+  std::map<std::string, std::string> Values;
+  mutable std::map<std::string, bool> Queried;
+  std::vector<std::string> Positional;
+};
+
+} // namespace pfuzz
+
+#endif // PFUZZ_SUPPORT_COMMANDLINE_H

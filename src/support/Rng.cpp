@@ -1,0 +1,52 @@
+//===- support/Rng.cpp - Deterministic random number generator -----------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+using namespace pfuzz;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9E3779B97F4A7C15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+void Rng::reseed(uint64_t Seed) {
+  uint64_t Mix = Seed;
+  for (uint64_t &Word : State)
+    Word = splitMix64(Mix);
+  // xoshiro must not be seeded with the all-zero state.
+  if (State[0] == 0 && State[1] == 0 && State[2] == 0 && State[3] == 0)
+    State[0] = 1;
+}
+
+uint64_t Rng::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::below(uint64_t Bound) {
+  assert(Bound != 0 && "below() with zero bound");
+  // Rejection sampling to avoid modulo bias; the loop terminates with
+  // probability 1 and in expectation after < 2 iterations.
+  uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t Value = next();
+    if (Value >= Threshold)
+      return Value % Bound;
+  }
+}

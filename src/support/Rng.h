@@ -1,0 +1,65 @@
+//===- support/Rng.h - Deterministic random number generator ---*- C++ -*-===//
+//
+// Part of the pfuzz project, a reproduction of "Parser-Directed Fuzzing"
+// (Mathis et al., PLDI 2019). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (xoshiro256** seeded via SplitMix64).
+/// Every stochastic component of the fuzzers draws from an explicitly
+/// seeded Rng so that campaigns are reproducible run-to-run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_SUPPORT_RNG_H
+#define PFUZZ_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace pfuzz {
+
+/// Deterministic pseudo-random number generator.
+///
+/// Not cryptographically secure; used only to drive fuzzing decisions.
+class Rng {
+public:
+  /// Creates a generator whose entire stream is determined by \p Seed.
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ULL) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed via SplitMix64.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next 64 uniformly distributed bits.
+  uint64_t next();
+
+  /// Returns a uniform value in [0, \p Bound). \p Bound must be non-zero.
+  uint64_t below(uint64_t Bound);
+
+  /// Returns true with probability \p Num / \p Den.
+  bool chance(uint64_t Num, uint64_t Den) {
+    assert(Den != 0 && "probability with zero denominator");
+    return below(Den) < Num;
+  }
+
+  /// Returns a uniform printable ASCII character (0x20..0x7E).
+  char nextPrintable() { return static_cast<char>(0x20 + below(0x5F)); }
+
+  /// Returns a uniform byte over the full 0..255 range.
+  uint8_t nextByte() { return static_cast<uint8_t>(below(256)); }
+
+  /// Returns a reference to a uniformly chosen element of \p Elems.
+  template <typename T> const T &pick(const std::vector<T> &Elems) {
+    assert(!Elems.empty() && "pick from empty vector");
+    return Elems[below(Elems.size())];
+  }
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace pfuzz
+
+#endif // PFUZZ_SUPPORT_RNG_H

@@ -1,0 +1,80 @@
+//===- support/StringUtils.cpp - Small string helpers --------------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include "support/Ascii.h"
+
+#include <cstdio>
+
+using namespace pfuzz;
+
+std::string pfuzz::escapeString(std::string_view Input) {
+  std::string Out;
+  Out.reserve(Input.size());
+  for (char C : Input) {
+    switch (C) {
+    case '\n':
+      Out += "\\n";
+      continue;
+    case '\t':
+      Out += "\\t";
+      continue;
+    case '\r':
+      Out += "\\r";
+      continue;
+    case '\\':
+      Out += "\\\\";
+      continue;
+    default:
+      break;
+    }
+    if (isAsciiPrintable(C)) {
+      Out += C;
+      continue;
+    }
+    char Buf[8];
+    std::snprintf(Buf, sizeof(Buf), "\\x%02x",
+                  static_cast<unsigned>(static_cast<unsigned char>(C)));
+    Out += Buf;
+  }
+  return Out;
+}
+
+std::string pfuzz::join(const std::vector<std::string> &Parts,
+                        std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string pfuzz::formatDouble(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}
+
+bool pfuzz::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}
+
+std::vector<std::string> pfuzz::splitString(std::string_view Text, char Sep) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  for (size_t I = 0, E = Text.size(); I != E; ++I) {
+    if (Text[I] != Sep)
+      continue;
+    Out.emplace_back(Text.substr(Start, I - Start));
+    Start = I + 1;
+  }
+  Out.emplace_back(Text.substr(Start));
+  return Out;
+}

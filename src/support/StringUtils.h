@@ -1,0 +1,41 @@
+//===- support/StringUtils.h - Small string helpers -------------*- C++ -*-===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared by the fuzzers, evaluation harness and tools:
+/// escaping fuzzer-generated inputs for printing, joining, and numeric
+/// formatting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_SUPPORT_STRINGUTILS_H
+#define PFUZZ_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pfuzz {
+
+/// Renders \p Input with non-printable bytes as C-style escapes so that
+/// fuzzer-generated inputs can be logged on a single line.
+std::string escapeString(std::string_view Input);
+
+/// Joins \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts, std::string_view Sep);
+
+/// Formats \p Value with \p Decimals digits after the point.
+std::string formatDouble(double Value, int Decimals);
+
+/// Returns true if \p Text starts with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Splits \p Text on \p Sep (single character), keeping empty fields.
+std::vector<std::string> splitString(std::string_view Text, char Sep);
+
+} // namespace pfuzz
+
+#endif // PFUZZ_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,44 @@
+//===- taint/Taint.cpp - Dynamic taint labels -----------------------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "taint/Taint.h"
+
+#include <algorithm>
+
+using namespace pfuzz;
+
+TaintSet TaintSet::forRange(uint32_t Begin, uint32_t End) {
+  assert(Begin <= End && "inverted taint range");
+  TaintSet Set;
+  Set.Indices.reserve(End - Begin);
+  for (uint32_t I = Begin; I != End; ++I)
+    Set.Indices.push_back(I);
+  return Set;
+}
+
+bool TaintSet::contains(uint32_t Index) const {
+  return std::binary_search(Indices.begin(), Indices.end(), Index);
+}
+
+void TaintSet::mergeWith(const TaintSet &Other) {
+  if (Other.empty())
+    return;
+  if (empty()) {
+    Indices = Other.Indices;
+    return;
+  }
+  std::vector<uint32_t> Merged;
+  Merged.reserve(Indices.size() + Other.Indices.size());
+  std::set_union(Indices.begin(), Indices.end(), Other.Indices.begin(),
+                 Other.Indices.end(), std::back_inserter(Merged));
+  Indices = std::move(Merged);
+}
+
+TaintSet TaintSet::merged(const TaintSet &A, const TaintSet &B) {
+  TaintSet Result = A;
+  Result.mergeWith(B);
+  return Result;
+}

@@ -1,0 +1,85 @@
+//===- taint/Taint.h - Dynamic taint labels ----------------------*- C++ -*-==//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dynamic taint labels. Section 4 of the paper: "When read, each character
+/// is associated with a unique identifier; this taint is later passed on to
+/// values derived from that character. If a value is derived from several
+/// characters, it accumulates their taints."
+///
+/// A TaintSet is the set of input indices a value is derived from. The
+/// fuzzer uses it to map a comparison back to the input position(s) it
+/// constrains.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_TAINT_TAINT_H
+#define PFUZZ_TAINT_TAINT_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pfuzz {
+
+/// The set of input indices a runtime value is derived from.
+///
+/// Stored as a sorted, deduplicated vector; taint sets in parsers are tiny
+/// (usually one index, a handful for tokens), so a sorted vector beats any
+/// node-based set.
+class TaintSet {
+public:
+  /// Creates the empty (untainted) set.
+  TaintSet() = default;
+
+  /// Creates a singleton set for input index \p Index.
+  static TaintSet forIndex(uint32_t Index) {
+    TaintSet Set;
+    Set.Indices.push_back(Index);
+    return Set;
+  }
+
+  /// Creates a set covering the half-open index range [\p Begin, \p End).
+  static TaintSet forRange(uint32_t Begin, uint32_t End);
+
+  bool empty() const { return Indices.empty(); }
+  size_t size() const { return Indices.size(); }
+
+  /// Returns true if \p Index is in the set.
+  bool contains(uint32_t Index) const;
+
+  /// Smallest tainted index. Must not be called on the empty set.
+  uint32_t minIndex() const {
+    assert(!empty() && "minIndex of empty taint set");
+    return Indices.front();
+  }
+
+  /// Largest tainted index. Must not be called on the empty set.
+  uint32_t maxIndex() const {
+    assert(!empty() && "maxIndex of empty taint set");
+    return Indices.back();
+  }
+
+  /// Merges \p Other into this set (value derivation accumulates taints).
+  void mergeWith(const TaintSet &Other);
+
+  /// Returns the union of \p A and \p B.
+  static TaintSet merged(const TaintSet &A, const TaintSet &B);
+
+  const std::vector<uint32_t> &indices() const { return Indices; }
+
+  bool operator==(const TaintSet &Other) const {
+    return Indices == Other.Indices;
+  }
+
+private:
+  std::vector<uint32_t> Indices;
+};
+
+} // namespace pfuzz
+
+#endif // PFUZZ_TAINT_TAINT_H

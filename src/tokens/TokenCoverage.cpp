@@ -1,0 +1,50 @@
+//===- tokens/TokenCoverage.cpp - Input-coverage accumulator --------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tokens/TokenCoverage.h"
+
+#include "tokens/Tokenizers.h"
+
+using namespace pfuzz;
+
+TokenCoverage::TokenCoverage(std::string_view SubjectName)
+    : SubjectName(SubjectName),
+      Inventory(TokenInventory::forSubject(SubjectName)) {}
+
+void TokenCoverage::addInput(std::string_view Input) {
+  for (std::string &Tok : extractTokens(SubjectName, Input))
+    if (Inventory.contains(Tok))
+      Found.insert(std::move(Tok));
+}
+
+std::map<uint32_t, uint32_t> TokenCoverage::foundByLength() const {
+  std::map<uint32_t, uint32_t> Counts;
+  for (const std::string &Tok : Found)
+    ++Counts[Inventory.lengthOf(Tok)];
+  return Counts;
+}
+
+double TokenCoverage::shortTokenRatio() const {
+  uint32_t Total = Inventory.numShort();
+  if (Total == 0)
+    return 0;
+  uint32_t Hit = 0;
+  for (const std::string &Tok : Found)
+    if (Inventory.lengthOf(Tok) <= 3)
+      ++Hit;
+  return static_cast<double>(Hit) / Total;
+}
+
+double TokenCoverage::longTokenRatio() const {
+  uint32_t Total = Inventory.numLong();
+  if (Total == 0)
+    return 0;
+  uint32_t Hit = 0;
+  for (const std::string &Tok : Found)
+    if (Inventory.lengthOf(Tok) > 3)
+      ++Hit;
+  return static_cast<double>(Hit) / Total;
+}

@@ -1,0 +1,55 @@
+//===- tokens/TokenCoverage.h - Input-coverage accumulator -------*- C++ -*-==//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Accumulates which inventory tokens appear across a set of valid inputs
+/// — the paper's input-coverage metric (Figure 3 and the length <= 3 /
+/// length > 3 headline aggregates).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_TOKENS_TOKENCOVERAGE_H
+#define PFUZZ_TOKENS_TOKENCOVERAGE_H
+
+#include "tokens/TokenInventory.h"
+
+#include <set>
+#include <string_view>
+
+namespace pfuzz {
+
+/// Token-coverage accumulator for one subject.
+class TokenCoverage {
+public:
+  explicit TokenCoverage(std::string_view SubjectName);
+
+  /// Tokenizes a valid input and records the inventory tokens it contains.
+  void addInput(std::string_view Input);
+
+  /// The distinct inventory tokens found so far.
+  const std::set<std::string> &found() const { return Found; }
+
+  /// Found tokens per length class (for Figure 3's grouped bars).
+  std::map<uint32_t, uint32_t> foundByLength() const;
+
+  /// Found / total for tokens with length class <= 3, as a fraction in
+  /// [0, 1]. Returns 0 when the inventory has no short tokens.
+  double shortTokenRatio() const;
+
+  /// Found / total for tokens with length class > 3.
+  double longTokenRatio() const;
+
+  const TokenInventory &inventory() const { return Inventory; }
+
+private:
+  std::string SubjectName;
+  const TokenInventory &Inventory;
+  std::set<std::string> Found;
+};
+
+} // namespace pfuzz
+
+#endif // PFUZZ_TOKENS_TOKENCOVERAGE_H

@@ -1,0 +1,183 @@
+//===- tokens/TokenInventory.cpp - Per-subject token sets -----------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tokens/TokenInventory.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace pfuzz;
+
+TokenInventory::TokenInventory(std::vector<TokenDef> TokenList)
+    : Tokens(std::move(TokenList)) {
+  for (const TokenDef &T : Tokens) {
+    assert(LengthByText.count(T.Text) == 0 && "duplicate token definition");
+    LengthByText[T.Text] = T.Length;
+  }
+}
+
+uint32_t TokenInventory::lengthOf(std::string_view Text) const {
+  auto It = LengthByText.find(Text);
+  return It == LengthByText.end() ? 0 : It->second;
+}
+
+std::map<uint32_t, uint32_t> TokenInventory::countsByLength() const {
+  std::map<uint32_t, uint32_t> Counts;
+  for (const TokenDef &T : Tokens)
+    ++Counts[T.Length];
+  return Counts;
+}
+
+uint32_t TokenInventory::numShort() const {
+  uint32_t N = 0;
+  for (const TokenDef &T : Tokens)
+    if (T.Length <= 3)
+      ++N;
+  return N;
+}
+
+uint32_t TokenInventory::numLong() const {
+  uint32_t N = 0;
+  for (const TokenDef &T : Tokens)
+    if (T.Length > 3)
+      ++N;
+  return N;
+}
+
+/// Expands a space-separated list of literal tokens, each at its own
+/// spelled length.
+static void addLiterals(std::vector<TokenDef> &Out, std::string_view Words) {
+  size_t Start = 0;
+  while (Start < Words.size()) {
+    size_t End = Words.find(' ', Start);
+    if (End == std::string_view::npos)
+      End = Words.size();
+    if (End > Start) {
+      std::string Text(Words.substr(Start, End - Start));
+      uint32_t Length = static_cast<uint32_t>(Text.size());
+      Out.push_back({std::move(Text), Length});
+    }
+    Start = End + 1;
+  }
+}
+
+static TokenInventory makeArithInventory() {
+  std::vector<TokenDef> T;
+  addLiterals(T, "( ) + -");
+  T.push_back({"number", 1});
+  return TokenInventory(std::move(T));
+}
+
+static TokenInventory makeDyckInventory() {
+  std::vector<TokenDef> T;
+  addLiterals(T, "( ) [ ] < >");
+  return TokenInventory(std::move(T));
+}
+
+static TokenInventory makeIniInventory() {
+  std::vector<TokenDef> T;
+  addLiterals(T, "[ ] = ;");
+  T.push_back({"name", 1});
+  return TokenInventory(std::move(T));
+}
+
+static TokenInventory makeCsvInventory() {
+  std::vector<TokenDef> T;
+  addLiterals(T, ",");
+  T.push_back({"field", 1});
+  T.push_back({"string", 2});
+  return TokenInventory(std::move(T));
+}
+
+/// Table 2: 8 tokens of length 1, string (2), null/true (4), false (5).
+static TokenInventory makeJsonInventory() {
+  std::vector<TokenDef> T;
+  addLiterals(T, "{ } [ ] - : ,");
+  T.push_back({"number", 1});
+  T.push_back({"string", 2});
+  addLiterals(T, "null true false");
+  return TokenInventory(std::move(T));
+}
+
+/// Table 3: 11 tokens of length 1 (with parentheses in place of the
+/// table's brackets — our tiny-c grammar uses parenthesised expressions),
+/// if/do (2), else (4), while (5).
+static TokenInventory makeTinyCInventory() {
+  std::vector<TokenDef> T;
+  addLiterals(T, "< + - ; = { } ( )");
+  T.push_back({"identifier", 1});
+  T.push_back({"number", 1});
+  addLiterals(T, "if do else while");
+  return TokenInventory(std::move(T));
+}
+
+/// Table 4 shape: 26/24/13/10/9/7/3/3/2/1 tokens for lengths 1..10 (the
+/// paper's mjs has 27 at length 1; our subset has one punctuation token
+/// fewer — recorded in EXPERIMENTS.md).
+static TokenInventory makeMjsInventory() {
+  std::vector<TokenDef> T;
+  // Length 1: 24 punctuation + identifier + number.
+  addLiterals(T, "( ) { } [ ] ; , . ? : + - * / % < > = ! & | ^ ~");
+  T.push_back({"identifier", 1});
+  T.push_back({"number", 1});
+  // Length 2: 19 operators + 4 keywords + string.
+  addLiterals(T, "== != <= >= && || ++ -- += -= *= /= %= &= |= ^= << >> =>");
+  addLiterals(T, "if in do of");
+  T.push_back({"string", 2});
+  // Length 3: 5 operators + 5 keywords + 3 builtin names.
+  addLiterals(T, "=== !== <<= >>= >>>");
+  addLiterals(T, "for let new var try NaN pop map");
+  // Length 4.
+  addLiterals(T, ">>>= true null void with else this case push JSON");
+  // Length 5.
+  addLiterals(T, "false throw while break catch const slice split shift");
+  // Length 6.
+  addLiterals(T, "return delete typeof switch Object length charAt");
+  // Length 7.
+  addLiterals(T, "default finally indexOf");
+  // Length 8.
+  addLiterals(T, "continue function debugger");
+  // Length 9.
+  addLiterals(T, "undefined stringify");
+  // Length 10.
+  addLiterals(T, "instanceof");
+  return TokenInventory(std::move(T));
+}
+
+const TokenInventory &TokenInventory::forSubject(std::string_view Name) {
+  if (Name == "arith" || Name == "ll1arith") {
+    static const TokenInventory Inv = makeArithInventory();
+    return Inv;
+  }
+  if (Name == "dyck") {
+    static const TokenInventory Inv = makeDyckInventory();
+    return Inv;
+  }
+  if (Name == "ini") {
+    static const TokenInventory Inv = makeIniInventory();
+    return Inv;
+  }
+  if (Name == "csv") {
+    static const TokenInventory Inv = makeCsvInventory();
+    return Inv;
+  }
+  if (Name == "json") {
+    static const TokenInventory Inv = makeJsonInventory();
+    return Inv;
+  }
+  if (Name == "tinyc") {
+    static const TokenInventory Inv = makeTinyCInventory();
+    return Inv;
+  }
+  if (Name == "mjs" || Name == "mjssem") {
+    static const TokenInventory Inv = makeMjsInventory();
+    return Inv;
+  }
+  std::fprintf(stderr, "error: no token inventory for subject '%.*s'\n",
+               static_cast<int>(Name.size()), Name.data());
+  std::abort();
+}

@@ -1,0 +1,71 @@
+//===- tokens/TokenInventory.h - Per-subject token sets ----------*- C++ -*-==//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The token inventories behind the paper's input-coverage evaluation
+/// (Section 5.3): "we first collected all possible tokens by checking the
+/// documentation and source code of all subjects". Tables 2, 3 and 4 give
+/// the per-length counts for json, tinyC and mjs; ini and csv have small
+/// ad-hoc sets. Strings, numbers and identifiers are one token class each,
+/// counted at length 1 (identifier, number) or 2 (string — the two quote
+/// characters), following the tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_TOKENS_TOKENINVENTORY_H
+#define PFUZZ_TOKENS_TOKENINVENTORY_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pfuzz {
+
+/// One token of a subject's input language.
+struct TokenDef {
+  /// Canonical spelling, or a class name ("identifier", "number",
+  /// "string", "field", "name").
+  std::string Text;
+
+  /// The length class used by Figure 3 (class tokens use the class's
+  /// nominal length, e.g. string = 2).
+  uint32_t Length = 1;
+};
+
+/// The full token set of one subject's input language.
+class TokenInventory {
+public:
+  explicit TokenInventory(std::vector<TokenDef> Tokens);
+
+  /// The inventory for a built-in subject; aborts on unknown names.
+  static const TokenInventory &forSubject(std::string_view SubjectName);
+
+  const std::vector<TokenDef> &tokens() const { return Tokens; }
+  size_t size() const { return Tokens.size(); }
+
+  /// Returns the token's length class, or 0 when \p Text is not a token.
+  uint32_t lengthOf(std::string_view Text) const;
+
+  bool contains(std::string_view Text) const { return lengthOf(Text) != 0; }
+
+  /// Number of tokens per length class.
+  std::map<uint32_t, uint32_t> countsByLength() const;
+
+  /// Number of tokens whose length class satisfies len <= 3 (Short) or
+  /// len > 3 (Long) — the paper's two headline aggregates.
+  uint32_t numShort() const;
+  uint32_t numLong() const;
+
+private:
+  std::vector<TokenDef> Tokens;
+  std::map<std::string, uint32_t, std::less<>> LengthByText;
+};
+
+} // namespace pfuzz
+
+#endif // PFUZZ_TOKENS_TOKENINVENTORY_H

@@ -1,0 +1,332 @@
+//===- tokens/Tokenizers.cpp - Token extraction from inputs ---------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tokens/Tokenizers.h"
+
+#include "support/Ascii.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace pfuzz;
+
+namespace {
+
+/// Shared cursor over the raw input bytes.
+class Scanner {
+public:
+  explicit Scanner(std::string_view Input) : Input(Input) {}
+
+  bool atEnd() const { return Pos >= Input.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Input.size() ? Input[Pos + Ahead] : '\0';
+  }
+  char get() { return Input[Pos++]; }
+  void skip(size_t N = 1) { Pos += N; }
+  bool startsWith(std::string_view Prefix) const {
+    return Input.compare(Pos, Prefix.size(), Prefix) == 0;
+  }
+
+private:
+  std::string_view Input;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+static std::vector<std::string> tokenizeArith(std::string_view Input) {
+  std::vector<std::string> Out;
+  Scanner S(Input);
+  while (!S.atEnd()) {
+    char C = S.get();
+    if (isAsciiDigit(C)) {
+      while (!S.atEnd() && isAsciiDigit(S.peek()))
+        S.skip();
+      Out.push_back("number");
+      continue;
+    }
+    if (C == '(' || C == ')' || C == '+' || C == '-')
+      Out.push_back(std::string(1, C));
+  }
+  return Out;
+}
+
+static std::vector<std::string> tokenizeDyck(std::string_view Input) {
+  std::vector<std::string> Out;
+  for (char C : Input)
+    if (C == '(' || C == ')' || C == '[' || C == ']' || C == '<' ||
+        C == '>')
+      Out.push_back(std::string(1, C));
+  return Out;
+}
+
+static std::vector<std::string> tokenizeIni(std::string_view Input) {
+  std::vector<std::string> Out;
+  Scanner S(Input);
+  while (!S.atEnd()) {
+    char C = S.get();
+    if (isAsciiSpace(C))
+      continue;
+    if (C == ';') { // comment: the body is not tokens
+      Out.push_back(";");
+      while (!S.atEnd() && S.peek() != '\n')
+        S.skip();
+      continue;
+    }
+    if (C == '[' || C == ']' || C == '=') {
+      Out.push_back(std::string(1, C));
+      continue;
+    }
+    // Any other run of non-structural characters is a name.
+    while (!S.atEnd() && S.peek() != '[' && S.peek() != ']' &&
+           S.peek() != '=' && S.peek() != ';' && !isAsciiSpace(S.peek()))
+      S.skip();
+    Out.push_back("name");
+  }
+  return Out;
+}
+
+static std::vector<std::string> tokenizeCsv(std::string_view Input) {
+  std::vector<std::string> Out;
+  Scanner S(Input);
+  while (!S.atEnd()) {
+    char C = S.get();
+    if (C == '\n')
+      continue;
+    if (C == ',') {
+      Out.push_back(",");
+      continue;
+    }
+    if (C == '"') { // quoted field
+      while (!S.atEnd()) {
+        char Q = S.get();
+        if (Q == '"') {
+          if (S.peek() == '"') {
+            S.skip();
+            continue;
+          }
+          break;
+        }
+      }
+      Out.push_back("string");
+      continue;
+    }
+    while (!S.atEnd() && S.peek() != ',' && S.peek() != '\n')
+      S.skip();
+    Out.push_back("field");
+  }
+  return Out;
+}
+
+static std::vector<std::string> tokenizeJson(std::string_view Input) {
+  std::vector<std::string> Out;
+  Scanner S(Input);
+  while (!S.atEnd()) {
+    char C = S.get();
+    if (isAsciiSpace(C))
+      continue;
+    switch (C) {
+    case '{':
+    case '}':
+    case '[':
+    case ']':
+    case ':':
+    case ',':
+    case '-':
+      Out.push_back(std::string(1, C));
+      continue;
+    case '"':
+      while (!S.atEnd()) {
+        char Q = S.get();
+        if (Q == '\\' && !S.atEnd()) {
+          S.skip();
+          continue;
+        }
+        if (Q == '"')
+          break;
+      }
+      Out.push_back("string");
+      continue;
+    default:
+      break;
+    }
+    if (isAsciiDigit(C)) {
+      while (!S.atEnd() && (isAsciiDigit(S.peek()) || S.peek() == '.' ||
+                            S.peek() == 'e' || S.peek() == 'E' ||
+                            S.peek() == '+' || S.peek() == '-'))
+        S.skip();
+      Out.push_back("number");
+      continue;
+    }
+    if (isAsciiAlpha(C)) {
+      std::string Word(1, C);
+      while (!S.atEnd() && isAsciiAlpha(S.peek()))
+        Word.push_back(S.get());
+      if (Word == "true" || Word == "false" || Word == "null")
+        Out.push_back(Word);
+    }
+  }
+  return Out;
+}
+
+static std::vector<std::string> tokenizeTinyC(std::string_view Input) {
+  std::vector<std::string> Out;
+  Scanner S(Input);
+  while (!S.atEnd()) {
+    char C = S.get();
+    if (isAsciiSpace(C))
+      continue;
+    if (isAsciiDigit(C)) {
+      while (!S.atEnd() && isAsciiDigit(S.peek()))
+        S.skip();
+      Out.push_back("number");
+      continue;
+    }
+    if (isAsciiLower(C)) {
+      std::string Word(1, C);
+      while (!S.atEnd() && isAsciiLower(S.peek()))
+        Word.push_back(S.get());
+      if (Word == "if" || Word == "do" || Word == "else" || Word == "while")
+        Out.push_back(Word);
+      else if (Word.size() == 1)
+        Out.push_back("identifier");
+      continue;
+    }
+    switch (C) {
+    case '<':
+    case '+':
+    case '-':
+    case ';':
+    case '=':
+    case '{':
+    case '}':
+    case '(':
+    case ')':
+      Out.push_back(std::string(1, C));
+      continue;
+    default:
+      continue;
+    }
+  }
+  return Out;
+}
+
+static std::vector<std::string> tokenizeMjs(std::string_view Input) {
+  // Maximal-munch operator table, longest first.
+  static const std::string_view Operators[] = {
+      ">>>=", "===", "!==", "<<=", ">>=", ">>>", "==", "!=", "<=", ">=",
+      "&&",   "||",  "++",  "--",  "+=",  "-=",  "*=", "/=", "%=", "&=",
+      "|=",   "^=",  "<<",  ">>",  "=>",  "(",   ")",  "{",  "}",  "[",
+      "]",    ";",   ",",   ".",   "?",   ":",   "+",  "-",  "*",  "/",
+      "%",    "<",   ">",   "=",   "!",   "&",   "|",  "^",  "~"};
+  // Keywords and builtin names are counted as their own tokens.
+  static const std::string_view Words[] = {
+      "if",       "in",       "do",        "of",       "for",
+      "let",      "new",      "var",       "try",      "NaN",
+      "pop",      "map",      "true",      "null",     "void",
+      "with",     "else",     "this",      "case",     "push",
+      "JSON",     "false",    "throw",     "while",    "break",
+      "catch",    "const",    "slice",     "split",    "shift",
+      "return",   "delete",   "typeof",    "switch",   "Object",
+      "length",   "charAt",   "default",   "finally",  "indexOf",
+      "continue", "function", "debugger",  "undefined", "stringify",
+      "instanceof"};
+  std::vector<std::string> Out;
+  Scanner S(Input);
+  while (!S.atEnd()) {
+    char C = S.peek();
+    if (isAsciiSpace(C)) {
+      S.skip();
+      continue;
+    }
+    if (C == '/' && S.peek(1) == '/') {
+      while (!S.atEnd() && S.peek() != '\n')
+        S.skip();
+      continue;
+    }
+    if (C == '/' && S.peek(1) == '*') {
+      S.skip(2);
+      while (!S.atEnd() && !(S.peek() == '*' && S.peek(1) == '/'))
+        S.skip();
+      S.skip(2);
+      continue;
+    }
+    if (isAsciiDigit(C)) {
+      S.skip();
+      while (!S.atEnd() && (isAsciiDigit(S.peek()) || S.peek() == '.'))
+        S.skip();
+      Out.push_back("number");
+      continue;
+    }
+    if (isIdentStart(C) || C == '$') {
+      std::string Word(1, C);
+      S.skip();
+      while (!S.atEnd() && (isIdentBody(S.peek()) || S.peek() == '$')) {
+        Word.push_back(S.peek());
+        S.skip();
+      }
+      bool Known = false;
+      for (std::string_view W : Words) {
+        if (Word == W) {
+          Out.push_back(Word);
+          Known = true;
+          break;
+        }
+      }
+      if (!Known)
+        Out.push_back("identifier");
+      continue;
+    }
+    if (C == '"' || C == '\'') {
+      char Quote = C;
+      S.skip();
+      while (!S.atEnd()) {
+        char Q = S.get();
+        if (Q == '\\' && !S.atEnd()) {
+          S.skip();
+          continue;
+        }
+        if (Q == Quote)
+          break;
+      }
+      Out.push_back("string");
+      continue;
+    }
+    bool Matched = false;
+    for (std::string_view Op : Operators) {
+      if (S.startsWith(Op)) {
+        Out.push_back(std::string(Op));
+        S.skip(Op.size());
+        Matched = true;
+        break;
+      }
+    }
+    if (!Matched)
+      S.skip();
+  }
+  return Out;
+}
+
+std::vector<std::string> pfuzz::extractTokens(std::string_view SubjectName,
+                                              std::string_view Input) {
+  if (SubjectName == "arith" || SubjectName == "ll1arith")
+    return tokenizeArith(Input);
+  if (SubjectName == "dyck")
+    return tokenizeDyck(Input);
+  if (SubjectName == "ini")
+    return tokenizeIni(Input);
+  if (SubjectName == "csv")
+    return tokenizeCsv(Input);
+  if (SubjectName == "json")
+    return tokenizeJson(Input);
+  if (SubjectName == "tinyc")
+    return tokenizeTinyC(Input);
+  if (SubjectName == "mjs" || SubjectName == "mjssem")
+    return tokenizeMjs(Input);
+  std::fprintf(stderr, "error: no tokenizer for subject '%.*s'\n",
+               static_cast<int>(SubjectName.size()), SubjectName.data());
+  std::abort();
+}

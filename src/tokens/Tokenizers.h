@@ -1,0 +1,33 @@
+//===- tokens/Tokenizers.h - Token extraction from inputs --------*- C++ -*-==//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-subject tokenizers for the input-coverage measurement (Section 5.3):
+/// given a *valid* input, they return the inventory tokens it contains.
+/// "Strings, numbers and identifiers are classified as one token ... any
+/// non-token characters (e.g. whitespaces) are ignored."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_TOKENS_TOKENIZERS_H
+#define PFUZZ_TOKENS_TOKENIZERS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pfuzz {
+
+/// Tokenizes \p Input with the lexical rules of subject \p SubjectName and
+/// returns the canonical inventory names of the tokens that occur (with
+/// duplicates; callers deduplicate as needed). Inputs are assumed valid;
+/// unrecognised bytes are skipped.
+std::vector<std::string> extractTokens(std::string_view SubjectName,
+                                       std::string_view Input);
+
+} // namespace pfuzz
+
+#endif // PFUZZ_TOKENS_TOKENIZERS_H

@@ -1,0 +1,53 @@
+//===- tests/baselines/RandomFuzzerTest.cpp - Random baseline tests -------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/RandomFuzzer.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+namespace {
+
+FuzzReport fuzz(const Subject &S, uint64_t Execs, uint64_t Seed = 1) {
+  RandomFuzzer Tool;
+  FuzzerOptions Opts;
+  Opts.Seed = Seed;
+  Opts.MaxExecutions = Execs;
+  return Tool.run(S, Opts);
+}
+
+} // namespace
+
+TEST(RandomFuzzerTest, FindsValidInputsOnPermissiveSubjects) {
+  FuzzReport R = fuzz(csvSubject(), 5000);
+  EXPECT_FALSE(R.ValidInputs.empty());
+}
+
+TEST(RandomFuzzerTest, StrugglesOnStructuredSubjects) {
+  // Keywords are out of reach for pure random generation (1 : 26^5).
+  FuzzReport R = fuzz(tinycSubject(), 20000);
+  for (const std::string &I : R.ValidInputs)
+    EXPECT_EQ(I.find("while"), std::string::npos);
+}
+
+TEST(RandomFuzzerTest, ReportedInputsAreValid) {
+  FuzzReport R = fuzz(iniSubject(), 5000);
+  for (const std::string &Input : R.ValidInputs)
+    EXPECT_TRUE(iniSubject().accepts(Input));
+}
+
+TEST(RandomFuzzerTest, DeterministicForSameSeed) {
+  FuzzReport A = fuzz(csvSubject(), 2000, 4);
+  FuzzReport B = fuzz(csvSubject(), 2000, 4);
+  EXPECT_EQ(A.ValidInputs, B.ValidInputs);
+  EXPECT_EQ(A.Executions, B.Executions);
+}
+
+TEST(RandomFuzzerTest, ExactBudget) {
+  FuzzReport R = fuzz(csvSubject(), 1234);
+  EXPECT_EQ(R.Executions, 1234u);
+}

@@ -1,0 +1,120 @@
+//===- tests/core/HeuristicTest.cpp - Heuristic unit tests ----------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Heuristic.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+namespace {
+
+HeuristicInputs base() {
+  HeuristicInputs In;
+  In.NewBranches = 10;
+  In.InputLen = 5;
+  In.ReplacementLen = 1;
+  In.AvgStackSize = 2;
+  In.NumParents = 3;
+  In.PathCount = 0;
+  return In;
+}
+
+} // namespace
+
+TEST(HeuristicTest, AllTermsFormula) {
+  // 10 - 5 + 2*1 - 2 - 3 - 0 = 2
+  EXPECT_DOUBLE_EQ(heuristicScore(base(), HeuristicOptions()), 2.0);
+}
+
+TEST(HeuristicTest, NewCoverageRaisesScore) {
+  HeuristicInputs Hi = base(), Lo = base();
+  Hi.NewBranches = 20;
+  EXPECT_GT(heuristicScore(Hi, HeuristicOptions()),
+            heuristicScore(Lo, HeuristicOptions()));
+}
+
+TEST(HeuristicTest, LongerInputsSink) {
+  HeuristicInputs Short = base(), Long = base();
+  Long.InputLen = 50;
+  EXPECT_LT(heuristicScore(Long, HeuristicOptions()),
+            heuristicScore(Short, HeuristicOptions()));
+}
+
+TEST(HeuristicTest, StringReplacementsRise) {
+  HeuristicInputs Keyword = base(), Char = base();
+  Keyword.ReplacementLen = 5; // e.g. "while"
+  EXPECT_GT(heuristicScore(Keyword, HeuristicOptions()),
+            heuristicScore(Char, HeuristicOptions()));
+  // The bonus is exactly 2 per replacement character (line 49).
+  EXPECT_DOUBLE_EQ(heuristicScore(Keyword, HeuristicOptions()) -
+                       heuristicScore(Char, HeuristicOptions()),
+                   8.0);
+}
+
+TEST(HeuristicTest, DeepStacksSink) {
+  HeuristicInputs Deep = base();
+  Deep.AvgStackSize = 9;
+  EXPECT_LT(heuristicScore(Deep, HeuristicOptions()),
+            heuristicScore(base(), HeuristicOptions()));
+}
+
+TEST(HeuristicTest, MoreParentsSink) {
+  HeuristicInputs Chain = base();
+  Chain.NumParents = 9;
+  EXPECT_LT(heuristicScore(Chain, HeuristicOptions()),
+            heuristicScore(base(), HeuristicOptions()));
+}
+
+TEST(HeuristicTest, HotPathsSinkButBounded) {
+  HeuristicInputs Hot = base();
+  Hot.PathCount = 5;
+  EXPECT_LT(heuristicScore(Hot, HeuristicOptions()),
+            heuristicScore(base(), HeuristicOptions()));
+  HeuristicInputs VeryHot = base();
+  VeryHot.PathCount = 1000000;
+  HeuristicInputs Capped = base();
+  Capped.PathCount = 24;
+  EXPECT_DOUBLE_EQ(heuristicScore(VeryHot, HeuristicOptions()),
+                   heuristicScore(Capped, HeuristicOptions()));
+}
+
+TEST(HeuristicTest, DisabledTermsHaveNoEffect) {
+  HeuristicOptions NoLen;
+  NoLen.LengthPenalty = false;
+  HeuristicInputs Short = base(), Long = base();
+  Long.InputLen = 100;
+  EXPECT_DOUBLE_EQ(heuristicScore(Short, NoLen),
+                   heuristicScore(Long, NoLen));
+
+  HeuristicOptions NoRep;
+  NoRep.ReplacementBonus = false;
+  HeuristicInputs Big = base();
+  Big.ReplacementLen = 50;
+  EXPECT_DOUBLE_EQ(heuristicScore(Big, NoRep),
+                   heuristicScore(base(), NoRep));
+
+  HeuristicOptions NoStack;
+  NoStack.StackSizeTerm = false;
+  HeuristicInputs Deep = base();
+  Deep.AvgStackSize = 100;
+  EXPECT_DOUBLE_EQ(heuristicScore(Deep, NoStack),
+                   heuristicScore(base(), NoStack));
+
+  HeuristicOptions NoParents;
+  NoParents.ParentCountTerm = false;
+  HeuristicInputs Chain = base();
+  Chain.NumParents = 100;
+  EXPECT_DOUBLE_EQ(heuristicScore(Chain, NoParents),
+                   heuristicScore(base(), NoParents));
+
+  HeuristicOptions NoPath;
+  NoPath.PathNovelty = false;
+  HeuristicInputs Hot = base();
+  Hot.PathCount = 100;
+  EXPECT_DOUBLE_EQ(heuristicScore(Hot, NoPath),
+                   heuristicScore(base(), NoPath));
+}

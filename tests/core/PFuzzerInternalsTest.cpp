@@ -1,0 +1,149 @@
+//===- tests/core/PFuzzerInternalsTest.cpp - pFuzzer edge cases -----------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PFuzzer.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+TEST(PFuzzerInternalsTest, MaxInputLenRespected) {
+  PFuzzer Tool;
+  FuzzerOptions Opts;
+  Opts.Seed = 1;
+  Opts.MaxExecutions = 5000;
+  Opts.MaxInputLen = 6;
+  FuzzReport R = Tool.run(arithSubject(), Opts);
+  for (const std::string &Input : R.ValidInputs)
+    EXPECT_LE(Input.size(), 7u); // candidate <= 6, extension adds <= 1
+}
+
+TEST(PFuzzerInternalsTest, OnValidInputSeesEveryValidExecution) {
+  PFuzzer Tool;
+  FuzzerOptions Opts;
+  Opts.Seed = 2;
+  Opts.MaxExecutions = 4000;
+  uint64_t Callbacks = 0;
+  Opts.OnValidInput = [&Callbacks](std::string_view) { ++Callbacks; };
+  FuzzReport R = Tool.run(arithSubject(), Opts);
+  // Every *reported* input was a valid execution, and re-runs of valid
+  // prefixes make the callback count at least as large.
+  EXPECT_GE(Callbacks, R.ValidInputs.size());
+}
+
+TEST(PFuzzerInternalsTest, ZeroBudgetProducesNothing) {
+  PFuzzer Tool;
+  FuzzerOptions Opts;
+  Opts.Seed = 1;
+  Opts.MaxExecutions = 0;
+  FuzzReport R = Tool.run(jsonSubject(), Opts);
+  EXPECT_EQ(R.Executions, 0u);
+  EXPECT_TRUE(R.ValidInputs.empty());
+}
+
+TEST(PFuzzerInternalsTest, TinyBudgetStillTerminates) {
+  PFuzzer Tool;
+  FuzzerOptions Opts;
+  Opts.Seed = 1;
+  for (uint64_t Budget : {1ull, 2ull, 3ull, 7ull}) {
+    Opts.MaxExecutions = Budget;
+    FuzzReport R = Tool.run(mjsSubject(), Opts);
+    EXPECT_LE(R.Executions, Budget + 1);
+  }
+}
+
+TEST(PFuzzerInternalsTest, NoDuplicateEmittedInputs) {
+  PFuzzer Tool;
+  FuzzerOptions Opts;
+  Opts.Seed = 3;
+  Opts.MaxExecutions = 10000;
+  FuzzReport R = Tool.run(jsonSubject(), Opts);
+  std::set<std::string> Unique(R.ValidInputs.begin(), R.ValidInputs.end());
+  EXPECT_EQ(Unique.size(), R.ValidInputs.size());
+}
+
+TEST(PFuzzerInternalsTest, EmittedBranchSetConsistent) {
+  // Re-running all emitted inputs reproduces exactly the reported
+  // valid-branch set (determinism of subjects + bookkeeping).
+  PFuzzer Tool;
+  FuzzerOptions Opts;
+  Opts.Seed = 4;
+  Opts.MaxExecutions = 8000;
+  FuzzReport R = Tool.run(tinycSubject(), Opts);
+  std::set<uint32_t> Rebuilt;
+  for (const std::string &Input : R.ValidInputs) {
+    RunResult RR = tinycSubject().execute(Input);
+    ASSERT_EQ(RR.ExitCode, 0);
+    for (uint32_t B : RR.coveredBranches())
+      Rebuilt.insert(B);
+  }
+  EXPECT_EQ(Rebuilt, R.ValidBranches);
+}
+
+TEST(PFuzzerInternalsTest, EveryEmittedInputAddedCoverageAtEmission) {
+  // Replaying the emitted inputs in order: each must contribute at least
+  // one branch outcome unseen so far (the line-29 validity condition).
+  PFuzzer Tool;
+  FuzzerOptions Opts;
+  Opts.Seed = 5;
+  Opts.MaxExecutions = 8000;
+  FuzzReport R = Tool.run(jsonSubject(), Opts);
+  std::set<uint32_t> Seen;
+  for (const std::string &Input : R.ValidInputs) {
+    RunResult RR = jsonSubject().execute(Input);
+    bool AddedNew = false;
+    for (uint32_t B : RR.coveredBranches())
+      if (Seen.insert(B).second)
+        AddedNew = true;
+    EXPECT_TRUE(AddedNew) << "redundant emitted input: " << Input;
+  }
+}
+
+TEST(PFuzzerInternalsTest, WorksOnAllSubjects) {
+  for (const Subject *S : allSubjects()) {
+    PFuzzer Tool;
+    FuzzerOptions Opts;
+    Opts.Seed = 1;
+    Opts.MaxExecutions = 1500;
+    FuzzReport R = Tool.run(*S, Opts);
+    EXPECT_GE(R.Executions, 1499u) << S->name();
+    for (const std::string &Input : R.ValidInputs)
+      EXPECT_TRUE(S->accepts(Input)) << S->name() << ": " << Input;
+  }
+}
+
+TEST(PFuzzerInternalsTest, ResetOnValidStillEmitsValidInputs) {
+  PFuzzerOptions Config;
+  Config.ResetOnValid = true;
+  PFuzzer Tool(Config);
+  FuzzerOptions Opts;
+  Opts.Seed = 1;
+  Opts.MaxExecutions = 6000;
+  FuzzReport R = Tool.run(arithSubject(), Opts);
+  EXPECT_FALSE(R.ValidInputs.empty());
+  for (const std::string &Input : R.ValidInputs)
+    EXPECT_TRUE(arithSubject().accepts(Input));
+}
+
+TEST(PFuzzerInternalsTest, ResetOnValidKeepsInputsShorter) {
+  // Without continuation, valid inputs cannot grow past the first
+  // acceptance; the default mode produces longer ones.
+  FuzzerOptions Opts;
+  Opts.Seed = 3;
+  Opts.MaxExecutions = 8000;
+  PFuzzerOptions Reset;
+  Reset.ResetOnValid = true;
+  auto MaxLen = [](const FuzzReport &R) {
+    size_t Len = 0;
+    for (const std::string &I : R.ValidInputs)
+      Len = std::max(Len, I.size());
+    return Len;
+  };
+  PFuzzer Continue;
+  PFuzzer Resetting(Reset);
+  EXPECT_GE(MaxLen(Continue.run(arithSubject(), Opts)),
+            MaxLen(Resetting.run(arithSubject(), Opts)));
+}

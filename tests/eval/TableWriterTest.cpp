@@ -1,0 +1,97 @@
+//===- tests/eval/TableWriterTest.cpp - Table output tests ----------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/TableWriter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace pfuzz;
+
+namespace {
+
+/// Captures TableWriter output through a temporary stream.
+std::string render(const TableWriter &T) {
+  std::FILE *Tmp = std::tmpfile();
+  EXPECT_NE(Tmp, nullptr);
+  T.print(Tmp);
+  std::fflush(Tmp);
+  long Size = std::ftell(Tmp);
+  std::rewind(Tmp);
+  std::string Out(static_cast<size_t>(Size), '\0');
+  size_t Read = std::fread(Out.data(), 1, Out.size(), Tmp);
+  Out.resize(Read);
+  std::fclose(Tmp);
+  return Out;
+}
+
+} // namespace
+
+TEST(TableWriterTest, HeaderAndSeparator) {
+  TableWriter T({"A", "B"});
+  std::string Out = render(T);
+  EXPECT_NE(Out.find("A  B"), std::string::npos);
+  EXPECT_NE(Out.find("----"), std::string::npos);
+}
+
+TEST(TableWriterTest, ColumnsAligned) {
+  TableWriter T({"Name", "N"});
+  T.addRow({"x", "100"});
+  T.addRow({"longer", "2"});
+  std::string Out = render(T);
+  // "longer" defines the first column width; "x" row pads to it.
+  EXPECT_NE(Out.find("longer  2"), std::string::npos);
+  EXPECT_NE(Out.find("x       100"), std::string::npos);
+}
+
+TEST(TableWriterTest, RaggedRowsHandled) {
+  TableWriter T({"A"});
+  T.addRow({"1", "extra"});
+  std::string Out = render(T);
+  EXPECT_NE(Out.find("extra"), std::string::npos);
+}
+
+TEST(TableWriterTest, BarFullAndEmpty) {
+  std::FILE *Tmp = std::tmpfile();
+  ASSERT_NE(Tmp, nullptr);
+  printBar(Tmp, "full", 1.0, 10);
+  printBar(Tmp, "empty", 0.0, 10);
+  printBar(Tmp, "clamped", 1.7, 10);
+  std::fflush(Tmp);
+  std::rewind(Tmp);
+  char Buf[256];
+  std::string Out;
+  while (std::fgets(Buf, sizeof(Buf), Tmp) != nullptr)
+    Out += Buf;
+  std::fclose(Tmp);
+  EXPECT_NE(Out.find("##########"), std::string::npos);
+  EXPECT_NE(Out.find(".........."), std::string::npos);
+  EXPECT_NE(Out.find("100.0%"), std::string::npos);
+}
+
+TEST(TableWriterTest, SeriesRendersScaledLevels) {
+  std::FILE *Tmp = std::tmpfile();
+  ASSERT_NE(Tmp, nullptr);
+  std::vector<std::pair<uint64_t, uint64_t>> Samples;
+  for (uint64_t I = 0; I <= 100; ++I)
+    Samples.emplace_back(I, I);
+  printSeries(Tmp, "grow", Samples, 100, 20);
+  printSeries(Tmp, "flat", {{0, 0}, {1, 0}}, 100, 20);
+  printSeries(Tmp, "empty", {}, 100, 20);
+  std::fflush(Tmp);
+  std::rewind(Tmp);
+  char Buf[256];
+  std::string Out;
+  while (std::fgets(Buf, sizeof(Buf), Tmp) != nullptr)
+    Out += Buf;
+  std::fclose(Tmp);
+  // The growing series ends at the top level and reports the final value.
+  EXPECT_NE(Out.find("@|"), std::string::npos);
+  EXPECT_NE(Out.find("100 outcomes"), std::string::npos);
+  // Flat/empty series render all-blank rows without crashing.
+  EXPECT_NE(Out.find("0 outcomes"), std::string::npos);
+}

@@ -1,0 +1,86 @@
+//===- tests/integration/StabilityTest.cpp - Crash-safety sweeps ----------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Robustness sweeps: every subject must terminate (accept or reject, no
+/// crash, no hang) on arbitrary byte strings — fuzzers feed them millions
+/// of hostile inputs. Parameterised over seeds for breadth.
+///
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Subject.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+namespace {
+
+std::string randomBytes(Rng &R, size_t MaxLen) {
+  std::string Out;
+  size_t Len = R.below(MaxLen + 1);
+  Out.reserve(Len);
+  for (size_t I = 0; I != Len; ++I)
+    Out.push_back(static_cast<char>(R.nextByte()));
+  return Out;
+}
+
+/// Hostile structured fragments that historically break parsers.
+const char *const NastyInputs[] = {
+    "\"\\", "\"\\u", "\"\\uD8", "((((((((((", "}}}}}}}}", "[[[[{{{{",
+    "while while while", "if(if(if(", "0x", "1e+", "--", "++", "\\",
+    "'\\''", "/**/", "\xef\xbb\xbf", "\xff\xfe", "\0\0\0", "=,=,=",
+    "[;[;[;", "do do do", "1..1..1", ">>>>>>=", "&&&&&&", "\"\"\"\"",
+};
+
+} // namespace
+
+class StabilitySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StabilitySweep, RandomBytesNeverCrash) {
+  Rng R(GetParam());
+  for (const Subject *S : allSubjects()) {
+    for (int I = 0; I != 300; ++I) {
+      std::string Input = randomBytes(R, 48);
+      // All three instrumentation modes must agree and terminate.
+      int Full = S->execute(Input, InstrumentationMode::Full).ExitCode;
+      int Off = S->execute(Input, InstrumentationMode::Off).ExitCode;
+      ASSERT_EQ(Full, Off) << S->name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StabilitySweep,
+                         ::testing::Values(101, 202, 303, 404));
+
+TEST(StabilityTest, NastyInputsTerminate) {
+  for (const Subject *S : allSubjects())
+    for (const char *Input : NastyInputs)
+      (void)S->execute(Input); // must not crash or hang
+  SUCCEED();
+}
+
+TEST(StabilityTest, LongHomogeneousInputsTerminate) {
+  for (const Subject *S : allSubjects()) {
+    for (char C : {'(', '[', '{', '"', 'a', '0', ' ', ';', '\n'}) {
+      std::string Input(256, C);
+      (void)S->execute(Input);
+    }
+  }
+  SUCCEED();
+}
+
+TEST(StabilityTest, EmbeddedNulBytesHandled) {
+  for (const Subject *S : allSubjects()) {
+    std::string Input = "a";
+    Input.push_back('\0');
+    Input += "b";
+    int Code = S->execute(Input).ExitCode;
+    // Re-running gives the same verdict (no hidden state).
+    EXPECT_EQ(S->execute(Input).ExitCode, Code) << S->name();
+  }
+}

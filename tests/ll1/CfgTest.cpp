@@ -1,0 +1,122 @@
+//===- tests/ll1/CfgTest.cpp - CFG analysis tests -------------------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ll1/Cfg.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+namespace {
+
+/// The dragon-book running example:
+///   E  -> T E'
+///   E' -> + T E' | eps
+///   T  -> F T'
+///   T' -> * F T' | eps
+///   F  -> ( E ) | a
+Cfg dragonGrammar() {
+  Cfg G;
+  int32_t E = G.addNonTerminal("E");
+  int32_t Ep = G.addNonTerminal("E'");
+  int32_t T = G.addNonTerminal("T");
+  int32_t Tp = G.addNonTerminal("T'");
+  int32_t F = G.addNonTerminal("F");
+  G.addProductionSpec(E, "<T><E'>");
+  G.addProductionSpec(Ep, "+<T><E'>");
+  G.addProductionSpec(Ep, "");
+  G.addProductionSpec(T, "<F><T'>");
+  G.addProductionSpec(Tp, "*<F><T'>");
+  G.addProductionSpec(Tp, "");
+  G.addProductionSpec(F, "(<E>)");
+  G.addProductionSpec(F, "a");
+  return G;
+}
+
+std::set<char> setOf(std::initializer_list<char> Chars) {
+  return std::set<char>(Chars);
+}
+
+} // namespace
+
+TEST(CfgTest, NonTerminalInterning) {
+  Cfg G;
+  int32_t A = G.addNonTerminal("A");
+  int32_t B = G.addNonTerminal("B");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(G.addNonTerminal("A"), A);
+  EXPECT_EQ(G.numNonTerminals(), 2u);
+  EXPECT_EQ(G.nameOf(A), "A");
+}
+
+TEST(CfgTest, NullableComputation) {
+  Cfg G = dragonGrammar();
+  EXPECT_FALSE(G.isNullable(G.addNonTerminal("E")));
+  EXPECT_TRUE(G.isNullable(G.addNonTerminal("E'")));
+  EXPECT_TRUE(G.isNullable(G.addNonTerminal("T'")));
+  EXPECT_FALSE(G.isNullable(G.addNonTerminal("F")));
+}
+
+TEST(CfgTest, FirstSetsMatchDragonBook) {
+  Cfg G = dragonGrammar();
+  EXPECT_EQ(G.firstOf(G.addNonTerminal("E")), setOf({'(', 'a'}));
+  EXPECT_EQ(G.firstOf(G.addNonTerminal("T")), setOf({'(', 'a'}));
+  EXPECT_EQ(G.firstOf(G.addNonTerminal("F")), setOf({'(', 'a'}));
+  EXPECT_EQ(G.firstOf(G.addNonTerminal("E'")), setOf({'+'}));
+  EXPECT_EQ(G.firstOf(G.addNonTerminal("T'")), setOf({'*'}));
+}
+
+TEST(CfgTest, FollowSetsMatchDragonBook) {
+  Cfg G = dragonGrammar();
+  // FOLLOW(E) = FOLLOW(E') = { ), $ }; $ is '\0' here.
+  EXPECT_EQ(G.followOf(G.addNonTerminal("E")), setOf({')', '\0'}));
+  EXPECT_EQ(G.followOf(G.addNonTerminal("E'")), setOf({')', '\0'}));
+  // FOLLOW(T) = FOLLOW(T') = { +, ), $ }.
+  EXPECT_EQ(G.followOf(G.addNonTerminal("T")), setOf({'+', ')', '\0'}));
+  // FOLLOW(F) = { +, *, ), $ }.
+  EXPECT_EQ(G.followOf(G.addNonTerminal("F")),
+            setOf({'+', '*', ')', '\0'}));
+}
+
+TEST(CfgTest, FirstOfSequence) {
+  Cfg G = dragonGrammar();
+  bool Nullable = false;
+  // FIRST(E' T) = {+} U FIRST(T) because E' is nullable.
+  std::vector<CfgSymbol> Seq = {
+      CfgSymbol::nonTerminal(G.addNonTerminal("E'")),
+      CfgSymbol::nonTerminal(G.addNonTerminal("T"))};
+  EXPECT_EQ(G.firstOfSequence(Seq, Nullable), setOf({'+', '(', 'a'}));
+  EXPECT_FALSE(Nullable);
+  // A sequence of nullables is nullable.
+  std::vector<CfgSymbol> Nulls = {
+      CfgSymbol::nonTerminal(G.addNonTerminal("E'")),
+      CfgSymbol::nonTerminal(G.addNonTerminal("T'"))};
+  G.firstOfSequence(Nulls, Nullable);
+  EXPECT_TRUE(Nullable);
+}
+
+TEST(CfgTest, ProductionSpecParsesMixedSymbols) {
+  Cfg G;
+  int32_t S = G.addNonTerminal("S");
+  G.addProductionSpec(S, "a<S>b");
+  ASSERT_EQ(G.productions().size(), 1u);
+  const auto &Rhs = G.productions()[0].Rhs;
+  ASSERT_EQ(Rhs.size(), 3u);
+  EXPECT_TRUE(Rhs[0].IsTerminal);
+  EXPECT_EQ(Rhs[0].Terminal, 'a');
+  EXPECT_FALSE(Rhs[1].IsTerminal);
+  EXPECT_TRUE(Rhs[2].IsTerminal);
+}
+
+TEST(CfgTest, RecursiveNullableChain) {
+  // A -> B, B -> C, C -> eps: all nullable through the chain.
+  Cfg G;
+  int32_t A = G.addNonTerminal("A");
+  G.addProductionSpec(A, "<B>");
+  G.addProductionSpec(G.addNonTerminal("B"), "<C>");
+  G.addProductionSpec(G.addNonTerminal("C"), "");
+  EXPECT_TRUE(G.isNullable(A));
+}

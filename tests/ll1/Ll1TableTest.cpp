@@ -1,0 +1,80 @@
+//===- tests/ll1/Ll1TableTest.cpp - Parse table tests ---------------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ll1/Ll1Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+namespace {
+
+Cfg balancedParens() {
+  Cfg G;
+  int32_t S = G.addNonTerminal("S");
+  G.addProductionSpec(S, "(<S>)<S>");
+  G.addProductionSpec(S, "");
+  return G;
+}
+
+} // namespace
+
+TEST(Ll1TableTest, BuildsForLl1Grammar) {
+  Cfg G = balancedParens();
+  std::string Error;
+  auto Table = Ll1Table::build(G, &Error);
+  ASSERT_TRUE(Table.has_value()) << Error;
+  int32_t S = G.addNonTerminal("S");
+  // '(' selects the recursive production, ')' and EOF the epsilon one.
+  EXPECT_EQ(Table->lookup(S, '('), 0);
+  EXPECT_EQ(Table->lookup(S, ')'), 1);
+  EXPECT_EQ(Table->lookup(S, '\0'), 1);
+  // Unrelated characters hit error cells.
+  EXPECT_EQ(Table->lookup(S, 'x'), -1);
+}
+
+TEST(Ll1TableTest, DetectsFirstFirstConflict) {
+  Cfg G;
+  int32_t S = G.addNonTerminal("S");
+  G.addProductionSpec(S, "ab");
+  G.addProductionSpec(S, "ac"); // both start with 'a'
+  std::string Error;
+  EXPECT_FALSE(Ll1Table::build(G, &Error).has_value());
+  EXPECT_NE(Error.find("conflict"), std::string::npos);
+}
+
+TEST(Ll1TableTest, DetectsFirstFollowConflict) {
+  // S -> A a; A -> a | eps: 'a' is in FIRST(A) and FOLLOW(A).
+  Cfg G;
+  int32_t S = G.addNonTerminal("S");
+  G.addProductionSpec(S, "<A>a");
+  int32_t A = G.addNonTerminal("A");
+  G.addProductionSpec(A, "a");
+  G.addProductionSpec(A, "");
+  std::string Error;
+  EXPECT_FALSE(Ll1Table::build(G, &Error).has_value());
+}
+
+TEST(Ll1TableTest, ExpectedSetListsNonErrorColumns) {
+  Cfg G = balancedParens();
+  auto Table = Ll1Table::build(G, nullptr);
+  ASSERT_TRUE(Table.has_value());
+  const std::vector<char> &Expected = Table->expectedFor(0);
+  // '\0', '(' and ')' in sorted order.
+  ASSERT_EQ(Expected.size(), 3u);
+  EXPECT_EQ(Expected[0], '\0');
+  EXPECT_EQ(Expected[1], '(');
+  EXPECT_EQ(Expected[2], ')');
+}
+
+TEST(Ll1TableTest, CellIndexDense) {
+  Cfg G = balancedParens();
+  auto Table = Ll1Table::build(G, nullptr);
+  ASSERT_TRUE(Table.has_value());
+  EXPECT_EQ(Table->numCells(), 129u); // one nonterminal row
+  EXPECT_LT(Table->cellIndex(0, '('), Table->numCells());
+  EXPECT_LT(Table->cellIndex(0, '\0'), Table->numCells());
+}

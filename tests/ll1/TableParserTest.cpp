@@ -1,0 +1,148 @@
+//===- tests/ll1/TableParserTest.cpp - Table-driven parser tests ----------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ll1/TableParser.h"
+
+#include "core/PFuzzer.h"
+#include "subjects/Subject.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+namespace {
+
+class Ll1ArithAccepts : public ::testing::TestWithParam<const char *> {};
+class Ll1ArithRejects : public ::testing::TestWithParam<const char *> {};
+
+} // namespace
+
+TEST_P(Ll1ArithAccepts, Valid) {
+  EXPECT_TRUE(ll1ArithSubject().accepts(GetParam())) << GetParam();
+}
+
+TEST_P(Ll1ArithRejects, Invalid) {
+  EXPECT_FALSE(ll1ArithSubject().accepts(GetParam())) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Paper, Ll1ArithAccepts,
+                         ::testing::Values("1", "11", "+1", "-1", "1+1",
+                                           "1-1", "(1)", "(2-94)",
+                                           "((42))", "-(1)+2"));
+
+INSTANTIATE_TEST_SUITE_P(Basic, Ll1ArithRejects,
+                         ::testing::Values("", "A", "(", ")", "+", "1+",
+                                           "(1", "1)", "()", "1 1",
+                                           "1++1"));
+
+TEST(TableParserTest, AgreesWithRecursiveDescentOnRandomInputs) {
+  // The table-driven and recursive-descent parsers implement the same
+  // language: cross-validate on random strings over the alphabet.
+  Rng R(7);
+  const char Alphabet[] = "0123456789+-()";
+  for (int I = 0; I != 2000; ++I) {
+    std::string Input;
+    for (uint64_t J = 0, N = R.below(10); J != N; ++J)
+      Input.push_back(Alphabet[R.below(sizeof(Alphabet) - 1)]);
+    EXPECT_EQ(arithSubject().accepts(Input),
+              ll1ArithSubject().accepts(Input))
+        << "disagreement on: " << Input;
+  }
+}
+
+TEST(TableParserTest, TerminalComparisonsAreTracked) {
+  // Section 7.1: "the implicit paths and character comparisons do also
+  // exist in a table driven parser" — a rejected input must still leave
+  // comparison events for the fuzzer.
+  RunResult RR = ll1ArithSubject().execute("A");
+  EXPECT_NE(RR.ExitCode, 0);
+  bool SawParen = false, SawDigit = false;
+  for (const ComparisonEvent &E : RR.Comparisons) {
+    if (E.Expected == "(")
+      SawParen = true;
+    if (E.Expected == "7")
+      SawDigit = true;
+  }
+  EXPECT_TRUE(SawParen);
+  EXPECT_TRUE(SawDigit);
+}
+
+TEST(TableParserTest, TableElementCoverageRecorded) {
+  // Coverage sites are table cells; a parse covers the consulted cells.
+  RunResult RR = ll1ArithSubject().execute("(1)+2");
+  EXPECT_EQ(RR.ExitCode, 0);
+  EXPECT_GT(RR.coveredBranches().size(), 8u);
+  for (uint32_t Entry : RR.BranchTrace)
+    EXPECT_LT(Entry >> 1, ll1ArithSubject().numBranchSites());
+}
+
+TEST(TableParserTest, EofAccessSignalsExtension) {
+  RunResult RR = ll1ArithSubject().execute("(1");
+  EXPECT_NE(RR.ExitCode, 0);
+  EXPECT_TRUE(RR.hitEof());
+}
+
+TEST(TableParserTest, HighBytesRejected) {
+  std::string Input = "1";
+  Input.push_back(static_cast<char>(0xC3));
+  EXPECT_FALSE(ll1ArithSubject().accepts(Input));
+}
+
+TEST(TableParserTest, PFuzzerWorksOnTableDrivenParser) {
+  // The Section 7.1 claim: the search heuristic still works when coverage
+  // means table elements.
+  PFuzzer Tool;
+  FuzzerOptions Opts;
+  Opts.Seed = 1;
+  Opts.MaxExecutions = 6000;
+  FuzzReport R = Tool.run(ll1ArithSubject(), Opts);
+  ASSERT_FALSE(R.ValidInputs.empty());
+  for (const std::string &Input : R.ValidInputs)
+    EXPECT_TRUE(ll1ArithSubject().accepts(Input));
+  // Structural diversity: parentheses or operators appear.
+  bool Structured = false;
+  for (const std::string &Input : R.ValidInputs)
+    if (Input.find_first_of("()+-") != std::string::npos)
+      Structured = true;
+  EXPECT_TRUE(Structured);
+}
+
+TEST(TableParserTest, PFuzzerOutputsAcceptedByRecursiveDescentTwin) {
+  PFuzzer Tool;
+  FuzzerOptions Opts;
+  Opts.Seed = 2;
+  Opts.MaxExecutions = 5000;
+  FuzzReport R = Tool.run(ll1ArithSubject(), Opts);
+  for (const std::string &Input : R.ValidInputs)
+    EXPECT_TRUE(arithSubject().accepts(Input)) << Input;
+}
+
+TEST(TableParserTest, EpsilonStartAcceptsEmptyInput) {
+  // S -> ( S ) S | eps accepts the empty string through the EOF column.
+  Cfg G;
+  int32_t S = G.addNonTerminal("S");
+  G.addProductionSpec(S, "(<S>)<S>");
+  G.addProductionSpec(S, "");
+  auto Table = Ll1Table::build(G, nullptr);
+  ASSERT_TRUE(Table.has_value());
+  ExecutionContext Ctx("");
+  EXPECT_EQ(parseWithTable(Ctx, G, *Table), 0);
+  ExecutionContext Ctx2("(())()");
+  EXPECT_EQ(parseWithTable(Ctx2, G, *Table), 0);
+  ExecutionContext Ctx3("(()");
+  EXPECT_NE(parseWithTable(Ctx3, G, *Table), 0);
+}
+
+TEST(TableParserTest, PFuzzerOutputsAreAllValid) {
+  PFuzzer Tool;
+  FuzzerOptions Opts;
+  Opts.Seed = 9;
+  Opts.MaxExecutions = 3000;
+  FuzzReport R = Tool.run(ll1ArithSubject(), Opts);
+  for (const std::string &Input : R.ValidInputs)
+    EXPECT_TRUE(ll1ArithSubject().accepts(Input));
+}

@@ -1,0 +1,91 @@
+//===- tests/mining/GrammarGeneratorTest.cpp - Generator tests ------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mining/GrammarGenerator.h"
+#include "mining/MiningPipeline.h"
+
+#include "subjects/Subject.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+namespace {
+
+/// Fraction of generated sentences the subject accepts.
+double validRatio(const Subject &S, Grammar &G, int Count,
+                  size_t *MaxValidLen = nullptr) {
+  GrammarGenerator Gen(G, 42);
+  int Valid = 0;
+  for (int I = 0; I != Count; ++I) {
+    std::string Sentence = Gen.generate();
+    if (S.accepts(Sentence)) {
+      ++Valid;
+      if (MaxValidLen != nullptr)
+        *MaxValidLen = std::max(*MaxValidLen, Sentence.size());
+    }
+  }
+  return static_cast<double>(Valid) / Count;
+}
+
+} // namespace
+
+TEST(GrammarGeneratorTest, ArithSentencesAreMostlyValid) {
+  Grammar G = mineGrammar(arithSubject(),
+                          {"1", "(2-94)", "1+1", "-5", "12", "(1)+2"});
+  size_t MaxLen = 0;
+  double Ratio = validRatio(arithSubject(), G, 200, &MaxLen);
+  EXPECT_GT(Ratio, 0.8);
+  // Recursion payoff: generated inputs exceed every seed's length.
+  EXPECT_GT(MaxLen, 8u);
+}
+
+TEST(GrammarGeneratorTest, JsonSentencesAreMostlyValid) {
+  Grammar G = mineGrammar(jsonSubject(), {"1", "[1]", "[]", "{}",
+                                          "{\"a\":1}", "\"s\"", "true",
+                                          "[1,2]", "[[1]]"});
+  size_t MaxLen = 0;
+  double Ratio = validRatio(jsonSubject(), G, 200, &MaxLen);
+  EXPECT_GT(Ratio, 0.6);
+  EXPECT_GT(MaxLen, 10u);
+}
+
+TEST(GrammarGeneratorTest, DeterministicForSeed) {
+  Grammar G = mineGrammar(arithSubject(), {"1", "(1)", "1+1"});
+  GrammarGenerator A(G, 7), B(G, 7);
+  for (int I = 0; I != 20; ++I)
+    EXPECT_EQ(A.generate(), B.generate());
+}
+
+TEST(GrammarGeneratorTest, DepthBudgetClosesRecursion) {
+  Grammar G = mineGrammar(arithSubject(), {"(1)", "((1))", "1"});
+  GrammarGenerator Gen(G, 3);
+  for (int I = 0; I != 100; ++I) {
+    std::string Sentence = Gen.generate(/*MaxDepth=*/6, /*MaxLen=*/400);
+    EXPECT_LE(Sentence.size(), 400u);
+  }
+}
+
+TEST(GrammarGeneratorTest, MaxLenTruncates) {
+  Grammar G = mineGrammar(jsonSubject(), {"[[1,1]]", "[1]", "1"});
+  GrammarGenerator Gen(G, 5);
+  for (int I = 0; I != 50; ++I)
+    EXPECT_LE(Gen.generate(/*MaxDepth=*/30, /*MaxLen=*/64).size(), 64u);
+}
+
+TEST(GrammarGeneratorTest, WorkBudgetBoundsWideGrammars) {
+  // Epsilon-heavy rules with many nonterminals per alternative must not
+  // explode combinatorially: generation stays fast and bounded even with
+  // a deep free-choice phase.
+  Grammar G = mineGrammar(mjsSubject(),
+                          {"var a=[1,2];a.push(3);", "if(1){x=1;}",
+                           "for(var i=0;i<2;i++)x=i;", "x=1;", ";"});
+  GrammarGenerator Gen(G, 11);
+  for (int I = 0; I != 200; ++I) {
+    std::string Sentence = Gen.generate(/*MaxDepth=*/32, /*MaxLen=*/4000);
+    EXPECT_LE(Sentence.size(), 4000u);
+  }
+}

@@ -1,0 +1,91 @@
+//===- tests/mining/GrammarTest.cpp - Grammar mining tests ----------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mining/Grammar.h"
+#include "mining/MiningPipeline.h"
+
+#include "subjects/Subject.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+namespace {
+
+Grammar mineFrom(const Subject &S, std::vector<std::string> Inputs) {
+  return mineGrammar(S, Inputs);
+}
+
+} // namespace
+
+TEST(GrammarTest, MinesNonTerminalsFromArith) {
+  Grammar G = mineFrom(arithSubject(), {"1", "(2-94)", "1+1"});
+  EXPECT_GE(G.numNonTerminals(), 3u); // <start>, parseExpr, parseOperand
+  EXPECT_GT(G.numAlternatives(), 0u);
+  EXPECT_EQ(G.nameOf(G.start()), "<start>");
+}
+
+TEST(GrammarTest, DuplicateLayoutsCollapse) {
+  Grammar Once = mineFrom(arithSubject(), {"1"});
+  Grammar Twice = mineFrom(arithSubject(), {"1", "1"});
+  EXPECT_EQ(Once.numAlternatives(), Twice.numAlternatives());
+}
+
+TEST(GrammarTest, MoreInputsMoreAlternatives) {
+  Grammar Small = mineFrom(arithSubject(), {"1"});
+  Grammar Large = mineFrom(arithSubject(), {"1", "(2-94)", "1+1", "-5"});
+  EXPECT_GT(Large.numAlternatives(), Small.numAlternatives());
+}
+
+TEST(GrammarTest, InvalidInputsAreIgnored) {
+  Grammar G = mineFrom(arithSubject(), {"((", "1", "+-"});
+  Grammar OnlyValid = mineFrom(arithSubject(), {"1"});
+  EXPECT_EQ(G.numAlternatives(), OnlyValid.numAlternatives());
+}
+
+TEST(GrammarTest, MinDepthComputed) {
+  Grammar G = mineFrom(arithSubject(), {"1", "(1)"});
+  // Every mined nonterminal must be productive.
+  for (size_t NT = 0; NT != G.numNonTerminals(); ++NT)
+    EXPECT_LT(G.minDepthOf(static_cast<int32_t>(NT)), 1u << 30)
+        << G.nameOf(static_cast<int32_t>(NT));
+  // The start symbol derives through at least one level.
+  EXPECT_GE(G.minDepthOf(G.start()), 1u);
+}
+
+TEST(GrammarTest, ToStringContainsRulesAndTerminals) {
+  Grammar G = mineFrom(arithSubject(), {"(1)"});
+  std::string Text = G.toString();
+  EXPECT_NE(Text.find("::="), std::string::npos);
+  EXPECT_NE(Text.find("parseOperand"), std::string::npos);
+  EXPECT_NE(Text.find("\"(\""), std::string::npos);
+}
+
+TEST(GrammarTest, SymbolOrderingIsStrictWeak) {
+  GrammarSymbol T1 = GrammarSymbol::terminal("a");
+  GrammarSymbol T2 = GrammarSymbol::terminal("b");
+  GrammarSymbol N1 = GrammarSymbol::nonTerminal(1);
+  EXPECT_TRUE(T1 < T2);
+  EXPECT_FALSE(T2 < T1);
+  EXPECT_TRUE(N1 < T1); // nonterminals sort before terminals
+  EXPECT_TRUE(T1 == GrammarSymbol::terminal("a"));
+}
+
+TEST(GrammarTest, JsonGrammarCapturesStructure) {
+  Grammar G = mineFrom(jsonSubject(),
+                       {"1", "[1]", "[]", "{}", "{\"a\":1}", "\"s\"",
+                        "true", "[1,2]"});
+  bool SawValue = false, SawString = false;
+  for (size_t NT = 0; NT != G.numNonTerminals(); ++NT) {
+    const std::string &Name = G.nameOf(static_cast<int32_t>(NT));
+    if (Name == "parseValue")
+      SawValue = true;
+    if (Name == "parseString")
+      SawString = true;
+  }
+  EXPECT_TRUE(SawValue);
+  EXPECT_TRUE(SawString);
+}

@@ -1,0 +1,45 @@
+//===- tests/mining/MiningPipelineTest.cpp - Pipeline tests ---------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mining/MiningPipeline.h"
+
+#include "subjects/Subject.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+TEST(MiningPipelineTest, ArithEndToEnd) {
+  PipelineResult R = runMiningPipeline(arithSubject(), 6000, 300, 1);
+  EXPECT_FALSE(R.SeedInputs.empty());
+  EXPECT_GT(R.GrammarNonTerminals, 1u);
+  EXPECT_EQ(R.Generated, 300u);
+  EXPECT_GT(R.validRatio(), 0.5);
+  // The Section 7.4 motivation: the grammar phase produces longer
+  // (recursive) valid inputs than exploration alone.
+  EXPECT_GT(R.MaxGeneratedValidLen, R.MaxSeedLen);
+}
+
+TEST(MiningPipelineTest, CoverageNeverShrinks) {
+  PipelineResult R = runMiningPipeline(jsonSubject(), 8000, 200, 2);
+  EXPECT_GE(R.CombinedBranches, R.SeedBranches);
+}
+
+TEST(MiningPipelineTest, DeterministicForSeed) {
+  PipelineResult A = runMiningPipeline(arithSubject(), 2000, 100, 5);
+  PipelineResult B = runMiningPipeline(arithSubject(), 2000, 100, 5);
+  EXPECT_EQ(A.SeedInputs, B.SeedInputs);
+  EXPECT_EQ(A.GeneratedValid, B.GeneratedValid);
+  EXPECT_EQ(A.CombinedBranches, B.CombinedBranches);
+}
+
+TEST(MiningPipelineTest, NoSeedsNoGrammar) {
+  // With a zero exploration budget there is nothing to mine; the grammar
+  // degenerates and generation yields nothing valid.
+  PipelineResult R = runMiningPipeline(jsonSubject(), 0, 10, 1);
+  EXPECT_TRUE(R.SeedInputs.empty());
+  EXPECT_EQ(R.GeneratedValid, 0u);
+}

@@ -1,0 +1,77 @@
+//===- tests/runtime/RunResultTest.cpp - RunResult edge cases -------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ExecutionContext.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+TEST(RunResultTest, DefaultIsRejecting) {
+  RunResult RR;
+  EXPECT_NE(RR.ExitCode, 0);
+  EXPECT_FALSE(RR.hitEof());
+  EXPECT_TRUE(RR.coveredBranches().empty());
+}
+
+TEST(RunResultTest, CoveredBranchesDeduplicatesAndSorts) {
+  RunResult RR;
+  RR.BranchTrace = {9, 3, 9, 1, 3, 1, 9};
+  std::vector<uint32_t> Covered = RR.coveredBranches();
+  ASSERT_EQ(Covered.size(), 3u);
+  EXPECT_EQ(Covered[0], 1u);
+  EXPECT_EQ(Covered[1], 3u);
+  EXPECT_EQ(Covered[2], 9u);
+}
+
+TEST(RunResultTest, EmptyStringComparisonTracked) {
+  ExecutionContext Ctx("x");
+  TString Empty;
+  EXPECT_FALSE(Ctx.cmpStr(Empty, "true"));
+  EXPECT_TRUE(Ctx.cmpStr(Empty, ""));
+  Ctx.setExitCode(0);
+  RunResult RR = Ctx.takeResult();
+  ASSERT_EQ(RR.Comparisons.size(), 2u);
+  EXPECT_TRUE(RR.Comparisons[0].Taint.empty());
+  EXPECT_FALSE(RR.Comparisons[0].Matched);
+  EXPECT_TRUE(RR.Comparisons[1].Matched);
+}
+
+TEST(RunResultTest, TracePositionOrdersComparisonsAndBranches) {
+  ExecutionContext Ctx("ab");
+  TChar A = Ctx.nextChar();
+  Ctx.recordBranch(0, Ctx.cmpEq(A, 'a'));
+  TChar B = Ctx.nextChar();
+  Ctx.recordBranch(1, Ctx.cmpEq(B, 'z'));
+  Ctx.setExitCode(1);
+  RunResult RR = Ctx.takeResult();
+  ASSERT_EQ(RR.Comparisons.size(), 2u);
+  // Each comparison fires before its branch is recorded.
+  EXPECT_EQ(RR.Comparisons[0].TracePosition, 0u);
+  EXPECT_EQ(RR.Comparisons[1].TracePosition, 1u);
+}
+
+TEST(RunResultTest, RepeatedEofAccessesAllRecorded) {
+  ExecutionContext Ctx("");
+  Ctx.nextChar();
+  Ctx.nextChar();
+  Ctx.peekChar();
+  Ctx.setExitCode(1);
+  RunResult RR = Ctx.takeResult();
+  EXPECT_EQ(RR.EofAccesses.size(), 3u);
+  // nextChar advances even past the end, so indices grow.
+  EXPECT_EQ(RR.EofAccesses[0].AccessIndex, 0u);
+  EXPECT_EQ(RR.EofAccesses[1].AccessIndex, 1u);
+  EXPECT_EQ(RR.EofAccesses[2].AccessIndex, 2u);
+}
+
+TEST(RunResultTest, TakeResultMovesState) {
+  ExecutionContext Ctx("a");
+  Ctx.recordBranch(0, true);
+  Ctx.setExitCode(0);
+  RunResult First = Ctx.takeResult();
+  EXPECT_EQ(First.BranchTrace.size(), 1u);
+}

@@ -1,0 +1,74 @@
+//===- tests/subjects/CsvTest.cpp - CSV subject tests ---------------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Subject.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+namespace {
+
+class CsvAccepts : public ::testing::TestWithParam<const char *> {};
+class CsvRejects : public ::testing::TestWithParam<const char *> {};
+
+} // namespace
+
+TEST_P(CsvAccepts, Valid) {
+  EXPECT_TRUE(csvSubject().accepts(GetParam())) << "input: " << GetParam();
+}
+
+TEST_P(CsvRejects, Invalid) {
+  EXPECT_FALSE(csvSubject().accepts(GetParam())) << "input: " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Valid, CsvAccepts,
+    ::testing::Values("", "a", "a,b", "a,b,c", "a,b\nc,d", "a,b\n",
+                      ",", ",,", "\n", "\"quoted\"", "\"a,b\"",
+                      "\"line\nbreak\"", "\"esc\"\"aped\"", "\"\"",
+                      "a,\"b\",c", "\"\",\"\"", "x\n\ny"));
+
+INSTANTIATE_TEST_SUITE_P(
+    Invalid, CsvRejects,
+    ::testing::Values("\"", "\"abc", "\"a\"x", "a\"b", "\"a\"\"",
+                      "ab\"", "\"x\" ,y"));
+
+TEST(CsvTest, UnterminatedQuoteHitsEof) {
+  RunResult RR = csvSubject().execute("\"abc");
+  EXPECT_NE(RR.ExitCode, 0);
+  EXPECT_TRUE(RR.hitEof());
+}
+
+TEST(CsvTest, QuoteComparisonsTracked) {
+  RunResult RR = csvSubject().execute("a");
+  EXPECT_EQ(RR.ExitCode, 0);
+  bool SawQuote = false, SawComma = false;
+  for (const ComparisonEvent &E : RR.Comparisons) {
+    if (E.Kind == CompareKind::CharEq && E.Expected == "\"")
+      SawQuote = true;
+    if (E.Kind == CompareKind::CharEq && E.Expected == ",")
+      SawComma = true;
+  }
+  EXPECT_TRUE(SawQuote);
+  EXPECT_TRUE(SawComma);
+}
+
+TEST(CsvTest, EscapedQuoteStaysInsideField) {
+  EXPECT_TRUE(csvSubject().accepts("\"a\"\"b\""));
+  EXPECT_FALSE(csvSubject().accepts("\"a\"b\""));
+}
+
+TEST(CsvTest, BinaryBytesAllowedInBareField) {
+  std::string Input = "a";
+  Input.push_back(static_cast<char>(0xC3));
+  Input.push_back(static_cast<char>(0xA9));
+  EXPECT_TRUE(csvSubject().accepts(Input));
+}
+
+TEST(CsvTest, BranchSitesRegistered) {
+  EXPECT_GT(csvSubject().numBranchSites(), 8u);
+}

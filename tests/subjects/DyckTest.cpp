@@ -1,0 +1,152 @@
+//===- tests/subjects/DyckTest.cpp - Dyck subject + Section 3 analysis ----===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the balanced-bracket subject and empirically verifies the
+/// Section 3 search-space analysis: a random walk over {open, close} that
+/// stays non-negative for 2n steps ends balanced with probability
+/// 1/(n+1) (the Catalan-number argument in the paper's footnote) — which
+/// is why naive random choice cannot close long prefixes and a guided
+/// search is needed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/PFuzzer.h"
+#include "subjects/Subject.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+namespace {
+
+class DyckAccepts : public ::testing::TestWithParam<const char *> {};
+class DyckRejects : public ::testing::TestWithParam<const char *> {};
+
+} // namespace
+
+TEST_P(DyckAccepts, Valid) {
+  EXPECT_TRUE(dyckSubject().accepts(GetParam())) << GetParam();
+}
+
+TEST_P(DyckRejects, Invalid) {
+  EXPECT_FALSE(dyckSubject().accepts(GetParam())) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Valid, DyckAccepts,
+                         ::testing::Values("()", "[]", "<>", "(())",
+                                           "()()", "([<>])", "(()[])<>",
+                                           "<<<>>>", "()[]<>"));
+
+INSTANTIATE_TEST_SUITE_P(Invalid, DyckRejects,
+                         ::testing::Values("", "(", ")", "(]", "([)]",
+                                           "())", "(()", "x", "()x",
+                                           "<(>)"));
+
+TEST(DyckTest, MismatchedKindsRejected) {
+  EXPECT_FALSE(dyckSubject().accepts("(>"));
+  EXPECT_FALSE(dyckSubject().accepts("[)"));
+  EXPECT_TRUE(dyckSubject().accepts("(<[]>)"));
+}
+
+TEST(DyckTest, DeepNestingBounded) {
+  std::string Deep(1000, '(');
+  EXPECT_FALSE(dyckSubject().accepts(Deep));
+  std::string Ok = std::string(100, '(') + std::string(100, ')');
+  EXPECT_TRUE(dyckSubject().accepts(Ok));
+}
+
+TEST(DyckTest, PFuzzerClosesBrackets) {
+  PFuzzer Tool;
+  FuzzerOptions Opts;
+  Opts.Seed = 1;
+  Opts.MaxExecutions = 8000;
+  FuzzReport R = Tool.run(dyckSubject(), Opts);
+  ASSERT_FALSE(R.ValidInputs.empty());
+  // All three bracket kinds should be closable.
+  bool Round = false, Square = false, Pointed = false;
+  for (const std::string &I : R.ValidInputs) {
+    Round |= I.find("()") != std::string::npos ||
+             I.find('(') != std::string::npos;
+    Square |= I.find('[') != std::string::npos;
+    Pointed |= I.find('<') != std::string::npos;
+  }
+  EXPECT_TRUE(Round);
+  EXPECT_TRUE(Square);
+  EXPECT_TRUE(Pointed);
+}
+
+namespace {
+
+/// One uniform open/close walk of 2n steps, as in the paper's footnote:
+/// walks that dip below zero are rejected (the parser would have errored
+/// out); among the surviving non-negative walks, the balanced fraction is
+/// the n-th Catalan ratio 1/(n+1).
+enum class WalkOutcome { Rejected, Open, Closed };
+
+WalkOutcome randomWalk(Rng &R, int N) {
+  int Depth = 0;
+  for (int Step = 0; Step != 2 * N; ++Step) {
+    Depth += R.chance(1, 2) ? 1 : -1;
+    if (Depth < 0)
+      return WalkOutcome::Rejected;
+  }
+  return Depth == 0 ? WalkOutcome::Closed : WalkOutcome::Open;
+}
+
+} // namespace
+
+/// Parameterised over n: the closing probability of the random walk is
+/// approximately 1/(n+1) (within generous sampling error) — the paper's
+/// argument for why random choice "does not work in practice".
+class DyckClosingProbability : public ::testing::TestWithParam<int> {};
+
+TEST_P(DyckClosingProbability, MatchesCatalanEstimate) {
+  int N = GetParam();
+  Rng R(1234 + N);
+  const int WantValid = 20000;
+  int Valid = 0, Closed = 0;
+  uint64_t Attempts = 0;
+  while (Valid < WantValid && ++Attempts < 50000000) {
+    WalkOutcome Outcome = randomWalk(R, N);
+    if (Outcome == WalkOutcome::Rejected)
+      continue;
+    ++Valid;
+    if (Outcome == WalkOutcome::Closed)
+      ++Closed;
+  }
+  ASSERT_EQ(Valid, WantValid);
+  double Observed = static_cast<double>(Closed) / Valid;
+  double Predicted = 1.0 / (N + 1);
+  EXPECT_LT(Observed, Predicted * 1.5) << "n=" << N;
+  EXPECT_GT(Observed, Predicted / 1.5) << "n=" << N;
+}
+
+INSTANTIATE_TEST_SUITE_P(WalkLengths, DyckClosingProbability,
+                         ::testing::Values(2, 5, 10, 20, 50));
+
+TEST(DyckTest, ClosingProbabilityDecaysWithLength) {
+  Rng R(99);
+  auto Estimate = [&](int N) {
+    int Valid = 0, Closed = 0;
+    uint64_t Attempts = 0;
+    while (Valid < 10000 && ++Attempts < 50000000) {
+      WalkOutcome Outcome = randomWalk(R, N);
+      if (Outcome == WalkOutcome::Rejected)
+        continue;
+      ++Valid;
+      if (Outcome == WalkOutcome::Closed)
+        ++Closed;
+    }
+    return static_cast<double>(Closed) / Valid;
+  };
+  // "After 100 characters, this probability is about 1%" (n = 50 gives
+  // 1/51), "and continues to decrease as we add more characters."
+  double P50 = Estimate(50);
+  EXPECT_LT(P50, 0.04);
+  EXPECT_GT(Estimate(5), P50);
+}

@@ -1,0 +1,280 @@
+//===- tests/subjects/GeneratorPropertyTest.cpp - Acceptance properties ---===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-based tests: reference generators construct random inputs
+/// that are valid *by construction*, and every subject must accept them.
+/// This cross-checks the hand-written parsers against an independent
+/// specification of each input language.
+///
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Subject.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+namespace {
+
+std::string genArith(Rng &R, int Depth);
+
+std::string genArithOperand(Rng &R, int Depth) {
+  if (Depth > 0 && R.chance(1, 3))
+    return "(" + genArith(R, Depth - 1) + ")";
+  std::string Num;
+  for (uint64_t I = 0, N = 1 + R.below(3); I != N; ++I)
+    Num.push_back(static_cast<char>('0' + R.below(10)));
+  return Num;
+}
+
+std::string genArith(Rng &R, int Depth) {
+  std::string Out;
+  if (R.chance(1, 4))
+    Out += R.chance(1, 2) ? "+" : "-";
+  Out += genArithOperand(R, Depth);
+  for (uint64_t I = 0, N = R.below(3); I != N; ++I) {
+    Out += R.chance(1, 2) ? "+" : "-";
+    Out += genArithOperand(R, Depth);
+  }
+  return Out;
+}
+
+std::string genJsonValue(Rng &R, int Depth) {
+  switch (Depth > 0 ? R.below(6) : R.below(4)) {
+  case 0: {
+    std::string Num;
+    if (R.chance(1, 3))
+      Num += "-";
+    Num.push_back(static_cast<char>('1' + R.below(9)));
+    if (R.chance(1, 3)) {
+      Num += ".";
+      Num.push_back(static_cast<char>('0' + R.below(10)));
+    }
+    return Num;
+  }
+  case 1: {
+    std::string Str = "\"";
+    for (uint64_t I = 0, N = R.below(6); I != N; ++I) {
+      char C = R.nextPrintable();
+      if (C == '"' || C == '\\')
+        C = 'x';
+      Str.push_back(C);
+    }
+    return Str + "\"";
+  }
+  case 2:
+    return R.chance(1, 2) ? "true" : "false";
+  case 3:
+    return "null";
+  case 4: {
+    std::string Arr = "[";
+    for (uint64_t I = 0, N = R.below(4); I != N; ++I) {
+      if (I != 0)
+        Arr += ",";
+      Arr += genJsonValue(R, Depth - 1);
+    }
+    return Arr + "]";
+  }
+  default: {
+    std::string Obj = "{";
+    for (uint64_t I = 0, N = R.below(3); I != N; ++I) {
+      if (I != 0)
+        Obj += ",";
+      Obj += "\"k" + std::to_string(I) + "\":" + genJsonValue(R, Depth - 1);
+    }
+    return Obj + "}";
+  }
+  }
+}
+
+std::string genCsv(Rng &R) {
+  std::string Out;
+  for (uint64_t Row = 0, Rows = 1 + R.below(4); Row != Rows; ++Row) {
+    if (Row != 0)
+      Out += "\n";
+    for (uint64_t Col = 0, Cols = 1 + R.below(4); Col != Cols; ++Col) {
+      if (Col != 0)
+        Out += ",";
+      if (R.chance(1, 3)) {
+        Out += "\"";
+        for (uint64_t I = 0, N = R.below(5); I != N; ++I) {
+          char C = R.nextPrintable();
+          if (C == '"')
+            Out += "\"\""; // escaped quote
+          else
+            Out.push_back(C);
+        }
+        Out += "\"";
+      } else {
+        for (uint64_t I = 0, N = R.below(5); I != N; ++I) {
+          char C = R.nextPrintable();
+          if (C == ',' || C == '"')
+            C = '_';
+          Out.push_back(C);
+        }
+      }
+    }
+  }
+  return Out;
+}
+
+std::string genIni(Rng &R) {
+  std::string Out;
+  for (uint64_t Line = 0, Lines = R.below(6); Line != Lines; ++Line) {
+    switch (R.below(4)) {
+    case 0:
+      Out += "[sec" + std::to_string(R.below(10)) + "]\n";
+      break;
+    case 1:
+      Out += "; a comment\n";
+      break;
+    case 2:
+      Out += "\n";
+      break;
+    default:
+      Out += "key" + std::to_string(R.below(10)) + " = value\n";
+      break;
+    }
+  }
+  return Out;
+}
+
+std::string genTinyCStmt(Rng &R, int Depth) {
+  auto Expr = [&R]() {
+    std::string E(1, static_cast<char>('a' + R.below(26)));
+    E += "=";
+    E.push_back(static_cast<char>('0' + R.below(10)));
+    if (R.chance(1, 2)) {
+      E += R.chance(1, 2) ? "+" : "-";
+      E.push_back(static_cast<char>('a' + R.below(26)));
+    }
+    return E;
+  };
+  if (Depth <= 0 || R.chance(1, 2))
+    return Expr() + ";";
+  switch (R.below(4)) {
+  case 0:
+    return "if(" + Expr() + ")" + genTinyCStmt(R, Depth - 1);
+  case 1:
+    return "while(a<3)" + genTinyCStmt(R, Depth - 1);
+  case 2:
+    return "do " + genTinyCStmt(R, Depth - 1) + "while(0);";
+  default:
+    return "{" + genTinyCStmt(R, Depth - 1) + genTinyCStmt(R, Depth - 1) +
+           "}";
+  }
+}
+
+std::string genMjsStmt(Rng &R, int Depth) {
+  auto Expr = [&R]() {
+    std::string E = "x" + std::to_string(R.below(5));
+    switch (R.below(4)) {
+    case 0:
+      E += "=" + std::to_string(R.below(100));
+      break;
+    case 1:
+      E += "+=" + std::to_string(R.below(10));
+      break;
+    case 2:
+      E += "=[1," + std::to_string(R.below(9)) + "]";
+      break;
+    default:
+      E += "='s'+" + std::to_string(R.below(10));
+      break;
+    }
+    return E;
+  };
+  if (Depth <= 0 || R.chance(1, 2))
+    return Expr() + ";";
+  switch (R.below(5)) {
+  case 0:
+    return "if(" + Expr() + ")" + genMjsStmt(R, Depth - 1);
+  case 1:
+    return "while(0)" + genMjsStmt(R, Depth - 1);
+  case 2:
+    return "for(var i=0;i<2;i++)" + genMjsStmt(R, Depth - 1);
+  case 3:
+    return "try{" + genMjsStmt(R, Depth - 1) + "}catch(e){}";
+  default:
+    return "{" + genMjsStmt(R, Depth - 1) + genMjsStmt(R, Depth - 1) + "}";
+  }
+}
+
+std::string genDyck(Rng &R, int Depth) {
+  static const char *Pairs[] = {"()", "[]", "<>"};
+  const char *P = Pairs[R.below(3)];
+  std::string Inner;
+  if (Depth > 0)
+    for (uint64_t I = 0, N = R.below(3); I != N; ++I)
+      Inner += genDyck(R, Depth - 1);
+  return std::string(1, P[0]) + Inner + std::string(1, P[1]);
+}
+
+} // namespace
+
+/// Sweep: every generated-valid input must be accepted by its subject.
+class AcceptanceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AcceptanceProperty, ArithGeneratedInputsAccepted) {
+  Rng R(GetParam());
+  for (int I = 0; I != 50; ++I) {
+    std::string Input = genArith(R, 3);
+    EXPECT_TRUE(arithSubject().accepts(Input)) << Input;
+  }
+}
+
+TEST_P(AcceptanceProperty, JsonGeneratedInputsAccepted) {
+  Rng R(GetParam());
+  for (int I = 0; I != 50; ++I) {
+    std::string Input = genJsonValue(R, 3);
+    EXPECT_TRUE(jsonSubject().accepts(Input)) << Input;
+  }
+}
+
+TEST_P(AcceptanceProperty, CsvGeneratedInputsAccepted) {
+  Rng R(GetParam());
+  for (int I = 0; I != 50; ++I) {
+    std::string Input = genCsv(R);
+    EXPECT_TRUE(csvSubject().accepts(Input)) << Input;
+  }
+}
+
+TEST_P(AcceptanceProperty, IniGeneratedInputsAccepted) {
+  Rng R(GetParam());
+  for (int I = 0; I != 50; ++I) {
+    std::string Input = genIni(R);
+    EXPECT_TRUE(iniSubject().accepts(Input)) << Input;
+  }
+}
+
+TEST_P(AcceptanceProperty, TinyCGeneratedInputsAccepted) {
+  Rng R(GetParam());
+  for (int I = 0; I != 50; ++I) {
+    std::string Input = genTinyCStmt(R, 3);
+    EXPECT_TRUE(tinycSubject().accepts(Input)) << Input;
+  }
+}
+
+TEST_P(AcceptanceProperty, MjsGeneratedInputsAccepted) {
+  Rng R(GetParam());
+  for (int I = 0; I != 50; ++I) {
+    std::string Input = genMjsStmt(R, 3);
+    EXPECT_TRUE(mjsSubject().accepts(Input)) << Input;
+  }
+}
+
+TEST_P(AcceptanceProperty, DyckGeneratedInputsAccepted) {
+  Rng R(GetParam());
+  for (int I = 0; I != 50; ++I) {
+    std::string Input = genDyck(R, 4);
+    EXPECT_TRUE(dyckSubject().accepts(Input)) << Input;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AcceptanceProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 17, 23));

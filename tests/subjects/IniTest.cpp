@@ -1,0 +1,81 @@
+//===- tests/subjects/IniTest.cpp - INI subject tests ---------------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Subject.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+namespace {
+
+class IniAccepts : public ::testing::TestWithParam<const char *> {};
+class IniRejects : public ::testing::TestWithParam<const char *> {};
+
+} // namespace
+
+TEST_P(IniAccepts, Valid) {
+  EXPECT_TRUE(iniSubject().accepts(GetParam())) << "input: " << GetParam();
+}
+
+TEST_P(IniRejects, Invalid) {
+  EXPECT_FALSE(iniSubject().accepts(GetParam())) << "input: " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Valid, IniAccepts,
+    ::testing::Values("", "\n", "  \n", "; comment", "; comment\n",
+                      "[section]", "[section]\n", "[]", "[s p a c e]",
+                      "key=value", "key=value\n", "k=", "a=b\nc=d\n",
+                      "[sec]\nkey=value\n", "key = value",
+                      "[a]\n; note\nx=1\n\n[b]\ny=2", "key=v;still value",
+                      "key=[not a section]", "[sec] ; trailing comment"));
+
+INSTANTIATE_TEST_SUITE_P(
+    Invalid, IniRejects,
+    ::testing::Values("[", "[section", "[sec\n]", "key", "key\n", "=v",
+                      "  =v", "justtext", "[s]garbage", "key;=v",
+                      "[a]\nnotapair\n", "\t=x"));
+
+TEST(IniTest, SectionRequiresClosingBracket) {
+  RunResult RR = iniSubject().execute("[abc");
+  EXPECT_NE(RR.ExitCode, 0);
+  // The parser was looking for ']' at the end: either an EOF access or a
+  // ']' comparison at the last index must be present.
+  bool SawClose = false;
+  for (const ComparisonEvent &E : RR.Comparisons)
+    if (E.Kind == CompareKind::CharEq && E.Expected == "]")
+      SawClose = true;
+  EXPECT_TRUE(SawClose);
+}
+
+TEST(IniTest, WhitespaceComparisonsAreImplicit) {
+  RunResult RR = iniSubject().execute("  x=1");
+  EXPECT_EQ(RR.ExitCode, 0);
+  bool SawImplicitBlank = false;
+  for (const ComparisonEvent &E : RR.Comparisons)
+    if (E.Implicit && E.Kind == CompareKind::CharSet)
+      SawImplicitBlank = true;
+  EXPECT_TRUE(SawImplicitBlank);
+}
+
+TEST(IniTest, EmptyInputValidWithEofProbe) {
+  RunResult RR = iniSubject().execute("");
+  EXPECT_EQ(RR.ExitCode, 0);
+  EXPECT_TRUE(RR.hitEof());
+}
+
+TEST(IniTest, MultipleSectionsAndPairs) {
+  EXPECT_TRUE(iniSubject().accepts("[one]\na=1\nb=2\n[two]\nc=3\n"));
+}
+
+TEST(IniTest, ValueMayContainAnything) {
+  EXPECT_TRUE(iniSubject().accepts("k==[]{}\"'\x01\x7f"));
+}
+
+TEST(IniTest, BranchSitesRegistered) {
+  EXPECT_GT(iniSubject().numBranchSites(), 10u);
+}

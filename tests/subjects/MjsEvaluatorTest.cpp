@@ -1,0 +1,124 @@
+//===- tests/subjects/MjsEvaluatorTest.cpp - mJS evaluator tests ----------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the mjs *evaluator* (valid programs execute, per the paper's
+/// setup). The evaluator has no output channel, so behaviour is observed
+/// through acceptance, termination and branch coverage: a program whose
+/// condition is truthy must cover more (or different) branches than one
+/// whose condition is falsy, and all control flow must terminate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Subject.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+namespace {
+
+size_t branchesOf(const char *Program) {
+  RunResult RR = mjsSubject().execute(Program);
+  EXPECT_EQ(RR.ExitCode, 0) << Program;
+  return RR.coveredBranches().size();
+}
+
+std::vector<uint32_t> coverageOf(const char *Program) {
+  RunResult RR = mjsSubject().execute(Program);
+  EXPECT_EQ(RR.ExitCode, 0) << Program;
+  return RR.coveredBranches();
+}
+
+} // namespace
+
+TEST(MjsEvaluatorTest, BranchConditionsSteerExecution) {
+  // Same syntax, different truth value: the then/else arms differ in the
+  // branch trace.
+  EXPECT_NE(coverageOf("if(1){x=1;}else{y=[];}"),
+            coverageOf("if(0){x=1;}else{y=[];}"));
+}
+
+TEST(MjsEvaluatorTest, LoopsActuallyIterate) {
+  // An executed loop body covers strictly more than a skipped one.
+  EXPECT_GT(branchesOf("for(var i=0;i<3;i++){x=[i];}"),
+            branchesOf("for(var i=0;i<0;i++){x=[i];}"));
+}
+
+TEST(MjsEvaluatorTest, FunctionsAreCalled) {
+  EXPECT_GT(branchesOf("function f(a){return a+1;}f(1);"),
+            branchesOf("function f(a){return a+1;}"));
+}
+
+TEST(MjsEvaluatorTest, ThrowReachesCatch) {
+  EXPECT_NE(coverageOf("try{throw 1;x=2;}catch(e){y=e;}"),
+            coverageOf("try{x=2;}catch(e){y=e;}"));
+}
+
+TEST(MjsEvaluatorTest, SwitchDispatch) {
+  // Matching vs non-matching discriminant takes different paths.
+  EXPECT_NE(coverageOf("switch(1){case 1:x=1;break;default:x=2;}"),
+            coverageOf("switch(9){case 1:x=1;break;default:x=2;}"));
+}
+
+TEST(MjsEvaluatorTest, ShortCircuitSkipsRhs) {
+  EXPECT_NE(coverageOf("0&&(x=[1]);"), coverageOf("1&&(x=[1]);"));
+  EXPECT_NE(coverageOf("1||(x=[1]);"), coverageOf("0||(x=[1]);"));
+}
+
+TEST(MjsEvaluatorTest, ArrayBuiltinsRun) {
+  // push/pop/indexOf round trips terminate and execute builtin code.
+  EXPECT_TRUE(mjsSubject().accepts(
+      "var a=[];a.push(1);a.push(2);var b=a.pop();var c=a.indexOf(1);"));
+  EXPECT_TRUE(mjsSubject().accepts("var s='a,b,c'.split(',');var n=s.length;"));
+  EXPECT_TRUE(mjsSubject().accepts("var c='hello'.charAt(1);"));
+  EXPECT_TRUE(mjsSubject().accepts("var t='hello'.slice(2);"));
+  EXPECT_TRUE(mjsSubject().accepts("var m=[1,2].map(x=>x+1);"));
+  EXPECT_TRUE(mjsSubject().accepts("var j=JSON.stringify({a:[1,'s']});"));
+}
+
+TEST(MjsEvaluatorTest, ForInAndForOfIterate) {
+  EXPECT_GT(branchesOf("for(var k in {a:1,b:2}){x=k;}"),
+            branchesOf("for(var k in {}){x=k;}"));
+  EXPECT_TRUE(mjsSubject().accepts("for(var v of [1,2,3]){x=v;}"));
+  EXPECT_TRUE(mjsSubject().accepts("for(var c of 'ab'){x=c;}"));
+}
+
+TEST(MjsEvaluatorTest, CompoundAssignmentEvaluates) {
+  for (const char *Program :
+       {"var x=1;x+=2;", "var x=8;x>>=1;", "var x=1;x<<=4;",
+        "var x=7;x&=3;", "var x=1;x|=6;", "var x=5;x^=2;",
+        "var x=9;x%=4;", "var x=8;x/=2;", "var x=3;x*=3;",
+        "var x=16;x>>>=2;"})
+    EXPECT_TRUE(mjsSubject().accepts(Program)) << Program;
+}
+
+TEST(MjsEvaluatorTest, RuntimeRecursionBounded) {
+  // Mutual recursion without a base case terminates via the step cap.
+  EXPECT_TRUE(mjsSubject().accepts(
+      "function a(){return b();}function b(){return a();}a();"));
+}
+
+TEST(MjsEvaluatorTest, DeepValueNestingSafe) {
+  // Self-referential structures through assignment must not loop the
+  // stringifier or the evaluator.
+  EXPECT_TRUE(mjsSubject().accepts("var a=[1];a[0]=a.length;"));
+  EXPECT_TRUE(mjsSubject().accepts("var o={};o.x=o;")); // cyclic object
+}
+
+TEST(MjsEvaluatorTest, TypeofAndEqualityTable) {
+  for (const char *Program :
+       {"var t=typeof 1;", "var t=typeof 's';", "var t=typeof true;",
+        "var t=typeof undefined;", "var t=typeof null;",
+        "var t=typeof f;", "x=1==='1';", "x=1=='1';", "x=null==undefined;",
+        "x=null===undefined;", "x=NaN==NaN;"})
+    EXPECT_TRUE(mjsSubject().accepts(Program)) << Program;
+}
+
+TEST(MjsEvaluatorTest, WithAndNewExecute) {
+  EXPECT_TRUE(mjsSubject().accepts("with({a:1}){x=2;}"));
+  EXPECT_TRUE(mjsSubject().accepts("var o=new Object();o.k=1;"));
+}

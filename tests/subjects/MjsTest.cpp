@@ -1,0 +1,199 @@
+//===- tests/subjects/MjsTest.cpp - mJS subject tests ---------------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Subject.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+namespace {
+
+class MjsAccepts : public ::testing::TestWithParam<const char *> {};
+class MjsRejects : public ::testing::TestWithParam<const char *> {};
+
+} // namespace
+
+TEST_P(MjsAccepts, Valid) {
+  EXPECT_TRUE(mjsSubject().accepts(GetParam())) << "input: " << GetParam();
+}
+
+TEST_P(MjsRejects, Invalid) {
+  EXPECT_FALSE(mjsSubject().accepts(GetParam())) << "input: " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Expressions, MjsAccepts,
+    ::testing::Values("1;", "1.5;", "x;", "x=1;", "x+=2;", "x-=2;",
+                      "x*=2;", "x/=2;", "x%=2;", "x&=1;", "x|=1;",
+                      "x^=1;", "x<<=1;", "x>>=1;", "x>>>=1;", "x++;",
+                      "++x;", "--x;", "x--;", "1+2*3;", "(1+2)*3;",
+                      "1<2;", "1<=2;", "1===1;", "1!==2;", "1==1;",
+                      "1!=2;", "1&&2;", "1||0;", "1&2|3^4;", "1<<2;",
+                      "1>>2;", "1>>>2;", "~1;", "!0;", "-x;", "+x;",
+                      "1?2:3;", "'s';", "\"s\";", "x='a'+'b';"));
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, MjsAccepts,
+    ::testing::Values("", ";", "{}", "{1;}", "if(1)x=1;", "if(0){}else{}",
+                      "while(0);", "do;while(0);", "for(;;)break;",
+                      "for(x=0;x<3;x++)y=x;", "for(var i=0;i<2;i=i+1);",
+                      "for(x in [1,2]);", "for(x of [1,2]);",
+                      "for(var k in {a:1});", "var x;", "var x=1,y=2;",
+                      "let z=3;", "const c=4;", "throw 1;",
+                      "try{}catch(e){}", "try{}finally{}",
+                      "try{throw 1;}catch(e){x=e;}",
+                      "switch(1){case 1:break;default:x=2;}",
+                      "with({}){}", "debugger;"));
+
+INSTANTIATE_TEST_SUITE_P(
+    Functions, MjsAccepts,
+    ::testing::Values("function f(){}", "function f(a,b){return a+b;}",
+                      "var f=function(){return 1;};",
+                      "var g=x=>x+1;", "var h=x=>{return x;};",
+                      "f();", "f(1,2);", "a.b;", "a.b.c;", "a[0];",
+                      "a.push(1);", "x=[1,2].length;",
+                      "x={a:1,\"b\":2};", "x={};", "x=[];",
+                      "typeof x;", "delete a.b;", "void 0;",
+                      "new f();", "x instanceof y;", "'a' in {};",
+                      "JSON.stringify([1,2]);", "x=a.indexOf;",
+                      "function f(n){if(n<1)return 0;return f(n-1);}f(3);"));
+
+INSTANTIATE_TEST_SUITE_P(
+    Invalid, MjsRejects,
+    ::testing::Values("1", "x=", "x=;", "1+;", "var;", "var 1;",
+                      "if;", "if(1)", "if()x;", "while;", "while()x;",
+                      "do;", "do;while(1)", "for;", "for(;;)",
+                      "function(){};", "function f(;){}", "try{}",
+                      "switch(1){}x", "switch(1){case:}", "x=>;",
+                      "a.;", "a[;", "'unterminated", "\"multi\nline\"",
+                      "@;", "#;", "1..2;", "{", "}", "x===;",
+                      "throw;", "case 1:;", "1;;;x=", "((1);"));
+
+TEST(MjsTest, KeywordsViaWrappedStrcmp) {
+  RunResult RR = mjsSubject().execute("whil");
+  EXPECT_NE(RR.ExitCode, 0);
+  bool SawWhile = false, SawFunction = false;
+  for (const ComparisonEvent &E : RR.Comparisons) {
+    if (E.Kind != CompareKind::StrEq)
+      continue;
+    if (E.Expected == "while")
+      SawWhile = true;
+    if (E.Expected == "function")
+      SawFunction = true;
+  }
+  EXPECT_TRUE(SawWhile);
+  EXPECT_TRUE(SawFunction);
+}
+
+TEST(MjsTest, BuiltinMemberNamesComparedAtRuntime) {
+  // Evaluating a member access resolves the name against the builtin
+  // table via wrapped strcmps — the source of long tokens like indexOf.
+  RunResult RR = mjsSubject().execute("a.xyz;");
+  EXPECT_EQ(RR.ExitCode, 0);
+  bool SawIndexOf = false, SawStringify = false;
+  for (const ComparisonEvent &E : RR.Comparisons) {
+    if (E.Kind != CompareKind::StrEq)
+      continue;
+    if (E.Expected == "indexOf")
+      SawIndexOf = true;
+    if (E.Expected == "stringify")
+      SawStringify = true;
+  }
+  EXPECT_TRUE(SawIndexOf);
+  EXPECT_TRUE(SawStringify);
+}
+
+TEST(MjsTest, GlobalNamesComparedAtRuntime) {
+  RunResult RR = mjsSubject().execute("q;");
+  EXPECT_EQ(RR.ExitCode, 0);
+  bool SawUndefined = false, SawObject = false;
+  for (const ComparisonEvent &E : RR.Comparisons) {
+    if (E.Kind != CompareKind::StrEq)
+      continue;
+    if (E.Expected == "undefined")
+      SawUndefined = true;
+    if (E.Expected == "Object")
+      SawObject = true;
+  }
+  EXPECT_TRUE(SawUndefined);
+  EXPECT_TRUE(SawObject);
+}
+
+TEST(MjsTest, InfiniteLoopsBounded) {
+  EXPECT_TRUE(mjsSubject().accepts("while(1);"));
+  EXPECT_TRUE(mjsSubject().accepts("for(;;);"));
+  EXPECT_TRUE(mjsSubject().accepts("do;while(1);"));
+  EXPECT_TRUE(
+      mjsSubject().accepts("function f(){return f();}f();")); // recursion
+}
+
+TEST(MjsTest, SemanticallyOddButSyntacticallyValid) {
+  // Semantic checking is disabled (paper setup): these parse and run.
+  EXPECT_TRUE(mjsSubject().accepts("undeclared + 1;"));
+  EXPECT_TRUE(mjsSubject().accepts("1();"));
+  EXPECT_TRUE(mjsSubject().accepts("null.x;"));
+  EXPECT_TRUE(mjsSubject().accepts("\"s\".nonsense();"));
+}
+
+TEST(MjsTest, MaximalMunchOperators) {
+  EXPECT_TRUE(mjsSubject().accepts("x=1>>>2;"));
+  EXPECT_TRUE(mjsSubject().accepts("x>>>=1;"));
+  EXPECT_TRUE(mjsSubject().accepts("x=1>2;"));
+  EXPECT_TRUE(mjsSubject().accepts("x=a>=b;"));
+}
+
+TEST(MjsTest, ExecutionProducesValues) {
+  // The evaluator runs: an array builtin round trip must not crash and
+  // must cover more branches than a constant statement.
+  RunResult Plain = mjsSubject().execute("1;");
+  RunResult Busy = mjsSubject().execute(
+      "var a=[1,2,3];a.push(4);var s=a.length;var t=a.indexOf(2);");
+  EXPECT_EQ(Plain.ExitCode, 0);
+  EXPECT_EQ(Busy.ExitCode, 0);
+  EXPECT_GT(Busy.coveredBranches().size(), Plain.coveredBranches().size());
+}
+
+TEST(MjsTest, DeepNestingBounded) {
+  std::string Deep(2000, '(');
+  Deep += "1";
+  Deep += std::string(2000, ')');
+  Deep += ";";
+  EXPECT_FALSE(mjsSubject().accepts(Deep));
+  EXPECT_TRUE(mjsSubject().accepts("x=((((1))));"));
+}
+
+TEST(MjsTest, StringsWithEscapes) {
+  EXPECT_TRUE(mjsSubject().accepts("x='a\\n\\t\\\\';"));
+  EXPECT_TRUE(mjsSubject().accepts("x=\"quote:\\\"\";"));
+  EXPECT_FALSE(mjsSubject().accepts("x='bad"));
+}
+
+TEST(MjsTest, BranchSitesRegistered) {
+  // mjs is by far the largest subject (Table 1 shape).
+  EXPECT_GT(mjsSubject().numBranchSites(),
+            tinycSubject().numBranchSites() * 2);
+}
+
+TEST(MjsTest, CommentsAreSkipped) {
+  EXPECT_TRUE(mjsSubject().accepts("// just a comment"));
+  EXPECT_TRUE(mjsSubject().accepts("// c\nx=1;"));
+  EXPECT_TRUE(mjsSubject().accepts("x=1;// trailing"));
+  EXPECT_TRUE(mjsSubject().accepts("/* block */x=1;"));
+  EXPECT_TRUE(mjsSubject().accepts("x=/* inline */1;"));
+  EXPECT_TRUE(mjsSubject().accepts("/* multi\nline */;"));
+}
+
+TEST(MjsTest, UnterminatedBlockCommentRejected) {
+  EXPECT_FALSE(mjsSubject().accepts("/* never closed"));
+  EXPECT_FALSE(mjsSubject().accepts("x=1;/*"));
+}
+
+TEST(MjsTest, DivisionStillWorksAroundComments) {
+  EXPECT_TRUE(mjsSubject().accepts("x=4/2;"));
+  EXPECT_TRUE(mjsSubject().accepts("x=4/2/1;"));
+  EXPECT_TRUE(mjsSubject().accepts("x/=2;"));
+}

@@ -1,0 +1,77 @@
+//===- tests/support/AsciiTest.cpp - Ascii predicate tests ----------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Ascii.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+TEST(AsciiTest, Digits) {
+  for (char C = '0'; C <= '9'; ++C)
+    EXPECT_TRUE(isAsciiDigit(C));
+  EXPECT_FALSE(isAsciiDigit('a'));
+  EXPECT_FALSE(isAsciiDigit('/')); // '0' - 1
+  EXPECT_FALSE(isAsciiDigit(':')); // '9' + 1
+}
+
+TEST(AsciiTest, AlphaBoundaries) {
+  EXPECT_TRUE(isAsciiAlpha('a'));
+  EXPECT_TRUE(isAsciiAlpha('z'));
+  EXPECT_TRUE(isAsciiAlpha('A'));
+  EXPECT_TRUE(isAsciiAlpha('Z'));
+  EXPECT_FALSE(isAsciiAlpha('@')); // 'A' - 1
+  EXPECT_FALSE(isAsciiAlpha('['));
+  EXPECT_FALSE(isAsciiAlpha('`'));
+  EXPECT_FALSE(isAsciiAlpha('{'));
+}
+
+TEST(AsciiTest, SpaceSet) {
+  for (char C : {' ', '\t', '\n', '\r', '\v', '\f'})
+    EXPECT_TRUE(isAsciiSpace(C));
+  EXPECT_FALSE(isAsciiSpace('x'));
+  EXPECT_FALSE(isAsciiSpace('\0'));
+}
+
+TEST(AsciiTest, IdentifierChars) {
+  EXPECT_TRUE(isIdentStart('_'));
+  EXPECT_TRUE(isIdentStart('q'));
+  EXPECT_FALSE(isIdentStart('5'));
+  EXPECT_TRUE(isIdentBody('5'));
+  EXPECT_TRUE(isIdentBody('_'));
+  EXPECT_FALSE(isIdentBody('-'));
+}
+
+TEST(AsciiTest, HexValues) {
+  EXPECT_EQ(hexValue('0'), 0);
+  EXPECT_EQ(hexValue('9'), 9);
+  EXPECT_EQ(hexValue('a'), 10);
+  EXPECT_EQ(hexValue('f'), 15);
+  EXPECT_EQ(hexValue('A'), 10);
+  EXPECT_EQ(hexValue('F'), 15);
+  EXPECT_EQ(hexValue('g'), -1);
+  EXPECT_EQ(hexValue(' '), -1);
+}
+
+TEST(AsciiTest, HexDigitPredicateMatchesHexValue) {
+  for (int C = 0; C < 128; ++C)
+    EXPECT_EQ(isHexDigit(static_cast<char>(C)),
+              hexValue(static_cast<char>(C)) >= 0);
+}
+
+TEST(AsciiTest, ToLower) {
+  EXPECT_EQ(toAsciiLower('A'), 'a');
+  EXPECT_EQ(toAsciiLower('Z'), 'z');
+  EXPECT_EQ(toAsciiLower('a'), 'a');
+  EXPECT_EQ(toAsciiLower('3'), '3');
+}
+
+TEST(AsciiTest, PrintableBoundaries) {
+  EXPECT_TRUE(isAsciiPrintable(' '));
+  EXPECT_TRUE(isAsciiPrintable('~'));
+  EXPECT_FALSE(isAsciiPrintable('\x1f'));
+  EXPECT_FALSE(isAsciiPrintable('\x7f'));
+}

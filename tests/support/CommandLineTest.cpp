@@ -1,0 +1,75 @@
+//===- tests/support/CommandLineTest.cpp - Flag parser tests --------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+static CommandLine parse(std::vector<const char *> Args) {
+  Args.insert(Args.begin(), "prog");
+  return CommandLine(static_cast<int>(Args.size()), Args.data());
+}
+
+TEST(CommandLineTest, ParsesKeyValueFlags) {
+  CommandLine C = parse({"--seed=42", "--subject=json"});
+  EXPECT_TRUE(C.ok());
+  EXPECT_EQ(C.getInt("seed", 0), 42);
+  EXPECT_EQ(C.getString("subject", ""), "json");
+}
+
+TEST(CommandLineTest, BareFlagIsTrue) {
+  CommandLine C = parse({"--verbose"});
+  EXPECT_TRUE(C.getBool("verbose", false));
+}
+
+TEST(CommandLineTest, DefaultsWhenAbsent) {
+  CommandLine C = parse({});
+  EXPECT_EQ(C.getInt("n", 7), 7);
+  EXPECT_EQ(C.getString("s", "x"), "x");
+  EXPECT_FALSE(C.getBool("b", false));
+  EXPECT_TRUE(C.getBool("b2", true));
+}
+
+TEST(CommandLineTest, MalformedIntFallsBack) {
+  CommandLine C = parse({"--n=abc", "--m=12x"});
+  EXPECT_EQ(C.getInt("n", -1), -1);
+  EXPECT_EQ(C.getInt("m", -1), -1);
+}
+
+TEST(CommandLineTest, NegativeInt) {
+  CommandLine C = parse({"--n=-5"});
+  EXPECT_EQ(C.getInt("n", 0), -5);
+}
+
+TEST(CommandLineTest, PositionalArguments) {
+  CommandLine C = parse({"alpha", "--x=1", "beta"});
+  ASSERT_EQ(C.positional().size(), 2u);
+  EXPECT_EQ(C.positional()[0], "alpha");
+  EXPECT_EQ(C.positional()[1], "beta");
+}
+
+TEST(CommandLineTest, DoubleDashRejected) {
+  CommandLine C = parse({"--"});
+  EXPECT_FALSE(C.ok());
+}
+
+TEST(CommandLineTest, UnqueriedFlagsReported) {
+  CommandLine C = parse({"--known=1", "--typo=2"});
+  (void)C.getInt("known", 0);
+  auto Unused = C.unqueried();
+  ASSERT_EQ(Unused.size(), 1u);
+  EXPECT_EQ(Unused[0], "typo");
+}
+
+TEST(CommandLineTest, BoolParsesCommonSpellings) {
+  CommandLine C = parse({"--a=true", "--b=1", "--c=false", "--d=0"});
+  EXPECT_TRUE(C.getBool("a", false));
+  EXPECT_TRUE(C.getBool("b", false));
+  EXPECT_FALSE(C.getBool("c", true));
+  EXPECT_FALSE(C.getBool("d", true));
+}

@@ -1,0 +1,91 @@
+//===- tests/support/RngTest.cpp - Rng unit tests -------------------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace pfuzz;
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_LT(Same, 4);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng A(7);
+  uint64_t First = A.next();
+  A.next();
+  A.reseed(7);
+  EXPECT_EQ(A.next(), First);
+}
+
+TEST(RngTest, BelowStaysInBounds) {
+  Rng R(3);
+  for (uint64_t Bound : {1ull, 2ull, 7ull, 100ull, 1000000007ull})
+    for (int I = 0; I < 200; ++I)
+      EXPECT_LT(R.below(Bound), Bound);
+}
+
+TEST(RngTest, BelowOneAlwaysZero) {
+  Rng R(9);
+  for (int I = 0; I < 32; ++I)
+    EXPECT_EQ(R.below(1), 0u);
+}
+
+TEST(RngTest, PrintableRangeRespected) {
+  Rng R(11);
+  for (int I = 0; I < 1000; ++I) {
+    char C = R.nextPrintable();
+    EXPECT_GE(C, 0x20);
+    EXPECT_LE(C, 0x7E);
+  }
+}
+
+TEST(RngTest, BelowCoversAllResidues) {
+  Rng R(13);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 2000; ++I)
+    Seen.insert(R.below(10));
+  EXPECT_EQ(Seen.size(), 10u);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng R(17);
+  for (int I = 0; I < 64; ++I) {
+    EXPECT_FALSE(R.chance(0, 10));
+    EXPECT_TRUE(R.chance(10, 10));
+  }
+}
+
+TEST(RngTest, PickReturnsElementOfVector) {
+  Rng R(19);
+  std::vector<int> V = {3, 5, 7};
+  for (int I = 0; I < 64; ++I) {
+    int X = R.pick(V);
+    EXPECT_TRUE(X == 3 || X == 5 || X == 7);
+  }
+}
+
+TEST(RngTest, ZeroSeedStillWorks) {
+  Rng R(0);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 16; ++I)
+    Seen.insert(R.next());
+  EXPECT_GT(Seen.size(), 10u);
+}

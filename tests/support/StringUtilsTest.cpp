@@ -1,0 +1,73 @@
+//===- tests/support/StringUtilsTest.cpp - String helper tests ------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+TEST(StringUtilsTest, EscapePlainTextUnchanged) {
+  EXPECT_EQ(escapeString("hello world"), "hello world");
+}
+
+TEST(StringUtilsTest, EscapeControlCharacters) {
+  EXPECT_EQ(escapeString("a\nb"), "a\\nb");
+  EXPECT_EQ(escapeString("a\tb"), "a\\tb");
+  EXPECT_EQ(escapeString("a\rb"), "a\\rb");
+  EXPECT_EQ(escapeString("a\\b"), "a\\\\b");
+}
+
+TEST(StringUtilsTest, EscapeNonPrintableAsHex) {
+  EXPECT_EQ(escapeString(std::string("\x01", 1)), "\\x01");
+  EXPECT_EQ(escapeString(std::string("\x00", 1)), "\\x00");
+  EXPECT_EQ(escapeString("\x7f"), "\\x7f");
+}
+
+TEST(StringUtilsTest, EscapeHighBytes) {
+  std::string Input;
+  Input.push_back(static_cast<char>(0xFF));
+  EXPECT_EQ(escapeString(Input), "\\xff");
+}
+
+TEST(StringUtilsTest, JoinBasics) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+TEST(StringUtilsTest, FormatDouble) {
+  EXPECT_EQ(formatDouble(1.0, 1), "1.0");
+  EXPECT_EQ(formatDouble(0.125, 2), "0.12"); // round-to-even banker's note
+  EXPECT_EQ(formatDouble(72.4999, 1), "72.5");
+}
+
+TEST(StringUtilsTest, StartsWith) {
+  EXPECT_TRUE(startsWith("foobar", "foo"));
+  EXPECT_TRUE(startsWith("foo", ""));
+  EXPECT_FALSE(startsWith("fo", "foo"));
+  EXPECT_FALSE(startsWith("xfoo", "foo"));
+}
+
+TEST(StringUtilsTest, SplitKeepsEmptyFields) {
+  auto Parts = splitString("a,,b", ',');
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[1], "");
+  EXPECT_EQ(Parts[2], "b");
+}
+
+TEST(StringUtilsTest, SplitNoSeparator) {
+  auto Parts = splitString("abc", ',');
+  ASSERT_EQ(Parts.size(), 1u);
+  EXPECT_EQ(Parts[0], "abc");
+}
+
+TEST(StringUtilsTest, SplitTrailingSeparator) {
+  auto Parts = splitString("a,", ',');
+  ASSERT_EQ(Parts.size(), 2u);
+  EXPECT_EQ(Parts[1], "");
+}

@@ -1,0 +1,110 @@
+//===- tests/taint/TaintTest.cpp - TaintSet unit tests --------------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "taint/Taint.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+TEST(TaintSetTest, EmptyByDefault) {
+  TaintSet T;
+  EXPECT_TRUE(T.empty());
+  EXPECT_EQ(T.size(), 0u);
+  EXPECT_FALSE(T.contains(0));
+}
+
+TEST(TaintSetTest, Singleton) {
+  TaintSet T = TaintSet::forIndex(5);
+  EXPECT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T.contains(5));
+  EXPECT_FALSE(T.contains(4));
+  EXPECT_EQ(T.minIndex(), 5u);
+  EXPECT_EQ(T.maxIndex(), 5u);
+}
+
+TEST(TaintSetTest, RangeConstruction) {
+  TaintSet T = TaintSet::forRange(2, 6);
+  EXPECT_EQ(T.size(), 4u);
+  for (uint32_t I = 2; I < 6; ++I)
+    EXPECT_TRUE(T.contains(I));
+  EXPECT_FALSE(T.contains(6));
+  EXPECT_EQ(T.minIndex(), 2u);
+  EXPECT_EQ(T.maxIndex(), 5u);
+}
+
+TEST(TaintSetTest, EmptyRange) {
+  TaintSet T = TaintSet::forRange(3, 3);
+  EXPECT_TRUE(T.empty());
+}
+
+TEST(TaintSetTest, MergeDisjoint) {
+  TaintSet A = TaintSet::forIndex(1);
+  A.mergeWith(TaintSet::forIndex(9));
+  EXPECT_EQ(A.size(), 2u);
+  EXPECT_EQ(A.minIndex(), 1u);
+  EXPECT_EQ(A.maxIndex(), 9u);
+}
+
+TEST(TaintSetTest, MergeDeduplicates) {
+  TaintSet A = TaintSet::forRange(0, 4);
+  A.mergeWith(TaintSet::forRange(2, 6));
+  EXPECT_EQ(A.size(), 6u);
+  EXPECT_EQ(A.maxIndex(), 5u);
+}
+
+TEST(TaintSetTest, MergeWithEmptyIsIdentity) {
+  TaintSet A = TaintSet::forIndex(3);
+  TaintSet Before = A;
+  A.mergeWith(TaintSet());
+  EXPECT_TRUE(A == Before);
+  TaintSet Empty;
+  Empty.mergeWith(A);
+  EXPECT_TRUE(Empty == A);
+}
+
+TEST(TaintSetTest, MergedIsCommutative) {
+  TaintSet A = TaintSet::forRange(0, 3);
+  TaintSet B = TaintSet::forRange(5, 8);
+  EXPECT_TRUE(TaintSet::merged(A, B) == TaintSet::merged(B, A));
+}
+
+TEST(TaintSetTest, MergedIsAssociative) {
+  TaintSet A = TaintSet::forIndex(1);
+  TaintSet B = TaintSet::forIndex(2);
+  TaintSet C = TaintSet::forIndex(3);
+  EXPECT_TRUE(TaintSet::merged(TaintSet::merged(A, B), C) ==
+              TaintSet::merged(A, TaintSet::merged(B, C)));
+}
+
+TEST(TaintSetTest, IndicesStaySorted) {
+  TaintSet A = TaintSet::forIndex(9);
+  A.mergeWith(TaintSet::forIndex(1));
+  A.mergeWith(TaintSet::forIndex(5));
+  ASSERT_EQ(A.indices().size(), 3u);
+  EXPECT_EQ(A.indices()[0], 1u);
+  EXPECT_EQ(A.indices()[1], 5u);
+  EXPECT_EQ(A.indices()[2], 9u);
+}
+
+/// Property sweep: merge of arbitrary ranges has min/max of the union.
+class TaintMergeProperty
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(TaintMergeProperty, MinMaxOfUnion) {
+  auto [A, B] = GetParam();
+  TaintSet X = TaintSet::forRange(A, A + 3);
+  TaintSet Y = TaintSet::forRange(B, B + 2);
+  TaintSet M = TaintSet::merged(X, Y);
+  EXPECT_EQ(M.minIndex(), std::min(A, B));
+  EXPECT_EQ(M.maxIndex(), std::max(A + 2, B + 1));
+  EXPECT_EQ(M.size(), TaintSet::merged(Y, X).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, TaintMergeProperty,
+                         ::testing::Combine(::testing::Values(0u, 2u, 7u,
+                                                              100u),
+                                            ::testing::Values(0u, 3u, 50u)));

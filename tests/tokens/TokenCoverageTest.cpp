@@ -1,0 +1,64 @@
+//===- tests/tokens/TokenCoverageTest.cpp - TokenCoverage tests -----------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tokens/TokenCoverage.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+TEST(TokenCoverageTest, StartsEmpty) {
+  TokenCoverage Cov("json");
+  EXPECT_TRUE(Cov.found().empty());
+  EXPECT_EQ(Cov.shortTokenRatio(), 0.0);
+  EXPECT_EQ(Cov.longTokenRatio(), 0.0);
+}
+
+TEST(TokenCoverageTest, AccumulatesAcrossInputs) {
+  TokenCoverage Cov("json");
+  Cov.addInput("1");
+  EXPECT_EQ(Cov.found().size(), 1u); // number
+  Cov.addInput("[true]");
+  EXPECT_TRUE(Cov.found().count("["));
+  EXPECT_TRUE(Cov.found().count("]"));
+  EXPECT_TRUE(Cov.found().count("true"));
+  Cov.addInput("[true]"); // duplicates change nothing
+  EXPECT_EQ(Cov.found().size(), 4u);
+}
+
+TEST(TokenCoverageTest, FoundByLengthGroups) {
+  TokenCoverage Cov("json");
+  Cov.addInput("{\"k\": null}");
+  auto ByLen = Cov.foundByLength();
+  EXPECT_EQ(ByLen[1], 3u); // { } :
+  EXPECT_EQ(ByLen[2], 1u); // string
+  EXPECT_EQ(ByLen[4], 1u); // null
+}
+
+TEST(TokenCoverageTest, RatiosReachOne) {
+  TokenCoverage Cov("json");
+  Cov.addInput("{\"a\":[1,-2],\"b\":true,\"c\":false,\"d\":null}");
+  EXPECT_DOUBLE_EQ(Cov.shortTokenRatio(), 1.0);
+  EXPECT_DOUBLE_EQ(Cov.longTokenRatio(), 1.0);
+}
+
+TEST(TokenCoverageTest, LongShortSplitTinyC) {
+  TokenCoverage Cov("tinyc");
+  Cov.addInput("if(1)a=2;");
+  EXPECT_GT(Cov.shortTokenRatio(), 0.0);
+  EXPECT_EQ(Cov.longTokenRatio(), 0.0); // no while/else yet
+  Cov.addInput("while(0);");
+  EXPECT_DOUBLE_EQ(Cov.longTokenRatio(), 0.5); // while but not else
+}
+
+TEST(TokenCoverageTest, MjsLongTokens) {
+  TokenCoverage Cov("mjs");
+  Cov.addInput("x instanceof y;");
+  Cov.addInput("typeof z;");
+  auto ByLen = Cov.foundByLength();
+  EXPECT_EQ(ByLen[10], 1u);
+  EXPECT_EQ(ByLen[6], 1u);
+}

@@ -1,0 +1,100 @@
+//===- tests/tokens/TokenInventoryTest.cpp - Inventory tests --------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tokens/TokenInventory.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+TEST(TokenInventoryTest, JsonMatchesTable2) {
+  const TokenInventory &Inv = TokenInventory::forSubject("json");
+  auto Counts = Inv.countsByLength();
+  EXPECT_EQ(Counts[1], 8u); // { } [ ] - : , number
+  EXPECT_EQ(Counts[2], 1u); // string
+  EXPECT_EQ(Counts[4], 2u); // null true
+  EXPECT_EQ(Counts[5], 1u); // false
+  EXPECT_EQ(Inv.size(), 12u);
+}
+
+TEST(TokenInventoryTest, TinyCMatchesTable3) {
+  const TokenInventory &Inv = TokenInventory::forSubject("tinyc");
+  auto Counts = Inv.countsByLength();
+  EXPECT_EQ(Counts[1], 11u);
+  EXPECT_EQ(Counts[2], 2u); // if do
+  EXPECT_EQ(Counts[4], 1u); // else
+  EXPECT_EQ(Counts[5], 1u); // while
+  EXPECT_EQ(Inv.size(), 15u);
+}
+
+TEST(TokenInventoryTest, MjsMatchesTable4Shape) {
+  const TokenInventory &Inv = TokenInventory::forSubject("mjs");
+  auto Counts = Inv.countsByLength();
+  EXPECT_EQ(Counts[1], 26u); // paper: 27; one punctuation token fewer
+  EXPECT_EQ(Counts[2], 24u);
+  EXPECT_EQ(Counts[3], 13u);
+  EXPECT_EQ(Counts[4], 10u);
+  EXPECT_EQ(Counts[5], 9u);
+  EXPECT_EQ(Counts[6], 7u);
+  EXPECT_EQ(Counts[7], 3u);
+  EXPECT_EQ(Counts[8], 3u);
+  EXPECT_EQ(Counts[9], 2u);
+  EXPECT_EQ(Counts[10], 1u);
+  EXPECT_EQ(Inv.size(), 98u);
+}
+
+TEST(TokenInventoryTest, LongTokensPresent) {
+  const TokenInventory &Inv = TokenInventory::forSubject("mjs");
+  for (const char *T : {"while", "typeof", "function", "instanceof",
+                        "undefined", "stringify", "indexOf", "debugger"})
+    EXPECT_TRUE(Inv.contains(T)) << T;
+}
+
+TEST(TokenInventoryTest, LengthOfReturnsClassLength) {
+  const TokenInventory &Inv = TokenInventory::forSubject("json");
+  EXPECT_EQ(Inv.lengthOf("string"), 2u);
+  EXPECT_EQ(Inv.lengthOf("number"), 1u);
+  EXPECT_EQ(Inv.lengthOf("false"), 5u);
+  EXPECT_EQ(Inv.lengthOf("bogus"), 0u);
+}
+
+TEST(TokenInventoryTest, ShortLongSplit) {
+  const TokenInventory &Json = TokenInventory::forSubject("json");
+  EXPECT_EQ(Json.numShort(), 9u); // 8 len-1 + string
+  EXPECT_EQ(Json.numLong(), 3u);  // null true false
+  const TokenInventory &TinyC = TokenInventory::forSubject("tinyc");
+  EXPECT_EQ(TinyC.numShort(), 13u);
+  EXPECT_EQ(TinyC.numLong(), 2u);
+}
+
+TEST(TokenInventoryTest, IniAndCsvSmallSets) {
+  EXPECT_EQ(TokenInventory::forSubject("ini").size(), 5u);
+  EXPECT_EQ(TokenInventory::forSubject("csv").size(), 3u);
+  EXPECT_EQ(TokenInventory::forSubject("arith").size(), 5u);
+}
+
+TEST(TokenInventoryTest, NoDuplicateTokens) {
+  for (const char *Name : {"arith", "ini", "csv", "json", "tinyc", "mjs"}) {
+    const TokenInventory &Inv = TokenInventory::forSubject(Name);
+    std::set<std::string> Seen;
+    for (const TokenDef &T : Inv.tokens())
+      EXPECT_TRUE(Seen.insert(T.Text).second)
+          << "duplicate token " << T.Text << " in " << Name;
+  }
+}
+
+TEST(TokenInventoryTest, LiteralTokenLengthsMatchSpelling) {
+  // Class tokens aside, a literal's length class is its spelled length.
+  for (const char *Name : {"json", "tinyc", "mjs"}) {
+    const TokenInventory &Inv = TokenInventory::forSubject(Name);
+    for (const TokenDef &T : Inv.tokens()) {
+      if (T.Text == "identifier" || T.Text == "number" ||
+          T.Text == "string" || T.Text == "field" || T.Text == "name")
+        continue;
+      EXPECT_EQ(T.Length, T.Text.size()) << T.Text;
+    }
+  }
+}

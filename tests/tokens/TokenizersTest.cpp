@@ -1,0 +1,137 @@
+//===- tests/tokens/TokenizersTest.cpp - Tokenizer tests ------------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tokens/Tokenizers.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace pfuzz;
+
+static bool hasToken(const std::vector<std::string> &Tokens,
+                     std::string_view Name) {
+  return std::find(Tokens.begin(), Tokens.end(), Name) != Tokens.end();
+}
+
+TEST(TokenizersTest, JsonKeywordsAndPunctuation) {
+  auto T = extractTokens("json", "{\"a\": [true, false, null, -1.5]}");
+  for (const char *Expect :
+       {"{", "}", "[", "]", ":", ",", "-", "string", "number", "true",
+        "false", "null"})
+    EXPECT_TRUE(hasToken(T, Expect)) << Expect;
+}
+
+TEST(TokenizersTest, JsonStringContentsNotTokens) {
+  // "true" inside a string literal is string content, not a keyword.
+  auto T = extractTokens("json", "\"true\"");
+  EXPECT_TRUE(hasToken(T, "string"));
+  EXPECT_FALSE(hasToken(T, "true"));
+}
+
+TEST(TokenizersTest, TinyCKeywordsVsIdentifiers) {
+  auto T = extractTokens("tinyc", "if(a<1)b=2;else while(0);");
+  for (const char *Expect : {"if", "else", "while", "(", ")", "<", "=",
+                             ";", "identifier", "number"})
+    EXPECT_TRUE(hasToken(T, Expect)) << Expect;
+  EXPECT_FALSE(hasToken(T, "do"));
+}
+
+TEST(TokenizersTest, TinyCMultiLetterWordIsNotIdentifier) {
+  auto T = extractTokens("tinyc", "ab;");
+  EXPECT_FALSE(hasToken(T, "identifier"));
+  EXPECT_TRUE(hasToken(T, ";"));
+}
+
+TEST(TokenizersTest, MjsMaximalMunch) {
+  auto T = extractTokens("mjs", "x>>>=1;y=a>>>b;z=c>>d;w=e>f;");
+  EXPECT_TRUE(hasToken(T, ">>>="));
+  EXPECT_TRUE(hasToken(T, ">>>"));
+  EXPECT_TRUE(hasToken(T, ">>"));
+  EXPECT_TRUE(hasToken(T, ">"));
+}
+
+TEST(TokenizersTest, MjsKeywordsAndBuiltins) {
+  auto T = extractTokens(
+      "mjs", "function f(){return JSON.stringify(a.indexOf(1));}");
+  for (const char *Expect :
+       {"function", "return", "JSON", "stringify", "indexOf", "identifier",
+        "(", ")", "{", "}", ".", ";"})
+    EXPECT_TRUE(hasToken(T, Expect)) << Expect;
+}
+
+TEST(TokenizersTest, MjsStringsAndNumbers) {
+  auto T = extractTokens("mjs", "x='while';y=3.25;");
+  EXPECT_TRUE(hasToken(T, "string"));
+  EXPECT_TRUE(hasToken(T, "number"));
+  // Keyword inside a string literal does not count.
+  EXPECT_FALSE(hasToken(T, "while"));
+}
+
+TEST(TokenizersTest, IniStructure) {
+  auto T = extractTokens("ini", "[sec]\nkey=value\n; comment\n");
+  for (const char *Expect : {"[", "]", "=", ";", "name"})
+    EXPECT_TRUE(hasToken(T, Expect)) << Expect;
+}
+
+TEST(TokenizersTest, CsvFieldsAndStrings) {
+  auto T = extractTokens("csv", "a,\"q\"\nb,");
+  EXPECT_TRUE(hasToken(T, "field"));
+  EXPECT_TRUE(hasToken(T, "string"));
+  EXPECT_TRUE(hasToken(T, ","));
+}
+
+TEST(TokenizersTest, ArithTokens) {
+  auto T = extractTokens("arith", "(12-3)+4");
+  for (const char *Expect : {"(", ")", "+", "-", "number"})
+    EXPECT_TRUE(hasToken(T, Expect)) << Expect;
+}
+
+TEST(TokenizersTest, EmptyInputYieldsNothing) {
+  for (const char *Name : {"arith", "ini", "csv", "json", "tinyc", "mjs"})
+    EXPECT_TRUE(extractTokens(Name, "").empty()) << Name;
+}
+
+TEST(TokenizersTest, WhitespaceIgnored) {
+  auto T = extractTokens("mjs", "   \t\n  ");
+  EXPECT_TRUE(T.empty());
+}
+
+TEST(TokenizersTest, MjsCommentsAreNotTokens) {
+  auto T = extractTokens("mjs", "// while true\nx=1;/* for */");
+  EXPECT_FALSE(hasToken(T, "while"));
+  EXPECT_FALSE(hasToken(T, "true"));
+  EXPECT_FALSE(hasToken(T, "for"));
+  EXPECT_TRUE(hasToken(T, "identifier"));
+  EXPECT_TRUE(hasToken(T, "number"));
+}
+
+TEST(TokenizersTest, CsvQuotedFieldWithNewlineIsOneString) {
+  auto T = extractTokens("csv", "\"a\nb\",c");
+  int Strings = 0, Fields = 0;
+  for (const std::string &Tok : T) {
+    if (Tok == "string")
+      ++Strings;
+    if (Tok == "field")
+      ++Fields;
+  }
+  EXPECT_EQ(Strings, 1);
+  EXPECT_EQ(Fields, 1);
+}
+
+TEST(TokenizersTest, IniValueAfterEqualsIsName) {
+  auto T = extractTokens("ini", "k=v");
+  int Names = 0;
+  for (const std::string &Tok : T)
+    if (Tok == "name")
+      ++Names;
+  EXPECT_EQ(Names, 2); // key and value
+}
+
+TEST(TokenizersTest, DyckIgnoresForeignCharacters) {
+  auto T = extractTokens("dyck", "(a[b]c)");
+  EXPECT_EQ(T.size(), 4u); // ( [ ] )
+}
