@@ -25,20 +25,42 @@
 #include "core/PFuzzer.h"
 #include "eval/TableWriter.h"
 #include "support/CommandLine.h"
+#include "support/ThreadPool.h"
 #include "tokens/TokenCoverage.h"
 
 #include <cstdio>
+#include <iterator>
 #include <memory>
 
 using namespace pfuzz;
 
 namespace {
 
+/// A tool variant, described by a factory so each task can build its own
+/// instance (fuzzers are single-use and not shareable across threads).
 struct Variant {
   const char *Name;
-  std::unique_ptr<Fuzzer> Tool;
+  std::unique_ptr<Fuzzer> (*Make)();
   uint64_t Execs;
 };
+
+std::unique_ptr<Fuzzer> makePlainAfl() {
+  return std::make_unique<AflFuzzer>();
+}
+
+std::unique_ptr<Fuzzer> makeSharedCtp() {
+  AflOptions Shared;
+  Shared.Cmp = CmpFeedback::SharedSite;
+  return std::make_unique<AflFuzzer>(Shared);
+}
+
+std::unique_ptr<Fuzzer> makePerKeywordCtp() {
+  AflOptions PerKw;
+  PerKw.Cmp = CmpFeedback::PerKeyword;
+  return std::make_unique<AflFuzzer>(PerKw);
+}
+
+std::unique_ptr<Fuzzer> makePFuzzer() { return std::make_unique<PFuzzer>(); }
 
 } // namespace
 
@@ -47,9 +69,10 @@ int main(int Argc, char **Argv) {
   uint64_t AflExecs = static_cast<uint64_t>(Cli.getInt("afl-execs", 150000));
   uint64_t PfExecs = static_cast<uint64_t>(Cli.getInt("pf-execs", 60000));
   uint64_t Seed = static_cast<uint64_t>(Cli.getInt("seed", 1));
+  int Jobs = static_cast<int>(Cli.getInt("jobs", 1));
   if (!Cli.ok() || !Cli.unqueried().empty()) {
     std::fprintf(stderr, "usage: ablation_aflctp [--afl-execs=N]"
-                         " [--pf-execs=N] [--seed=N]\n");
+                         " [--pf-execs=N] [--seed=N] [--jobs=N]\n");
     return 1;
   }
 
@@ -65,19 +88,22 @@ int main(int Argc, char **Argv) {
     std::printf("\n-- %s --\n", SubjectName);
     TableWriter Table({"Variant", "Tokens", "Long tokens", "Valid cov %"});
 
-    std::vector<Variant> Variants;
-    Variants.push_back({"AFL", std::make_unique<AflFuzzer>(), AflExecs});
-    AflOptions Shared;
-    Shared.Cmp = CmpFeedback::SharedSite;
-    Variants.push_back(
-        {"AFL-CTP (shared)", std::make_unique<AflFuzzer>(Shared), AflExecs});
-    AflOptions PerKw;
-    PerKw.Cmp = CmpFeedback::PerKeyword;
-    Variants.push_back({"AFL-CTP (per-keyword)",
-                        std::make_unique<AflFuzzer>(PerKw), AflExecs});
-    Variants.push_back({"pFuzzer", std::make_unique<PFuzzer>(), PfExecs});
-
-    for (Variant &V : Variants) {
+    const Variant Variants[] = {
+        {"AFL", makePlainAfl, AflExecs},
+        {"AFL-CTP (shared)", makeSharedCtp, AflExecs},
+        {"AFL-CTP (per-keyword)", makePerKeywordCtp, AflExecs},
+        {"pFuzzer", makePFuzzer, PfExecs},
+    };
+    constexpr size_t NumVariants = std::size(Variants);
+    struct VariantOutcome {
+      size_t Tokens = 0;
+      uint32_t Long = 0;
+      double Cov = 0;
+    };
+    VariantOutcome Outcomes[NumVariants];
+    auto RunVariant = [&](size_t Idx) {
+      const Variant &V = Variants[Idx];
+      std::unique_ptr<Fuzzer> Tool = V.Make();
       TokenCoverage Tokens(SubjectName);
       FuzzerOptions Opts;
       Opts.Seed = Seed;
@@ -85,20 +111,33 @@ int main(int Argc, char **Argv) {
       Opts.OnValidInput = [&Tokens](std::string_view Input) {
         Tokens.addInput(Input);
       };
-      FuzzReport R = V.Tool->run(*S, Opts);
+      FuzzReport R = Tool->run(*S, Opts);
       uint32_t Long = 0;
       for (const std::string &Tok : Tokens.found())
         if (Inv.lengthOf(Tok) > 3)
           ++Long;
+      Outcomes[Idx] = {Tokens.found().size(), Long,
+                       R.coverageRatio(*S) * 100};
+    };
+    if (Jobs == 1) {
+      for (size_t Idx = 0; Idx != NumVariants; ++Idx)
+        RunVariant(Idx);
+    } else {
+      ThreadPool Pool(Jobs <= 0 ? 0 : static_cast<unsigned>(Jobs));
+      Pool.parallelFor(0, NumVariants, RunVariant);
+    }
+
+    for (size_t Idx = 0; Idx != NumVariants; ++Idx) {
       char Cov[32];
-      std::snprintf(Cov, sizeof(Cov), "%.1f", R.coverageRatio(*S) * 100);
-      Table.addRow({V.Name,
-                    std::to_string(Tokens.found().size()) + "/" +
+      std::snprintf(Cov, sizeof(Cov), "%.1f", Outcomes[Idx].Cov);
+      Table.addRow({Variants[Idx].Name,
+                    std::to_string(Outcomes[Idx].Tokens) + "/" +
                         std::to_string(Inv.size()),
-                    std::to_string(Long) + "/" +
+                    std::to_string(Outcomes[Idx].Long) + "/" +
                         std::to_string(Inv.numLong()),
                     Cov});
-      std::fprintf(stderr, "  done: %s on %s\n", V.Name, SubjectName);
+      std::fprintf(stderr, "  done: %s on %s\n", Variants[Idx].Name,
+                   SubjectName);
     }
     Table.print(stdout);
   }

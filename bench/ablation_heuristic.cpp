@@ -22,8 +22,10 @@
 #include "eval/TableWriter.h"
 #include "support/CommandLine.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 #include "tokens/TokenCoverage.h"
 
+#include <algorithm>
 #include <cstdio>
 
 using namespace pfuzz;
@@ -70,47 +72,73 @@ int main(int Argc, char **Argv) {
   uint64_t Execs = static_cast<uint64_t>(Cli.getInt("execs", 20000));
   uint64_t Seed = static_cast<uint64_t>(Cli.getInt("seed", 1));
   int Runs = static_cast<int>(Cli.getInt("runs", 3));
+  int Jobs = static_cast<int>(Cli.getInt("jobs", 1));
   if (!Cli.ok() || !Cli.unqueried().empty()) {
     std::fprintf(stderr, "usage: ablation_heuristic [--execs=N] [--seed=N]"
-                         " [--runs=N]\n");
+                         " [--runs=N] [--jobs=N]\n");
     return 1;
   }
 
   std::printf("== Heuristic ablation (pFuzzer, %llu execs per cell,"
               " mean of %d seeds) ==\n",
               static_cast<unsigned long long>(Execs), Runs);
+  const std::vector<Variant> Vars = variants();
   for (const char *SubjectName : {"json", "tinyc"}) {
     const Subject *S = findSubject(SubjectName);
     const TokenInventory &Inv = TokenInventory::forSubject(SubjectName);
     std::printf("\n-- %s --\n", SubjectName);
     TableWriter Table({"Variant", "Valid inputs", "Coverage %",
                        "Tokens", "Long tokens"});
-    for (const Variant &V : variants()) {
+    // PFuzzer instances carry custom heuristics, so this bench cannot go
+    // through runCampaignGrid; it fans (variant, seed) tasks over the
+    // pool itself and reduces in index order (means stay deterministic).
+    struct RunOutcome {
+      double Valid = 0, Cov = 0, Tokens = 0, Long = 0;
+    };
+    size_t NumRuns = static_cast<size_t>(std::max(Runs, 0));
+    std::vector<RunOutcome> Outcomes(Vars.size() * NumRuns);
+    auto RunTask = [&](size_t TaskIdx) {
+      const Variant &V = Vars[TaskIdx / NumRuns];
+      PFuzzer Tool(V.Options);
+      TokenCoverage Tokens(SubjectName);
+      FuzzerOptions Opts;
+      Opts.Seed = Seed + static_cast<uint64_t>(TaskIdx % NumRuns);
+      Opts.MaxExecutions = Execs;
+      Opts.OnValidInput = [&Tokens](std::string_view Input) {
+        Tokens.addInput(Input);
+      };
+      FuzzReport R = Tool.run(*S, Opts);
+      uint32_t Long = 0;
+      for (const std::string &Tok : Tokens.found())
+        if (Inv.lengthOf(Tok) > 3)
+          ++Long;
+      Outcomes[TaskIdx] = {static_cast<double>(R.ValidInputs.size()),
+                           R.coverageRatio(*S) * 100,
+                           static_cast<double>(Tokens.found().size()),
+                           static_cast<double>(Long)};
+    };
+    if (Jobs == 1) {
+      for (size_t TaskIdx = 0; TaskIdx != Outcomes.size(); ++TaskIdx)
+        RunTask(TaskIdx);
+    } else {
+      ThreadPool Pool(Jobs <= 0 ? 0 : static_cast<unsigned>(Jobs));
+      Pool.parallelFor(0, Outcomes.size(), RunTask);
+    }
+    for (size_t VarIdx = 0; VarIdx != Vars.size(); ++VarIdx) {
       double SumValid = 0, SumCov = 0, SumTokens = 0, SumLong = 0;
-      for (int Run = 0; Run != Runs; ++Run) {
-        PFuzzer Tool(V.Options);
-        TokenCoverage Tokens(SubjectName);
-        FuzzerOptions Opts;
-        Opts.Seed = Seed + static_cast<uint64_t>(Run);
-        Opts.MaxExecutions = Execs;
-        Opts.OnValidInput = [&Tokens](std::string_view Input) {
-          Tokens.addInput(Input);
-        };
-        FuzzReport R = Tool.run(*S, Opts);
-        uint32_t Long = 0;
-        for (const std::string &Tok : Tokens.found())
-          if (Inv.lengthOf(Tok) > 3)
-            ++Long;
-        SumValid += static_cast<double>(R.ValidInputs.size());
-        SumCov += R.coverageRatio(*S) * 100;
-        SumTokens += static_cast<double>(Tokens.found().size());
-        SumLong += Long;
+      for (size_t Run = 0; Run != NumRuns; ++Run) {
+        const RunOutcome &Out = Outcomes[VarIdx * NumRuns + Run];
+        SumValid += Out.Valid;
+        SumCov += Out.Cov;
+        SumTokens += Out.Tokens;
+        SumLong += Out.Long;
       }
-      Table.addRow({V.Name, formatDouble(SumValid / Runs, 1),
+      Table.addRow({Vars[VarIdx].Name, formatDouble(SumValid / Runs, 1),
                     formatDouble(SumCov / Runs, 1),
                     formatDouble(SumTokens / Runs, 1),
                     formatDouble(SumLong / Runs, 1)});
-      std::fprintf(stderr, "  done: %s on %s\n", V.Name, SubjectName);
+      std::fprintf(stderr, "  done: %s on %s\n", Vars[VarIdx].Name,
+                   SubjectName);
     }
     Table.print(stdout);
   }

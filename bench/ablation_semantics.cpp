@@ -21,6 +21,7 @@
 #include "eval/TableWriter.h"
 #include "support/CommandLine.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 
@@ -30,9 +31,10 @@ int main(int Argc, char **Argv) {
   CommandLine Cli(Argc, Argv);
   uint64_t Execs = static_cast<uint64_t>(Cli.getInt("execs", 40000));
   uint64_t Seed = static_cast<uint64_t>(Cli.getInt("seed", 1));
+  int Jobs = static_cast<int>(Cli.getInt("jobs", 1));
   if (!Cli.ok() || !Cli.unqueried().empty()) {
-    std::fprintf(stderr,
-                 "usage: ablation_semantics [--execs=N] [--seed=N]\n");
+    std::fprintf(stderr, "usage: ablation_semantics [--execs=N] [--seed=N]"
+                         " [--jobs=N]\n");
     return 1;
   }
 
@@ -44,15 +46,26 @@ int main(int Argc, char **Argv) {
   Opts.Seed = Seed;
   Opts.MaxExecutions = Execs;
 
-  PFuzzer PlainTool;
-  FuzzReport Plain = PlainTool.run(mjsSubject(), Opts);
+  // The two campaigns are independent; --jobs=2 overlaps them.
+  const Subject *Subjects[2] = {&mjsSubject(), &mjsSemSubject()};
+  FuzzReport Reports[2];
+  auto RunCampaign = [&](size_t Idx) {
+    PFuzzer Tool;
+    Reports[Idx] = Tool.run(*Subjects[Idx], Opts);
+  };
+  if (Jobs == 1) {
+    RunCampaign(0);
+    RunCampaign(1);
+  } else {
+    ThreadPool Pool(Jobs <= 0 ? 0 : static_cast<unsigned>(Jobs));
+    Pool.parallelFor(0, 2, RunCampaign);
+  }
+  FuzzReport &Plain = Reports[0];
+  FuzzReport &Sem = Reports[1];
   uint64_t SurviveSemantics = 0;
   for (const std::string &Input : Plain.ValidInputs)
     if (mjsSemSubject().accepts(Input))
       ++SurviveSemantics;
-
-  PFuzzer SemTool;
-  FuzzReport Sem = SemTool.run(mjsSemSubject(), Opts);
 
   TableWriter Table({"Campaign", "Emitted inputs", "Pass semantics",
                      "Coverage %"});

@@ -32,9 +32,10 @@ int main(int Argc, char **Argv) {
   CommandLine Cli(Argc, Argv);
   uint64_t Execs = static_cast<uint64_t>(Cli.getInt("execs", 20000));
   uint64_t Seed = static_cast<uint64_t>(Cli.getInt("seed", 1));
+  int Jobs = static_cast<int>(Cli.getInt("jobs", 1));
   if (!Cli.ok() || !Cli.unqueried().empty()) {
-    std::fprintf(stderr,
-                 "usage: ablation_tableparser [--execs=N] [--seed=N]\n");
+    std::fprintf(stderr, "usage: ablation_tableparser [--execs=N]"
+                         " [--seed=N] [--jobs=N]\n");
     return 1;
   }
 
@@ -43,24 +44,34 @@ int main(int Argc, char **Argv) {
   std::printf("(same input language; %llu execs per tool; ll1arith counts"
               " parse-table\n elements as coverage sites)\n\n",
               static_cast<unsigned long long>(Execs));
+  const char *SubjectNames[] = {"arith", "ll1arith"};
+  const ToolKind Tools[] = {ToolKind::PFuzzer, ToolKind::Afl,
+                            ToolKind::Klee};
+  std::vector<CampaignCell> Grid;
+  for (const char *SubjectName : SubjectNames)
+    for (ToolKind Kind : Tools)
+      Grid.push_back({Kind, findSubject(SubjectName), Execs});
+  std::vector<CampaignResult> Results = runCampaignGrid(Grid, Seed, 1, Jobs);
+
   TableWriter Table({"Parser", "Tool", "Valid inputs", "Coverage %",
-                     "Tokens", "Longest valid"});
-  for (const char *SubjectName : {"arith", "ll1arith"}) {
-    const Subject *S = findSubject(SubjectName);
-    for (ToolKind Kind :
-         {ToolKind::PFuzzer, ToolKind::Afl, ToolKind::Klee}) {
-      CampaignResult R = runCampaign(Kind, *S, Execs, Seed, 1);
-      size_t Longest = 0;
-      for (const std::string &Input : R.Report.ValidInputs)
-        Longest = std::max(Longest, Input.size());
-      Table.addRow({SubjectName, std::string(toolName(Kind)),
-                    std::to_string(R.Report.ValidInputs.size()),
-                    formatDouble(R.coverageRatio(*S) * 100, 1),
-                    std::to_string(R.TokensFound.size()) + "/5",
-                    std::to_string(Longest)});
-      std::fprintf(stderr, "  done: %s on %s\n",
-                   std::string(toolName(Kind)).c_str(), SubjectName);
-    }
+                     "Tokens", "Longest valid", "Execs/s"});
+  for (size_t Cell = 0; Cell != Grid.size(); ++Cell) {
+    const CampaignResult &R = Results[Cell];
+    const Subject *S = Grid[Cell].S;
+    size_t Longest = 0;
+    for (const std::string &Input : R.Report.ValidInputs)
+      Longest = std::max(Longest, Input.size());
+    Table.addRow({SubjectNames[Cell / 3],
+                  std::string(toolName(Grid[Cell].Tool)),
+                  std::to_string(R.Report.ValidInputs.size()),
+                  formatDouble(R.coverageRatio(*S) * 100, 1),
+                  std::to_string(R.TokensFound.size()) + "/5",
+                  std::to_string(Longest),
+                  formatExecsPerSec(R.TotalExecutions, R.WallSeconds)});
+    std::fprintf(stderr, "  done: %s on %s (%s)\n",
+                 std::string(toolName(Grid[Cell].Tool)).c_str(),
+                 SubjectNames[Cell / 3],
+                 formatSeconds(R.WallSeconds).c_str());
   }
   Table.print(stdout);
   std::printf("\nReading: pFuzzer should find structured valid inputs on"

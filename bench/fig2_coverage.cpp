@@ -20,7 +20,9 @@
 #include "eval/TableWriter.h"
 #include "support/CommandLine.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 
+#include <chrono>
 #include <cstdio>
 
 using namespace pfuzz;
@@ -31,22 +33,40 @@ int main(int Argc, char **Argv) {
   Budgets.scale(static_cast<uint64_t>(Cli.getInt("budget-scale", 1)));
   int Runs = static_cast<int>(Cli.getInt("runs", 1));
   uint64_t Seed = static_cast<uint64_t>(Cli.getInt("seed", 1));
+  int Jobs = static_cast<int>(Cli.getInt("jobs", 1));
   bool Timeline = Cli.getBool("timeline", false);
   if (!Cli.ok() || !Cli.unqueried().empty()) {
     std::fprintf(stderr, "usage: fig2_coverage [--budget-scale=N]"
-                         " [--runs=N] [--seed=N] [--timeline]\n");
+                         " [--runs=N] [--seed=N] [--jobs=N] [--timeline]\n");
     return 1;
   }
 
   std::printf("== Figure 2: obtained coverage per subject and tool ==\n");
   std::printf("(branch coverage of valid inputs; budgets: pFuzzer/KLEE"
-              " %llu, AFL %llu execs, best of %d run(s))\n\n",
+              " %llu, AFL %llu execs, best of %d run(s), %d job(s))\n\n",
               static_cast<unsigned long long>(Budgets.PFuzzerExecs),
-              static_cast<unsigned long long>(Budgets.AflExecs), Runs);
+              static_cast<unsigned long long>(Budgets.AflExecs), Runs,
+              Jobs <= 0 ? static_cast<int>(ThreadPool::hardwareThreads())
+                        : Jobs);
 
   const ToolKind Tools[] = {ToolKind::Afl, ToolKind::Klee,
                             ToolKind::PFuzzer};
-  TableWriter Table({"Subject", "AFL %", "KLEE %", "pFuzzer %"});
+  std::vector<const Subject *> Subjects = evaluationSubjects();
+  // One flat grid: every (tool, subject, seed) run is an independent task,
+  // so --jobs=N overlaps slow cells (AFL's 10x budget) with fast ones.
+  std::vector<CampaignCell> Grid;
+  for (const Subject *S : Subjects)
+    for (ToolKind Tool : Tools)
+      Grid.push_back({Tool, S, Budgets.executionsFor(Tool)});
+  auto GridStart = std::chrono::steady_clock::now();
+  std::vector<CampaignResult> Results =
+      runCampaignGrid(Grid, Seed, Runs, Jobs);
+  double GridSeconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - GridStart)
+                           .count();
+
+  TableWriter Table(
+      {"Subject", "AFL %", "KLEE %", "pFuzzer %", "Wall", "Execs/s"});
   struct BarRow {
     std::string Subject;
     double Ratios[3];
@@ -54,27 +74,47 @@ int main(int Argc, char **Argv) {
     uint64_t Outcomes = 0;
   };
   std::vector<BarRow> Bars;
-  for (const Subject *S : evaluationSubjects()) {
+  for (size_t SubIdx = 0; SubIdx != Subjects.size(); ++SubIdx) {
+    const Subject *S = Subjects[SubIdx];
     BarRow Row;
     Row.Subject = S->name();
     std::vector<std::string> Cells = {std::string(S->name())};
+    double RowSeconds = 0;
+    uint64_t RowExecs = 0;
     for (int T = 0; T != 3; ++T) {
-      CampaignResult R = runCampaign(
-          Tools[T], *S, Budgets.executionsFor(Tools[T]), Seed, Runs);
+      const CampaignResult &R = Results[SubIdx * 3 + static_cast<size_t>(T)];
       Row.Ratios[T] = R.coverageRatio(*S);
       Row.Timelines[T] = R.Report.CoverageTimeline;
       Row.Outcomes = 2ull * S->numBranchSites();
+      RowSeconds += R.WallSeconds;
+      RowExecs += R.TotalExecutions;
       Cells.push_back(formatDouble(Row.Ratios[T] * 100, 1));
-      std::fprintf(stderr, "  done: %s on %s (%llu execs, %zu valid)\n",
+      std::fprintf(stderr,
+                   "  done: %s on %s (%llu execs, %zu valid, %s, %s)\n",
                    std::string(toolName(Tools[T])).c_str(),
                    std::string(S->name()).c_str(),
-                   static_cast<unsigned long long>(R.Report.Executions),
-                   R.Report.ValidInputs.size());
+                   static_cast<unsigned long long>(R.TotalExecutions),
+                   R.Report.ValidInputs.size(),
+                   formatSeconds(R.WallSeconds).c_str(),
+                   formatExecsPerSec(R.TotalExecutions, R.WallSeconds)
+                       .c_str());
     }
+    Cells.push_back(formatSeconds(RowSeconds));
+    Cells.push_back(formatExecsPerSec(RowExecs, RowSeconds));
     Bars.push_back(Row);
     Table.addRow(std::move(Cells));
   }
   Table.print(stdout);
+  uint64_t GridExecs = 0;
+  double CpuSeconds = 0;
+  for (const CampaignResult &R : Results) {
+    GridExecs += R.TotalExecutions;
+    CpuSeconds += R.WallSeconds;
+  }
+  std::printf("\ngrid wall-clock %s (cpu %s), %s aggregate\n",
+              formatSeconds(GridSeconds).c_str(),
+              formatSeconds(CpuSeconds).c_str(),
+              formatExecsPerSec(GridExecs, GridSeconds).c_str());
 
   std::printf("\nCoverage by each tool:\n");
   for (const BarRow &Row : Bars) {

@@ -32,9 +32,10 @@ int main(int Argc, char **Argv) {
   Budgets.scale(static_cast<uint64_t>(Cli.getInt("budget-scale", 1)));
   int Runs = static_cast<int>(Cli.getInt("runs", 1));
   uint64_t Seed = static_cast<uint64_t>(Cli.getInt("seed", 1));
+  int Jobs = static_cast<int>(Cli.getInt("jobs", 1));
   if (!Cli.ok() || !Cli.unqueried().empty()) {
     std::fprintf(stderr, "usage: fig3_tokens [--budget-scale=N] [--runs=N]"
-                         " [--seed=N]\n");
+                         " [--seed=N] [--jobs=N]\n");
     return 1;
   }
 
@@ -46,7 +47,16 @@ int main(int Argc, char **Argv) {
   uint32_t ShortFound[3] = {}, ShortTotal = 0;
   uint32_t LongFound[3] = {}, LongTotal = 0;
 
-  for (const Subject *S : evaluationSubjects()) {
+  std::vector<const Subject *> Subjects = evaluationSubjects();
+  std::vector<CampaignCell> Grid;
+  for (const Subject *S : Subjects)
+    for (ToolKind Tool : Tools)
+      Grid.push_back({Tool, S, Budgets.executionsFor(Tool)});
+  std::vector<CampaignResult> Results =
+      runCampaignGrid(Grid, Seed, Runs, Jobs);
+
+  for (size_t SubIdx = 0; SubIdx != Subjects.size(); ++SubIdx) {
+    const Subject *S = Subjects[SubIdx];
     const TokenInventory &Inv = TokenInventory::forSubject(S->name());
     auto Totals = Inv.countsByLength();
     std::printf("\n-- %s --\n", std::string(S->name()).c_str());
@@ -59,8 +69,7 @@ int main(int Argc, char **Argv) {
     LongTotal += Inv.numLong();
 
     for (int T = 0; T != 3; ++T) {
-      CampaignResult R = runCampaign(
-          Tools[T], *S, Budgets.executionsFor(Tools[T]), Seed, Runs);
+      const CampaignResult &R = Results[SubIdx * 3 + static_cast<size_t>(T)];
       std::map<uint32_t, uint32_t> Found;
       for (const std::string &Tok : R.TokensFound) {
         uint32_t Len = Inv.lengthOf(Tok);
@@ -74,9 +83,12 @@ int main(int Argc, char **Argv) {
       for (const auto &[Length, Count] : Totals)
         Cells.push_back(std::to_string(Found[Length]));
       Table.addRow(std::move(Cells));
-      std::fprintf(stderr, "  done: %s on %s (%zu tokens)\n",
+      std::fprintf(stderr, "  done: %s on %s (%zu tokens, %s, %s)\n",
                    std::string(toolName(Tools[T])).c_str(),
-                   std::string(S->name()).c_str(), R.TokensFound.size());
+                   std::string(S->name()).c_str(), R.TokensFound.size(),
+                   formatSeconds(R.WallSeconds).c_str(),
+                   formatExecsPerSec(R.TotalExecutions, R.WallSeconds)
+                       .c_str());
     }
     Table.print(stdout);
   }

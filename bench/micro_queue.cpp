@@ -1,0 +1,170 @@
+//===- bench/micro_queue.cpp - Queue + coverage bookkeeping benchmarks ----===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Micro-benchmarks of the fuzzing loop's hot bookkeeping: branch-coverage
+/// membership tests (the per-execution runCheck pattern and the per-rescore
+/// novelty filter), comparing the old std::set representation against the
+/// dense BranchCoverageMap bitmap, plus candidate max-heap push/pop. The
+/// *Set* and *Bitmap* pairs run the same workload, so their ratio is the
+/// speedup of the dense representation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/BranchCoverageMap.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+using namespace pfuzz;
+
+namespace {
+
+/// Deterministic branch-key stream shaped like real traces: keys cluster
+/// in a bounded site range and repeat heavily (parsers re-execute the
+/// same dispatch branches on every input).
+std::vector<uint32_t> traceKeys(size_t Count, uint32_t SiteRange,
+                                uint64_t Seed) {
+  std::vector<uint32_t> Keys;
+  Keys.reserve(Count);
+  uint64_t State = Seed * 6364136223846793005ull + 1442695040888963407ull;
+  for (size_t I = 0; I != Count; ++I) {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    uint32_t Site = static_cast<uint32_t>((State >> 33) % SiteRange);
+    Keys.push_back(Site << 1 | static_cast<uint32_t>(State & 1));
+  }
+  return Keys;
+}
+
+/// Per-candidate branch lists as rescoreQueue sees them: each list is the
+/// novel suffix of one execution's trace.
+std::vector<std::vector<uint32_t>> candidateLists(size_t NumCandidates,
+                                                  size_t ListLen,
+                                                  uint32_t SiteRange) {
+  std::vector<std::vector<uint32_t>> Lists;
+  Lists.reserve(NumCandidates);
+  for (size_t I = 0; I != NumCandidates; ++I)
+    Lists.push_back(traceKeys(ListLen, SiteRange, I + 17));
+  return Lists;
+}
+
+} // namespace
+
+// The runCheck pattern: for every execution, walk the covered branches of
+// the run, count the unseen ones, then fold them into global coverage.
+static void BM_RunCheckBookkeepingSet(benchmark::State &State) {
+  std::vector<std::vector<uint32_t>> Traces = candidateLists(64, 400, 500);
+  for (auto _ : State) {
+    std::set<uint32_t> Valid;
+    size_t Fresh = 0;
+    for (const std::vector<uint32_t> &Trace : Traces) {
+      for (uint32_t B : Trace)
+        if (!Valid.count(B))
+          ++Fresh;
+      Valid.insert(Trace.begin(), Trace.end());
+    }
+    benchmark::DoNotOptimize(Fresh);
+    benchmark::DoNotOptimize(Valid.size());
+  }
+}
+BENCHMARK(BM_RunCheckBookkeepingSet);
+
+static void BM_RunCheckBookkeepingBitmap(benchmark::State &State) {
+  std::vector<std::vector<uint32_t>> Traces = candidateLists(64, 400, 500);
+  for (auto _ : State) {
+    BranchCoverageMap Valid;
+    size_t Fresh = 0;
+    for (const std::vector<uint32_t> &Trace : Traces) {
+      for (uint32_t B : Trace)
+        if (!Valid.test(B))
+          ++Fresh;
+      Valid.insert(Trace.begin(), Trace.end());
+    }
+    benchmark::DoNotOptimize(Fresh);
+    benchmark::DoNotOptimize(Valid.size());
+  }
+}
+BENCHMARK(BM_RunCheckBookkeepingBitmap);
+
+// The rescoreQueue pattern: re-filter every queued candidate's branch
+// list against grown global coverage.
+static void BM_RescoreFilterSet(benchmark::State &State) {
+  std::vector<std::vector<uint32_t>> Lists = candidateLists(256, 60, 1000);
+  std::vector<uint32_t> Covered = traceKeys(800, 1000, 99);
+  std::set<uint32_t> Valid(Covered.begin(), Covered.end());
+  for (auto _ : State) {
+    size_t Surviving = 0;
+    for (const std::vector<uint32_t> &List : Lists)
+      for (uint32_t B : List)
+        if (!Valid.count(B))
+          ++Surviving;
+    benchmark::DoNotOptimize(Surviving);
+  }
+}
+BENCHMARK(BM_RescoreFilterSet);
+
+static void BM_RescoreFilterBitmap(benchmark::State &State) {
+  std::vector<std::vector<uint32_t>> Lists = candidateLists(256, 60, 1000);
+  std::vector<uint32_t> Covered = traceKeys(800, 1000, 99);
+  BranchCoverageMap Valid;
+  Valid.insert(Covered.begin(), Covered.end());
+  for (auto _ : State) {
+    size_t Surviving = 0;
+    for (const std::vector<uint32_t> &List : Lists)
+      for (uint32_t B : List)
+        if (!Valid.test(B))
+          ++Surviving;
+    benchmark::DoNotOptimize(Surviving);
+  }
+}
+BENCHMARK(BM_RescoreFilterBitmap);
+
+// Candidate queue push/pop: the max-heap discipline PFuzzer::run uses
+// (push_heap on add, pop_heap on pick).
+static void BM_QueuePushPop(benchmark::State &State) {
+  struct Candidate {
+    double Score;
+    uint64_t Id;
+    bool operator<(const Candidate &O) const { return Score < O.Score; }
+  };
+  std::vector<uint32_t> Scores = traceKeys(4096, 1 << 20, 42);
+  for (auto _ : State) {
+    std::vector<Candidate> Queue;
+    Queue.reserve(Scores.size());
+    // Grow the heap, interleaving pops the way the fuzzing loop does.
+    for (size_t I = 0; I != Scores.size(); ++I) {
+      Queue.push_back({static_cast<double>(Scores[I]), I});
+      std::push_heap(Queue.begin(), Queue.end());
+      if (I % 4 == 3) {
+        std::pop_heap(Queue.begin(), Queue.end());
+        Queue.pop_back();
+      }
+    }
+    benchmark::DoNotOptimize(Queue.size());
+  }
+}
+BENCHMARK(BM_QueuePushPop);
+
+// Epoch short-circuit: a rescore pass over candidates whose FilterEpoch
+// already matches does no membership tests at all.
+static void BM_RescoreEpochSkip(benchmark::State &State) {
+  std::vector<std::vector<uint32_t>> Lists = candidateLists(256, 60, 1000);
+  BranchCoverageMap Valid;
+  uint64_t Epoch = Valid.epoch();
+  std::vector<uint64_t> FilterEpochs(Lists.size(), Epoch);
+  for (auto _ : State) {
+    size_t Rescored = 0;
+    for (size_t I = 0; I != Lists.size(); ++I)
+      if (FilterEpochs[I] != Valid.epoch())
+        ++Rescored;
+    benchmark::DoNotOptimize(Rescored);
+  }
+}
+BENCHMARK(BM_RescoreEpochSkip);

@@ -21,6 +21,7 @@
 #include "mining/MiningPipeline.h"
 #include "support/CommandLine.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 
@@ -31,9 +32,10 @@ int main(int Argc, char **Argv) {
   uint64_t Explore = static_cast<uint64_t>(Cli.getInt("explore", 30000));
   uint64_t Generate = static_cast<uint64_t>(Cli.getInt("generate", 2000));
   uint64_t Seed = static_cast<uint64_t>(Cli.getInt("seed", 1));
+  int Jobs = static_cast<int>(Cli.getInt("jobs", 1));
   if (!Cli.ok() || !Cli.unqueried().empty()) {
     std::fprintf(stderr, "usage: pipeline_grammar [--explore=N]"
-                         " [--generate=N] [--seed=N]\n");
+                         " [--generate=N] [--seed=N] [--jobs=N]\n");
     return 1;
   }
 
@@ -46,10 +48,24 @@ int main(int Argc, char **Argv) {
   TableWriter Table({"Subject", "Seeds", "NTs", "Alts", "Valid %",
                      "Max seed len", "Max gen len", "Cov before",
                      "Cov after"});
-  for (const char *Name : {"arith", "json", "tinyc", "mjs"}) {
-    const Subject *S = findSubject(Name);
-    PipelineResult R = runMiningPipeline(*S, Explore, Generate, Seed);
-    Table.addRow({Name, std::to_string(R.SeedInputs.size()),
+  const char *Names[] = {"arith", "json", "tinyc", "mjs"};
+  PipelineResult Results[4];
+  // Each subject's explore+mine+generate pipeline is self-contained, so
+  // --jobs=N runs whole pipelines side by side.
+  auto RunPipeline = [&](size_t Idx) {
+    Results[Idx] =
+        runMiningPipeline(*findSubject(Names[Idx]), Explore, Generate, Seed);
+  };
+  if (Jobs == 1) {
+    for (size_t Idx = 0; Idx != 4; ++Idx)
+      RunPipeline(Idx);
+  } else {
+    ThreadPool Pool(Jobs <= 0 ? 0 : static_cast<unsigned>(Jobs));
+    Pool.parallelFor(0, 4, RunPipeline);
+  }
+  for (size_t Idx = 0; Idx != 4; ++Idx) {
+    const PipelineResult &R = Results[Idx];
+    Table.addRow({Names[Idx], std::to_string(R.SeedInputs.size()),
                   std::to_string(R.GrammarNonTerminals),
                   std::to_string(R.GrammarAlternatives),
                   formatDouble(R.validRatio() * 100, 1),
@@ -57,7 +73,7 @@ int main(int Argc, char **Argv) {
                   std::to_string(R.MaxGeneratedValidLen),
                   std::to_string(R.SeedBranches),
                   std::to_string(R.CombinedBranches)});
-    std::fprintf(stderr, "  done: %s\n", Name);
+    std::fprintf(stderr, "  done: %s\n", Names[Idx]);
   }
   Table.print(stdout);
   std::printf("\nReading: 'Max gen len' > 'Max seed len' demonstrates the"

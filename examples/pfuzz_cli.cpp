@@ -11,7 +11,8 @@
 /// statistics. Also exposes the mined-grammar pipeline via --mine.
 ///
 ///   ./pfuzz_cli --subject=json [--tool=pfuzzer|afl|klee|random]
-///               [--execs=N] [--seed=N] [--mine] [--quiet]
+///               [--execs=N] [--seed=N] [--runs=N] [--jobs=N]
+///               [--mine] [--quiet]
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,12 +33,15 @@ int main(int Argc, char **Argv) {
   std::string ToolName = Cli.getString("tool", "pfuzzer");
   uint64_t Execs = static_cast<uint64_t>(Cli.getInt("execs", 50000));
   uint64_t Seed = static_cast<uint64_t>(Cli.getInt("seed", 1));
+  int Runs = static_cast<int>(Cli.getInt("runs", 1));
+  int Jobs = static_cast<int>(Cli.getInt("jobs", 1));
   bool Mine = Cli.getBool("mine", false);
   bool Quiet = Cli.getBool("quiet", false);
   if (!Cli.ok() || !Cli.unqueried().empty()) {
     std::fprintf(stderr,
                  "usage: pfuzz_cli [--subject=NAME] [--tool=NAME]"
-                 " [--execs=N] [--seed=N] [--mine] [--quiet]\n"
+                 " [--execs=N] [--seed=N] [--runs=N] [--jobs=N]"
+                 " [--mine] [--quiet]\n"
                  "subjects: arith dyck ini csv json tinyc mjs\n"
                  "tools: pfuzzer afl klee random\n");
     return 1;
@@ -62,27 +66,27 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  std::unique_ptr<Fuzzer> Tool = makeFuzzer(Kind);
-  TokenCoverage Tokens(SubjectName);
-  FuzzerOptions Opts;
-  Opts.Seed = Seed;
-  Opts.MaxExecutions = Execs;
-  Opts.OnValidInput = [&Tokens](std::string_view Input) {
-    Tokens.addInput(Input);
-  };
-  FuzzReport R = Tool->run(*S, Opts);
+  // A campaign of one or more seeds; --jobs=N runs the seeds in parallel
+  // (results are identical for every jobs value — see eval/Campaign.h).
+  CampaignResult Best = runCampaign(Kind, *S, Execs, Seed, Runs, Jobs);
+  const FuzzReport &R = Best.Report;
 
   if (!Quiet)
     for (const std::string &Input : R.ValidInputs)
       std::printf("%s\n", escapeString(Input).c_str());
 
+  const TokenInventory &Inv = TokenInventory::forSubject(SubjectName);
   std::fprintf(stderr,
                "\n%s on %s: %llu executions, %zu emitted inputs,"
                " %.1f%% branch coverage of valid inputs, %zu/%zu tokens\n",
                ToolName.c_str(), SubjectName.c_str(),
-               static_cast<unsigned long long>(R.Executions),
+               static_cast<unsigned long long>(Best.TotalExecutions),
                R.ValidInputs.size(), 100 * R.coverageRatio(*S),
-               Tokens.found().size(), Tokens.inventory().size());
+               Best.TokensFound.size(), Inv.size());
+  std::fprintf(stderr, "wall-clock %s (%s)\n",
+               formatSeconds(Best.WallSeconds).c_str(),
+               formatExecsPerSec(Best.TotalExecutions, Best.WallSeconds)
+                   .c_str());
   std::fprintf(stderr, "coverage timeline (execs -> branch outcomes):\n");
   size_t Step = std::max<size_t>(1, R.CoverageTimeline.size() / 8);
   for (size_t I = 0; I < R.CoverageTimeline.size(); I += Step)

@@ -9,7 +9,7 @@
 /// prints a side-by-side comparison: coverage, valid inputs, tokens by
 /// length. A one-subject slice of the paper's evaluation.
 ///
-///   ./tool_shootout [--subject=tinyc] [--execs=N] [--seed=N]
+///   ./tool_shootout [--subject=tinyc] [--execs=N] [--seed=N] [--jobs=N]
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,9 +27,10 @@ int main(int Argc, char **Argv) {
   std::string SubjectName = Cli.getString("subject", "tinyc");
   uint64_t Execs = static_cast<uint64_t>(Cli.getInt("execs", 20000));
   uint64_t Seed = static_cast<uint64_t>(Cli.getInt("seed", 1));
+  int Jobs = static_cast<int>(Cli.getInt("jobs", 1));
   if (!Cli.ok() || !Cli.unqueried().empty()) {
     std::fprintf(stderr, "usage: tool_shootout [--subject=NAME]"
-                         " [--execs=N] [--seed=N]\n");
+                         " [--execs=N] [--seed=N] [--jobs=N]\n");
     return 1;
   }
   const Subject *S = findSubject(SubjectName);
@@ -45,10 +46,14 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(Execs));
   const TokenInventory &Inv = TokenInventory::forSubject(SubjectName);
   TableWriter Table({"Tool", "Coverage %", "Valid inputs", "Tokens",
-                     "Long tokens", "Longest input"});
+                     "Long tokens", "Longest input", "Execs/s"});
+  std::vector<CampaignCell> Grid;
   for (ToolKind Kind : {ToolKind::Random, ToolKind::Afl, ToolKind::Klee,
-                        ToolKind::PFuzzer}) {
-    CampaignResult R = runCampaign(Kind, *S, Execs, Seed, 1);
+                        ToolKind::PFuzzer})
+    Grid.push_back({Kind, S, Execs});
+  std::vector<CampaignResult> Results = runCampaignGrid(Grid, Seed, 1, Jobs);
+  for (const CampaignResult &R : Results) {
+    ToolKind Kind = R.Tool;
     uint32_t Long = 0;
     for (const std::string &Tok : R.TokensFound)
       if (Inv.lengthOf(Tok) > 3)
@@ -63,7 +68,8 @@ int main(int Argc, char **Argv) {
                   std::to_string(R.TokensFound.size()) + "/" +
                       std::to_string(Inv.size()),
                   std::to_string(Long),
-                  escapeString(Longest).substr(0, 32)});
+                  escapeString(Longest).substr(0, 32),
+                  formatExecsPerSec(R.TotalExecutions, R.WallSeconds)});
   }
   Table.print(stdout);
   std::printf("\nTry --subject=mjs to watch KLEE hit path explosion, or"

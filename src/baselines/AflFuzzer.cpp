@@ -87,6 +87,8 @@ private:
   std::array<uint32_t, MapSize> Scratch;
   std::vector<Seed> Queue;
   FuzzReport Report;
+  RunResult RR; // recycled across executions
+  std::vector<uint32_t> Covered;
 };
 
 } // namespace
@@ -98,7 +100,7 @@ void AflCampaign::execOne(const std::string &Input) {
   InstrumentationMode Mode = Afl.Cmp == CmpFeedback::None
                                  ? InstrumentationMode::CoverageOnly
                                  : InstrumentationMode::Full;
-  RunResult RR = S.execute(Input, Mode);
+  S.execute(Input, Mode, RR); // recycles RR's trace buffers
   ++Report.Executions;
   traceToMap(RR.BranchTrace, Scratch);
   if (Afl.Cmp != CmpFeedback::None) {
@@ -134,8 +136,9 @@ void AflCampaign::execOne(const std::string &Input) {
     if (Opts.OnValidInput)
       Opts.OnValidInput(Input);
     bool NewValidCoverage = false;
-    for (uint32_t B : RR.coveredBranches())
-      if (Report.ValidBranches.insert(B).second)
+    RR.coveredBranches(Covered);
+    for (uint32_t B : Covered)
+      if (Report.ValidBranches.set(B))
         NewValidCoverage = true;
     if (NewValidCoverage)
       Report.ValidInputs.push_back(Input);

@@ -55,8 +55,10 @@ private:
   Rng R;
   std::deque<std::string> States;
   std::unordered_set<std::string> SeenInputs;
-  std::unordered_set<uint32_t> AllCovered; // new-code filter for emission
+  BranchCoverageMap AllCovered; // new-code filter for emission
   FuzzReport Report;
+  RunResult RR; // recycled across executions
+  std::vector<uint32_t> Covered;
 };
 
 } // namespace
@@ -104,7 +106,7 @@ void KleeCampaign::forkFrom(const std::string &Input, const RunResult &RR,
     // the forked state jumps the queue (KLEE's covnew searcher).
     bool TargetsNewCode =
         E.TracePosition < RR.BranchTrace.size() &&
-        AllCovered.count(RR.BranchTrace[E.TracePosition] ^ 1u) == 0;
+        !AllCovered.test(RR.BranchTrace[E.TracePosition] ^ 1u);
     size_t Begin = std::min<size_t>(E.Taint.minIndex(), Input.size());
     size_t End = std::min<size_t>(E.Taint.maxIndex() + 1, Input.size());
     for (std::string &Sol : solutions(E)) {
@@ -131,18 +133,19 @@ FuzzReport KleeCampaign::run() {
   while (!States.empty() && Report.Executions < Opts.MaxExecutions) {
     std::string Input = std::move(States.front());
     States.pop_front();
-    RunResult RR = S.execute(Input, InstrumentationMode::Full);
+    S.execute(Input, InstrumentationMode::Full, RR);
     ++Report.Executions;
     bool NewCode = false;
-    for (uint32_t B : RR.coveredBranches())
-      if (AllCovered.insert(B).second)
+    RR.coveredBranches(Covered);
+    for (uint32_t B : Covered)
+      if (AllCovered.set(B))
         NewCode = true;
     if (RR.ExitCode == 0) {
       if (Opts.OnValidInput)
         Opts.OnValidInput(Input);
       bool NewValid = false;
-      for (uint32_t B : RR.coveredBranches())
-        if (Report.ValidBranches.insert(B).second)
+      for (uint32_t B : Covered)
+        if (Report.ValidBranches.set(B))
           NewValid = true;
       if (NewValid || NewCode)
         Report.ValidInputs.push_back(Input);

@@ -16,6 +16,8 @@ FuzzReport RandomFuzzer::run(const Subject &S, const FuzzerOptions &Opts) {
   Rng R(Opts.Seed);
   FuzzReport Report;
   uint64_t SampleEvery = std::max<uint64_t>(1, Opts.MaxExecutions / 256);
+  RunResult RR; // recycled across executions
+  std::vector<uint32_t> Covered;
   while (Report.Executions < Opts.MaxExecutions) {
     // Geometric-ish length distribution, mostly short inputs.
     size_t Len = R.below(8) == 0 ? R.below(64) : R.below(8);
@@ -24,14 +26,15 @@ FuzzReport RandomFuzzer::run(const Subject &S, const FuzzerOptions &Opts) {
     for (size_t I = 0; I != Len; ++I)
       Input.push_back(R.chance(1, 8) ? static_cast<char>(R.nextByte())
                                      : R.nextPrintable());
-    RunResult RR = S.execute(Input, InstrumentationMode::CoverageOnly);
+    S.execute(Input, InstrumentationMode::CoverageOnly, RR);
     ++Report.Executions;
     if (RR.ExitCode == 0) {
       if (Opts.OnValidInput)
         Opts.OnValidInput(Input);
       bool NewValid = false;
-      for (uint32_t B : RR.coveredBranches())
-        if (Report.ValidBranches.insert(B).second)
+      RR.coveredBranches(Covered);
+      for (uint32_t B : Covered)
+        if (Report.ValidBranches.set(B))
           NewValid = true;
       if (NewValid)
         Report.ValidInputs.push_back(Input);

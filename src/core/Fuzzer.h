@@ -15,11 +15,11 @@
 #ifndef PFUZZ_CORE_FUZZER_H
 #define PFUZZ_CORE_FUZZER_H
 
+#include "core/BranchCoverageMap.h"
 #include "subjects/Subject.h"
 
 #include <cstdint>
 #include <functional>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -58,8 +58,9 @@ struct FuzzReport {
   std::vector<std::string> ValidInputs;
 
   /// Distinct branch outcomes (SiteId << 1 | Taken) covered by valid
-  /// inputs — the Figure 2 metric.
-  std::set<uint32_t> ValidBranches;
+  /// inputs — the Figure 2 metric. A dense bitmap: membership tests are
+  /// the per-execution hot path of every tool.
+  BranchCoverageMap ValidBranches;
 
   /// Coverage growth samples: (executions, |ValidBranches|).
   std::vector<std::pair<uint64_t, uint64_t>> CoverageTimeline;

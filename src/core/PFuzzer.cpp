@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -27,6 +28,12 @@ namespace {
 /// re-rank (the paper's prototype lets the queue grow; we bound memory).
 constexpr size_t MaxQueueSize = 100000;
 
+/// Immutable branch list shared between every candidate spawned from the
+/// same parent run. One run's comparisons can fan out into dozens of
+/// substitution candidates; sharing the list replaces a per-candidate
+/// vector copy with a refcount bump, cutting queue memory and push cost.
+using SharedBranches = std::shared_ptr<const std::vector<uint32_t>>;
+
 /// A not-yet-executed input in the priority queue (Algorithm 1, line 3).
 struct Candidate {
   std::string Input;
@@ -37,9 +44,12 @@ struct Candidate {
   /// Length of the replacement that produced this candidate (line 49).
   uint32_t ReplacementLen = 1;
   /// Branches the parent run covered (up to the last accepted character)
-  /// that were not yet covered by valid inputs at creation time. Shrinks
-  /// at re-rank as vBr grows.
-  std::vector<uint32_t> NewBranches;
+  /// that were not yet covered by valid inputs at creation time. Replaced
+  /// (copy-on-rescore, never mutated in place) as vBr grows.
+  SharedBranches NewBranches;
+  /// vBr epoch at which NewBranches was last filtered; when the epoch has
+  /// not moved, a re-rank can skip re-filtering entirely.
+  uint64_t FilterEpoch = 0;
   /// Hash of the parent run's parse path (for path-novelty ranking).
   uint64_t PathHash = 0;
   double Score = 0;
@@ -72,9 +82,12 @@ private:
   /// validInp bookkeeping. Returns true in that case (line 27-35).
   bool runCheck(const std::string &Input, RunResult &RR);
 
-  /// Heuristic-relevant facts extracted from one run.
+  /// Heuristic-relevant facts extracted from one run. NewBranches is
+  /// built once per run and shared (refcounted) by every candidate the
+  /// run spawns.
   struct RunStats {
-    std::vector<uint32_t> NewBranches;
+    SharedBranches NewBranches;
+    uint64_t FilterEpoch = 0;
     double AvgStack = 0;
     uint64_t PathHash = 0;
     uint32_t LastIdx = 0;
@@ -109,7 +122,8 @@ private:
 
   double scoreOf(const Candidate &C) {
     HeuristicInputs In;
-    In.NewBranches = static_cast<uint32_t>(C.NewBranches.size());
+    In.NewBranches =
+        C.NewBranches ? static_cast<uint32_t>(C.NewBranches->size()) : 0;
     In.InputLen = static_cast<uint32_t>(C.Input.size());
     In.ReplacementLen = C.ReplacementLen;
     In.AvgStackSize = C.AvgStack;
@@ -138,14 +152,19 @@ private:
   FuzzReport Report;
   std::vector<Candidate> Queue; // max-heap by Score
   /// Branches covered by valid inputs (Algorithm 1's vBr, line 2); lives
-  /// directly in the report.
-  std::set<uint32_t> &VBr = Report.ValidBranches;
+  /// directly in the report. A dense bitmap: the test-per-branch loops in
+  /// runCheck/computeStats/rescoreQueue are the campaign's hottest code.
+  BranchCoverageMap &VBr = Report.ValidBranches;
   std::unordered_map<uint64_t, uint32_t> PathCounts;
   std::unordered_set<std::string> Enqueued;
   /// How often each prefix was re-enqueued for another random extension;
   /// bounded so retired prefixes stop consuming budget.
   std::unordered_map<std::string, uint32_t> RequeueCounts;
   uint64_t LastRescore = 0;
+  /// Reusable scratch for per-run distinct-branch extraction; cleared,
+  /// never reallocated, on each execution.
+  std::vector<uint32_t> CoveredScratch;
+  std::vector<uint32_t> UpToScratch;
 };
 
 } // namespace
@@ -154,8 +173,11 @@ FuzzReport Campaign::run() {
   std::string Input(1, randomChar()); // line 4
   uint32_t ParentCount = 0;
   uint64_t SampleEvery = std::max<uint64_t>(1, Opts.MaxExecutions / 256);
+  // The two RunResults live across the whole campaign: each execution
+  // recycles their trace buffers (Subject::execute clears contents but
+  // keeps capacity), so the steady state allocates nothing per run.
+  RunResult RR, RE;
   while (Report.Executions < Opts.MaxExecutions) {
-    RunResult RR;
     bool Valid = runCheck(Input, RR); // line 7
     RunStats Stats = computeStats(RR);
     ++PathCounts[Stats.PathHash];
@@ -171,7 +193,6 @@ FuzzReport Campaign::run() {
       if (Report.Executions >= Opts.MaxExecutions)
         break;
       std::string EInp = Input + randomChar(); // line 15
-      RunResult RE;
       // Line 9-12: run the extended input; whether it turned out valid or
       // not, its comparisons seed the next substitutions.
       runCheck(EInp, RE);
@@ -207,8 +228,9 @@ FuzzReport Campaign::run() {
     if (Opts.Verbose)
       std::fprintf(stderr,
                    "pop score=%.1f new=%zu len=%zu rep=%u par=%u [%s]\n",
-                   Best.Score, Best.NewBranches.size(), Best.Input.size(),
-                   Best.ReplacementLen, Best.NumParents,
+                   Best.Score,
+                   Best.NewBranches ? Best.NewBranches->size() : size_t(0),
+                   Best.Input.size(), Best.ReplacementLen, Best.NumParents,
                    Best.Input.c_str());
     Input = std::move(Best.Input);
     ParentCount = Best.NumParents;
@@ -218,16 +240,16 @@ FuzzReport Campaign::run() {
 }
 
 bool Campaign::runCheck(const std::string &Input, RunResult &RR) {
-  RR = S.execute(Input, InstrumentationMode::Full);
+  S.execute(Input, InstrumentationMode::Full, RR); // recycles RR's buffers
   ++Report.Executions;
-  std::vector<uint32_t> Covered = RR.coveredBranches();
   if (RR.ExitCode != 0)
     return false;
   if (Opts.OnValidInput)
     Opts.OnValidInput(Input);
+  RR.coveredBranches(CoveredScratch);
   bool NewCoverage = false;
-  for (uint32_t B : Covered) {
-    if (!VBr.count(B)) {
+  for (uint32_t B : CoveredScratch) {
+    if (!VBr.test(B)) {
       NewCoverage = true;
       break;
     }
@@ -236,7 +258,7 @@ bool Campaign::runCheck(const std::string &Input, RunResult &RR) {
     return false; // line 29: valid requires exit 0 AND new branches
   // validInp (lines 37-45): print, grow vBr, re-rank the queue.
   Report.ValidInputs.push_back(Input);
-  VBr.insert(Covered.begin(), Covered.end());
+  VBr.insert(CoveredScratch.begin(), CoveredScratch.end());
   Report.CoverageTimeline.emplace_back(Report.Executions, VBr.size());
   rescoreQueue();
   return true;
@@ -303,11 +325,16 @@ Campaign::RunStats Campaign::computeStats(const RunResult &RR) {
   for (const ComparisonEvent &E : RR.Comparisons)
     if (!E.Implicit)
       Cutoff = E.TracePosition + 1;
-  std::vector<uint32_t> UpTo = RR.coveredBranchesUpTo(Cutoff);
-  for (uint32_t B : UpTo)
-    if (!VBr.count(B))
-      Stats.NewBranches.push_back(B);
-  Stats.PathHash = hashBranches(UpTo);
+  RR.coveredBranchesUpTo(Cutoff, UpToScratch);
+  // One shared list per run; every candidate spawned from this run holds
+  // a reference instead of a copy.
+  auto Fresh = std::make_shared<std::vector<uint32_t>>();
+  for (uint32_t B : UpToScratch)
+    if (!VBr.test(B))
+      Fresh->push_back(B);
+  Stats.NewBranches = std::move(Fresh);
+  Stats.FilterEpoch = VBr.epoch();
+  Stats.PathHash = hashBranches(UpToScratch);
 
   // Average stack size between the second-last and last comparison.
   const ComparisonEvent *Last = nullptr, *SecondLast = nullptr;
@@ -353,6 +380,7 @@ void Campaign::addInputs(const std::string &Input, const RunResult &RR,
       C.AvgStack = Stats.AvgStack;
       C.ReplacementLen = static_cast<uint32_t>(Rep.size());
       C.NewBranches = Stats.NewBranches;
+      C.FilterEpoch = Stats.FilterEpoch;
       C.PathHash = Stats.PathHash;
       C.Score = scoreOf(C);
       pushCandidate(std::move(C));
@@ -372,6 +400,7 @@ void Campaign::requeuePrefix(const std::string &Input, const RunStats &Stats,
   C.AvgStack = Stats.AvgStack;
   C.ReplacementLen = 1;
   C.NewBranches = Stats.NewBranches;
+  C.FilterEpoch = Stats.FilterEpoch;
   C.PathHash = Stats.PathHash;
   // Deliberately bypasses the Enqueued dedup: the same prefix re-enters
   // once per execution so a fresh random extension gets its chance; each
@@ -398,14 +427,32 @@ Candidate Campaign::popBest() {
 }
 
 void Campaign::rescoreQueue() {
+  // vBr only grows, so each candidate's not-yet-covered list only
+  // shrinks. Candidates spawned from the same run share one immutable
+  // list, so filter each distinct list once (copy-on-rescore) and hand
+  // the filtered copy back to every sharer; the epoch check skips even
+  // that when coverage has not grown since the list was built.
+  uint64_t Now = VBr.epoch();
+  struct FilterEntry {
+    SharedBranches Original; // pins the key's address for this pass
+    SharedBranches Replacement;
+  };
+  std::unordered_map<const void *, FilterEntry> Filtered;
   for (Candidate &C : Queue) {
-    // vBr only grows, so the not-yet-covered set only shrinks.
-    C.NewBranches.erase(std::remove_if(C.NewBranches.begin(),
-                                       C.NewBranches.end(),
-                                       [this](uint32_t B) {
-                                         return VBr.count(B) != 0;
-                                       }),
-                        C.NewBranches.end());
+    if (C.NewBranches && !C.NewBranches->empty() && C.FilterEpoch != Now) {
+      FilterEntry &Entry = Filtered[C.NewBranches.get()];
+      if (!Entry.Replacement) {
+        Entry.Original = C.NewBranches;
+        auto Kept = std::make_shared<std::vector<uint32_t>>();
+        Kept->reserve(C.NewBranches->size());
+        for (uint32_t B : *C.NewBranches)
+          if (!VBr.test(B))
+            Kept->push_back(B);
+        Entry.Replacement = std::move(Kept);
+      }
+      C.NewBranches = Entry.Replacement;
+    }
+    C.FilterEpoch = Now;
     C.Score = scoreOf(C);
   }
   if (Queue.size() > MaxQueueSize) {
@@ -415,6 +462,19 @@ void Campaign::rescoreQueue() {
                        return A.Score > B.Score;
                      });
     Queue.resize(MaxQueueSize / 2);
+    // Evict the dedup/retry bookkeeping alongside the queue trim so it
+    // cannot grow without bound over long campaigns. Tradeoff: dropping
+    // Enqueued entries for discarded candidates weakens dedup — a dropped
+    // input can be regenerated and re-executed later — but the duplicate
+    // work is bounded by the budget while the memory growth was not.
+    Enqueued.clear();
+    for (const Candidate &C : Queue)
+      Enqueued.insert(C.Input);
+    if (RequeueCounts.size() > MaxQueueSize) {
+      // Retired prefixes lose their retry counters too and may earn one
+      // more round of random extensions; acceptable for the same reason.
+      RequeueCounts.clear();
+    }
   }
   std::make_heap(Queue.begin(), Queue.end(), scoreLess);
 }

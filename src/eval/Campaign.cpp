@@ -10,6 +10,9 @@
 #include "baselines/KleeFuzzer.h"
 #include "baselines/RandomFuzzer.h"
 #include "core/PFuzzer.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
 
 using namespace pfuzz;
 
@@ -55,40 +58,130 @@ uint64_t CampaignBudgets::executionsFor(ToolKind Kind) const {
   return 0;
 }
 
-void CampaignBudgets::scale(uint64_t Factor) {
-  PFuzzerExecs *= Factor;
-  AflExecs *= Factor;
-  KleeExecs *= Factor;
-  RandomExecs *= Factor;
+/// Saturating multiply: campaigns cap at UINT64_MAX executions instead of
+/// wrapping when --budget-scale is huge.
+static uint64_t mulSaturating(uint64_t A, uint64_t B) {
+  if (A != 0 && B > UINT64_MAX / A)
+    return UINT64_MAX;
+  return A * B;
 }
 
-CampaignResult pfuzz::runCampaign(ToolKind Kind, const Subject &S,
-                                  uint64_t Executions, uint64_t Seed,
-                                  int Runs) {
+void CampaignBudgets::scale(uint64_t Factor) {
+  PFuzzerExecs = mulSaturating(PFuzzerExecs, Factor);
+  AflExecs = mulSaturating(AflExecs, Factor);
+  KleeExecs = mulSaturating(KleeExecs, Factor);
+  RandomExecs = mulSaturating(RandomExecs, Factor);
+}
+
+namespace {
+
+/// What one (tool, subject, seed) run produced; the unit of parallelism.
+struct SeedRunOutcome {
+  FuzzReport Report;
+  std::set<std::string> TokensFound;
+  double WallSeconds = 0;
+};
+
+/// Runs one seed of one cell. Everything mutable (fuzzer, Rng, token
+/// accounting) is owned by this call, so any number of seed runs can
+/// execute concurrently.
+SeedRunOutcome runOneSeed(ToolKind Kind, const Subject &S,
+                          uint64_t Executions, uint64_t RunSeed) {
+  SeedRunOutcome Out;
+  std::unique_ptr<Fuzzer> Tool = makeFuzzer(Kind);
+  TokenCoverage Tokens(S.name());
+  FuzzerOptions Opts;
+  Opts.Seed = RunSeed;
+  Opts.MaxExecutions = Executions;
+  Opts.OnValidInput = [&Tokens](std::string_view Input) {
+    Tokens.addInput(Input);
+  };
+  auto Start = std::chrono::steady_clock::now();
+  Out.Report = Tool->run(S, Opts);
+  Out.WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  Out.TokensFound = Tokens.found();
+  return Out;
+}
+
+/// Folds the runs of one cell, in seed order, into the best-run result —
+/// the paper's "best of three" protocol. Seed-order reduction is what
+/// keeps parallel campaigns bit-identical to sequential ones.
+CampaignResult reduceCell(ToolKind Kind, const Subject &S,
+                          std::vector<SeedRunOutcome> &Outcomes) {
   CampaignResult Best;
   Best.Tool = Kind;
   Best.SubjectName = S.name();
   bool HaveBest = false;
-  for (int RunIdx = 0; RunIdx < Runs; ++RunIdx) {
-    std::unique_ptr<Fuzzer> Tool = makeFuzzer(Kind);
-    TokenCoverage Tokens(S.name());
-    FuzzerOptions Opts;
-    Opts.Seed = Seed + static_cast<uint64_t>(RunIdx);
-    Opts.MaxExecutions = Executions;
-    Opts.OnValidInput = [&Tokens](std::string_view Input) {
-      Tokens.addInput(Input);
-    };
-    FuzzReport Report = Tool->run(S, Opts);
+  for (SeedRunOutcome &Out : Outcomes) {
+    Best.WallSeconds += Out.WallSeconds;
+    Best.TotalExecutions += Out.Report.Executions;
     bool Better =
         !HaveBest ||
-        Report.ValidBranches.size() > Best.Report.ValidBranches.size() ||
-        (Report.ValidBranches.size() == Best.Report.ValidBranches.size() &&
-         Tokens.found().size() > Best.TokensFound.size());
+        Out.Report.ValidBranches.size() > Best.Report.ValidBranches.size() ||
+        (Out.Report.ValidBranches.size() ==
+             Best.Report.ValidBranches.size() &&
+         Out.TokensFound.size() > Best.TokensFound.size());
     if (Better) {
-      Best.Report = std::move(Report);
-      Best.TokensFound = Tokens.found();
+      Best.Report = std::move(Out.Report);
+      Best.TokensFound = std::move(Out.TokensFound);
       HaveBest = true;
     }
   }
   return Best;
+}
+
+} // namespace
+
+CampaignResult pfuzz::runCampaign(ToolKind Kind, const Subject &S,
+                                  uint64_t Executions, uint64_t Seed,
+                                  int Runs, int Jobs) {
+  std::vector<SeedRunOutcome> Outcomes(std::max(Runs, 0));
+  if (Jobs == 1 || Runs <= 1) {
+    // Inline fast path: no pool, no thread handoff.
+    for (int RunIdx = 0; RunIdx < Runs; ++RunIdx)
+      Outcomes[RunIdx] = runOneSeed(
+          Kind, S, Executions, Seed + static_cast<uint64_t>(RunIdx));
+  } else {
+    ThreadPool Pool(Jobs <= 0 ? 0 : static_cast<unsigned>(Jobs));
+    Pool.parallelFor(0, Outcomes.size(), [&](size_t RunIdx) {
+      Outcomes[RunIdx] =
+          runOneSeed(Kind, S, Executions, Seed + RunIdx);
+    });
+  }
+  return reduceCell(Kind, S, Outcomes);
+}
+
+std::vector<CampaignResult>
+pfuzz::runCampaignGrid(const std::vector<CampaignCell> &Cells, uint64_t Seed,
+                       int Runs, int Jobs) {
+  size_t NumRuns = static_cast<size_t>(std::max(Runs, 0));
+  std::vector<std::vector<SeedRunOutcome>> Outcomes(Cells.size());
+  for (std::vector<SeedRunOutcome> &Cell : Outcomes)
+    Cell.resize(NumRuns);
+  // One flat (cell, seed) task list over one pool: a slow cell (AFL's
+  // 10x budget) overlaps with every other cell instead of serialising
+  // the grid.
+  size_t Total = Cells.size() * NumRuns;
+  auto RunTask = [&](size_t TaskIdx) {
+    size_t CellIdx = TaskIdx / NumRuns;
+    size_t RunIdx = TaskIdx % NumRuns;
+    const CampaignCell &Cell = Cells[CellIdx];
+    Outcomes[CellIdx][RunIdx] =
+        runOneSeed(Cell.Tool, *Cell.S, Cell.Executions, Seed + RunIdx);
+  };
+  if (Jobs == 1 || Total <= 1) {
+    for (size_t TaskIdx = 0; TaskIdx != Total; ++TaskIdx)
+      RunTask(TaskIdx);
+  } else {
+    ThreadPool Pool(Jobs <= 0 ? 0 : static_cast<unsigned>(Jobs));
+    Pool.parallelFor(0, Total, RunTask);
+  }
+  std::vector<CampaignResult> Results;
+  Results.reserve(Cells.size());
+  for (size_t CellIdx = 0; CellIdx != Cells.size(); ++CellIdx)
+    Results.push_back(reduceCell(Cells[CellIdx].Tool, *Cells[CellIdx].S,
+                                 Outcomes[CellIdx]));
+  return Results;
 }

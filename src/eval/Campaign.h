@@ -11,6 +11,13 @@
 /// evaluation protocol (Section 5.1: three runs, best reported; budgets
 /// replace the 48 h wall-clock).
 ///
+/// The evaluation is embarrassingly parallel: every (tool, subject, seed)
+/// run owns its fuzzer, Rng and TokenCoverage and shares nothing mutable,
+/// so runCampaign fans the seeds out over a thread pool and
+/// runCampaignGrid fans out whole tool x subject cells. Results are
+/// reduced in seed order, never completion order, so any Jobs value
+/// produces results identical to Jobs=1.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PFUZZ_EVAL_CAMPAIGN_H
@@ -49,6 +56,9 @@ struct CampaignBudgets {
   uint64_t executionsFor(ToolKind Kind) const;
 
   /// Scales every budget by \p Factor (the --budget-scale bench flag).
+  /// The multiply is overflow-checked: a budget that would exceed 2^64-1
+  /// saturates at UINT64_MAX (an effectively unbounded campaign) instead
+  /// of silently wrapping to a tiny budget.
   void scale(uint64_t Factor);
 };
 
@@ -60,6 +70,22 @@ struct CampaignResult {
   /// Distinct inventory tokens found across the best run's valid inputs.
   std::set<std::string> TokensFound;
 
+  /// Aggregate compute time across every run of the cell (the sum of the
+  /// per-seed wall-clocks, so the value is comparable across Jobs
+  /// settings). Timing is diagnostic only — it is never part of the
+  /// deterministic result.
+  double WallSeconds = 0;
+
+  /// Executions summed over every run of the cell (the best run's own
+  /// count stays in Report.Executions).
+  uint64_t TotalExecutions = 0;
+
+  /// Throughput over all runs of the cell; 0 when nothing was timed.
+  double execsPerSec() const {
+    return WallSeconds > 0 ? static_cast<double>(TotalExecutions) / WallSeconds
+                           : 0;
+  }
+
   double coverageRatio(const Subject &S) const {
     return Report.coverageRatio(S);
   }
@@ -68,8 +94,31 @@ struct CampaignResult {
 /// Runs \p Kind on \p S for \p Runs seeds (Seed, Seed+1, ...), each with
 /// \p Executions budget, and returns the run with the highest valid-input
 /// branch coverage (ties: most tokens).
+///
+/// \p Jobs caps the worker threads used to run seeds concurrently: 1 (the
+/// default) runs inline on the calling thread, 0 means all hardware
+/// threads. Each seed's run is fully self-contained, and the best run is
+/// selected by reducing in seed order, so every Jobs value returns a
+/// result identical to Jobs=1.
 CampaignResult runCampaign(ToolKind Kind, const Subject &S,
-                           uint64_t Executions, uint64_t Seed, int Runs);
+                           uint64_t Executions, uint64_t Seed, int Runs,
+                           int Jobs = 1);
+
+/// One tool x subject cell of an evaluation grid.
+struct CampaignCell {
+  ToolKind Tool = ToolKind::PFuzzer;
+  const Subject *S = nullptr;
+  uint64_t Executions = 0;
+};
+
+/// Runs every cell of \p Cells for \p Runs seeds each, fanning all
+/// (cell, seed) tasks out over one pool of \p Jobs workers (0 = all
+/// hardware threads, the default). Returns one best-run result per cell,
+/// in the order of \p Cells; like runCampaign, the reduction is
+/// deterministic in seed order regardless of Jobs.
+std::vector<CampaignResult>
+runCampaignGrid(const std::vector<CampaignCell> &Cells, uint64_t Seed,
+                int Runs, int Jobs = 0);
 
 } // namespace pfuzz
 

@@ -74,3 +74,32 @@ void pfuzz::printSeries(
   std::fprintf(Out, "  %-10s |%s| %llu outcomes\n", Label.c_str(),
                Row.c_str(), static_cast<unsigned long long>(Final));
 }
+
+std::string pfuzz::formatSeconds(double Seconds) {
+  char Buf[64];
+  if (Seconds < 0)
+    Seconds = 0;
+  if (Seconds < 1.0)
+    std::snprintf(Buf, sizeof(Buf), "%.0fms", Seconds * 1000.0);
+  else if (Seconds < 60.0)
+    std::snprintf(Buf, sizeof(Buf), "%.1fs", Seconds);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%dm%02ds",
+                  static_cast<int>(Seconds) / 60,
+                  static_cast<int>(Seconds) % 60);
+  return Buf;
+}
+
+std::string pfuzz::formatExecsPerSec(uint64_t Execs, double Seconds) {
+  if (Seconds <= 0)
+    return "-";
+  double Rate = static_cast<double>(Execs) / Seconds;
+  char Buf[64];
+  if (Rate >= 1e6)
+    std::snprintf(Buf, sizeof(Buf), "%.1fM/s", Rate / 1e6);
+  else if (Rate >= 1e3)
+    std::snprintf(Buf, sizeof(Buf), "%.1fk/s", Rate / 1e3);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.0f/s", Rate);
+  return Buf;
+}

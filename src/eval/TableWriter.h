@@ -45,6 +45,13 @@ void printSeries(std::FILE *Out, const std::string &Label,
                  const std::vector<std::pair<uint64_t, uint64_t>> &Samples,
                  uint64_t MaxValue, int Width = 50);
 
+/// Formats a wall-clock duration compactly: "850ms", "12.4s", "3m12s".
+std::string formatSeconds(double Seconds);
+
+/// Formats a throughput as "execs/s" with k/M suffixes: "12.3k/s".
+/// Returns "-" when \p Seconds is not positive.
+std::string formatExecsPerSec(uint64_t Execs, double Seconds);
+
 } // namespace pfuzz
 
 #endif // PFUZZ_EVAL_TABLEWRITER_H

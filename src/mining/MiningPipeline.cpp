@@ -41,7 +41,7 @@ PipelineResult pfuzz::runMiningPipeline(const Subject &S,
   Opts.MaxExecutions = ExploreExecs;
   FuzzReport Report = Explorer.run(S, Opts);
   Result.SeedInputs = Report.ValidInputs;
-  std::set<uint32_t> Covered = Report.ValidBranches;
+  BranchCoverageMap Covered = Report.ValidBranches;
   Result.SeedBranches = Covered.size();
   for (const std::string &Input : Result.SeedInputs)
     Result.MaxSeedLen = std::max(Result.MaxSeedLen, Input.size());
@@ -63,7 +63,7 @@ PipelineResult pfuzz::runMiningPipeline(const Subject &S,
     Result.MaxGeneratedValidLen =
         std::max(Result.MaxGeneratedValidLen, Sentence.size());
     for (uint32_t B : RR.coveredBranches())
-      Covered.insert(B);
+      Covered.set(B);
   }
   Result.CombinedBranches = Covered.size();
   return Result;

@@ -11,13 +11,21 @@
 
 using namespace pfuzz;
 
-std::vector<uint32_t> RunResult::coveredBranchesUpTo(uint32_t End) const {
+void RunResult::coveredBranchesUpTo(uint32_t End,
+                                    std::vector<uint32_t> &Out) const {
   uint32_t Limit = std::min<uint32_t>(End, BranchTrace.size());
-  std::vector<uint32_t> Covered(BranchTrace.begin(),
-                                BranchTrace.begin() + Limit);
-  std::sort(Covered.begin(), Covered.end());
-  Covered.erase(std::unique(Covered.begin(), Covered.end()), Covered.end());
-  return Covered;
+  Out.assign(BranchTrace.begin(), BranchTrace.begin() + Limit);
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+}
+
+void RunResult::clear() {
+  ExitCode = 1;
+  Comparisons.clear();
+  EofAccesses.clear();
+  BranchTrace.clear();
+  CallTrace.clear();
+  FunctionNames.clear();
 }
 
 TChar ExecutionContext::nextChar() {

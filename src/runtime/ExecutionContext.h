@@ -73,14 +73,35 @@ struct RunResult {
   /// Returns true if the program tried to read past the end of input.
   bool hitEof() const { return !EofAccesses.empty(); }
 
-  /// Returns the set of distinct branch-trace entries in Trace[0..End).
-  /// End is clamped to the trace length.
-  std::vector<uint32_t> coveredBranchesUpTo(uint32_t End) const;
+  /// Fills \p Out with the distinct branch-trace entries in
+  /// Trace[0..End), sorted ascending. End is clamped to the trace
+  /// length. \p Out is clear()ed, not reallocated — fuzzers pass a
+  /// long-lived scratch buffer so the per-execution hot path performs no
+  /// heap allocation.
+  void coveredBranchesUpTo(uint32_t End, std::vector<uint32_t> &Out) const;
+
+  /// Allocating convenience form of the above.
+  std::vector<uint32_t> coveredBranchesUpTo(uint32_t End) const {
+    std::vector<uint32_t> Out;
+    coveredBranchesUpTo(End, Out);
+    return Out;
+  }
+
+  /// Fills \p Out with all distinct branch-trace entries (scratch-buffer
+  /// form).
+  void coveredBranches(std::vector<uint32_t> &Out) const {
+    coveredBranchesUpTo(static_cast<uint32_t>(BranchTrace.size()), Out);
+  }
 
   /// Returns all distinct branch-trace entries.
   std::vector<uint32_t> coveredBranches() const {
     return coveredBranchesUpTo(static_cast<uint32_t>(BranchTrace.size()));
   }
+
+  /// Empties every event container while keeping their heap buffers, so
+  /// a recycled RunResult re-records a fresh execution without
+  /// reallocating BranchTrace/Comparisons/CallTrace.
+  void clear();
 };
 
 /// The per-execution instrumentation state handed to a Subject::run call.
@@ -90,6 +111,17 @@ public:
       std::string_view Input,
       InstrumentationMode Mode = InstrumentationMode::Full)
       : Input(Input), Mode(Mode) {}
+
+  /// Pooled-execution constructor: adopts \p Recycled as the result
+  /// storage, clearing its contents but keeping the vector capacities a
+  /// previous run grew. Campaigns executing millions of inputs recycle
+  /// one RunResult this way instead of reallocating every trace buffer
+  /// per execution (see Subject::execute(Input, Mode, InOut)).
+  ExecutionContext(std::string_view Input, InstrumentationMode Mode,
+                   RunResult &&Recycled)
+      : Input(Input), Mode(Mode), Result(std::move(Recycled)) {
+    Result.clear();
+  }
 
   //===--------------------------------------------------------------------===
   // Input access

@@ -18,6 +18,14 @@ RunResult Subject::execute(std::string_view Input,
   return Ctx.takeResult();
 }
 
+void Subject::execute(std::string_view Input, InstrumentationMode Mode,
+                      RunResult &InOut) const {
+  ExecutionContext Ctx(Input, Mode, std::move(InOut));
+  int ExitCode = run(Ctx);
+  Ctx.setExitCode(ExitCode);
+  InOut = Ctx.takeResult();
+}
+
 bool Subject::accepts(std::string_view Input) const {
   ExecutionContext Ctx(Input, InstrumentationMode::Off);
   return run(Ctx) == 0;

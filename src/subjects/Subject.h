@@ -48,6 +48,15 @@ public:
   RunResult execute(std::string_view Input,
                     InstrumentationMode Mode = InstrumentationMode::Full) const;
 
+  /// Pooled execution: like execute(), but recycles \p InOut as the
+  /// result storage — its contents are cleared, its heap buffers
+  /// (BranchTrace, Comparisons, CallTrace, ...) are reused, and the new
+  /// result is moved back into it. Campaign loops call this with one
+  /// long-lived RunResult so the per-execution hot path allocates
+  /// nothing.
+  void execute(std::string_view Input, InstrumentationMode Mode,
+               RunResult &InOut) const;
+
   /// Returns true iff \p Input is accepted (exit code 0), using the
   /// cheapest instrumentation mode.
   bool accepts(std::string_view Input) const;

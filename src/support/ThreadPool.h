@@ -1,0 +1,74 @@
+//===- support/ThreadPool.h - Fixed-size worker pool -------------*- C++ -*-==//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool used by the evaluation harness to fan
+/// out independent fuzzing campaigns. There is deliberately no work
+/// stealing and no task dependency graph: campaign cells are large,
+/// independent, and deterministic, so a FIFO queue drained by N workers
+/// is all the machinery needed. Callers that require determinism reduce
+/// results in submission order, never in completion order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_SUPPORT_THREADPOOL_H
+#define PFUZZ_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pfuzz {
+
+/// A fixed-size pool of worker threads draining a FIFO task queue.
+class ThreadPool {
+public:
+  /// Creates \p Threads workers; 0 means hardwareThreads(). A pool of
+  /// size 1 executes tasks strictly in submission order.
+  explicit ThreadPool(unsigned Threads = 0);
+
+  /// Drains every queued task, then joins the workers. Tasks submitted
+  /// before destruction are guaranteed to run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of worker threads.
+  size_t size() const { return Workers.size(); }
+
+  /// Enqueues \p Task; the future resolves when it finishes and carries
+  /// any exception the task threw.
+  std::future<void> submit(std::function<void()> Task);
+
+  /// Runs Fn(I) for every I in [Begin, End) across the pool and blocks
+  /// until all calls finished. The first exception thrown by any call is
+  /// rethrown in the caller (the remaining iterations still run).
+  void parallelFor(size_t Begin, size_t End,
+                   const std::function<void(size_t)> &Fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to report 0).
+  static unsigned hardwareThreads();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::vector<std::packaged_task<void()>> Queue;
+  size_t QueueHead = 0; // Queue[0..QueueHead) already dispatched
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  bool Stopping = false;
+};
+
+} // namespace pfuzz
+
+#endif // PFUZZ_SUPPORT_THREADPOOL_H

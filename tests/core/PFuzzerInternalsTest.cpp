@@ -80,7 +80,7 @@ TEST(PFuzzerInternalsTest, EmittedBranchSetConsistent) {
     for (uint32_t B : RR.coveredBranches())
       Rebuilt.insert(B);
   }
-  EXPECT_EQ(Rebuilt, R.ValidBranches);
+  EXPECT_EQ(Rebuilt, R.ValidBranches.toSet());
 }
 
 TEST(PFuzzerInternalsTest, EveryEmittedInputAddedCoverageAtEmission) {

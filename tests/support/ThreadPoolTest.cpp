@@ -1,0 +1,108 @@
+//===- tests/support/ThreadPoolTest.cpp - Worker pool tests ---------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+using namespace pfuzz;
+
+TEST(ThreadPoolTest, HardwareThreadsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, DefaultSizeMatchesHardware) {
+  ThreadPool Pool;
+  EXPECT_EQ(Pool.size(), ThreadPool::hardwareThreads());
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsTasksInSubmissionOrder) {
+  ThreadPool Pool(1);
+  std::vector<int> Order;
+  std::vector<std::future<void>> Futures;
+  for (int I = 0; I != 16; ++I)
+    Futures.push_back(Pool.submit([&Order, I] { Order.push_back(I); }));
+  for (std::future<void> &F : Futures)
+    F.wait();
+  ASSERT_EQ(Order.size(), 16u);
+  for (int I = 0; I != 16; ++I)
+    EXPECT_EQ(Order[static_cast<size_t>(I)], I);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsFutureCarryingException) {
+  ThreadPool Pool(2);
+  std::future<void> F =
+      Pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(F.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Hits(100);
+  Pool.parallelFor(0, Hits.size(),
+                   [&Hits](size_t I) { Hits[I].fetch_add(1); });
+  for (const std::atomic<int> &Hit : Hits)
+    EXPECT_EQ(Hit.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsANoOp) {
+  ThreadPool Pool(2);
+  int Calls = 0;
+  Pool.parallelFor(5, 5, [&Calls](size_t) { ++Calls; });
+  EXPECT_EQ(Calls, 0);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstExceptionInIndexOrder) {
+  ThreadPool Pool(4);
+  std::atomic<int> Completed{0};
+  try {
+    Pool.parallelFor(0, 32, [&Completed](size_t I) {
+      if (I == 3)
+        throw std::runtime_error("index 3");
+      if (I == 20)
+        throw std::logic_error("index 20");
+      Completed.fetch_add(1);
+    });
+    FAIL() << "parallelFor should have thrown";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "index 3");
+  }
+  // Every non-throwing iteration still ran despite the exceptions.
+  EXPECT_EQ(Completed.load(), 30);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> Done{0};
+  {
+    ThreadPool Pool(1);
+    // The first task blocks the lone worker long enough for the rest to
+    // pile up in the queue; all of them must still run before the
+    // destructor returns.
+    for (int I = 0; I != 8; ++I)
+      Pool.submit([&Done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        Done.fetch_add(1);
+      });
+  }
+  EXPECT_EQ(Done.load(), 8);
+}
+
+TEST(ThreadPoolTest, ManyTasksAcrossManyWorkers) {
+  ThreadPool Pool(8);
+  std::atomic<uint64_t> Sum{0};
+  std::vector<std::future<void>> Futures;
+  for (uint64_t I = 1; I <= 500; ++I)
+    Futures.push_back(Pool.submit([&Sum, I] { Sum.fetch_add(I); }));
+  for (std::future<void> &F : Futures)
+    F.wait();
+  EXPECT_EQ(Sum.load(), 500u * 501u / 2);
+}
