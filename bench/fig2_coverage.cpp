@@ -34,10 +34,14 @@ int main(int Argc, char **Argv) {
   int Runs = static_cast<int>(Cli.getInt("runs", 1));
   uint64_t Seed = static_cast<uint64_t>(Cli.getInt("seed", 1));
   int Jobs = static_cast<int>(Cli.getInt("jobs", 1));
+  ToolOptions ToolCfg;
+  ToolCfg.PFuzzerRunCache =
+      static_cast<uint32_t>(Cli.getInt("run-cache", ToolCfg.PFuzzerRunCache));
   bool Timeline = Cli.getBool("timeline", false);
   if (!Cli.ok() || !Cli.unqueried().empty()) {
     std::fprintf(stderr, "usage: fig2_coverage [--budget-scale=N]"
-                         " [--runs=N] [--seed=N] [--jobs=N] [--timeline]\n");
+                         " [--runs=N] [--seed=N] [--jobs=N] [--run-cache=N]"
+                         " [--timeline]\n");
     return 1;
   }
 
@@ -60,7 +64,7 @@ int main(int Argc, char **Argv) {
       Grid.push_back({Tool, S, Budgets.executionsFor(Tool)});
   auto GridStart = std::chrono::steady_clock::now();
   std::vector<CampaignResult> Results =
-      runCampaignGrid(Grid, Seed, Runs, Jobs);
+      runCampaignGrid(Grid, Seed, Runs, Jobs, ToolCfg);
   double GridSeconds = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - GridStart)
                            .count();

@@ -33,9 +33,12 @@ int main(int Argc, char **Argv) {
   int Runs = static_cast<int>(Cli.getInt("runs", 1));
   uint64_t Seed = static_cast<uint64_t>(Cli.getInt("seed", 1));
   int Jobs = static_cast<int>(Cli.getInt("jobs", 1));
+  ToolOptions ToolCfg;
+  ToolCfg.PFuzzerRunCache =
+      static_cast<uint32_t>(Cli.getInt("run-cache", ToolCfg.PFuzzerRunCache));
   if (!Cli.ok() || !Cli.unqueried().empty()) {
     std::fprintf(stderr, "usage: fig3_tokens [--budget-scale=N] [--runs=N]"
-                         " [--seed=N] [--jobs=N]\n");
+                         " [--seed=N] [--jobs=N] [--run-cache=N]\n");
     return 1;
   }
 
@@ -53,7 +56,7 @@ int main(int Argc, char **Argv) {
     for (ToolKind Tool : Tools)
       Grid.push_back({Tool, S, Budgets.executionsFor(Tool)});
   std::vector<CampaignResult> Results =
-      runCampaignGrid(Grid, Seed, Runs, Jobs);
+      runCampaignGrid(Grid, Seed, Runs, Jobs, ToolCfg);
 
   for (size_t SubIdx = 0; SubIdx != Subjects.size(); ++SubIdx) {
     const Subject *S = Subjects[SubIdx];

@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/BranchCoverageMap.h"
+#include "runtime/ExecutionContext.h"
 
 #include <benchmark/benchmark.h>
 
@@ -151,6 +152,34 @@ static void BM_QueuePushPop(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_QueuePushPop);
+
+// Distinct-branch extraction (RunResult::coveredBranchesUpTo), the
+// per-execution dedup runCheck and computeStats perform twice per run.
+// Before: copy the trace, sort the whole copy, unique. After: one
+// epoch-stamped seen-array pass over the trace, sorting only the distinct
+// entries. Same workload, same (sorted) output — the ratio is the speedup.
+static void BM_CoveredBranchesSortUnique(benchmark::State &State) {
+  std::vector<uint32_t> Trace = traceKeys(4000, 400, 7);
+  std::vector<uint32_t> Out;
+  for (auto _ : State) {
+    Out.assign(Trace.begin(), Trace.end());
+    std::sort(Out.begin(), Out.end());
+    Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+    benchmark::DoNotOptimize(Out.size());
+  }
+}
+BENCHMARK(BM_CoveredBranchesSortUnique);
+
+static void BM_CoveredBranchesEpochStamp(benchmark::State &State) {
+  RunResult RR;
+  RR.BranchTrace = traceKeys(4000, 400, 7);
+  std::vector<uint32_t> Out;
+  for (auto _ : State) {
+    RR.coveredBranches(Out);
+    benchmark::DoNotOptimize(Out.size());
+  }
+}
+BENCHMARK(BM_CoveredBranchesEpochStamp);
 
 // Epoch short-circuit: a rescore pass over candidates whose FilterEpoch
 // already matches does no membership tests at all.

@@ -35,15 +35,20 @@ int main(int Argc, char **Argv) {
   uint64_t Seed = static_cast<uint64_t>(Cli.getInt("seed", 1));
   int Runs = static_cast<int>(Cli.getInt("runs", 1));
   int Jobs = static_cast<int>(Cli.getInt("jobs", 1));
+  ToolOptions Tools;
+  Tools.PFuzzerRunCache =
+      static_cast<uint32_t>(Cli.getInt("run-cache", Tools.PFuzzerRunCache));
   bool Mine = Cli.getBool("mine", false);
   bool Quiet = Cli.getBool("quiet", false);
   if (!Cli.ok() || !Cli.unqueried().empty()) {
     std::fprintf(stderr,
                  "usage: pfuzz_cli [--subject=NAME] [--tool=NAME]"
                  " [--execs=N] [--seed=N] [--runs=N] [--jobs=N]"
-                 " [--mine] [--quiet]\n"
+                 " [--run-cache=N] [--mine] [--quiet]\n"
                  "subjects: arith dyck ini csv json tinyc mjs\n"
-                 "tools: pfuzzer afl klee random\n");
+                 "tools: pfuzzer afl klee random\n"
+                 "--run-cache: pFuzzer memoized-run LRU entries (0=off;"
+                 " results are identical at any value)\n");
     return 1;
   }
   const Subject *S = findSubject(SubjectName);
@@ -68,7 +73,7 @@ int main(int Argc, char **Argv) {
 
   // A campaign of one or more seeds; --jobs=N runs the seeds in parallel
   // (results are identical for every jobs value — see eval/Campaign.h).
-  CampaignResult Best = runCampaign(Kind, *S, Execs, Seed, Runs, Jobs);
+  CampaignResult Best = runCampaign(Kind, *S, Execs, Seed, Runs, Jobs, Tools);
   const FuzzReport &R = Best.Report;
 
   if (!Quiet)

@@ -50,7 +50,7 @@ int main(int Argc, char **Argv) {
                        : E.Kind == CompareKind::CharRange ? "in-range"
                                                           : "strcmp";
     std::printf("  %-8s expected \"%s\"\n", Kind,
-                escapeString(E.Expected).c_str());
+                escapeString(std::string(Probe.expected(E))).c_str());
   }
   std::printf("\nEach expected value is a candidate substitution — that is"
               " the whole\ntrick. Now the full search:\n\n");

@@ -109,13 +109,15 @@ void AflCampaign::execOne(const std::string &Input) {
     for (const ComparisonEvent &E : RR.Comparisons) {
       if (E.Kind != CompareKind::StrEq)
         continue;
+      std::string_view Actual = RR.actual(E);
+      std::string_view Expected = RR.expected(E);
       uint32_t Prefix = 0;
-      while (Prefix < E.Actual.size() && Prefix < E.Expected.size() &&
-             E.Actual[Prefix] == E.Expected[Prefix])
+      while (Prefix < Actual.size() && Prefix < Expected.size() &&
+             Actual[Prefix] == Expected[Prefix])
         ++Prefix;
       uint32_t Feature = 0x9DC5u + Prefix * 0x01000193u;
       if (Afl.Cmp == CmpFeedback::PerKeyword)
-        for (char C : E.Expected)
+        for (char C : Expected)
           Feature = (Feature ^ static_cast<unsigned char>(C)) * 0x01000193u;
       ++Scratch[Feature & (MapSize - 1)];
     }

@@ -33,8 +33,10 @@ private:
                 bool Prioritise);
 
   /// Alternative operand values a comparison admits (the satisfying
-  /// assignments a solver would produce).
-  std::vector<std::string> solutions(const ComparisonEvent &E);
+  /// assignments a solver would produce). \p RR owns the arena the
+  /// event's operand slices resolve against.
+  std::vector<std::string> solutions(const RunResult &RR,
+                                     const ComparisonEvent &E);
 
   /// \p Prioritise mirrors KLEE's coverage-optimised searcher
   /// (nurs:covnew): states forked from a run that covered new code jump
@@ -63,14 +65,16 @@ private:
 
 } // namespace
 
-std::vector<std::string> KleeCampaign::solutions(const ComparisonEvent &E) {
+std::vector<std::string> KleeCampaign::solutions(const RunResult &RR,
+                                                 const ComparisonEvent &E) {
+  std::string_view Expected = RR.expected(E);
   std::vector<std::string> Out;
   switch (E.Kind) {
   case CompareKind::CharEq:
-    Out.push_back(E.Expected);
+    Out.push_back(std::string(Expected));
     break;
   case CompareKind::CharSet:
-    for (char C : E.Expected)
+    for (char C : Expected)
       Out.push_back(std::string(1, C));
     break;
   case CompareKind::CharRange: {
@@ -78,8 +82,8 @@ std::vector<std::string> KleeCampaign::solutions(const ComparisonEvent &E) {
     // branch outcome, not an enumeration of the range. Three
     // representatives keep the state fan-out KLEE-like while still giving
     // downstream arithmetic (hex decoding) some value diversity.
-    unsigned Lo = static_cast<unsigned char>(E.Expected[0]);
-    unsigned Hi = static_cast<unsigned char>(E.Expected[1]);
+    unsigned Lo = static_cast<unsigned char>(Expected[0]);
+    unsigned Hi = static_cast<unsigned char>(Expected[1]);
     Out.push_back(std::string(1, static_cast<char>(Lo)));
     if (Hi != Lo) {
       Out.push_back(std::string(1, static_cast<char>(Hi)));
@@ -89,7 +93,7 @@ std::vector<std::string> KleeCampaign::solutions(const ComparisonEvent &E) {
     break;
   }
   case CompareKind::StrEq:
-    Out.push_back(E.Expected);
+    Out.push_back(std::string(Expected));
     break;
   }
   return Out;
@@ -109,7 +113,7 @@ void KleeCampaign::forkFrom(const std::string &Input, const RunResult &RR,
         !AllCovered.test(RR.BranchTrace[E.TracePosition] ^ 1u);
     size_t Begin = std::min<size_t>(E.Taint.minIndex(), Input.size());
     size_t End = std::min<size_t>(E.Taint.maxIndex() + 1, Input.size());
-    for (std::string &Sol : solutions(E)) {
+    for (std::string &Sol : solutions(RR, E)) {
       // Substitute the solved bytes, keep the unconstrained suffix.
       std::string Forked =
           Input.substr(0, Begin) + Sol + Input.substr(End);

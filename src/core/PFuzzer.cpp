@@ -68,12 +68,145 @@ uint64_t hashBranches(const std::vector<uint32_t> &Branches) {
   return H;
 }
 
+/// FNV-1a over input bytes; keys both the run cache and the
+/// seen-candidate dedup set.
+uint64_t hashInput(std::string_view Input) {
+  uint64_t H = 0xCBF29CE484222325ULL;
+  for (char C : Input) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 0x100000001B3ULL;
+  }
+  return H;
+}
+
+/// Bounded LRU memoization of bare subject runs, keyed by input bytes.
+/// Subjects are deterministic, so a recorded RunResult *is* the result of
+/// re-executing the input; the fuzzer replays it without running the
+/// subject. Entries verify the stored input on lookup, so a 64-bit hash
+/// collision degrades to a miss, never to a wrong replay. Evicted entries
+/// are recycled in place (RunResult::assignFrom reuses their buffer
+/// capacities), so a warm cache performs no steady-state allocation.
+class RunCache {
+public:
+  explicit RunCache(uint32_t Capacity) : Capacity(Capacity) {}
+
+  /// Returns the recorded result of running \p Input, or nullptr. The
+  /// pointer is valid until the next insert(). \p Hash must be
+  /// hashInput(Input) — the caller computes it once and shares it with
+  /// insert().
+  const RunResult *lookup(uint64_t Hash, std::string_view Input) {
+    if (Capacity == 0)
+      return nullptr;
+    auto It = Index.find(Hash);
+    if (It == Index.end())
+      return nullptr;
+    Entry &E = Entries[It->second];
+    if (E.Input != Input)
+      return nullptr; // hash collision: treat as a miss
+    touch(It->second);
+    return &E.Result;
+  }
+
+  /// Records \p RR as the result of running \p Input, evicting the least
+  /// recently used entry when full.
+  ///
+  /// Most inputs the search executes are unique, and storing a result
+  /// copies its full traces — paid on every miss, recouped only on a
+  /// later hit. The doorkeeper makes storage lazy: the first sighting of
+  /// an input only records its hash, and the result is stored from the
+  /// second execution on. Repeating inputs (requeued prefixes, revisited
+  /// candidates) repeat again, so the hits that matter survive while the
+  /// unique-input stream pays one hash probe instead of a trace copy.
+  void insert(uint64_t H, std::string_view Input, const RunResult &RR) {
+    if (Capacity == 0)
+      return;
+    auto It = Index.find(H);
+    if (It != Index.end()) {
+      // Hash already present (collision with a different input): the slot
+      // adopts the newer run.
+      Entry &E = Entries[It->second];
+      E.Input.assign(Input);
+      E.Result.assignFrom(RR);
+      touch(It->second);
+      return;
+    }
+    if (Doorkeeper.insert(H).second)
+      return; // first sighting: note the hash, defer the copy
+    uint32_t Idx;
+    if (Entries.size() < Capacity) {
+      Idx = static_cast<uint32_t>(Entries.size());
+      Entries.emplace_back();
+      pushFront(Idx);
+    } else {
+      Idx = Tail;
+      Index.erase(Entries[Idx].Hash);
+      touch(Idx);
+    }
+    Entry &E = Entries[Idx];
+    E.Hash = H;
+    E.Input.assign(Input);
+    E.Result.assignFrom(RR);
+    Index.emplace(H, Idx);
+  }
+
+private:
+  static constexpr uint32_t None = ~0u;
+
+  struct Entry {
+    uint64_t Hash = 0;
+    std::string Input;
+    RunResult Result;
+    uint32_t Prev = None;
+    uint32_t Next = None;
+  };
+
+  void unlink(uint32_t Idx) {
+    Entry &E = Entries[Idx];
+    if (E.Prev != None)
+      Entries[E.Prev].Next = E.Next;
+    else
+      Head = E.Next;
+    if (E.Next != None)
+      Entries[E.Next].Prev = E.Prev;
+    else
+      Tail = E.Prev;
+  }
+
+  void pushFront(uint32_t Idx) {
+    Entry &E = Entries[Idx];
+    E.Prev = None;
+    E.Next = Head;
+    if (Head != None)
+      Entries[Head].Prev = Idx;
+    Head = Idx;
+    if (Tail == None)
+      Tail = Idx;
+  }
+
+  void touch(uint32_t Idx) {
+    if (Head == Idx)
+      return;
+    unlink(Idx);
+    pushFront(Idx);
+  }
+
+  uint32_t Capacity;
+  std::vector<Entry> Entries;
+  std::unordered_map<uint64_t, uint32_t> Index;
+  /// Hashes of every input ever executed; grows with the campaign like
+  /// the fuzzer's own Enqueued set (8 bytes per distinct input).
+  std::unordered_set<uint64_t> Doorkeeper;
+  uint32_t Head = None;
+  uint32_t Tail = None;
+};
+
 /// One pFuzzer campaign against one subject.
 class Campaign {
 public:
   Campaign(const Subject &S, const FuzzerOptions &Opts,
            const PFuzzerOptions &Config)
-      : S(S), Opts(Opts), Config(Config), Heur(Config.Heur), R(Opts.Seed) {}
+      : S(S), Opts(Opts), Config(Config), Heur(Config.Heur), R(Opts.Seed),
+        Cache(Config.RunCacheSize) {}
 
   FuzzReport run();
 
@@ -117,8 +250,10 @@ private:
   void pushCandidate(Candidate C);
   Candidate popBest();
 
-  /// The possible replacement strings a comparison admits.
-  std::vector<std::string> expansions(const ComparisonEvent &E);
+  /// The possible replacement strings a comparison admits. \p RR owns the
+  /// arena the event's operand slices resolve against.
+  std::vector<std::string> expansions(const RunResult &RR,
+                                      const ComparisonEvent &E);
 
   double scoreOf(const Candidate &C) {
     HeuristicInputs In;
@@ -156,7 +291,14 @@ private:
   /// runCheck/computeStats/rescoreQueue are the campaign's hottest code.
   BranchCoverageMap &VBr = Report.ValidBranches;
   std::unordered_map<uint64_t, uint32_t> PathCounts;
-  std::unordered_set<std::string> Enqueued;
+  /// Seen-candidate dedup keyed by 64-bit input hash instead of the input
+  /// bytes. A colliding hash drops a genuinely new candidate; tolerated —
+  /// at ~1e5 live entries the odds are ~1e-9 per insert, the search is
+  /// redundant by design, and the set costs 8 bytes per entry instead of
+  /// a stored string.
+  std::unordered_set<uint64_t> Enqueued;
+  /// Memoized bare runs; see PFuzzerOptions::RunCacheSize.
+  RunCache Cache;
   /// How often each prefix was re-enqueued for another random extension;
   /// bounded so retired prefixes stop consuming budget.
   std::unordered_map<std::string, uint32_t> RequeueCounts;
@@ -240,7 +382,18 @@ FuzzReport Campaign::run() {
 }
 
 bool Campaign::runCheck(const std::string &Input, RunResult &RR) {
-  S.execute(Input, InstrumentationMode::Full, RR); // recycles RR's buffers
+  // Memoized replay: the search re-executes identical inputs routinely
+  // (requeued prefixes, candidates regenerated after a queue trim). A hit
+  // copies the recorded result instead of re-running the subject, still
+  // counts against the execution budget, and flows through the identical
+  // bookkeeping below — the report cannot tell a replay from a run.
+  uint64_t Hash = hashInput(Input);
+  if (const RunResult *Cached = Cache.lookup(Hash, Input)) {
+    RR.assignFrom(*Cached);
+  } else {
+    S.execute(Input, InstrumentationMode::Full, RR); // recycles RR's buffers
+    Cache.insert(Hash, Input, RR);
+  }
   ++Report.Executions;
   if (RR.ExitCode != 0)
     return false;
@@ -264,19 +417,21 @@ bool Campaign::runCheck(const std::string &Input, RunResult &RR) {
   return true;
 }
 
-std::vector<std::string> Campaign::expansions(const ComparisonEvent &E) {
+std::vector<std::string> Campaign::expansions(const RunResult &RR,
+                                              const ComparisonEvent &E) {
+  std::string_view Expected = RR.expected(E);
   std::vector<std::string> Out;
   switch (E.Kind) {
   case CompareKind::CharEq:
-    Out.push_back(E.Expected);
+    Out.push_back(std::string(Expected));
     break;
   case CompareKind::CharSet:
-    for (char C : E.Expected)
+    for (char C : Expected)
       Out.push_back(std::string(1, C));
     break;
   case CompareKind::CharRange: {
-    unsigned Lo = static_cast<unsigned char>(E.Expected[0]);
-    unsigned Hi = static_cast<unsigned char>(E.Expected[1]);
+    unsigned Lo = static_cast<unsigned char>(Expected[0]);
+    unsigned Hi = static_cast<unsigned char>(Expected[1]);
     if (Hi - Lo + 1 <= 16) {
       for (unsigned C = Lo; C <= Hi; ++C)
         Out.push_back(std::string(1, static_cast<char>(C)));
@@ -291,7 +446,7 @@ std::vector<std::string> Campaign::expansions(const ComparisonEvent &E) {
     break;
   }
   case CompareKind::StrEq:
-    Out.push_back(E.Expected);
+    Out.push_back(std::string(Expected));
     break;
   }
   return Out;
@@ -369,12 +524,12 @@ void Campaign::addInputs(const std::string &Input, const RunResult &RR,
         E.Kind != CompareKind::StrEq)
       continue;
     size_t SpliceAt = std::min<size_t>(E.Taint.minIndex(), Input.size());
-    for (std::string &Rep : expansions(E)) {
+    for (std::string &Rep : expansions(RR, E)) {
       Candidate C;
       C.Input = Input.substr(0, SpliceAt) + Rep;
       if (C.Input == Input || C.Input.size() > Opts.MaxInputLen)
         continue;
-      if (!Enqueued.insert(C.Input).second)
+      if (!Enqueued.insert(hashInput(C.Input)).second)
         continue;
       C.NumParents = ParentCount + 1;
       C.AvgStack = Stats.AvgStack;
@@ -462,14 +617,11 @@ void Campaign::rescoreQueue() {
                        return A.Score > B.Score;
                      });
     Queue.resize(MaxQueueSize / 2);
-    // Evict the dedup/retry bookkeeping alongside the queue trim so it
-    // cannot grow without bound over long campaigns. Tradeoff: dropping
-    // Enqueued entries for discarded candidates weakens dedup — a dropped
-    // input can be regenerated and re-executed later — but the duplicate
-    // work is bounded by the budget while the memory growth was not.
-    Enqueued.clear();
-    for (const Candidate &C : Queue)
-      Enqueued.insert(C.Input);
+    // Enqueued survives the trim: at 8 bytes per hash it grows slower
+    // than the queue it deduplicates, and keeping it means a trimmed
+    // candidate is never regenerated and re-executed. (The seed rebuilt
+    // the set from the surviving candidates here, which cost a pass over
+    // the queue and re-admitted every dropped input.)
     if (RequeueCounts.size() > MaxQueueSize) {
       // Retired prefixes lose their retry counters too and may earn one
       // more round of random extensions; acceptable for the same reason.

@@ -32,6 +32,15 @@ struct PFuzzerOptions {
   /// setting this stops expanding valid inputs (their substitution
   /// children and re-extensions are not enqueued).
   bool ResetOnValid = false;
+
+  /// Capacity (in entries) of the memoized-run LRU cache; 0 disables it.
+  /// The search re-executes identical inputs routinely (requeued
+  /// prefixes, candidates regenerated after a queue trim); a hit replays
+  /// the recorded RunResult instead of re-running the subject. Replay is
+  /// behavior-invariant: a hit still counts against the execution budget
+  /// and performs identical bookkeeping, so FuzzReports are byte-for-byte
+  /// unchanged at any cache size.
+  uint32_t RunCacheSize = 64;
 };
 
 /// The parser-directed fuzzer.

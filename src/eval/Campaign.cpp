@@ -16,10 +16,14 @@
 
 using namespace pfuzz;
 
-std::unique_ptr<Fuzzer> pfuzz::makeFuzzer(ToolKind Kind) {
+std::unique_ptr<Fuzzer> pfuzz::makeFuzzer(ToolKind Kind,
+                                          const ToolOptions &Tools) {
   switch (Kind) {
-  case ToolKind::PFuzzer:
-    return std::make_unique<PFuzzer>();
+  case ToolKind::PFuzzer: {
+    PFuzzerOptions Options;
+    Options.RunCacheSize = Tools.PFuzzerRunCache;
+    return std::make_unique<PFuzzer>(Options);
+  }
   case ToolKind::Afl:
     return std::make_unique<AflFuzzer>();
   case ToolKind::Klee:
@@ -86,9 +90,10 @@ struct SeedRunOutcome {
 /// accounting) is owned by this call, so any number of seed runs can
 /// execute concurrently.
 SeedRunOutcome runOneSeed(ToolKind Kind, const Subject &S,
-                          uint64_t Executions, uint64_t RunSeed) {
+                          uint64_t Executions, uint64_t RunSeed,
+                          const ToolOptions &Tools) {
   SeedRunOutcome Out;
-  std::unique_ptr<Fuzzer> Tool = makeFuzzer(Kind);
+  std::unique_ptr<Fuzzer> Tool = makeFuzzer(Kind, Tools);
   TokenCoverage Tokens(S.name());
   FuzzerOptions Opts;
   Opts.Seed = RunSeed;
@@ -136,18 +141,19 @@ CampaignResult reduceCell(ToolKind Kind, const Subject &S,
 
 CampaignResult pfuzz::runCampaign(ToolKind Kind, const Subject &S,
                                   uint64_t Executions, uint64_t Seed,
-                                  int Runs, int Jobs) {
+                                  int Runs, int Jobs,
+                                  const ToolOptions &Tools) {
   std::vector<SeedRunOutcome> Outcomes(std::max(Runs, 0));
   if (Jobs == 1 || Runs <= 1) {
     // Inline fast path: no pool, no thread handoff.
     for (int RunIdx = 0; RunIdx < Runs; ++RunIdx)
       Outcomes[RunIdx] = runOneSeed(
-          Kind, S, Executions, Seed + static_cast<uint64_t>(RunIdx));
+          Kind, S, Executions, Seed + static_cast<uint64_t>(RunIdx), Tools);
   } else {
     ThreadPool Pool(Jobs <= 0 ? 0 : static_cast<unsigned>(Jobs));
     Pool.parallelFor(0, Outcomes.size(), [&](size_t RunIdx) {
       Outcomes[RunIdx] =
-          runOneSeed(Kind, S, Executions, Seed + RunIdx);
+          runOneSeed(Kind, S, Executions, Seed + RunIdx, Tools);
     });
   }
   return reduceCell(Kind, S, Outcomes);
@@ -155,7 +161,7 @@ CampaignResult pfuzz::runCampaign(ToolKind Kind, const Subject &S,
 
 std::vector<CampaignResult>
 pfuzz::runCampaignGrid(const std::vector<CampaignCell> &Cells, uint64_t Seed,
-                       int Runs, int Jobs) {
+                       int Runs, int Jobs, const ToolOptions &Tools) {
   size_t NumRuns = static_cast<size_t>(std::max(Runs, 0));
   std::vector<std::vector<SeedRunOutcome>> Outcomes(Cells.size());
   for (std::vector<SeedRunOutcome> &Cell : Outcomes)
@@ -169,7 +175,7 @@ pfuzz::runCampaignGrid(const std::vector<CampaignCell> &Cells, uint64_t Seed,
     size_t RunIdx = TaskIdx % NumRuns;
     const CampaignCell &Cell = Cells[CellIdx];
     Outcomes[CellIdx][RunIdx] =
-        runOneSeed(Cell.Tool, *Cell.S, Cell.Executions, Seed + RunIdx);
+        runOneSeed(Cell.Tool, *Cell.S, Cell.Executions, Seed + RunIdx, Tools);
   };
   if (Jobs == 1 || Total <= 1) {
     for (size_t TaskIdx = 0; TaskIdx != Total; ++TaskIdx)

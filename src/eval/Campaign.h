@@ -38,8 +38,19 @@ enum class ToolKind {
   Random,
 };
 
+/// Per-tool configuration the campaign runners thread through to the
+/// fuzzer instances they create. Everything here is behavior-invariant
+/// for reports (performance knobs only), so the defaults are safe for
+/// every caller.
+struct ToolOptions {
+  /// PFuzzerOptions::RunCacheSize for pFuzzer campaigns: memoized-run
+  /// LRU capacity, 0 disables. Reports are byte-identical at any value.
+  uint32_t PFuzzerRunCache = 64;
+};
+
 /// Creates a fresh fuzzer instance for \p Kind.
-std::unique_ptr<Fuzzer> makeFuzzer(ToolKind Kind);
+std::unique_ptr<Fuzzer> makeFuzzer(ToolKind Kind,
+                                   const ToolOptions &Tools = {});
 
 /// Display name ("pFuzzer", "AFL", "KLEE", "Random").
 std::string_view toolName(ToolKind Kind);
@@ -102,7 +113,7 @@ struct CampaignResult {
 /// result identical to Jobs=1.
 CampaignResult runCampaign(ToolKind Kind, const Subject &S,
                            uint64_t Executions, uint64_t Seed, int Runs,
-                           int Jobs = 1);
+                           int Jobs = 1, const ToolOptions &Tools = {});
 
 /// One tool x subject cell of an evaluation grid.
 struct CampaignCell {
@@ -118,7 +129,7 @@ struct CampaignCell {
 /// deterministic in seed order regardless of Jobs.
 std::vector<CampaignResult>
 runCampaignGrid(const std::vector<CampaignCell> &Cells, uint64_t Seed,
-                int Runs, int Jobs = 0);
+                int Runs, int Jobs = 0, const ToolOptions &Tools = {});
 
 } // namespace pfuzz
 

@@ -20,8 +20,8 @@ DerivationTree::fromRun(const RunResult &RR, std::string_view Input) {
   Tree.Input = std::string(Input);
   Tree.Names.push_back("<start>");
   // Function name ids shift by one because of the synthetic root.
-  for (const std::string &Name : RR.FunctionNames)
-    Tree.Names.push_back(Name);
+  for (std::string_view Name : RR.FunctionNames)
+    Tree.Names.push_back(std::string(Name));
 
   uint32_t Len = static_cast<uint32_t>(Input.size());
   auto Clamp = [Len](uint32_t Cursor) { return std::min(Cursor, Len); };

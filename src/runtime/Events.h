@@ -11,6 +11,14 @@
 /// accesses past the end of the input (Section 2: "The EOF is detected as
 /// any operation that tries to access past the end of a given argument").
 ///
+/// Event byte payloads (the expected operand and the concrete compared
+/// bytes) are not owned by the event: they live in a per-RunResult char
+/// arena and events hold offset+length slices into it. Recording a
+/// comparison therefore appends to one recycled buffer instead of
+/// constructing two std::strings per event — the dominant allocation in
+/// Full-mode execution. Resolve slices with RunResult::expected(E) /
+/// RunResult::actual(E).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PFUZZ_RUNTIME_EVENTS_H
@@ -19,7 +27,6 @@
 #include "taint/Taint.h"
 
 #include <cstdint>
-#include <string>
 
 namespace pfuzz {
 
@@ -35,6 +42,13 @@ enum class CompareKind {
   StrEq,
 };
 
+/// A byte range inside the owning RunResult's event-character arena.
+/// Meaningless without the RunResult it was recorded into.
+struct EventSlice {
+  uint32_t Offset = 0;
+  uint32_t Length = 0;
+};
+
 /// One tracked comparison between a tainted value and an expected operand.
 struct ComparisonEvent {
   /// Input indices the compared value derives from. Empty when the subject
@@ -43,12 +57,14 @@ struct ComparisonEvent {
 
   CompareKind Kind = CompareKind::CharEq;
 
-  /// The expected operand. CharEq: one char. CharRange: exactly two chars
-  /// {lo, hi}. CharSet: the member characters. StrEq: the full string.
-  std::string Expected;
+  /// The expected operand, as an arena slice. CharEq: one char. CharRange:
+  /// exactly two chars {lo, hi}. CharSet: the member characters. StrEq:
+  /// the full string. Resolve with RunResult::expected(E).
+  EventSlice Expected;
 
-  /// The concrete bytes of the compared value at comparison time.
-  std::string Actual;
+  /// The concrete bytes of the compared value at comparison time, as an
+  /// arena slice. Resolve with RunResult::actual(E).
+  EventSlice Actual;
 
   /// Whether the comparison succeeded.
   bool Matched = false;

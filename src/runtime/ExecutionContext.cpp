@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "runtime/ExecutionContext.h"
+#include "runtime/Interning.h"
 
 #include <algorithm>
 #include <cassert>
@@ -14,9 +15,25 @@ using namespace pfuzz;
 void RunResult::coveredBranchesUpTo(uint32_t End,
                                     std::vector<uint32_t> &Out) const {
   uint32_t Limit = std::min<uint32_t>(End, BranchTrace.size());
-  Out.assign(BranchTrace.begin(), BranchTrace.begin() + Limit);
+  Out.clear();
+  if (++SeenPass == 0) {
+    // Pass counter wrapped: stale stamps could alias, so reset them once
+    // every 2^32 passes.
+    std::fill(SeenStamp.begin(), SeenStamp.end(), 0u);
+    SeenPass = 1;
+  }
+  for (uint32_t I = 0; I != Limit; ++I) {
+    uint32_t Entry = BranchTrace[I];
+    if (Entry >= SeenStamp.size())
+      SeenStamp.resize(Entry + 1, 0u);
+    if (SeenStamp[Entry] != SeenPass) {
+      SeenStamp[Entry] = SeenPass;
+      Out.push_back(Entry);
+    }
+  }
+  // Only the distinct entries get sorted — output order must stay
+  // ascending because path hashes are computed over it.
   std::sort(Out.begin(), Out.end());
-  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
 }
 
 void RunResult::clear() {
@@ -26,6 +43,26 @@ void RunResult::clear() {
   BranchTrace.clear();
   CallTrace.clear();
   FunctionNames.clear();
+  EventChars.clear();
+  // Invalidate the interned-id remap in O(1); the stamp vectors keep
+  // their storage across recycled runs.
+  if (++FuncPass == 0) {
+    std::fill(FuncStamp.begin(), FuncStamp.end(), 0u);
+    FuncPass = 1;
+  }
+}
+
+void RunResult::assignFrom(const RunResult &Other) {
+  ExitCode = Other.ExitCode;
+  // Member-wise vector copy assignment reuses existing capacity; an
+  // evicted cache entry recycled through here stops allocating once its
+  // buffers have grown to the working-set size.
+  Comparisons = Other.Comparisons;
+  EofAccesses = Other.EofAccesses;
+  BranchTrace = Other.BranchTrace;
+  CallTrace = Other.CallTrace;
+  FunctionNames = Other.FunctionNames;
+  EventChars.assign(Other.EventChars);
 }
 
 TChar ExecutionContext::nextChar() {
@@ -54,17 +91,26 @@ void ExecutionContext::ungetChar() {
   --Cursor;
 }
 
+EventSlice ExecutionContext::internEventChars(std::string_view Bytes) {
+  EventSlice Slice{static_cast<uint32_t>(Result.EventChars.size()),
+                   static_cast<uint32_t>(Bytes.size())};
+  Result.EventChars.append(Bytes);
+  return Slice;
+}
+
 void ExecutionContext::recordComparison(const TChar &C, CompareKind Kind,
-                                        std::string Expected, bool Matched,
-                                        bool Implicit) {
+                                        std::string_view Expected,
+                                        bool Matched, bool Implicit) {
   if (Mode != InstrumentationMode::Full)
     return;
   ComparisonEvent Event;
   Event.Taint = C.taint();
   Event.Kind = Kind;
-  Event.Expected = std::move(Expected);
-  if (!C.isEof())
-    Event.Actual.push_back(C.ch());
+  Event.Expected = internEventChars(Expected);
+  if (!C.isEof()) {
+    char Ch = C.ch();
+    Event.Actual = internEventChars(std::string_view(&Ch, 1));
+  }
   Event.Matched = Matched;
   Event.OnEof = C.isEof();
   Event.Implicit = Implicit;
@@ -79,8 +125,8 @@ static unsigned byteOf(char C) { return static_cast<unsigned char>(C); }
 
 bool ExecutionContext::cmpEq(const TChar &C, char Expected, bool Implicit) {
   bool Matched = !C.isEof() && byteOf(C.ch()) == byteOf(Expected);
-  recordComparison(C, CompareKind::CharEq, std::string(1, Expected), Matched,
-                   Implicit);
+  recordComparison(C, CompareKind::CharEq, std::string_view(&Expected, 1),
+                   Matched, Implicit);
   return Matched;
 }
 
@@ -89,19 +135,16 @@ bool ExecutionContext::cmpRange(const TChar &C, char Lo, char Hi,
   assert(byteOf(Lo) <= byteOf(Hi) && "inverted comparison range");
   bool Matched = !C.isEof() && byteOf(C.ch()) >= byteOf(Lo) &&
                  byteOf(C.ch()) <= byteOf(Hi);
-  std::string Expected;
-  Expected.push_back(Lo);
-  Expected.push_back(Hi);
-  recordComparison(C, CompareKind::CharRange, std::move(Expected), Matched,
-                   Implicit);
+  char Bounds[2] = {Lo, Hi};
+  recordComparison(C, CompareKind::CharRange, std::string_view(Bounds, 2),
+                   Matched, Implicit);
   return Matched;
 }
 
 bool ExecutionContext::cmpSet(const TChar &C, std::string_view Set,
                               bool Implicit) {
   bool Matched = !C.isEof() && Set.find(C.ch()) != std::string_view::npos;
-  recordComparison(C, CompareKind::CharSet, std::string(Set), Matched,
-                   Implicit);
+  recordComparison(C, CompareKind::CharSet, Set, Matched, Implicit);
   return Matched;
 }
 
@@ -111,8 +154,8 @@ bool ExecutionContext::cmpStr(const TString &S, std::string_view Expected) {
     ComparisonEvent Event;
     Event.Taint = S.taint();
     Event.Kind = CompareKind::StrEq;
-    Event.Expected = std::string(Expected);
-    Event.Actual = S.str();
+    Event.Expected = internEventChars(Expected);
+    Event.Actual = internEventChars(S.view());
     Event.Matched = Matched;
     Event.OnEof = false;
     Event.StackDepth = StackDepth;
@@ -123,12 +166,17 @@ bool ExecutionContext::cmpStr(const TString &S, std::string_view Expected) {
 }
 
 void ExecutionContext::enterFunction(const char *Name) {
-  int32_t NextId = static_cast<int32_t>(Result.FunctionNames.size());
-  auto [It, Inserted] =
-      FunctionIds.try_emplace(static_cast<const void *>(Name), NextId);
-  if (Inserted)
+  uint32_t Global = internFunctionName(Name);
+  if (Global >= Result.FuncStamp.size()) {
+    Result.FuncStamp.resize(Global + 1, 0u);
+    Result.FuncId.resize(Global + 1, 0);
+  }
+  if (Result.FuncStamp[Global] != Result.FuncPass) {
+    Result.FuncStamp[Global] = Result.FuncPass;
+    Result.FuncId[Global] = static_cast<int32_t>(Result.FunctionNames.size());
     Result.FunctionNames.push_back(Name);
-  Result.CallTrace.push_back({It->second, Cursor});
+  }
+  Result.CallTrace.push_back({Result.FuncId[Global], Cursor});
 }
 
 void ExecutionContext::exitFunction() {

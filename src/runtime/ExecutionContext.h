@@ -12,6 +12,11 @@
 /// recordBranch (via the macros in runtime/Instrument.h). After a run the
 /// fuzzer inspects the collected RunResult.
 ///
+/// The execution hot path is allocation-free in steady state: event byte
+/// payloads go into a recycled per-RunResult char arena, the input is
+/// referenced (not copied), and function names resolve through a
+/// process-wide intern table plus epoch-stamped per-run remap scratch.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PFUZZ_RUNTIME_EXECUTIONCONTEXT_H
@@ -21,7 +26,6 @@
 #include "taint/TaintedValue.h"
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -67,8 +71,25 @@ struct RunResult {
   /// stack contents".
   std::vector<CallEvent> CallTrace;
 
-  /// Interned function names referenced by CallTrace.
-  std::vector<std::string> FunctionNames;
+  /// Function names referenced by CallTrace, in order of first appearance
+  /// in this run. The views point at the subjects' __func__ literals,
+  /// which live for the whole process — safe to copy between RunResults.
+  std::vector<std::string_view> FunctionNames;
+
+  /// Byte arena backing every ComparisonEvent's Expected/Actual slice.
+  std::string EventChars;
+
+  /// Resolves a comparison's expected operand against this result's arena.
+  std::string_view expected(const ComparisonEvent &E) const {
+    return std::string_view(EventChars).substr(E.Expected.Offset,
+                                               E.Expected.Length);
+  }
+
+  /// Resolves a comparison's concrete compared bytes.
+  std::string_view actual(const ComparisonEvent &E) const {
+    return std::string_view(EventChars).substr(E.Actual.Offset,
+                                               E.Actual.Length);
+  }
 
   /// Returns true if the program tried to read past the end of input.
   bool hitEof() const { return !EofAccesses.empty(); }
@@ -77,7 +98,8 @@ struct RunResult {
   /// Trace[0..End), sorted ascending. End is clamped to the trace
   /// length. \p Out is clear()ed, not reallocated — fuzzers pass a
   /// long-lived scratch buffer so the per-execution hot path performs no
-  /// heap allocation.
+  /// heap allocation. Dedup is O(trace) via an epoch-stamped per-site
+  /// seen array; only the unique entries are sorted.
   void coveredBranchesUpTo(uint32_t End, std::vector<uint32_t> &Out) const;
 
   /// Allocating convenience form of the above.
@@ -100,8 +122,31 @@ struct RunResult {
 
   /// Empties every event container while keeping their heap buffers, so
   /// a recycled RunResult re-records a fresh execution without
-  /// reallocating BranchTrace/Comparisons/CallTrace.
+  /// reallocating BranchTrace/Comparisons/CallTrace/EventChars.
   void clear();
+
+  /// Deep-copies \p Other's recorded contents into this result, reusing
+  /// this result's existing buffer capacities (the run cache recycles
+  /// evicted entries through this). Scratch state is not copied.
+  void assignFrom(const RunResult &Other);
+
+private:
+  friend class ExecutionContext;
+
+  // --- Recycled scratch, not part of the recorded result. ---
+
+  /// Epoch-stamped seen array for coveredBranchesUpTo, indexed by branch
+  /// trace entry. An entry is "seen this pass" iff SeenStamp[E] ==
+  /// SeenPass; bumping SeenPass resets the whole array in O(1).
+  mutable std::vector<uint32_t> SeenStamp;
+  mutable uint32_t SeenPass = 0;
+
+  /// Epoch-stamped remap from process-wide interned function ids to this
+  /// run's dense FunctionNames indices. Valid iff FuncStamp[G] ==
+  /// FuncPass; clear() bumps FuncPass instead of wiping the vectors.
+  std::vector<uint32_t> FuncStamp;
+  std::vector<int32_t> FuncId;
+  uint32_t FuncPass = 1;
 };
 
 /// The per-execution instrumentation state handed to a Subject::run call.
@@ -149,7 +194,10 @@ public:
   /// checks use this.
   bool atEnd() const { return Cursor >= Input.size(); }
 
-  const std::string &input() const { return Input; }
+  /// The input under execution. A view: the context does not copy the
+  /// input, the caller keeps it alive for the duration of the run (every
+  /// driver already does — queues and corpora own their strings).
+  std::string_view input() const { return Input; }
 
   //===--------------------------------------------------------------------===
   // Tracked comparisons (Full mode records ComparisonEvents)
@@ -213,17 +261,18 @@ public:
   void setExitCode(int Code) { Result.ExitCode = Code; }
 
 private:
+  /// Appends \p Bytes to the result's event arena and returns its slice.
+  EventSlice internEventChars(std::string_view Bytes);
+
   void recordComparison(const TChar &C, CompareKind Kind,
-                        std::string Expected, bool Matched, bool Implicit);
+                        std::string_view Expected, bool Matched,
+                        bool Implicit);
   void enterFunction(const char *Name);
   void exitFunction();
 
-  std::string Input;
+  std::string_view Input;
   InstrumentationMode Mode;
   uint32_t Cursor = 0;
-  /// Interning map from __func__ literals to FunctionNames indices; keyed
-  /// by pointer (string literals are stable for the process lifetime).
-  std::map<const void *, int32_t> FunctionIds;
   uint32_t StackDepth = 0;
   uint32_t MaxStackDepth = 0;
   RunResult Result;

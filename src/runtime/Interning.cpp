@@ -1,0 +1,70 @@
+//===- runtime/Interning.cpp - Process-wide function-name interning -------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Interning.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <mutex>
+
+using namespace pfuzz;
+
+namespace {
+
+/// 4096 slots for at most a few hundred instrumented functions: the table
+/// stays sparse enough that probes terminate after a step or two, and
+/// never needs to grow (growing would invalidate concurrent readers).
+constexpr size_t TableBits = 12;
+constexpr size_t TableSize = size_t(1) << TableBits;
+constexpr size_t TableMask = TableSize - 1;
+
+struct Slot {
+  /// The interned literal. Written with release order *after* Id, so a
+  /// reader that observes Key non-null also observes the matching Id.
+  std::atomic<const char *> Key{nullptr};
+  uint32_t Id = 0;
+};
+
+Slot Table[TableSize];
+std::mutex RegisterMutex;
+uint32_t NextId = 0; // guarded by RegisterMutex
+
+size_t hashPointer(const char *P) {
+  // Literals are at least word-aligned; mix the address bits well enough
+  // that nearby literals don't chain.
+  auto V = reinterpret_cast<uintptr_t>(P);
+  return static_cast<size_t>((V >> 3) * 0x9E3779B97F4A7C15ull) >>
+         (64 - TableBits);
+}
+
+} // namespace
+
+uint32_t pfuzz::internFunctionName(const char *Name) {
+  size_t H = hashPointer(Name) & TableMask;
+  // Lock-free fast path: keys are insert-only, so a probe chain observed
+  // without the lock is a stable prefix of the chain under the lock.
+  for (size_t Probe = H;; Probe = (Probe + 1) & TableMask) {
+    const char *K = Table[Probe].Key.load(std::memory_order_acquire);
+    if (K == Name)
+      return Table[Probe].Id;
+    if (K == nullptr)
+      break;
+  }
+  std::lock_guard<std::mutex> Lock(RegisterMutex);
+  for (size_t Probe = H;; Probe = (Probe + 1) & TableMask) {
+    const char *K = Table[Probe].Key.load(std::memory_order_relaxed);
+    if (K == Name)
+      return Table[Probe].Id; // another thread registered it first
+    if (K == nullptr) {
+      assert(NextId < TableSize / 2 && "function intern table overflow");
+      uint32_t Id = NextId++;
+      Table[Probe].Id = Id;
+      Table[Probe].Key.store(Name, std::memory_order_release);
+      return Id;
+    }
+  }
+}

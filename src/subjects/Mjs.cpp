@@ -899,7 +899,7 @@ private:
 
   /// With CurTok == var/let, classifies the word after `var ident`.
   Tok NextLoopTok2() {
-    const std::string &In = Ctx.input();
+    std::string_view In = Ctx.input();
     uint32_t I = Ctx.position();
     while (I < In.size() && isAsciiSpace(In[I]))
       ++I;
@@ -911,7 +911,7 @@ private:
   }
 
   Tok scanForInOf(uint32_t I) {
-    const std::string &In = Ctx.input();
+    std::string_view In = Ctx.input();
     while (I < In.size() && isAsciiSpace(In[I]))
       ++I;
     if (I >= In.size())

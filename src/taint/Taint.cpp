@@ -10,35 +10,88 @@
 
 using namespace pfuzz;
 
-TaintSet TaintSet::forRange(uint32_t Begin, uint32_t End) {
-  assert(Begin <= End && "inverted taint range");
-  TaintSet Set;
-  Set.Indices.reserve(End - Begin);
-  for (uint32_t I = Begin; I != End; ++I)
-    Set.Indices.push_back(I);
-  return Set;
-}
-
 bool TaintSet::contains(uint32_t Index) const {
-  return std::binary_search(Indices.begin(), Indices.end(), Index);
+  switch (Kind) {
+  case Rep::Interval:
+    return Index >= Lo && Index < Hi;
+  case Rep::Pair:
+    return Index == Lo || Index == Hi;
+  case Rep::Spill:
+    if (Index < Lo || Index > Hi)
+      return false;
+    return std::binary_search(Heap.begin(), Heap.end(), Index);
+  }
+  return false;
 }
 
-void TaintSet::mergeWith(const TaintSet &Other) {
-  if (Other.empty())
-    return;
-  if (empty()) {
-    Indices = Other.Indices;
+void TaintSet::appendTo(std::vector<uint32_t> &Out) const {
+  switch (Kind) {
+  case Rep::Interval:
+    for (uint32_t I = Lo; I != Hi; ++I)
+      Out.push_back(I);
+    break;
+  case Rep::Pair:
+    Out.push_back(Lo);
+    Out.push_back(Hi);
+    break;
+  case Rep::Spill:
+    Out.insert(Out.end(), Heap.begin(), Heap.end());
+    break;
+  }
+}
+
+std::vector<uint32_t> TaintSet::indices() const {
+  std::vector<uint32_t> Out;
+  Out.reserve(size());
+  appendTo(Out);
+  return Out;
+}
+
+void TaintSet::spillMerge(const TaintSet &Other) {
+  // Containment short-cuts keep repeated merges of the same token's
+  // indices from materializing anything.
+  if (Other.size() <= 2) {
+    bool Covered = true;
+    if (Other.Kind == Rep::Interval) {
+      for (uint32_t I = Other.Lo; Covered && I != Other.Hi; ++I)
+        Covered = contains(I);
+    } else {
+      Covered = contains(Other.Lo) && contains(Other.Hi);
+    }
+    if (Covered)
+      return;
+  }
+
+  std::vector<uint32_t> Mine, Theirs;
+  Mine.reserve(size());
+  Theirs.reserve(Other.size());
+  appendTo(Mine);
+  Other.appendTo(Theirs);
+  std::vector<uint32_t> Merged;
+  Merged.reserve(Mine.size() + Theirs.size());
+  std::set_union(Mine.begin(), Mine.end(), Theirs.begin(), Theirs.end(),
+                 std::back_inserter(Merged));
+
+  // Canonicalize: contiguous results collapse back to the inline
+  // Interval form, two scattered indices to Pair.
+  bool Contiguous = static_cast<uint64_t>(Merged.back()) - Merged.front() + 1 ==
+                    Merged.size();
+  if (Contiguous) {
+    Kind = Rep::Interval;
+    Lo = Merged.front();
+    Hi = Merged.back() + 1;
+    Heap.clear();
     return;
   }
-  std::vector<uint32_t> Merged;
-  Merged.reserve(Indices.size() + Other.Indices.size());
-  std::set_union(Indices.begin(), Indices.end(), Other.Indices.begin(),
-                 Other.Indices.end(), std::back_inserter(Merged));
-  Indices = std::move(Merged);
-}
-
-TaintSet TaintSet::merged(const TaintSet &A, const TaintSet &B) {
-  TaintSet Result = A;
-  Result.mergeWith(B);
-  return Result;
+  if (Merged.size() == 2) {
+    Kind = Rep::Pair;
+    Lo = Merged.front();
+    Hi = Merged.back();
+    Heap.clear();
+    return;
+  }
+  Kind = Rep::Spill;
+  Lo = Merged.front();
+  Hi = Merged.back();
+  Heap = std::move(Merged);
 }

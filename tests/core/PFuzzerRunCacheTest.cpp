@@ -1,0 +1,109 @@
+//===- tests/core/PFuzzerRunCacheTest.cpp - Memoized replay tests ---------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The contract of the memoized-run cache (PFuzzerOptions::RunCacheSize):
+/// replaying a recorded RunResult instead of re-executing the subject is
+/// purely a throughput optimization. A cache hit still counts against the
+/// execution budget, still reports through OnValidInput and still feeds
+/// the same bookkeeping, so the FuzzReport must be byte-for-byte identical
+/// at any cache size — including 0 (disabled).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/PFuzzer.h"
+#include "eval/Campaign.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+namespace {
+
+FuzzReport fuzzWithCache(const Subject &S, uint64_t Execs, uint64_t Seed,
+                         uint32_t CacheSize,
+                         std::vector<std::string> *ValidLog = nullptr) {
+  PFuzzerOptions Options;
+  Options.RunCacheSize = CacheSize;
+  PFuzzer Tool(Options);
+  FuzzerOptions Opts;
+  Opts.Seed = Seed;
+  Opts.MaxExecutions = Execs;
+  if (ValidLog)
+    Opts.OnValidInput = [ValidLog](std::string_view Input) {
+      ValidLog->emplace_back(Input);
+    };
+  return Tool.run(S, Opts);
+}
+
+void expectIdenticalReports(const FuzzReport &A, const FuzzReport &B) {
+  EXPECT_EQ(A.Executions, B.Executions);
+  EXPECT_EQ(A.ValidInputs, B.ValidInputs);
+  EXPECT_EQ(A.ValidBranches, B.ValidBranches);
+  EXPECT_EQ(A.CoverageTimeline, B.CoverageTimeline);
+}
+
+} // namespace
+
+TEST(PFuzzerRunCacheTest, CachedReportIdenticalAcrossSubjectsAndSeeds) {
+  for (const Subject *S :
+       {&arithSubject(), &jsonSubject(), &tinycSubject(), &dyckSubject()}) {
+    for (uint64_t Seed : {1u, 7u}) {
+      FuzzReport Uncached = fuzzWithCache(*S, 4000, Seed, /*CacheSize=*/0);
+      FuzzReport Cached = fuzzWithCache(*S, 4000, Seed, /*CacheSize=*/64);
+      SCOPED_TRACE(std::string(S->name()) + " seed " + std::to_string(Seed));
+      expectIdenticalReports(Uncached, Cached);
+    }
+  }
+}
+
+TEST(PFuzzerRunCacheTest, TinyCacheAlsoBehaviorInvariant) {
+  // A capacity of 1 maximizes eviction churn; the report must not care.
+  FuzzReport Uncached = fuzzWithCache(jsonSubject(), 5000, 3, 0);
+  FuzzReport Tiny = fuzzWithCache(jsonSubject(), 5000, 3, 1);
+  expectIdenticalReports(Uncached, Tiny);
+}
+
+TEST(PFuzzerRunCacheTest, OnValidInputStreamUnchangedByCache) {
+  // Token accounting consumes the OnValidInput stream, duplicates
+  // included — a replayed valid run must still fire the callback.
+  std::vector<std::string> Uncached, Cached;
+  fuzzWithCache(arithSubject(), 3000, 5, 0, &Uncached);
+  fuzzWithCache(arithSubject(), 3000, 5, 64, &Cached);
+  EXPECT_EQ(Uncached, Cached);
+}
+
+TEST(PFuzzerRunCacheTest, CampaignCachedMatchesUncached) {
+  ToolOptions NoCache;
+  NoCache.PFuzzerRunCache = 0;
+  ToolOptions WithCache;
+  WithCache.PFuzzerRunCache = 64;
+  CampaignResult A = runCampaign(ToolKind::PFuzzer, jsonSubject(), 2500, 1,
+                                 /*Runs=*/2, /*Jobs=*/1, NoCache);
+  CampaignResult B = runCampaign(ToolKind::PFuzzer, jsonSubject(), 2500, 1,
+                                 /*Runs=*/2, /*Jobs=*/1, WithCache);
+  EXPECT_EQ(A.Report.Executions, B.Report.Executions);
+  EXPECT_EQ(A.Report.ValidInputs, B.Report.ValidInputs);
+  EXPECT_EQ(A.Report.ValidBranches, B.Report.ValidBranches);
+  EXPECT_EQ(A.Report.CoverageTimeline, B.Report.CoverageTimeline);
+  EXPECT_EQ(A.TokensFound, B.TokensFound);
+}
+
+TEST(PFuzzerRunCacheTest, CampaignCachedJobs4MatchesJobs1) {
+  // The cache is per-fuzzer-instance (one per seed run), so parallel
+  // seeds stay independent and the Jobs contract holds with it enabled.
+  ToolOptions WithCache;
+  WithCache.PFuzzerRunCache = 64;
+  CampaignResult Seq = runCampaign(ToolKind::PFuzzer, dyckSubject(), 3000, 7,
+                                   /*Runs=*/4, /*Jobs=*/1, WithCache);
+  CampaignResult Par = runCampaign(ToolKind::PFuzzer, dyckSubject(), 3000, 7,
+                                   /*Runs=*/4, /*Jobs=*/4, WithCache);
+  EXPECT_EQ(Seq.Report.Executions, Par.Report.Executions);
+  EXPECT_EQ(Seq.Report.ValidInputs, Par.Report.ValidInputs);
+  EXPECT_EQ(Seq.Report.ValidBranches, Par.Report.ValidBranches);
+  EXPECT_EQ(Seq.Report.CoverageTimeline, Par.Report.CoverageTimeline);
+  EXPECT_EQ(Seq.TokensFound, Par.TokensFound);
+}

@@ -62,9 +62,9 @@ TEST(TableParserTest, TerminalComparisonsAreTracked) {
   EXPECT_NE(RR.ExitCode, 0);
   bool SawParen = false, SawDigit = false;
   for (const ComparisonEvent &E : RR.Comparisons) {
-    if (E.Expected == "(")
+    if (RR.expected(E) == "(")
       SawParen = true;
-    if (E.Expected == "7")
+    if (RR.expected(E) == "7")
       SawDigit = true;
   }
   EXPECT_TRUE(SawParen);

@@ -66,8 +66,8 @@ TEST(ExecutionContextTest, CmpEqRecordsEvent) {
   RunResult RR = Ctx.takeResult();
   ASSERT_EQ(RR.Comparisons.size(), 2u);
   EXPECT_EQ(RR.Comparisons[0].Kind, CompareKind::CharEq);
-  EXPECT_EQ(RR.Comparisons[0].Expected, "b");
-  EXPECT_EQ(RR.Comparisons[0].Actual, "a");
+  EXPECT_EQ(RR.expected(RR.Comparisons[0]), "b");
+  EXPECT_EQ(RR.actual(RR.Comparisons[0]), "a");
   EXPECT_FALSE(RR.Comparisons[0].Matched);
   EXPECT_TRUE(RR.Comparisons[1].Matched);
   EXPECT_TRUE(RR.Comparisons[0].Taint.contains(0));
@@ -93,7 +93,7 @@ TEST(ExecutionContextTest, CmpSetMatchesMembers) {
   Ctx.setExitCode(0);
   RunResult RR = Ctx.takeResult();
   EXPECT_EQ(RR.Comparisons[0].Kind, CompareKind::CharSet);
-  EXPECT_EQ(RR.Comparisons[0].Expected, "+-");
+  EXPECT_EQ(RR.expected(RR.Comparisons[0]), "+-");
 }
 
 TEST(ExecutionContextTest, EofNeverMatchesComparisons) {
@@ -119,8 +119,8 @@ TEST(ExecutionContextTest, CmpStrRecordsFullOperands) {
   RunResult RR = Ctx.takeResult();
   ASSERT_EQ(RR.Comparisons.size(), 1u);
   EXPECT_EQ(RR.Comparisons[0].Kind, CompareKind::StrEq);
-  EXPECT_EQ(RR.Comparisons[0].Expected, "while");
-  EXPECT_EQ(RR.Comparisons[0].Actual, "whx");
+  EXPECT_EQ(RR.expected(RR.Comparisons[0]), "while");
+  EXPECT_EQ(RR.actual(RR.Comparisons[0]), "whx");
   EXPECT_EQ(RR.Comparisons[0].Taint.minIndex(), 0u);
   EXPECT_EQ(RR.Comparisons[0].Taint.maxIndex(), 2u);
 }

@@ -57,11 +57,11 @@ TEST(ArithTest, RejectionComparesAgainstGrammarAlternatives) {
   for (const ComparisonEvent &E : RR.Comparisons) {
     if (E.Taint.empty() || !E.Taint.contains(0))
       continue;
-    if (E.Kind == CompareKind::CharEq && E.Expected == "(")
+    if (E.Kind == CompareKind::CharEq && RR.expected(E) == "(")
       SawParen = true;
-    if (E.Kind == CompareKind::CharSet && E.Expected == "+-")
+    if (E.Kind == CompareKind::CharSet && RR.expected(E) == "+-")
       SawSign = true;
-    if (E.Kind == CompareKind::CharRange && E.Expected == "09")
+    if (E.Kind == CompareKind::CharRange && RR.expected(E) == "09")
       SawDigit = true;
   }
   EXPECT_TRUE(SawParen);

@@ -48,9 +48,9 @@ TEST(CsvTest, QuoteComparisonsTracked) {
   EXPECT_EQ(RR.ExitCode, 0);
   bool SawQuote = false, SawComma = false;
   for (const ComparisonEvent &E : RR.Comparisons) {
-    if (E.Kind == CompareKind::CharEq && E.Expected == "\"")
+    if (E.Kind == CompareKind::CharEq && RR.expected(E) == "\"")
       SawQuote = true;
-    if (E.Kind == CompareKind::CharEq && E.Expected == ",")
+    if (E.Kind == CompareKind::CharEq && RR.expected(E) == ",")
       SawComma = true;
   }
   EXPECT_TRUE(SawQuote);

@@ -47,7 +47,7 @@ TEST(IniTest, SectionRequiresClosingBracket) {
   // ']' comparison at the last index must be present.
   bool SawClose = false;
   for (const ComparisonEvent &E : RR.Comparisons)
-    if (E.Kind == CompareKind::CharEq && E.Expected == "]")
+    if (E.Kind == CompareKind::CharEq && RR.expected(E) == "]")
       SawClose = true;
   EXPECT_TRUE(SawClose);
 }

@@ -51,9 +51,9 @@ TEST(TinyCTest, KeywordsViaWrappedStrcmp) {
   EXPECT_NE(RR.ExitCode, 0);
   bool SawWhile = false;
   for (const ComparisonEvent &E : RR.Comparisons) {
-    if (E.Kind == CompareKind::StrEq && E.Expected == "while") {
+    if (E.Kind == CompareKind::StrEq && RR.expected(E) == "while") {
       SawWhile = true;
-      EXPECT_EQ(E.Actual, "wh");
+      EXPECT_EQ(RR.actual(E), "wh");
       EXPECT_EQ(E.Taint.minIndex(), 0u);
     }
   }

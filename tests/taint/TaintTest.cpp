@@ -90,6 +90,105 @@ TEST(TaintSetTest, IndicesStaySorted) {
   EXPECT_EQ(A.indices()[2], 9u);
 }
 
+// Representation transitions. The three canonical forms (Interval, Pair,
+// Spill) must switch exactly at the documented boundaries, and any merge
+// whose result is contiguous must collapse back to Interval — operator==
+// relies on that canonicality.
+
+TEST(TaintSetRepTest, SingletonAndRangeAreIntervals) {
+  EXPECT_TRUE(TaintSet().isInterval());
+  EXPECT_TRUE(TaintSet::forIndex(7).isInterval());
+  EXPECT_TRUE(TaintSet::forRange(2, 9).isInterval());
+}
+
+TEST(TaintSetRepTest, AdjacentSingletonsStayInterval) {
+  TaintSet A = TaintSet::forIndex(4);
+  A.mergeWith(TaintSet::forIndex(5));
+  EXPECT_TRUE(A.isInterval());
+  EXPECT_EQ(A.size(), 2u);
+}
+
+TEST(TaintSetRepTest, DisjointSingletonsBecomePair) {
+  TaintSet A = TaintSet::forIndex(9);
+  A.mergeWith(TaintSet::forIndex(2));
+  EXPECT_TRUE(A.isPair());
+  EXPECT_EQ(A.size(), 2u);
+  EXPECT_EQ(A.minIndex(), 2u);
+  EXPECT_EQ(A.maxIndex(), 9u);
+}
+
+TEST(TaintSetRepTest, PairAbsorbsMemberSingleton) {
+  TaintSet A = TaintSet::forIndex(1);
+  A.mergeWith(TaintSet::forIndex(5));
+  ASSERT_TRUE(A.isPair());
+  A.mergeWith(TaintSet::forIndex(1));
+  EXPECT_TRUE(A.isPair());
+  A.mergeWith(TaintSet::forIndex(5));
+  EXPECT_TRUE(A.isPair());
+  EXPECT_EQ(A.size(), 2u);
+}
+
+TEST(TaintSetRepTest, PairPlusNewIndexSpills) {
+  TaintSet A = TaintSet::forIndex(0);
+  A.mergeWith(TaintSet::forIndex(4));
+  ASSERT_TRUE(A.isPair());
+  A.mergeWith(TaintSet::forIndex(8));
+  EXPECT_TRUE(A.isSpilled());
+  EXPECT_EQ(A.size(), 3u);
+  EXPECT_EQ(A.minIndex(), 0u);
+  EXPECT_EQ(A.maxIndex(), 8u);
+}
+
+TEST(TaintSetRepTest, PairFillingGapCollapsesToInterval) {
+  TaintSet A = TaintSet::forIndex(3);
+  A.mergeWith(TaintSet::forIndex(5));
+  ASSERT_TRUE(A.isPair());
+  A.mergeWith(TaintSet::forIndex(4));
+  EXPECT_TRUE(A.isInterval());
+  EXPECT_EQ(A.size(), 3u);
+}
+
+TEST(TaintSetRepTest, SpillFillingGapsCollapsesToInterval) {
+  TaintSet A = TaintSet::forIndex(0);
+  A.mergeWith(TaintSet::forIndex(2));
+  A.mergeWith(TaintSet::forIndex(4));
+  ASSERT_TRUE(A.isSpilled());
+  A.mergeWith(TaintSet::forIndex(1));
+  ASSERT_TRUE(A.isSpilled());
+  A.mergeWith(TaintSet::forIndex(3));
+  // {0,1,2,3,4} is contiguous; canonical form is the interval [0, 5).
+  EXPECT_TRUE(A.isInterval());
+  EXPECT_TRUE(A == TaintSet::forRange(0, 5));
+}
+
+TEST(TaintSetRepTest, CanonicalFormsCompareEqual) {
+  // Same set reached through different merge orders must compare equal.
+  TaintSet A = TaintSet::forIndex(6);
+  A.mergeWith(TaintSet::forIndex(2));
+  A.mergeWith(TaintSet::forRange(3, 6));
+  TaintSet B = TaintSet::forRange(2, 7);
+  EXPECT_TRUE(A == B);
+}
+
+TEST(TaintSetRepTest, OverlappingRangeMergesStayInterval) {
+  TaintSet A = TaintSet::forRange(0, 10);
+  A.mergeWith(TaintSet::forRange(5, 15));
+  EXPECT_TRUE(A.isInterval());
+  A.mergeWith(TaintSet::forRange(15, 20)); // touching
+  EXPECT_TRUE(A.isInterval());
+  EXPECT_EQ(A.size(), 20u);
+}
+
+TEST(TaintSetRepTest, SpillAbsorbsContainedInterval) {
+  TaintSet A = TaintSet::forIndex(0);
+  A.mergeWith(TaintSet::forIndex(10));
+  A.mergeWith(TaintSet::forRange(4, 7));
+  ASSERT_TRUE(A.isSpilled());
+  TaintSet Before = A;
+  A.mergeWith(TaintSet::forRange(4, 7)); // fully contained: no change
+  EXPECT_TRUE(A == Before);
+}
+
 /// Property sweep: merge of arbitrary ranges has min/max of the union.
 class TaintMergeProperty
     : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
