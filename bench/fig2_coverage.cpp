@@ -37,11 +37,13 @@ int main(int Argc, char **Argv) {
   ToolOptions ToolCfg;
   ToolCfg.PFuzzerRunCache =
       static_cast<uint32_t>(Cli.getInt("run-cache", ToolCfg.PFuzzerRunCache));
+  ToolCfg.PFuzzerSpeculation =
+      static_cast<int>(Cli.getInt("speculate", ToolCfg.PFuzzerSpeculation));
   bool Timeline = Cli.getBool("timeline", false);
   if (!Cli.ok() || !Cli.unqueried().empty()) {
     std::fprintf(stderr, "usage: fig2_coverage [--budget-scale=N]"
                          " [--runs=N] [--seed=N] [--jobs=N] [--run-cache=N]"
-                         " [--timeline]\n");
+                         " [--speculate=N] [--timeline]\n");
     return 1;
   }
 

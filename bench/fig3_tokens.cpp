@@ -36,9 +36,12 @@ int main(int Argc, char **Argv) {
   ToolOptions ToolCfg;
   ToolCfg.PFuzzerRunCache =
       static_cast<uint32_t>(Cli.getInt("run-cache", ToolCfg.PFuzzerRunCache));
+  ToolCfg.PFuzzerSpeculation =
+      static_cast<int>(Cli.getInt("speculate", ToolCfg.PFuzzerSpeculation));
   if (!Cli.ok() || !Cli.unqueried().empty()) {
     std::fprintf(stderr, "usage: fig3_tokens [--budget-scale=N] [--runs=N]"
-                         " [--seed=N] [--jobs=N] [--run-cache=N]\n");
+                         " [--seed=N] [--jobs=N] [--run-cache=N]"
+                         " [--speculate=N]\n");
     return 1;
   }
 

@@ -1,0 +1,120 @@
+//===- bench/micro_speculate.cpp - Speculative prefetch benchmark ---------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the speculative candidate prefetcher (PFuzzerOptions::
+/// SpeculationThreads) on every evaluation subject: wall-clock and
+/// throughput at 0/1/2/4 workers, prefetch hit rate, and waste. Every
+/// speculating run's report is compared field-by-field against the
+/// sequential baseline, so the benchmark doubles as an end-to-end
+/// byte-identical check (exit code 1 on any divergence).
+///
+///   ./micro_speculate [--execs=N] [--seed=N] [--depth=N] [--run-cache=N]
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/PFuzzer.h"
+#include "subjects/Subject.h"
+#include "support/CommandLine.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace pfuzz;
+
+namespace {
+
+struct RunOutcome {
+  FuzzReport Report;
+  SpeculationStats Stats;
+  double WallSeconds = 0;
+};
+
+RunOutcome runOnce(const Subject &S, uint64_t Execs, uint64_t Seed,
+                   uint32_t Workers, uint32_t Depth, uint32_t CacheSize) {
+  RunOutcome Out;
+  PFuzzerOptions Options;
+  Options.RunCacheSize = CacheSize;
+  Options.SpeculationThreads = Workers;
+  Options.SpeculationDepth = Depth;
+  Options.StatsOut = &Out.Stats;
+  PFuzzer Tool(Options);
+  FuzzerOptions Opts;
+  Opts.Seed = Seed;
+  Opts.MaxExecutions = Execs;
+  auto Start = std::chrono::steady_clock::now();
+  Out.Report = Tool.run(S, Opts);
+  Out.WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Out;
+}
+
+bool sameReport(const FuzzReport &A, const FuzzReport &B) {
+  return A.Executions == B.Executions && A.ValidInputs == B.ValidInputs &&
+         A.ValidBranches == B.ValidBranches &&
+         A.CoverageTimeline == B.CoverageTimeline;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine Cli(Argc, Argv);
+  uint64_t Execs = static_cast<uint64_t>(Cli.getInt("execs", 20000));
+  uint64_t Seed = static_cast<uint64_t>(Cli.getInt("seed", 1));
+  uint32_t Depth = static_cast<uint32_t>(Cli.getInt("depth", 0));
+  uint32_t CacheSize = static_cast<uint32_t>(Cli.getInt("run-cache", 64));
+  if (!Cli.ok() || !Cli.unqueried().empty()) {
+    std::fprintf(stderr, "usage: micro_speculate [--execs=N] [--seed=N]"
+                         " [--depth=N] [--run-cache=N]\n");
+    return 1;
+  }
+
+  std::printf("== Speculative prefetch: wall-clock and hit rates ==\n");
+  std::printf("(%llu execs per run, seed %llu, depth %s, run-cache %u)\n\n",
+              static_cast<unsigned long long>(Execs),
+              static_cast<unsigned long long>(Seed),
+              Depth == 0 ? "auto" : std::to_string(Depth).c_str(), CacheSize);
+  std::printf("%-8s %7s %9s %11s %8s %6s %7s %7s  %s\n", "subject", "workers",
+              "wall[s]", "execs/s", "speedup", "hit%", "ready%", "waste%",
+              "report");
+
+  bool AllIdentical = true;
+  const uint32_t WorkerGrid[] = {0, 1, 2, 4};
+  for (const Subject *S : evaluationSubjects()) {
+    RunOutcome Baseline;
+    for (uint32_t Workers : WorkerGrid) {
+      RunOutcome Out = runOnce(*S, Execs, Seed, Workers, Depth, CacheSize);
+      bool Identical = true;
+      if (Workers == 0) {
+        Baseline = std::move(Out);
+      } else {
+        Identical = sameReport(Baseline.Report, Out.Report);
+        AllIdentical &= Identical;
+      }
+      const RunOutcome &Cur = Workers == 0 ? Baseline : Out;
+      const SpeculationStats &St = Cur.Stats;
+      double Speedup = Cur.WallSeconds > 0
+                           ? Baseline.WallSeconds / Cur.WallSeconds
+                           : 0;
+      double HitRate = St.Lookups ? 100.0 * St.Hits / St.Lookups : 0;
+      double ReadyRate = St.Hits ? 100.0 * St.HitsReady / St.Hits : 0;
+      std::printf("%-8s %7u %9.3f %11.0f %7.2fx %5.1f%% %6.1f%% %6.1f%%  %s\n",
+                  S->name().data(), Workers, Cur.WallSeconds,
+                  Cur.WallSeconds > 0 ? Execs / Cur.WallSeconds : 0,
+                  Speedup, HitRate, ReadyRate, 100 * St.wasteRate(),
+                  Workers == 0 ? "baseline"
+                               : (Identical ? "identical" : "MISMATCH"));
+    }
+    std::printf("\n");
+  }
+  if (!AllIdentical) {
+    std::fprintf(stderr, "error: a speculating run diverged from the"
+                         " sequential baseline\n");
+    return 1;
+  }
+  return 0;
+}

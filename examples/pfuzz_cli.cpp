@@ -38,17 +38,25 @@ int main(int Argc, char **Argv) {
   ToolOptions Tools;
   Tools.PFuzzerRunCache =
       static_cast<uint32_t>(Cli.getInt("run-cache", Tools.PFuzzerRunCache));
+  Tools.PFuzzerSpeculation =
+      static_cast<int>(Cli.getInt("speculate", Tools.PFuzzerSpeculation));
+  Tools.PFuzzerSpeculationDepth = static_cast<uint32_t>(
+      Cli.getInt("speculate-depth", Tools.PFuzzerSpeculationDepth));
   bool Mine = Cli.getBool("mine", false);
   bool Quiet = Cli.getBool("quiet", false);
   if (!Cli.ok() || !Cli.unqueried().empty()) {
     std::fprintf(stderr,
                  "usage: pfuzz_cli [--subject=NAME] [--tool=NAME]"
                  " [--execs=N] [--seed=N] [--runs=N] [--jobs=N]"
-                 " [--run-cache=N] [--mine] [--quiet]\n"
+                 " [--run-cache=N] [--speculate=N] [--speculate-depth=N]"
+                 " [--mine] [--quiet]\n"
                  "subjects: arith dyck ini csv json tinyc mjs\n"
                  "tools: pfuzzer afl klee random\n"
                  "--run-cache: pFuzzer memoized-run LRU entries (0=off;"
-                 " results are identical at any value)\n");
+                 " results are identical at any value)\n"
+                 "--speculate: pFuzzer prefetch workers per campaign"
+                 " (0=off, -1=auto; results are identical at any value)\n"
+                 "--speculate-depth: candidates kept in flight (0=auto)\n");
     return 1;
   }
   const Subject *S = findSubject(SubjectName);

@@ -7,6 +7,7 @@
 #include "core/PFuzzer.h"
 
 #include "support/Rng.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -52,6 +53,11 @@ struct Candidate {
   uint64_t FilterEpoch = 0;
   /// Hash of the parent run's parse path (for path-novelty ranking).
   uint64_t PathHash = 0;
+  /// FNV-1a hash of Input, computed once at creation (addInputs already
+  /// hashes every candidate for the Enqueued dedup set). runCheck and the
+  /// run cache key on it, so a popped candidate is never rehashed; the
+  /// speculative prefetcher keys its in-flight table on it too.
+  uint64_t InputHash = 0;
   double Score = 0;
 };
 
@@ -107,6 +113,17 @@ public:
     return &E.Result;
   }
 
+  /// Non-mutating probe: true when the recorded result of \p Input is
+  /// stored. Unlike lookup(), does not touch the LRU order — the
+  /// speculative prefetcher uses this to skip predicting inputs whose
+  /// result is already memoized.
+  bool contains(uint64_t Hash, std::string_view Input) const {
+    if (Capacity == 0)
+      return false;
+    auto It = Index.find(Hash);
+    return It != Index.end() && Entries[It->second].Input == Input;
+  }
+
   /// Records \p RR as the result of running \p Input, evicting the least
   /// recently used entry when full.
   ///
@@ -120,18 +137,38 @@ public:
   void insert(uint64_t H, std::string_view Input, const RunResult &RR) {
     if (Capacity == 0)
       return;
+    if (Index.find(H) == Index.end() && Doorkeeper.insert(H).second)
+      return; // first sighting: note the hash, defer the copy
+    store(H, Input, RR);
+  }
+
+  /// Doorkeeper-bypassing insert: stores \p RR unconditionally. The
+  /// prefetcher recycles mispredicted speculative runs through this —
+  /// the trace copy was already paid by the worker, so the lazy-storage
+  /// argument does not apply.
+  void insertForced(uint64_t H, std::string_view Input, const RunResult &RR) {
+    if (Capacity == 0)
+      return;
+    Doorkeeper.insert(H); // keep first-sighting bookkeeping consistent
+    store(H, Input, RR);
+  }
+
+private:
+  static constexpr uint32_t None = ~0u;
+
+  /// Shared storage path of insert()/insertForced(): adopts the slot of a
+  /// colliding hash, else takes a fresh or least-recently-used entry.
+  void store(uint64_t H, std::string_view Input, const RunResult &RR) {
     auto It = Index.find(H);
     if (It != Index.end()) {
-      // Hash already present (collision with a different input): the slot
-      // adopts the newer run.
+      // Hash already present (same input again, or a collision with a
+      // different input): the slot adopts the newer run.
       Entry &E = Entries[It->second];
       E.Input.assign(Input);
       E.Result.assignFrom(RR);
       touch(It->second);
       return;
     }
-    if (Doorkeeper.insert(H).second)
-      return; // first sighting: note the hash, defer the copy
     uint32_t Idx;
     if (Entries.size() < Capacity) {
       Idx = static_cast<uint32_t>(Entries.size());
@@ -148,9 +185,6 @@ public:
     E.Result.assignFrom(RR);
     Index.emplace(H, Idx);
   }
-
-private:
-  static constexpr uint32_t None = ~0u;
 
   struct Entry {
     uint64_t Hash = 0;
@@ -200,20 +234,231 @@ private:
   uint32_t Tail = None;
 };
 
+/// Speculative execution prefetcher: runs the top-ranked queue
+/// candidates on a worker pool while the sequential Algorithm 1 loop
+/// processes the current run. Subject executions are pure functions of
+/// the input (deterministic, no shared mutable state — see the
+/// thread-safety contract in runtime/ExecutionContext.h), so a
+/// prefetched RunResult *is* the result the loop would have produced by
+/// executing the input itself; consuming it instead of re-running the
+/// subject cannot change any report byte.
+///
+/// Determinism discipline: the sequential thread makes every decision —
+/// which inputs to speculate (refill), which results to consume
+/// (consume, in pop order), and what to do with mispredictions (cancel,
+/// or recycle completed runs into the LRU run cache). Workers only ever
+/// call Subject::execute into a slot they exclusively own; they never
+/// touch the queue, the Rng, vBr or the report. Thread scheduling can
+/// therefore only affect *wall-clock* (and the HitsReady diagnostic),
+/// never the search.
+class Speculator {
+public:
+  Speculator(const Subject &S, RunCache &Cache, uint32_t Threads,
+             uint32_t Depth)
+      : S(S), Cache(Cache),
+        Depth(Depth != 0 ? Depth : 2 * Threads + 2), Pool(Threads) {}
+
+  ~Speculator() { shutdown(); }
+
+  SpeculationStats Stats;
+
+  /// Predicts the likely next pops from the max-heap \p Queue and tops
+  /// the in-flight set up to Depth speculative executions. Queue[0] — the
+  /// *exact* next pop — is always submitted first; the rest of the
+  /// prediction window covers the heap's top levels, where the following
+  /// pops almost always live. Entries predicted again are kept warm;
+  /// stale mispredictions are evicted (cancelled if not started,
+  /// recycled into the run cache if complete).
+  void refill(const std::vector<Candidate> &Queue) {
+    if (Queue.empty())
+      return;
+    ++Tick;
+    size_t Window = std::min(Queue.size(), size_t(4) * Depth);
+    Scratch.clear();
+    for (size_t I = 0; I != Window; ++I)
+      Scratch.push_back({Queue[I].Score, I});
+    size_t Want = std::min<size_t>(Depth, Scratch.size());
+    std::partial_sort(Scratch.begin(),
+                      Scratch.begin() + static_cast<ptrdiff_t>(Want),
+                      Scratch.end(),
+                      [](const std::pair<double, size_t> &A,
+                         const std::pair<double, size_t> &B) {
+                        return A.first > B.first;
+                      });
+    // Queue[0] is popped next no matter how score ties resolve in the
+    // partial sort; force it into the prediction set.
+    maybeSubmit(Queue[0]);
+    for (size_t I = 0; I != Want; ++I)
+      maybeSubmit(Queue[Scratch[I].second]);
+  }
+
+  /// Consumes the speculated result of \p Input if one is in flight:
+  /// waits for the worker when necessary, copies the result into \p RR
+  /// and returns true. Stored inputs are verified, so a 64-bit hash
+  /// collision degrades to a miss, never a wrong result.
+  bool consume(uint64_t Hash, std::string_view Input, RunResult &RR) {
+    ++Stats.Lookups;
+    auto It = InFlight.find(Hash);
+    if (It == InFlight.end() || It->second->Input != Input)
+      return false;
+    std::unique_ptr<Slot> Sl = std::move(It->second);
+    InFlight.erase(It);
+    bool Ready = Sl->Task.ran();
+    Sl->Task.wait();
+    if (!Sl->Task.ran()) {
+      // Cancelled shell that had not drained yet: a miss.
+      Free.push_back(std::move(Sl));
+      return false;
+    }
+    RR.assignFrom(Sl->Result);
+    ++Stats.Hits;
+    if (Ready)
+      ++Stats.HitsReady;
+    Free.push_back(std::move(Sl));
+    return true;
+  }
+
+  /// Retires every in-flight speculation: pending work is cancelled,
+  /// running work is awaited and discarded. Called once at campaign end
+  /// (and from the destructor) so workers never outlive the slots they
+  /// write into.
+  void shutdown() {
+    for (auto &KV : InFlight) {
+      Slot &Sl = *KV.second;
+      if (Sl.Task.cancel()) {
+        ++Stats.Cancelled;
+        continue;
+      }
+      Sl.Task.wait();
+      if (Sl.Task.ran())
+        ++Stats.Discarded;
+    }
+    for (auto &KV : InFlight)
+      Free.push_back(std::move(KV.second));
+    InFlight.clear();
+  }
+
+private:
+  struct Slot {
+    uint64_t Hash = 0;
+    /// refill() tick of last prediction; eviction retires the stalest.
+    uint64_t Tick = 0;
+    std::string Input;
+    /// Written only by the worker running this slot's task; read by the
+    /// sequential thread after Task.wait() (release/acquire through the
+    /// task's future). Recycled across speculations, so a warm slot
+    /// executes without trace-buffer allocation, like the loop's own
+    /// pooled RunResults.
+    RunResult Result;
+    CancellableTask Task;
+  };
+
+  void maybeSubmit(const Candidate &C) {
+    auto It = InFlight.find(C.InputHash);
+    if (It != InFlight.end()) {
+      if (It->second->Input == C.Input)
+        It->second->Tick = Tick; // predicted again: keep warm
+      return;
+    }
+    if (Cache.contains(C.InputHash, C.Input))
+      return; // the loop will replay it for free anyway
+    if (InFlight.size() >= 2 * size_t(Depth) && !evictOne())
+      return;
+    std::unique_ptr<Slot> Sl;
+    if (!Free.empty()) {
+      Sl = std::move(Free.back());
+      Free.pop_back();
+    } else {
+      Sl = std::make_unique<Slot>();
+    }
+    Sl->Hash = C.InputHash;
+    Sl->Tick = Tick;
+    Sl->Input = C.Input;
+    Slot *Raw = Sl.get();
+    const Subject *Subj = &S;
+    Sl->Task = Pool.submitCancellable([Subj, Raw] {
+      Subj->execute(Raw->Input, InstrumentationMode::Full, Raw->Result);
+    });
+    ++Stats.Submitted;
+    InFlight.emplace(Raw->Hash, std::move(Sl));
+  }
+
+  /// Evicts the stalest in-flight entry not re-predicted this tick.
+  /// Pending work is cancelled outright; completed work is recycled into
+  /// the LRU run cache (the trace copy was already paid, and candidates
+  /// often get popped many iterations after they stop being top-ranked).
+  bool evictOne() {
+    auto Victim = InFlight.end();
+    for (auto It = InFlight.begin(); It != InFlight.end(); ++It) {
+      if (It->second->Tick == Tick)
+        continue;
+      if (Victim == InFlight.end() ||
+          It->second->Tick < Victim->second->Tick)
+        Victim = It;
+    }
+    if (Victim == InFlight.end())
+      return false;
+    Slot &Sl = *Victim->second;
+    if (Sl.Task.cancel()) {
+      ++Stats.Cancelled;
+    } else {
+      Sl.Task.wait();
+      if (Sl.Task.ran()) {
+        Cache.insertForced(Sl.Hash, Sl.Input, Sl.Result);
+        ++Stats.Recycled;
+      }
+    }
+    Free.push_back(std::move(Victim->second));
+    InFlight.erase(Victim);
+    return true;
+  }
+
+  const Subject &S;
+  RunCache &Cache;
+  uint32_t Depth;
+  uint64_t Tick = 0;
+  /// In-flight and completed-but-unconsumed speculations, keyed by input
+  /// hash; owned and mutated only by the sequential thread.
+  std::unordered_map<uint64_t, std::unique_ptr<Slot>> InFlight;
+  /// Retired slots for reuse (their RunResult buffers stay warm).
+  std::vector<std::unique_ptr<Slot>> Free;
+  /// (score, queue index) selection scratch for refill().
+  std::vector<std::pair<double, size_t>> Scratch;
+  /// Declared last: destroyed first, so all workers have drained before
+  /// the slots their lambdas point into are freed.
+  ThreadPool Pool;
+};
+
 /// One pFuzzer campaign against one subject.
 class Campaign {
 public:
   Campaign(const Subject &S, const FuzzerOptions &Opts,
            const PFuzzerOptions &Config)
       : S(S), Opts(Opts), Config(Config), Heur(Config.Heur), R(Opts.Seed),
-        Cache(Config.RunCacheSize) {}
+        Cache(Config.RunCacheSize) {
+    if (Config.SpeculationThreads > 0)
+      Spec = std::make_unique<Speculator>(S, Cache, Config.SpeculationThreads,
+                                          Config.SpeculationDepth);
+  }
 
   FuzzReport run();
 
 private:
   /// Runs \p Input; on a valid run with new coverage performs the
   /// validInp bookkeeping. Returns true in that case (line 27-35).
-  bool runCheck(const std::string &Input, RunResult &RR);
+  /// \p Hash must be hashInput(Input); candidates carry it precomputed.
+  bool runCheck(const std::string &Input, uint64_t Hash, RunResult &RR);
+
+  /// Appends an (Executions, |vBr|) sample unless it duplicates the last
+  /// one — runCheck's valid-input sample and the budget-interval sampler
+  /// can otherwise emit the same pair back-to-back.
+  void sampleTimeline() {
+    std::pair<uint64_t, uint64_t> Sample(Report.Executions, VBr.size());
+    if (!Report.CoverageTimeline.empty() &&
+        Report.CoverageTimeline.back() == Sample)
+      return;
+    Report.CoverageTimeline.push_back(Sample);
+  }
 
   /// Heuristic-relevant facts extracted from one run. NewBranches is
   /// built once per run and shared (refcounted) by every candidate the
@@ -240,8 +485,8 @@ private:
   /// past the end: the parser wants more input, so the prefix deserves
   /// further random extensions (Section 2: "continue with the generated
   /// prefix"). Path-novelty decay keeps this from looping forever.
-  void requeuePrefix(const std::string &Input, const RunStats &Stats,
-                     uint32_t ParentCount);
+  void requeuePrefix(const std::string &Input, uint64_t Hash,
+                     const RunStats &Stats, uint32_t ParentCount);
 
   /// Recomputes all queue scores against the grown vBr (lines 40-43) and
   /// enforces the queue cap.
@@ -299,6 +544,8 @@ private:
   std::unordered_set<uint64_t> Enqueued;
   /// Memoized bare runs; see PFuzzerOptions::RunCacheSize.
   RunCache Cache;
+  /// Speculative prefetcher, or null when SpeculationThreads == 0.
+  std::unique_ptr<Speculator> Spec;
   /// How often each prefix was re-enqueued for another random extension;
   /// bounded so retired prefixes stop consuming budget.
   std::unordered_map<std::string, uint32_t> RequeueCounts;
@@ -313,6 +560,7 @@ private:
 
 FuzzReport Campaign::run() {
   std::string Input(1, randomChar()); // line 4
+  uint64_t InputHash = hashInput(Input);
   uint32_t ParentCount = 0;
   uint64_t SampleEvery = std::max<uint64_t>(1, Opts.MaxExecutions / 256);
   // The two RunResults live across the whole campaign: each execution
@@ -320,7 +568,7 @@ FuzzReport Campaign::run() {
   // keeps capacity), so the steady state allocates nothing per run.
   RunResult RR, RE;
   while (Report.Executions < Opts.MaxExecutions) {
-    bool Valid = runCheck(Input, RR); // line 7
+    bool Valid = runCheck(Input, InputHash, RR); // line 7
     RunStats Stats = computeStats(RR);
     ++PathCounts[Stats.PathHash];
     if (Valid) {
@@ -334,10 +582,16 @@ FuzzReport Campaign::run() {
       addInputs(Input, RR, Stats, ParentCount);
       if (Report.Executions >= Opts.MaxExecutions)
         break;
+      // Early refill: the bare run's substitutions are enqueued, so the
+      // heap's top already names the likely next pops. Handing them to
+      // the workers *before* the sequential extension run below lets the
+      // speculative executions overlap it.
+      if (Spec)
+        Spec->refill(Queue);
       std::string EInp = Input + randomChar(); // line 15
       // Line 9-12: run the extended input; whether it turned out valid or
       // not, its comparisons seed the next substitutions.
-      runCheck(EInp, RE);
+      runCheck(EInp, hashInput(EInp), RE);
       RunStats EStats = computeStats(RE);
       ++PathCounts[EStats.PathHash];
       addInputs(EInp, RE, EStats, ParentCount);
@@ -347,10 +601,10 @@ FuzzReport Campaign::run() {
     // inputs are configured to reset instead of continue).
     if (RR.hitEof() && Input.size() < Opts.MaxInputLen &&
         !(Valid && Config.ResetOnValid))
-      requeuePrefix(Input, Stats, ParentCount);
+      requeuePrefix(Input, InputHash, Stats, ParentCount);
     if (Report.Executions / SampleEvery !=
         (Report.Executions + 1) / SampleEvery)
-      Report.CoverageTimeline.emplace_back(Report.Executions, VBr.size());
+      sampleTimeline();
     // Path-novelty decay: candidate scores embed the path counts of their
     // creation time; refresh them periodically so lineages that keep
     // re-executing the same parse path sink in the queue (Section 3.2's
@@ -363,9 +617,15 @@ FuzzReport Campaign::run() {
       // Search exhausted (tiny languages): restart from a fresh random
       // character to keep exploring different seeds.
       Input.assign(1, randomChar());
+      InputHash = hashInput(Input);
       ParentCount = 0;
       continue;
     }
+    // Final refill for this iteration: the queue now also holds the
+    // extension run's candidates, and Queue[0] is the exact input popped
+    // next, so its execution is guaranteed to be speculated.
+    if (Spec)
+      Spec->refill(Queue);
     Candidate Best = popBest(); // line 14
     if (Opts.Verbose)
       std::fprintf(stderr,
@@ -375,21 +635,34 @@ FuzzReport Campaign::run() {
                    Best.Input.size(), Best.ReplacementLen, Best.NumParents,
                    Best.Input.c_str());
     Input = std::move(Best.Input);
+    InputHash = Best.InputHash;
     ParentCount = Best.NumParents;
   }
-  Report.CoverageTimeline.emplace_back(Report.Executions, VBr.size());
+  sampleTimeline();
+  if (Spec) {
+    Spec->shutdown();
+    if (Config.StatsOut)
+      *Config.StatsOut = Spec->Stats;
+  } else if (Config.StatsOut) {
+    *Config.StatsOut = SpeculationStats();
+  }
   return std::move(Report);
 }
 
-bool Campaign::runCheck(const std::string &Input, RunResult &RR) {
+bool Campaign::runCheck(const std::string &Input, uint64_t Hash,
+                        RunResult &RR) {
   // Memoized replay: the search re-executes identical inputs routinely
   // (requeued prefixes, candidates regenerated after a queue trim). A hit
   // copies the recorded result instead of re-running the subject, still
   // counts against the execution budget, and flows through the identical
   // bookkeeping below — the report cannot tell a replay from a run.
-  uint64_t Hash = hashInput(Input);
   if (const RunResult *Cached = Cache.lookup(Hash, Input)) {
     RR.assignFrom(*Cached);
+  } else if (Spec && Spec->consume(Hash, Input, RR)) {
+    // Speculated: a worker already executed this input, and subjects are
+    // deterministic, so the prefetched result is what re-running would
+    // produce. Flows into the cache exactly like a fresh execution.
+    Cache.insert(Hash, Input, RR);
   } else {
     S.execute(Input, InstrumentationMode::Full, RR); // recycles RR's buffers
     Cache.insert(Hash, Input, RR);
@@ -412,7 +685,7 @@ bool Campaign::runCheck(const std::string &Input, RunResult &RR) {
   // validInp (lines 37-45): print, grow vBr, re-rank the queue.
   Report.ValidInputs.push_back(Input);
   VBr.insert(CoveredScratch.begin(), CoveredScratch.end());
-  Report.CoverageTimeline.emplace_back(Report.Executions, VBr.size());
+  sampleTimeline();
   rescoreQueue();
   return true;
 }
@@ -432,6 +705,11 @@ std::vector<std::string> Campaign::expansions(const RunResult &RR,
   case CompareKind::CharRange: {
     unsigned Lo = static_cast<unsigned char>(Expected[0]);
     unsigned Hi = static_cast<unsigned char>(Expected[1]);
+    // An inverted range (a subject comparing with swapped bounds) admits
+    // no character at all; without this guard Hi - Lo + 1 underflows into
+    // a huge sample bound and fabricates out-of-range candidates.
+    if (Hi < Lo)
+      break;
     if (Hi - Lo + 1 <= 16) {
       for (unsigned C = Lo; C <= Hi; ++C)
         Out.push_back(std::string(1, static_cast<char>(C)));
@@ -529,7 +807,11 @@ void Campaign::addInputs(const std::string &Input, const RunResult &RR,
       C.Input = Input.substr(0, SpliceAt) + Rep;
       if (C.Input == Input || C.Input.size() > Opts.MaxInputLen)
         continue;
-      if (!Enqueued.insert(hashInput(C.Input)).second)
+      // One FNV-1a pass serves the dedup set here, the run-cache key and
+      // the prefetcher's in-flight table later: the hash rides on the
+      // candidate instead of being recomputed at pop time.
+      C.InputHash = hashInput(C.Input);
+      if (!Enqueued.insert(C.InputHash).second)
         continue;
       C.NumParents = ParentCount + 1;
       C.AvgStack = Stats.AvgStack;
@@ -543,14 +825,15 @@ void Campaign::addInputs(const std::string &Input, const RunResult &RR,
   }
 }
 
-void Campaign::requeuePrefix(const std::string &Input, const RunStats &Stats,
-                             uint32_t ParentCount) {
+void Campaign::requeuePrefix(const std::string &Input, uint64_t Hash,
+                             const RunStats &Stats, uint32_t ParentCount) {
   uint32_t &Count = RequeueCounts[Input];
   if (Count >= 12)
     return; // retired: this prefix had its chances
   ++Count;
   Candidate C;
   C.Input = Input;
+  C.InputHash = Hash;
   C.NumParents = ParentCount;
   C.AvgStack = Stats.AvgStack;
   C.ReplacementLen = 1;

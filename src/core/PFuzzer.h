@@ -22,6 +22,35 @@
 
 namespace pfuzz {
 
+/// Diagnostic counters of the speculative prefetcher (see
+/// PFuzzerOptions::SpeculationThreads). Purely observational: none of
+/// these feed back into the search, so they can vary across worker
+/// counts while the FuzzReport stays byte-identical.
+struct SpeculationStats {
+  /// Prefetch-table probes: one per runCheck that missed the run cache.
+  uint64_t Lookups = 0;
+  /// Speculative executions handed to the worker pool.
+  uint64_t Submitted = 0;
+  /// runCheck lookups that consumed a speculated result (prefetch hits).
+  uint64_t Hits = 0;
+  /// Hits whose execution had already finished when consumed (no wait).
+  uint64_t HitsReady = 0;
+  /// Mispredicted tasks retracted before they started running.
+  uint64_t Cancelled = 0;
+  /// Mispredicted completed runs recycled into the LRU run cache.
+  uint64_t Recycled = 0;
+  /// Completed speculative runs discarded without any reuse.
+  uint64_t Discarded = 0;
+
+  /// Fraction of submitted work that was never consumed or cancelled.
+  double wasteRate() const {
+    return Submitted == 0
+               ? 0
+               : static_cast<double>(Submitted - Hits - Cancelled) /
+                     static_cast<double>(Submitted);
+  }
+};
+
 /// pFuzzer configuration beyond the heuristic terms.
 struct PFuzzerOptions {
   HeuristicOptions Heur;
@@ -41,6 +70,27 @@ struct PFuzzerOptions {
   /// and performs identical bookkeeping, so FuzzReports are byte-for-byte
   /// unchanged at any cache size.
   uint32_t RunCacheSize = 64;
+
+  /// Worker threads of the speculative prefetcher; 0 (the default) keeps
+  /// the Algorithm 1 loop single-threaded. With N > 0 workers, the
+  /// campaign executes the top-ranked queue candidates in the background
+  /// while the sequential loop processes the current run; when the loop
+  /// pops an input that was speculated, it consumes the prefetched
+  /// RunResult instead of re-running the subject. All bookkeeping
+  /// (budget counting, vBr growth, OnValidInput, rescoring, RNG draws)
+  /// stays on the sequential thread and consumes results in pop order,
+  /// so FuzzReports are byte-identical at any worker count.
+  uint32_t SpeculationThreads = 0;
+
+  /// How many queue candidates the prefetcher keeps in flight; 0 (auto)
+  /// picks 2 * SpeculationThreads + 2. Deeper speculation raises the hit
+  /// rate (candidates submitted iterations ahead are ready when popped)
+  /// at the cost of more wasted executions on mispredictions.
+  uint32_t SpeculationDepth = 0;
+
+  /// Optional out-param: filled with the prefetcher's diagnostic
+  /// counters when the campaign finishes. Never part of the report.
+  SpeculationStats *StatsOut = nullptr;
 };
 
 /// The parser-directed fuzzer.

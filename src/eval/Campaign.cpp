@@ -16,12 +16,35 @@
 
 using namespace pfuzz;
 
+unsigned pfuzz::arbitrateSpeculation(int Requested, size_t Workers) {
+  if (Requested == 0)
+    return 0;
+  size_t HW = ThreadPool::hardwareThreads();
+  if (Workers < 1)
+    Workers = 1;
+  if (Requested < 0) // auto: leftover cores, divided evenly
+    return HW > Workers ? static_cast<unsigned>((HW - Workers) / Workers) : 0;
+  unsigned Req = static_cast<unsigned>(Requested);
+  if (Workers <= 1)
+    return Req;
+  // Explicit request under a parallel seed fan-out: cap at the fair
+  // share (floor 1 so the speculation machinery stays engaged even on
+  // small machines — determinism never depends on the worker count).
+  return std::min<unsigned>(
+      Req, static_cast<unsigned>(std::max<size_t>(1, HW / Workers)));
+}
+
 std::unique_ptr<Fuzzer> pfuzz::makeFuzzer(ToolKind Kind,
                                           const ToolOptions &Tools) {
   switch (Kind) {
   case ToolKind::PFuzzer: {
     PFuzzerOptions Options;
     Options.RunCacheSize = Tools.PFuzzerRunCache;
+    // Direct construction counts as one lone campaign; the campaign
+    // runners pre-arbitrate and pass a resolved (>= 0) value instead.
+    Options.SpeculationThreads = arbitrateSpeculation(Tools.PFuzzerSpeculation,
+                                                      /*Workers=*/1);
+    Options.SpeculationDepth = Tools.PFuzzerSpeculationDepth;
     return std::make_unique<PFuzzer>(Options);
   }
   case ToolKind::Afl:
@@ -144,16 +167,25 @@ CampaignResult pfuzz::runCampaign(ToolKind Kind, const Subject &S,
                                   int Runs, int Jobs,
                                   const ToolOptions &Tools) {
   std::vector<SeedRunOutcome> Outcomes(std::max(Runs, 0));
+  // Resolve the speculation request against the number of seed runs that
+  // will actually execute concurrently, so the Jobs layer and the
+  // per-campaign prefetcher share the machine instead of multiplying.
+  ToolOptions SeedTools = Tools;
   if (Jobs == 1 || Runs <= 1) {
+    SeedTools.PFuzzerSpeculation =
+        static_cast<int>(arbitrateSpeculation(Tools.PFuzzerSpeculation, 1));
     // Inline fast path: no pool, no thread handoff.
     for (int RunIdx = 0; RunIdx < Runs; ++RunIdx)
-      Outcomes[RunIdx] = runOneSeed(
-          Kind, S, Executions, Seed + static_cast<uint64_t>(RunIdx), Tools);
+      Outcomes[RunIdx] =
+          runOneSeed(Kind, S, Executions, Seed + static_cast<uint64_t>(RunIdx),
+                     SeedTools);
   } else {
     ThreadPool Pool(Jobs <= 0 ? 0 : static_cast<unsigned>(Jobs));
+    SeedTools.PFuzzerSpeculation = static_cast<int>(arbitrateSpeculation(
+        Tools.PFuzzerSpeculation, std::min(Pool.size(), Outcomes.size())));
     Pool.parallelFor(0, Outcomes.size(), [&](size_t RunIdx) {
       Outcomes[RunIdx] =
-          runOneSeed(Kind, S, Executions, Seed + RunIdx, Tools);
+          runOneSeed(Kind, S, Executions, Seed + RunIdx, SeedTools);
     });
   }
   return reduceCell(Kind, S, Outcomes);
@@ -170,18 +202,24 @@ pfuzz::runCampaignGrid(const std::vector<CampaignCell> &Cells, uint64_t Seed,
   // 10x budget) overlaps with every other cell instead of serialising
   // the grid.
   size_t Total = Cells.size() * NumRuns;
+  ToolOptions SeedTools = Tools;
   auto RunTask = [&](size_t TaskIdx) {
     size_t CellIdx = TaskIdx / NumRuns;
     size_t RunIdx = TaskIdx % NumRuns;
     const CampaignCell &Cell = Cells[CellIdx];
-    Outcomes[CellIdx][RunIdx] =
-        runOneSeed(Cell.Tool, *Cell.S, Cell.Executions, Seed + RunIdx, Tools);
+    Outcomes[CellIdx][RunIdx] = runOneSeed(Cell.Tool, *Cell.S,
+                                           Cell.Executions, Seed + RunIdx,
+                                           SeedTools);
   };
   if (Jobs == 1 || Total <= 1) {
+    SeedTools.PFuzzerSpeculation =
+        static_cast<int>(arbitrateSpeculation(Tools.PFuzzerSpeculation, 1));
     for (size_t TaskIdx = 0; TaskIdx != Total; ++TaskIdx)
       RunTask(TaskIdx);
   } else {
     ThreadPool Pool(Jobs <= 0 ? 0 : static_cast<unsigned>(Jobs));
+    SeedTools.PFuzzerSpeculation = static_cast<int>(arbitrateSpeculation(
+        Tools.PFuzzerSpeculation, std::min(Pool.size(), Total)));
     Pool.parallelFor(0, Total, RunTask);
   }
   std::vector<CampaignResult> Results;

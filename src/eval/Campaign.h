@@ -46,7 +46,31 @@ struct ToolOptions {
   /// PFuzzerOptions::RunCacheSize for pFuzzer campaigns: memoized-run
   /// LRU capacity, 0 disables. Reports are byte-identical at any value.
   uint32_t PFuzzerRunCache = 64;
+
+  /// Speculative-prefetch workers per pFuzzer campaign
+  /// (PFuzzerOptions::SpeculationThreads). 0 (default) disables
+  /// speculation; N > 0 requests N workers per campaign; -1 means auto —
+  /// divide the hardware threads left over by the Jobs layer among the
+  /// concurrently running campaigns. Explicit requests are honored for a
+  /// lone campaign and capped at the per-campaign fair share when
+  /// several seed runs execute concurrently (see arbitrateSpeculation),
+  /// so the two parallelism layers cannot multiply into Jobs x N
+  /// threads. Reports are byte-identical at any value.
+  int PFuzzerSpeculation = 0;
+
+  /// PFuzzerOptions::SpeculationDepth (0 = auto).
+  uint32_t PFuzzerSpeculationDepth = 0;
 };
+
+/// Arbitrates cores between the seed-level Jobs layer and per-campaign
+/// speculation: returns the effective SpeculationThreads for one pFuzzer
+/// campaign when \p Workers campaigns run concurrently. \p Requested < 0
+/// (auto) yields the leftover hardware threads divided among the
+/// workers — zero on a saturated machine. An explicit request is honored
+/// as-is when Workers <= 1 and otherwise capped at max(1, hardware /
+/// Workers). Speculation is behavior-invariant, so arbitration affects
+/// wall-clock only, never reports.
+unsigned arbitrateSpeculation(int Requested, size_t Workers);
 
 /// Creates a fresh fuzzer instance for \p Kind.
 std::unique_ptr<Fuzzer> makeFuzzer(ToolKind Kind,

@@ -132,7 +132,10 @@ bool ExecutionContext::cmpEq(const TChar &C, char Expected, bool Implicit) {
 
 bool ExecutionContext::cmpRange(const TChar &C, char Lo, char Hi,
                                 bool Implicit) {
-  assert(byteOf(Lo) <= byteOf(Hi) && "inverted comparison range");
+  // An inverted range (Lo > Hi) is recorded as-is: the comparison is
+  // naturally unsatisfiable, and the fuzzer's expansion of the event
+  // guards against the inversion rather than the runtime aborting on a
+  // subject's buggy bounds.
   bool Matched = !C.isEof() && byteOf(C.ch()) >= byteOf(Lo) &&
                  byteOf(C.ch()) <= byteOf(Hi);
   char Bounds[2] = {Lo, Hi};

@@ -17,6 +17,18 @@
 /// referenced (not copied), and function names resolve through a
 /// process-wide intern table plus epoch-stamped per-run remap scratch.
 ///
+/// Thread-safety contract: concurrent executions on distinct
+/// ExecutionContexts are safe. All mutable state — cursor, stack depth,
+/// the RunResult being recorded — lives in the context itself; the only
+/// process-wide state an execution touches is the function-name intern
+/// table, which is lock-free for registered names (see
+/// runtime/Interning.h). Subjects are pure functions of their input with
+/// no globals, so an execution's RunResult depends only on (Input, Mode),
+/// never on what other threads run concurrently. The speculative
+/// prefetcher (core/PFuzzer.cpp) relies on exactly this: a RunResult
+/// produced on a worker thread is byte-for-byte the result the
+/// sequential loop would have recorded itself.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PFUZZ_RUNTIME_EXECUTIONCONTEXT_H

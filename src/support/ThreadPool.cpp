@@ -72,6 +72,40 @@ std::future<void> ThreadPool::submit(std::function<void()> Task) {
   return Future;
 }
 
+bool CancellableTask::cancel() {
+  if (!State)
+    return false;
+  int Expected = Pending;
+  return State->Phase.compare_exchange_strong(Expected, Cancelled);
+}
+
+void CancellableTask::wait() {
+  if (State)
+    State->Future.wait();
+}
+
+bool CancellableTask::ran() const {
+  return State && State->Phase.load(std::memory_order_acquire) == Done;
+}
+
+CancellableTask ThreadPool::submitCancellable(std::function<void()> Task) {
+  CancellableTask Handle;
+  Handle.State = std::make_shared<CancellableTask::Shared>();
+  std::shared_ptr<CancellableTask::Shared> State = Handle.State;
+  Handle.State->Future =
+      submit([State, Task = std::move(Task)] {
+        // Claim the task; a concurrent cancel() that won the race turns
+        // this queue slot into a no-op.
+        int Expected = CancellableTask::Pending;
+        if (!State->Phase.compare_exchange_strong(Expected,
+                                                  CancellableTask::Running))
+          return;
+        Task();
+        State->Phase.store(CancellableTask::Done, std::memory_order_release);
+      });
+  return Handle;
+}
+
 void ThreadPool::parallelFor(size_t Begin, size_t End,
                              const std::function<void(size_t)> &Fn) {
   if (Begin >= End)

@@ -17,15 +17,54 @@
 #ifndef PFUZZ_SUPPORT_THREADPOOL_H
 #define PFUZZ_SUPPORT_THREADPOOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace pfuzz {
+
+/// Handle to a task submitted via ThreadPool::submitCancellable. Allows
+/// best-effort cancellation of work that has not started yet: speculative
+/// callers (the pFuzzer prefetcher) retract mispredicted tasks so queued
+/// slots drain in O(1) instead of executing a run nobody will consume.
+class CancellableTask {
+public:
+  CancellableTask() = default;
+
+  /// True when this handle refers to a submitted task.
+  bool valid() const { return State != nullptr; }
+
+  /// Attempts to cancel. Returns true when the task had not started and
+  /// will never run (its queue slot still drains, as a no-op). Returns
+  /// false when the task is already running or finished.
+  bool cancel();
+
+  /// Blocks until the task finished running or its cancelled shell
+  /// drained from the queue. No-op on an invalid handle.
+  void wait();
+
+  /// Non-blocking: true when the task ran to completion (as opposed to
+  /// still pending/running, or cancelled).
+  bool ran() const;
+
+private:
+  friend class ThreadPool;
+
+  enum Phase : int { Pending = 0, Running = 1, Done = 2, Cancelled = 3 };
+
+  struct Shared {
+    std::atomic<int> Phase{Pending};
+    std::future<void> Future;
+  };
+
+  std::shared_ptr<Shared> State;
+};
 
 /// A fixed-size pool of worker threads draining a FIFO task queue.
 class ThreadPool {
@@ -47,6 +86,12 @@ public:
   /// Enqueues \p Task; the future resolves when it finishes and carries
   /// any exception the task threw.
   std::future<void> submit(std::function<void()> Task);
+
+  /// Enqueues \p Task and returns a handle that can retract it while it
+  /// is still queued (CancellableTask::cancel). A cancelled task's queue
+  /// slot still drains — as a no-op — so cancellation never blocks and
+  /// never reorders other tasks.
+  CancellableTask submitCancellable(std::function<void()> Task);
 
   /// Runs Fn(I) for every I in [Begin, End) across the pool and blocks
   /// until all calls finished. The first exception thrown by any call is

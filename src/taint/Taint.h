@@ -32,6 +32,10 @@
 /// result of a spill merge collapses back to Interval), so operator==
 /// can compare fields directly.
 ///
+/// TaintSets are plain values with no shared or global state, so
+/// concurrent executions (parallel campaign seeds, speculative prefetch
+/// workers) propagate taint with no synchronization at all.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PFUZZ_TAINT_TAINT_H

@@ -10,6 +10,49 @@
 
 using namespace pfuzz;
 
+namespace {
+
+/// A parser with swapped range bounds, as in `c >= 200 && c <= 'd'` typos:
+/// the range admits nothing, but its recorded bounds (Lo=0xC8, Hi=0x64)
+/// underflow a naive Hi - Lo + 1 candidate count. The only accepting
+/// input starts with byte 0xC8 — unreachable for the fuzzer unless the
+/// inverted range fabricates it as a boundary candidate.
+class InvertedRangeSubject final : public Subject {
+public:
+  std::string_view name() const override { return "inverted-range"; }
+  uint32_t numBranchSites() const override { return 2; }
+  int run(ExecutionContext &Ctx) const override {
+    TChar C = Ctx.nextChar();
+    if (C.isEof())
+      return 1;
+    bool InRange = Ctx.cmpRange(C, static_cast<char>(0xC8), 'd');
+    Ctx.recordBranch(0, InRange);
+    // Validity checked on the raw byte, not through a recorded
+    // comparison, so substitution candidates can only come from the
+    // inverted range above.
+    bool Valid = C.value() == 0xC8;
+    Ctx.recordBranch(1, Valid);
+    return Valid ? 0 : 1;
+  }
+};
+
+} // namespace
+
+TEST(PFuzzerInternalsTest, InvertedCharRangeYieldsNoExpansions) {
+  // Random extensions only draw printables, so the sole way to reach the
+  // accepting 0xC8 byte would be an expansion fabricated from the
+  // inverted range's underflowed bounds. The campaign must instead burn
+  // its whole budget finding nothing.
+  InvertedRangeSubject S;
+  PFuzzer Tool;
+  FuzzerOptions Opts;
+  Opts.Seed = 1;
+  Opts.MaxExecutions = 3000;
+  FuzzReport R = Tool.run(S, Opts);
+  EXPECT_TRUE(R.ValidInputs.empty());
+  EXPECT_EQ(R.Executions, 3000u);
+}
+
 TEST(PFuzzerInternalsTest, MaxInputLenRespected) {
   PFuzzer Tool;
   FuzzerOptions Opts;

@@ -1,0 +1,160 @@
+//===- tests/core/PFuzzerSpeculationTest.cpp - Prefetcher invariants ------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The contract of the speculative candidate prefetcher
+/// (PFuzzerOptions::SpeculationThreads): running top-ranked queue
+/// candidates on background workers is purely a wall-clock optimization.
+/// Every speculation decision is made on the sequential thread and results
+/// are consumed in pop order, so the FuzzReport — executions, emitted
+/// inputs, coverage, timeline — and the OnValidInput stream must be
+/// byte-for-byte identical at any worker count, any depth, with or
+/// without the run cache, and under the campaign Jobs layer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/PFuzzer.h"
+#include "eval/Campaign.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+using namespace pfuzz;
+
+namespace {
+
+FuzzReport fuzzSpeculating(const Subject &S, uint64_t Execs, uint64_t Seed,
+                           uint32_t Workers, uint32_t Depth = 0,
+                           uint32_t CacheSize = 64,
+                           SpeculationStats *Stats = nullptr,
+                           std::vector<std::string> *ValidLog = nullptr) {
+  PFuzzerOptions Options;
+  Options.RunCacheSize = CacheSize;
+  Options.SpeculationThreads = Workers;
+  Options.SpeculationDepth = Depth;
+  Options.StatsOut = Stats;
+  PFuzzer Tool(Options);
+  FuzzerOptions Opts;
+  Opts.Seed = Seed;
+  Opts.MaxExecutions = Execs;
+  if (ValidLog)
+    Opts.OnValidInput = [ValidLog](std::string_view Input) {
+      ValidLog->emplace_back(Input);
+    };
+  return Tool.run(S, Opts);
+}
+
+void expectIdenticalReports(const FuzzReport &A, const FuzzReport &B) {
+  EXPECT_EQ(A.Executions, B.Executions);
+  EXPECT_EQ(A.ValidInputs, B.ValidInputs);
+  EXPECT_EQ(A.ValidBranches, B.ValidBranches);
+  EXPECT_EQ(A.CoverageTimeline, B.CoverageTimeline);
+}
+
+} // namespace
+
+TEST(PFuzzerSpeculationTest, ReportIdenticalAcrossWorkerCounts) {
+  for (const Subject *S : {&jsonSubject(), &mjsSubject()}) {
+    uint64_t Execs = S == &jsonSubject() ? 4000 : 2500;
+    FuzzReport Sequential = fuzzSpeculating(*S, Execs, 1, /*Workers=*/0);
+    for (uint32_t Workers : {1u, 4u}) {
+      SCOPED_TRACE(std::string(S->name()) + " workers " +
+                   std::to_string(Workers));
+      FuzzReport Speculated = fuzzSpeculating(*S, Execs, 1, Workers);
+      expectIdenticalReports(Sequential, Speculated);
+    }
+  }
+}
+
+TEST(PFuzzerSpeculationTest, IdenticalWithAndWithoutRunCache) {
+  // Speculation interacts with the run cache twice over: hits skip the
+  // prefetch table, and evicted mispredictions are recycled into the
+  // cache. Neither path may leak into the report.
+  FuzzReport Baseline = fuzzSpeculating(jsonSubject(), 3000, 5, 0, 0,
+                                        /*CacheSize=*/0);
+  for (uint32_t CacheSize : {0u, 64u}) {
+    SCOPED_TRACE("cache " + std::to_string(CacheSize));
+    FuzzReport Speculated =
+        fuzzSpeculating(jsonSubject(), 3000, 5, /*Workers=*/2, 0, CacheSize);
+    expectIdenticalReports(Baseline, Speculated);
+  }
+}
+
+TEST(PFuzzerSpeculationTest, DepthExtremesBehaviorInvariant) {
+  // Depth 1 maximizes churn (every refill replaces the in-flight set);
+  // depth 16 keeps far more speculative runs alive than ever get popped.
+  FuzzReport Sequential = fuzzSpeculating(mjsSubject(), 2000, 2, 0);
+  for (uint32_t Depth : {1u, 16u}) {
+    SCOPED_TRACE("depth " + std::to_string(Depth));
+    FuzzReport Speculated =
+        fuzzSpeculating(mjsSubject(), 2000, 2, /*Workers=*/2, Depth);
+    expectIdenticalReports(Sequential, Speculated);
+  }
+}
+
+TEST(PFuzzerSpeculationTest, OnValidInputStreamUnchanged) {
+  // Token accounting consumes the OnValidInput stream; a consumed
+  // speculative run must fire the callback exactly like a live run.
+  std::vector<std::string> Sequential, Speculated;
+  fuzzSpeculating(jsonSubject(), 3000, 9, 0, 0, 64, nullptr, &Sequential);
+  fuzzSpeculating(jsonSubject(), 3000, 9, 4, 0, 64, nullptr, &Speculated);
+  EXPECT_EQ(Sequential, Speculated);
+}
+
+TEST(PFuzzerSpeculationTest, StatsReportUsefulWork) {
+  SpeculationStats Stats;
+  fuzzSpeculating(jsonSubject(), 3000, 1, /*Workers=*/2, 0, 64, &Stats);
+  // The prefetcher must actually engage: work submitted, hits consumed,
+  // and the accounting must balance (every submission is consumed,
+  // cancelled, recycled or discarded by shutdown).
+  EXPECT_GT(Stats.Submitted, 0u);
+  EXPECT_GT(Stats.Hits, 0u);
+  EXPECT_LE(Stats.Hits, Stats.Lookups);
+  EXPECT_EQ(Stats.Submitted,
+            Stats.Hits + Stats.Cancelled + Stats.Recycled + Stats.Discarded);
+}
+
+TEST(PFuzzerSpeculationTest, StatsClearedWhenSpeculationOff) {
+  SpeculationStats Stats;
+  Stats.Submitted = 123;
+  fuzzSpeculating(jsonSubject(), 500, 1, /*Workers=*/0, 0, 64, &Stats);
+  EXPECT_EQ(Stats.Submitted, 0u);
+  EXPECT_EQ(Stats.Lookups, 0u);
+}
+
+TEST(PFuzzerSpeculationTest, CampaignSpeculatingJobs4MatchesSequential) {
+  // Both parallelism layers at once: 4 concurrent seed runs, each with a
+  // speculating fuzzer, against the plain sequential configuration.
+  ToolOptions Plain;
+  Plain.PFuzzerSpeculation = 0;
+  ToolOptions Speculating;
+  Speculating.PFuzzerSpeculation = 2;
+  CampaignResult Seq = runCampaign(ToolKind::PFuzzer, jsonSubject(), 2000, 3,
+                                   /*Runs=*/4, /*Jobs=*/1, Plain);
+  CampaignResult Par = runCampaign(ToolKind::PFuzzer, jsonSubject(), 2000, 3,
+                                   /*Runs=*/4, /*Jobs=*/4, Speculating);
+  EXPECT_EQ(Seq.Report.Executions, Par.Report.Executions);
+  EXPECT_EQ(Seq.Report.ValidInputs, Par.Report.ValidInputs);
+  EXPECT_EQ(Seq.Report.ValidBranches, Par.Report.ValidBranches);
+  EXPECT_EQ(Seq.Report.CoverageTimeline, Par.Report.CoverageTimeline);
+  EXPECT_EQ(Seq.TokensFound, Par.TokensFound);
+}
+
+TEST(PFuzzerSpeculationTest, ArbitrationSharesCoresAcrossLayers) {
+  size_t HW = ThreadPool::hardwareThreads();
+  // Off stays off, no matter the fan-out.
+  EXPECT_EQ(arbitrateSpeculation(0, 1), 0u);
+  EXPECT_EQ(arbitrateSpeculation(0, 8), 0u);
+  // A lone campaign gets its explicit request verbatim.
+  EXPECT_EQ(arbitrateSpeculation(4, 1), 4u);
+  // Auto on a saturated machine yields nothing.
+  EXPECT_EQ(arbitrateSpeculation(-1, HW + 1), 0u);
+  // Explicit requests under fan-out are capped at the fair share but
+  // never silently disabled.
+  unsigned Shared = arbitrateSpeculation(4, 4);
+  EXPECT_GE(Shared, 1u);
+  EXPECT_LE(Shared, std::max<size_t>(1, HW / 4));
+}

@@ -106,3 +106,89 @@ TEST(ThreadPoolTest, ManyTasksAcrossManyWorkers) {
     F.wait();
   EXPECT_EQ(Sum.load(), 500u * 501u / 2);
 }
+
+TEST(ThreadPoolTest, CancelPendingTaskSkipsExecution) {
+  ThreadPool Pool(1);
+  std::atomic<bool> Release{false};
+  // Occupy the lone worker so the second task stays pending.
+  std::future<void> Gate = Pool.submit([&Release] {
+    while (!Release.load())
+      std::this_thread::yield();
+  });
+  std::atomic<bool> Ran{false};
+  CancellableTask Task =
+      Pool.submitCancellable([&Ran] { Ran.store(true); });
+  ASSERT_TRUE(Task.valid());
+  EXPECT_TRUE(Task.cancel());
+  EXPECT_FALSE(Task.cancel()) << "second cancel must report failure";
+  Release.store(true);
+  Gate.wait();
+  // The cancelled shell drains through the queue as a no-op.
+  Task.wait();
+  EXPECT_FALSE(Ran.load());
+  EXPECT_FALSE(Task.ran());
+}
+
+TEST(ThreadPoolTest, CancelRunningTaskFailsAndTaskCompletes) {
+  ThreadPool Pool(1);
+  std::atomic<bool> Started{false}, Release{false}, Ran{false};
+  CancellableTask Task = Pool.submitCancellable([&] {
+    Started.store(true);
+    while (!Release.load())
+      std::this_thread::yield();
+    Ran.store(true);
+  });
+  while (!Started.load())
+    std::this_thread::yield();
+  EXPECT_FALSE(Task.cancel()) << "a started task cannot be retracted";
+  Release.store(true);
+  Task.wait();
+  EXPECT_TRUE(Ran.load());
+  EXPECT_TRUE(Task.ran());
+}
+
+TEST(ThreadPoolTest, CancelledQueuedTasksDrainWithoutRunning) {
+  std::atomic<int> Executed{0};
+  std::vector<CancellableTask> Tasks;
+  {
+    ThreadPool Pool(1);
+    std::atomic<bool> Release{false};
+    Pool.submit([&Release] {
+      while (!Release.load())
+        std::this_thread::yield();
+    });
+    for (int I = 0; I != 8; ++I)
+      Tasks.push_back(
+          Pool.submitCancellable([&Executed] { Executed.fetch_add(1); }));
+    for (size_t I = 0; I != Tasks.size(); I += 2)
+      EXPECT_TRUE(Tasks[I].cancel());
+    Release.store(true);
+    // Pool destructor drains the queue: cancelled shells are no-ops.
+  }
+  EXPECT_EQ(Executed.load(), 4);
+  for (size_t I = 0; I != Tasks.size(); ++I)
+    EXPECT_EQ(Tasks[I].ran(), I % 2 == 1);
+}
+
+TEST(ThreadPoolTest, WaitOnCancelledTaskReturns) {
+  ThreadPool Pool(1);
+  std::atomic<bool> Release{false};
+  std::future<void> Gate = Pool.submit([&Release] {
+    while (!Release.load())
+      std::this_thread::yield();
+  });
+  CancellableTask Task = Pool.submitCancellable([] {});
+  ASSERT_TRUE(Task.cancel());
+  Release.store(true);
+  Task.wait(); // must not deadlock on the never-executed body
+  EXPECT_FALSE(Task.ran());
+  Gate.wait();
+}
+
+TEST(ThreadPoolTest, DefaultConstructedCancellableTaskIsInvalid) {
+  CancellableTask Task;
+  EXPECT_FALSE(Task.valid());
+  EXPECT_FALSE(Task.cancel());
+  EXPECT_FALSE(Task.ran());
+  Task.wait(); // no-op, must not crash
+}
