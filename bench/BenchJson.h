@@ -1,0 +1,87 @@
+//===- bench/BenchJson.h - Machine-readable bench results --------*- C++ -*-==//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every campaign bench accepts `--json=PATH` and writes its measurements
+/// as a JSON array of records
+///
+///   {"bench": ..., "subject": ..., "execs_per_sec": ...,
+///    "wall_ms": ..., "resume_hit_rate": ...}
+///
+/// so CI and trend scripts consume throughput numbers without scraping
+/// the human-readable tables. Bench and subject names are internal
+/// identifiers (no quotes/backslashes), so no JSON escaping is needed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_BENCH_BENCHJSON_H
+#define PFUZZ_BENCH_BENCHJSON_H
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pfuzz {
+
+/// One campaign measurement.
+struct BenchJsonRecord {
+  std::string Bench;
+  std::string Subject;
+  double ExecsPerSec = 0;
+  double WallMs = 0;
+  double ResumeHitRate = 0;
+};
+
+/// Collects records and writes them on demand. Constructed with an empty
+/// path (the flag's default), every call is a no-op.
+class BenchJsonWriter {
+public:
+  explicit BenchJsonWriter(std::string Path) : Path(std::move(Path)) {}
+
+  void add(std::string Bench, std::string Subject, double ExecsPerSec,
+           double WallSeconds, double ResumeHitRate) {
+    if (Path.empty())
+      return;
+    Records.push_back({std::move(Bench), std::move(Subject), ExecsPerSec,
+                       WallSeconds * 1000.0, ResumeHitRate});
+  }
+
+  /// Writes the collected records to the path; returns true on success
+  /// (and when disabled). Benches call this last and fold the result
+  /// into their exit code so a bad --json path is not silently ignored.
+  bool write() const {
+    if (Path.empty())
+      return true;
+    std::FILE *Out = std::fopen(Path.c_str(), "w");
+    if (Out == nullptr) {
+      std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                   Path.c_str());
+      return false;
+    }
+    std::fprintf(Out, "[\n");
+    for (size_t I = 0; I != Records.size(); ++I) {
+      const BenchJsonRecord &R = Records[I];
+      std::fprintf(Out,
+                   "  {\"bench\": \"%s\", \"subject\": \"%s\","
+                   " \"execs_per_sec\": %.1f, \"wall_ms\": %.3f,"
+                   " \"resume_hit_rate\": %.4f}%s\n",
+                   R.Bench.c_str(), R.Subject.c_str(), R.ExecsPerSec, R.WallMs,
+                   R.ResumeHitRate, I + 1 == Records.size() ? "" : ",");
+    }
+    std::fprintf(Out, "]\n");
+    std::fclose(Out);
+    return true;
+  }
+
+private:
+  std::string Path;
+  std::vector<BenchJsonRecord> Records;
+};
+
+} // namespace pfuzz
+
+#endif // PFUZZ_BENCH_BENCHJSON_H

@@ -16,6 +16,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "eval/Campaign.h"
 #include "eval/TableWriter.h"
 #include "support/CommandLine.h"
@@ -33,17 +34,23 @@ int main(int Argc, char **Argv) {
   Budgets.scale(static_cast<uint64_t>(Cli.getInt("budget-scale", 1)));
   int Runs = static_cast<int>(Cli.getInt("runs", 1));
   uint64_t Seed = static_cast<uint64_t>(Cli.getInt("seed", 1));
-  int Jobs = static_cast<int>(Cli.getInt("jobs", 1));
+  int Jobs = static_cast<int>(Cli.getCount("jobs", 1));
   ToolOptions ToolCfg;
   ToolCfg.PFuzzerRunCache =
-      static_cast<uint32_t>(Cli.getInt("run-cache", ToolCfg.PFuzzerRunCache));
-  ToolCfg.PFuzzerSpeculation =
-      static_cast<int>(Cli.getInt("speculate", ToolCfg.PFuzzerSpeculation));
+      static_cast<uint32_t>(Cli.getCount("run-cache", ToolCfg.PFuzzerRunCache));
+  ToolCfg.PFuzzerSpeculation = static_cast<int>(
+      Cli.getCount("speculate", ToolCfg.PFuzzerSpeculation, /*Min=*/-1));
+  ToolCfg.PFuzzerResumeCache = static_cast<uint32_t>(
+      Cli.getCount("resume-cache", ToolCfg.PFuzzerResumeCache));
   bool Timeline = Cli.getBool("timeline", false);
+  BenchJsonWriter Json(Cli.getString("json", ""));
   if (!Cli.ok() || !Cli.unqueried().empty()) {
+    for (const std::string &Err : Cli.errors())
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
     std::fprintf(stderr, "usage: fig2_coverage [--budget-scale=N]"
                          " [--runs=N] [--seed=N] [--jobs=N] [--run-cache=N]"
-                         " [--speculate=N] [--timeline]\n");
+                         " [--resume-cache=N] [--speculate=N] [--timeline]"
+                         " [--json=PATH]\n");
     return 1;
   }
 
@@ -94,6 +101,9 @@ int main(int Argc, char **Argv) {
       Row.Outcomes = 2ull * S->numBranchSites();
       RowSeconds += R.WallSeconds;
       RowExecs += R.TotalExecutions;
+      Json.add("fig2_coverage",
+               std::string(toolName(Tools[T])) + "/" + Row.Subject,
+               R.execsPerSec(), R.WallSeconds, R.Resume.hitRate());
       Cells.push_back(formatDouble(Row.Ratios[T] * 100, 1));
       std::fprintf(stderr,
                    "  done: %s on %s (%llu execs, %zu valid, %s, %s)\n",
@@ -163,5 +173,5 @@ int main(int Argc, char **Argv) {
                Ratio("mjs", 1) <= Ratio("mjs", 2))
                   ? "yes"
                   : "NO");
-  return 0;
+  return Json.write() ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "eval/Campaign.h"
 #include "eval/TableWriter.h"
 #include "support/CommandLine.h"
@@ -32,16 +33,21 @@ int main(int Argc, char **Argv) {
   Budgets.scale(static_cast<uint64_t>(Cli.getInt("budget-scale", 1)));
   int Runs = static_cast<int>(Cli.getInt("runs", 1));
   uint64_t Seed = static_cast<uint64_t>(Cli.getInt("seed", 1));
-  int Jobs = static_cast<int>(Cli.getInt("jobs", 1));
+  int Jobs = static_cast<int>(Cli.getCount("jobs", 1));
   ToolOptions ToolCfg;
   ToolCfg.PFuzzerRunCache =
-      static_cast<uint32_t>(Cli.getInt("run-cache", ToolCfg.PFuzzerRunCache));
-  ToolCfg.PFuzzerSpeculation =
-      static_cast<int>(Cli.getInt("speculate", ToolCfg.PFuzzerSpeculation));
+      static_cast<uint32_t>(Cli.getCount("run-cache", ToolCfg.PFuzzerRunCache));
+  ToolCfg.PFuzzerSpeculation = static_cast<int>(
+      Cli.getCount("speculate", ToolCfg.PFuzzerSpeculation, /*Min=*/-1));
+  ToolCfg.PFuzzerResumeCache = static_cast<uint32_t>(
+      Cli.getCount("resume-cache", ToolCfg.PFuzzerResumeCache));
+  BenchJsonWriter Json(Cli.getString("json", ""));
   if (!Cli.ok() || !Cli.unqueried().empty()) {
+    for (const std::string &Err : Cli.errors())
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
     std::fprintf(stderr, "usage: fig3_tokens [--budget-scale=N] [--runs=N]"
                          " [--seed=N] [--jobs=N] [--run-cache=N]"
-                         " [--speculate=N]\n");
+                         " [--resume-cache=N] [--speculate=N] [--json=PATH]\n");
     return 1;
   }
 
@@ -89,6 +95,10 @@ int main(int Argc, char **Argv) {
       for (const auto &[Length, Count] : Totals)
         Cells.push_back(std::to_string(Found[Length]));
       Table.addRow(std::move(Cells));
+      Json.add("fig3_tokens",
+               std::string(toolName(Tools[T])) + "/" +
+                   std::string(S->name()),
+               R.execsPerSec(), R.WallSeconds, R.Resume.hitRate());
       std::fprintf(stderr, "  done: %s on %s (%zu tokens, %s, %s)\n",
                    std::string(toolName(Tools[T])).c_str(),
                    std::string(S->name()).c_str(), R.TokensFound.size(),
@@ -118,5 +128,5 @@ int main(int Argc, char **Argv) {
   std::printf("\nCentral result (only pFuzzer detects longer tokens):"
               " %s\n",
               PFuzzerWinsLong ? "reproduced" : "NOT reproduced");
-  return 0;
+  return Json.write() ? 0 : 1;
 }

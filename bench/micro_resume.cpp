@@ -1,0 +1,259 @@
+//===- bench/micro_resume.cpp - Prefix-resumption benchmark ---------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the prefix-resumption engine (PFuzzerOptions::ResumeCacheSize)
+/// two ways, each doubling as a byte-identical self-check (exit code 1 on
+/// any divergence from cold execution):
+///
+/// 1. The long-prefix growth sweep — the parser-directed access pattern
+///    the engine exists for: execute every prefix of a long JSON document
+///    in order, cold vs resuming. Cold work is quadratic in the document
+///    length (every step re-parses the whole prefix); resumed work is
+///    linear, so this is where the headline speedup (>= 1.5x) shows.
+///
+/// 2. Whole campaigns on every evaluation subject: end-to-end wall-clock,
+///    hit rate and bytes skipped. Campaign inputs within small budgets
+///    are dominated by short strings the engine deliberately bypasses
+///    (see PFuzzerOptions::ResumeMinLength), so expect ~1x here on the
+///    built-in micro-parsers; subjects that are not resume-safe (tinyc,
+///    mjs) pin the "engine disengaged, identical results" path.
+///
+///   ./micro_resume [--execs=N] [--seed=N] [--resume-cache=N]
+///                  [--resume-min=N] [--run-cache=N] [--growth-len=N]
+///                  [--json=PATH]
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchJson.h"
+#include "core/PFuzzer.h"
+#include "subjects/Subject.h"
+#include "support/CommandLine.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace pfuzz;
+
+namespace {
+
+struct RunOutcome {
+  FuzzReport Report;
+  ResumeStats Stats;
+  double WallSeconds = 0;
+};
+
+RunOutcome runOnce(const Subject &S, uint64_t Execs, uint64_t Seed,
+                   uint32_t ResumeCache, uint32_t RunCache,
+                   uint32_t ResumeMin) {
+  RunOutcome Out;
+  PFuzzerOptions Options;
+  Options.RunCacheSize = RunCache;
+  Options.ResumeCacheSize = ResumeCache;
+  Options.ResumeMinLength = ResumeMin;
+  Options.ResumeStatsOut = &Out.Stats;
+  PFuzzer Tool(Options);
+  FuzzerOptions Opts;
+  Opts.Seed = Seed;
+  Opts.MaxExecutions = Execs;
+  auto Start = std::chrono::steady_clock::now();
+  Out.Report = Tool.run(S, Opts);
+  Out.WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Out;
+}
+
+bool sameReport(const FuzzReport &A, const FuzzReport &B) {
+  return A.Executions == B.Executions && A.ValidInputs == B.ValidInputs &&
+         A.ValidBranches == B.ValidBranches &&
+         A.CoverageTimeline == B.CoverageTimeline;
+}
+
+/// Full-depth RunResult equality — the growth sweep checks every event a
+/// resumed run records against the cold run of the same input.
+bool sameRunResult(const RunResult &A, const RunResult &B) {
+  if (A.ExitCode != B.ExitCode || A.BranchTrace != B.BranchTrace ||
+      A.EventChars != B.EventChars || A.FunctionNames != B.FunctionNames ||
+      A.EofAccesses.size() != B.EofAccesses.size() ||
+      A.CallTrace.size() != B.CallTrace.size() ||
+      A.Comparisons.size() != B.Comparisons.size())
+    return false;
+  for (size_t I = 0; I != A.EofAccesses.size(); ++I)
+    if (A.EofAccesses[I].AccessIndex != B.EofAccesses[I].AccessIndex)
+      return false;
+  for (size_t I = 0; I != A.CallTrace.size(); ++I)
+    if (A.CallTrace[I].NameId != B.CallTrace[I].NameId ||
+        A.CallTrace[I].Cursor != B.CallTrace[I].Cursor)
+      return false;
+  for (size_t I = 0; I != A.Comparisons.size(); ++I) {
+    const ComparisonEvent &EA = A.Comparisons[I];
+    const ComparisonEvent &EB = B.Comparisons[I];
+    if (EA.Kind != EB.Kind || EA.Matched != EB.Matched ||
+        EA.OnEof != EB.OnEof || EA.Implicit != EB.Implicit ||
+        EA.StackDepth != EB.StackDepth ||
+        EA.TracePosition != EB.TracePosition ||
+        A.expected(EA) != B.expected(EB) || A.actual(EA) != B.actual(EB) ||
+        !(EA.Taint == EB.Taint))
+      return false;
+  }
+  return true;
+}
+
+/// A deterministic JSON document of at least \p Len bytes — flat-ish
+/// records under one array, the shape a parser-directed search settles
+/// into once it has learned the object/array/string tokens.
+std::string growthDocument(size_t Len) {
+  std::string Doc = "{\"k\": [";
+  const char *Records[] = {
+      "{\"id\": 12, \"on\": true}", "[1, 22, 333, \"abc\"]",
+      "\"u\\u0041text\"", "{\"x\": [false, \"y\"], \"n\": 7}"};
+  for (size_t I = 0; Doc.size() < Len; ++I) {
+    if (I != 0)
+      Doc += ", ";
+    Doc += Records[I % 4];
+  }
+  Doc += "]}";
+  return Doc;
+}
+
+/// Executes every prefix of Doc in growth order; resuming when \p Engine
+/// is non-null, cold otherwise. Returns false on any divergence from the
+/// cold reference results in \p Reference (filled when null).
+bool sweepPrefixes(const Subject &S, const std::string &Doc,
+                   PrefixResumeEngine *Engine,
+                   std::vector<RunResult> *Reference, bool Check) {
+  bool Identical = true;
+  RunResult Pooled;
+  for (size_t L = 1; L <= Doc.size(); ++L) {
+    std::string_view In(Doc.data(), L);
+    if (Engine)
+      Engine->execute(In, Pooled);
+    else
+      Pooled = S.execute(In, InstrumentationMode::Full);
+    if (Check && !sameRunResult((*Reference)[L - 1], Pooled))
+      Identical = false;
+    else if (!Check && Reference) {
+      Reference->emplace_back();
+      Reference->back().assignFrom(Pooled);
+    }
+  }
+  return Identical;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine Cli(Argc, Argv);
+  uint64_t Execs = static_cast<uint64_t>(Cli.getInt("execs", 30000));
+  uint64_t Seed = static_cast<uint64_t>(Cli.getInt("seed", 1));
+  uint32_t ResumeCache =
+      static_cast<uint32_t>(Cli.getCount("resume-cache", 256));
+  uint32_t RunCache = static_cast<uint32_t>(Cli.getCount("run-cache", 64));
+  uint32_t ResumeMin = static_cast<uint32_t>(
+      Cli.getCount("resume-min", PFuzzerOptions().ResumeMinLength));
+  size_t GrowthLen = static_cast<size_t>(Cli.getCount("growth-len", 240));
+  BenchJsonWriter Json(Cli.getString("json", ""));
+  if (!Cli.ok() || !Cli.unqueried().empty()) {
+    for (const std::string &Err : Cli.errors())
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+    std::fprintf(stderr, "usage: micro_resume [--execs=N] [--seed=N]"
+                         " [--resume-cache=N] [--resume-min=N] [--run-cache=N]"
+                         " [--growth-len=N] [--json=PATH]\n");
+    return 1;
+  }
+
+  std::printf("== Prefix resumption: wall-clock against cold re-execution"
+              " ==\n");
+  std::printf("(%llu execs per run, seed %llu, resume-cache %u, resume-min %u,"
+              " run-cache %u, fibers %s)\n\n",
+              static_cast<unsigned long long>(Execs),
+              static_cast<unsigned long long>(Seed), ResumeCache, ResumeMin,
+              RunCache,
+              PrefixResumeEngine::available() ? "available" : "UNAVAILABLE");
+
+  bool AllIdentical = true;
+
+  // --- 1. Long-prefix growth sweep: execute every prefix of a long JSON
+  // document in order, the search's extend-by-a-byte access pattern. ---
+  if (PrefixResumeEngine::available()) {
+    const Subject &J = jsonSubject();
+    const std::string Doc = growthDocument(GrowthLen);
+    std::vector<RunResult> Reference;
+    Reference.reserve(Doc.size());
+    sweepPrefixes(J, Doc, nullptr, &Reference, /*Check=*/false);
+    PrefixResumeEngine Engine(
+        [&J](ExecutionContext &C) { return J.run(C); }, Doc.size() + 1);
+    // Untimed identity pass: every prefix's resumed RunResult must match
+    // the cold reference event for event.
+    bool GrowthIdentical =
+        sweepPrefixes(J, Doc, &Engine, &Reference, /*Check=*/true);
+    AllIdentical &= GrowthIdentical;
+    const int Rounds = 20;
+    auto T0 = std::chrono::steady_clock::now();
+    for (int R = 0; R != Rounds; ++R)
+      sweepPrefixes(J, Doc, nullptr, nullptr, false);
+    auto T1 = std::chrono::steady_clock::now();
+    for (int R = 0; R != Rounds; ++R)
+      sweepPrefixes(J, Doc, &Engine, nullptr, false);
+    auto T2 = std::chrono::steady_clock::now();
+    double ColdSecs = std::chrono::duration<double>(T1 - T0).count();
+    double WarmSecs = std::chrono::duration<double>(T2 - T1).count();
+    double Steps = static_cast<double>(Rounds) * Doc.size();
+    std::printf("long-prefix growth (json, %zu-byte document, %d sweeps):\n",
+                Doc.size(), Rounds);
+    std::printf("  cold   %8.3fs  %9.0f execs/s\n", ColdSecs,
+                ColdSecs > 0 ? Steps / ColdSecs : 0);
+    std::printf("  resume %8.3fs  %9.0f execs/s  %.2fx speedup  %s\n",
+                WarmSecs, WarmSecs > 0 ? Steps / WarmSecs : 0,
+                WarmSecs > 0 ? ColdSecs / WarmSecs : 0,
+                GrowthIdentical ? "identical" : "MISMATCH");
+    Json.add("micro_resume", "json/growth-cold",
+             ColdSecs > 0 ? Steps / ColdSecs : 0, ColdSecs, 0);
+    Json.add("micro_resume", "json/growth-resume",
+             WarmSecs > 0 ? Steps / WarmSecs : 0, WarmSecs,
+             Engine.stats().hitRate());
+  } else {
+    std::printf("long-prefix growth: skipped (fibers unavailable)\n");
+  }
+
+  // --- 2. Whole campaigns on every evaluation subject. ---
+  std::printf("\n%-8s %9s %9s %11s %8s %6s %12s  %s\n", "subject", "mode",
+              "wall[s]", "execs/s", "speedup", "hit%", "bytes-skip", "report");
+  for (const Subject *S : evaluationSubjects()) {
+    RunOutcome Cold =
+        runOnce(*S, Execs, Seed, /*ResumeCache=*/0, RunCache, ResumeMin);
+    RunOutcome Warm =
+        runOnce(*S, Execs, Seed, ResumeCache, RunCache, ResumeMin);
+    bool Identical = sameReport(Cold.Report, Warm.Report);
+    AllIdentical &= Identical;
+    double Speedup = Warm.WallSeconds > 0
+                         ? Cold.WallSeconds / Warm.WallSeconds
+                         : 0;
+    std::printf("%-8s %9s %9.3f %11.0f %7s %6s %12s  %s\n", S->name().data(),
+                "cold", Cold.WallSeconds,
+                Cold.WallSeconds > 0 ? Execs / Cold.WallSeconds : 0, "-", "-",
+                "-", "baseline");
+    std::printf("%-8s %9s %9.3f %11.0f %7.2fx %5.1f%% %12llu  %s\n",
+                S->name().data(), "resume", Warm.WallSeconds,
+                Warm.WallSeconds > 0 ? Execs / Warm.WallSeconds : 0, Speedup,
+                100 * Warm.Stats.hitRate(),
+                static_cast<unsigned long long>(Warm.Stats.BytesSkipped),
+                Identical ? "identical" : "MISMATCH");
+    Json.add("micro_resume", std::string(S->name()) + "/cold",
+             Cold.WallSeconds > 0 ? Execs / Cold.WallSeconds : 0,
+             Cold.WallSeconds, 0);
+    Json.add("micro_resume", std::string(S->name()) + "/resume",
+             Warm.WallSeconds > 0 ? Execs / Warm.WallSeconds : 0,
+             Warm.WallSeconds, Warm.Stats.hitRate());
+  }
+  if (!AllIdentical) {
+    std::fprintf(stderr, "error: a resuming run diverged from the cold"
+                         " baseline\n");
+    return 1;
+  }
+  return Json.write() ? 0 : 1;
+}

@@ -13,9 +13,11 @@
 /// byte-identical check (exit code 1 on any divergence).
 ///
 ///   ./micro_speculate [--execs=N] [--seed=N] [--depth=N] [--run-cache=N]
+///                     [--resume-cache=N] [--json=PATH]
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "core/PFuzzer.h"
 #include "subjects/Subject.h"
 #include "support/CommandLine.h"
@@ -30,17 +32,21 @@ namespace {
 struct RunOutcome {
   FuzzReport Report;
   SpeculationStats Stats;
+  ResumeStats Resume;
   double WallSeconds = 0;
 };
 
 RunOutcome runOnce(const Subject &S, uint64_t Execs, uint64_t Seed,
-                   uint32_t Workers, uint32_t Depth, uint32_t CacheSize) {
+                   uint32_t Workers, uint32_t Depth, uint32_t CacheSize,
+                   uint32_t ResumeCache) {
   RunOutcome Out;
   PFuzzerOptions Options;
   Options.RunCacheSize = CacheSize;
   Options.SpeculationThreads = Workers;
   Options.SpeculationDepth = Depth;
   Options.StatsOut = &Out.Stats;
+  Options.ResumeCacheSize = ResumeCache;
+  Options.ResumeStatsOut = &Out.Resume;
   PFuzzer Tool(Options);
   FuzzerOptions Opts;
   Opts.Seed = Seed;
@@ -65,11 +71,17 @@ int main(int Argc, char **Argv) {
   CommandLine Cli(Argc, Argv);
   uint64_t Execs = static_cast<uint64_t>(Cli.getInt("execs", 20000));
   uint64_t Seed = static_cast<uint64_t>(Cli.getInt("seed", 1));
-  uint32_t Depth = static_cast<uint32_t>(Cli.getInt("depth", 0));
-  uint32_t CacheSize = static_cast<uint32_t>(Cli.getInt("run-cache", 64));
+  uint32_t Depth = static_cast<uint32_t>(Cli.getCount("depth", 0));
+  uint32_t CacheSize = static_cast<uint32_t>(Cli.getCount("run-cache", 64));
+  uint32_t ResumeCache =
+      static_cast<uint32_t>(Cli.getCount("resume-cache", 0));
+  BenchJsonWriter Json(Cli.getString("json", ""));
   if (!Cli.ok() || !Cli.unqueried().empty()) {
+    for (const std::string &Err : Cli.errors())
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
     std::fprintf(stderr, "usage: micro_speculate [--execs=N] [--seed=N]"
-                         " [--depth=N] [--run-cache=N]\n");
+                         " [--depth=N] [--run-cache=N] [--resume-cache=N]"
+                         " [--json=PATH]\n");
     return 1;
   }
 
@@ -87,7 +99,8 @@ int main(int Argc, char **Argv) {
   for (const Subject *S : evaluationSubjects()) {
     RunOutcome Baseline;
     for (uint32_t Workers : WorkerGrid) {
-      RunOutcome Out = runOnce(*S, Execs, Seed, Workers, Depth, CacheSize);
+      RunOutcome Out =
+          runOnce(*S, Execs, Seed, Workers, Depth, CacheSize, ResumeCache);
       bool Identical = true;
       if (Workers == 0) {
         Baseline = std::move(Out);
@@ -108,6 +121,10 @@ int main(int Argc, char **Argv) {
                   Speedup, HitRate, ReadyRate, 100 * St.wasteRate(),
                   Workers == 0 ? "baseline"
                                : (Identical ? "identical" : "MISMATCH"));
+      Json.add("micro_speculate",
+               std::string(S->name()) + "/w" + std::to_string(Workers),
+               Cur.WallSeconds > 0 ? Execs / Cur.WallSeconds : 0,
+               Cur.WallSeconds, Cur.Resume.hitRate());
     }
     std::printf("\n");
   }
@@ -116,5 +133,5 @@ int main(int Argc, char **Argv) {
                          " sequential baseline\n");
     return 1;
   }
-  return 0;
+  return Json.write() ? 0 : 1;
 }

@@ -34,26 +34,34 @@ int main(int Argc, char **Argv) {
   uint64_t Execs = static_cast<uint64_t>(Cli.getInt("execs", 50000));
   uint64_t Seed = static_cast<uint64_t>(Cli.getInt("seed", 1));
   int Runs = static_cast<int>(Cli.getInt("runs", 1));
-  int Jobs = static_cast<int>(Cli.getInt("jobs", 1));
+  int Jobs = static_cast<int>(Cli.getCount("jobs", 1));
   ToolOptions Tools;
   Tools.PFuzzerRunCache =
-      static_cast<uint32_t>(Cli.getInt("run-cache", Tools.PFuzzerRunCache));
-  Tools.PFuzzerSpeculation =
-      static_cast<int>(Cli.getInt("speculate", Tools.PFuzzerSpeculation));
+      static_cast<uint32_t>(Cli.getCount("run-cache", Tools.PFuzzerRunCache));
+  Tools.PFuzzerSpeculation = static_cast<int>(
+      Cli.getCount("speculate", Tools.PFuzzerSpeculation, /*Min=*/-1));
   Tools.PFuzzerSpeculationDepth = static_cast<uint32_t>(
-      Cli.getInt("speculate-depth", Tools.PFuzzerSpeculationDepth));
+      Cli.getCount("speculate-depth", Tools.PFuzzerSpeculationDepth));
+  Tools.PFuzzerResumeCache = static_cast<uint32_t>(
+      Cli.getCount("resume-cache", Tools.PFuzzerResumeCache));
   bool Mine = Cli.getBool("mine", false);
   bool Quiet = Cli.getBool("quiet", false);
   if (!Cli.ok() || !Cli.unqueried().empty()) {
+    for (const std::string &Err : Cli.errors())
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+    for (const std::string &Flag : Cli.unqueried())
+      std::fprintf(stderr, "error: unknown flag --%s\n", Flag.c_str());
     std::fprintf(stderr,
                  "usage: pfuzz_cli [--subject=NAME] [--tool=NAME]"
                  " [--execs=N] [--seed=N] [--runs=N] [--jobs=N]"
-                 " [--run-cache=N] [--speculate=N] [--speculate-depth=N]"
-                 " [--mine] [--quiet]\n"
+                 " [--run-cache=N] [--resume-cache=N] [--speculate=N]"
+                 " [--speculate-depth=N] [--mine] [--quiet]\n"
                  "subjects: arith dyck ini csv json tinyc mjs\n"
                  "tools: pfuzzer afl klee random\n"
                  "--run-cache: pFuzzer memoized-run LRU entries (0=off;"
                  " results are identical at any value)\n"
+                 "--resume-cache: pFuzzer prefix-resumption checkpoints"
+                 " (0=off; results are identical at any value)\n"
                  "--speculate: pFuzzer prefetch workers per campaign"
                  " (0=off, -1=auto; results are identical at any value)\n"
                  "--speculate-depth: candidates kept in flight (0=auto)\n");
@@ -100,6 +108,11 @@ int main(int Argc, char **Argv) {
                formatSeconds(Best.WallSeconds).c_str(),
                formatExecsPerSec(Best.TotalExecutions, Best.WallSeconds)
                    .c_str());
+  if (Best.Resume.Probes > 0)
+    std::fprintf(stderr,
+                 "prefix resumption: %.1f%% hit rate, %llu bytes skipped\n",
+                 100 * Best.Resume.hitRate(),
+                 static_cast<unsigned long long>(Best.Resume.BytesSkipped));
   std::fprintf(stderr, "coverage timeline (execs -> branch outcomes):\n");
   size_t Step = std::max<size_t>(1, R.CoverageTimeline.size() / 8);
   for (size_t I = 0; I < R.CoverageTimeline.size(); I += Step)

@@ -439,6 +439,17 @@ public:
     if (Config.SpeculationThreads > 0)
       Spec = std::make_unique<Speculator>(S, Cache, Config.SpeculationThreads,
                                           Config.SpeculationDepth);
+    // The prefix-resumption engine: only for subjects audited as safe to
+    // checkpoint, and only when this build can switch stacks — anything
+    // else falls back to plain full re-execution, which records the
+    // same bytes. The engine is owned by (and confined to) this
+    // sequential loop; speculation workers re-execute cold instead of
+    // sharing suspended runs.
+    if (Config.ResumeCacheSize > 0 && S.resumeSafe() &&
+        PrefixResumeEngine::available())
+      Resume = std::make_unique<PrefixResumeEngine>(
+          [Subj = &S](ExecutionContext &Ctx) { return Subj->run(Ctx); },
+          Config.ResumeCacheSize, Config.ResumeMinLength);
   }
 
   FuzzReport run();
@@ -546,6 +557,9 @@ private:
   RunCache Cache;
   /// Speculative prefetcher, or null when SpeculationThreads == 0.
   std::unique_ptr<Speculator> Spec;
+  /// Prefix-resumption engine, or null when disabled/ineligible; see
+  /// PFuzzerOptions::ResumeCacheSize.
+  std::unique_ptr<PrefixResumeEngine> Resume;
   /// How often each prefix was re-enqueued for another random extension;
   /// bounded so retired prefixes stop consuming budget.
   std::unordered_map<std::string, uint32_t> RequeueCounts;
@@ -646,6 +660,8 @@ FuzzReport Campaign::run() {
   } else if (Config.StatsOut) {
     *Config.StatsOut = SpeculationStats();
   }
+  if (Config.ResumeStatsOut)
+    *Config.ResumeStatsOut = Resume ? Resume->stats() : ResumeStats();
   return std::move(Report);
 }
 
@@ -662,6 +678,12 @@ bool Campaign::runCheck(const std::string &Input, uint64_t Hash,
     // Speculated: a worker already executed this input, and subjects are
     // deterministic, so the prefetched result is what re-running would
     // produce. Flows into the cache exactly like a fresh execution.
+    Cache.insert(Hash, Input, RR);
+  } else if (Resume) {
+    // Resume-from-checkpoint when a cached prefix matches, cold run on
+    // the fiber otherwise; either way RR ends up byte-identical to a
+    // plain execution and flows into the run cache the same.
+    Resume->execute(Input, RR);
     Cache.insert(Hash, Input, RR);
   } else {
     S.execute(Input, InstrumentationMode::Full, RR); // recycles RR's buffers

@@ -19,6 +19,7 @@
 
 #include "core/Fuzzer.h"
 #include "core/Heuristic.h"
+#include "runtime/PrefixResumeCache.h"
 
 namespace pfuzz {
 
@@ -91,6 +92,29 @@ struct PFuzzerOptions {
   /// Optional out-param: filled with the prefetcher's diagnostic
   /// counters when the campaign finishes. Never part of the report.
   SpeculationStats *StatsOut = nullptr;
+
+  /// Capacity (in suspended runs) of the prefix-resumption pool; 0
+  /// disables the engine. With N > 0, executions of resume-safe subjects
+  /// run on a fiber, checkpoint themselves at their first past-end read,
+  /// and later candidates extending a cached prefix resume from the
+  /// checkpoint instead of re-executing the prefix (see
+  /// runtime/PrefixResumeCache.h). Resumed runs record byte-for-byte
+  /// what cold runs record, so FuzzReports are unchanged at any cache
+  /// size — including on builds without fiber support, where the engine
+  /// silently degrades to full re-execution.
+  uint32_t ResumeCacheSize = 0;
+
+  /// Inputs shorter than this run off the engine's fast path: no fiber,
+  /// no checkpoint. The search executes short inputs by the thousands
+  /// and each is cheaper to interpret than to checkpoint, so the engine
+  /// pays for itself only past a break-even length (~16 bytes on the
+  /// built-in subjects). Throughput knob only — reports are identical at
+  /// any value.
+  uint32_t ResumeMinLength = 16;
+
+  /// Optional out-param: the resumption engine's diagnostic counters
+  /// (hit rate, bytes skipped). Never part of the report.
+  ResumeStats *ResumeStatsOut = nullptr;
 };
 
 /// The parser-directed fuzzer.

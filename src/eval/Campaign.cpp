@@ -45,6 +45,8 @@ std::unique_ptr<Fuzzer> pfuzz::makeFuzzer(ToolKind Kind,
     Options.SpeculationThreads = arbitrateSpeculation(Tools.PFuzzerSpeculation,
                                                       /*Workers=*/1);
     Options.SpeculationDepth = Tools.PFuzzerSpeculationDepth;
+    Options.ResumeCacheSize = Tools.PFuzzerResumeCache;
+    Options.ResumeStatsOut = Tools.PFuzzerResumeStatsOut;
     return std::make_unique<PFuzzer>(Options);
   }
   case ToolKind::Afl:
@@ -107,6 +109,7 @@ struct SeedRunOutcome {
   FuzzReport Report;
   std::set<std::string> TokensFound;
   double WallSeconds = 0;
+  ResumeStats Resume;
 };
 
 /// Runs one seed of one cell. Everything mutable (fuzzer, Rng, token
@@ -116,7 +119,11 @@ SeedRunOutcome runOneSeed(ToolKind Kind, const Subject &S,
                           uint64_t Executions, uint64_t RunSeed,
                           const ToolOptions &Tools) {
   SeedRunOutcome Out;
-  std::unique_ptr<Fuzzer> Tool = makeFuzzer(Kind, Tools);
+  // Each seed run gets its own stats sink: concurrent runs must not
+  // share whatever pointer the caller put in Tools.
+  ToolOptions SeedTools = Tools;
+  SeedTools.PFuzzerResumeStatsOut = &Out.Resume;
+  std::unique_ptr<Fuzzer> Tool = makeFuzzer(Kind, SeedTools);
   TokenCoverage Tokens(S.name());
   FuzzerOptions Opts;
   Opts.Seed = RunSeed;
@@ -145,6 +152,7 @@ CampaignResult reduceCell(ToolKind Kind, const Subject &S,
   for (SeedRunOutcome &Out : Outcomes) {
     Best.WallSeconds += Out.WallSeconds;
     Best.TotalExecutions += Out.Report.Executions;
+    Best.Resume.accumulate(Out.Resume);
     bool Better =
         !HaveBest ||
         Out.Report.ValidBranches.size() > Best.Report.ValidBranches.size() ||

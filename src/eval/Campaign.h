@@ -24,6 +24,7 @@
 #define PFUZZ_EVAL_CAMPAIGN_H
 
 #include "core/Fuzzer.h"
+#include "runtime/PrefixResumeCache.h"
 #include "tokens/TokenCoverage.h"
 
 #include <memory>
@@ -60,6 +61,19 @@ struct ToolOptions {
 
   /// PFuzzerOptions::SpeculationDepth (0 = auto).
   uint32_t PFuzzerSpeculationDepth = 0;
+
+  /// PFuzzerOptions::ResumeCacheSize for pFuzzer campaigns: prefix-
+  /// resumption checkpoints kept per campaign, 0 disables. Reports are
+  /// byte-identical at any value; subjects that are not resume-safe and
+  /// builds without fiber support silently run cold.
+  uint32_t PFuzzerResumeCache = 64;
+
+  /// When set, receives the resume-engine counters of a pFuzzer run
+  /// (zeroes when the engine never engaged). The campaign runners manage
+  /// this per seed run and aggregate into CampaignResult::Resume; leave
+  /// null when constructing fuzzers directly unless you own the pointee
+  /// for the fuzzer's whole run.
+  ResumeStats *PFuzzerResumeStatsOut = nullptr;
 };
 
 /// Arbitrates cores between the seed-level Jobs layer and per-campaign
@@ -114,6 +128,12 @@ struct CampaignResult {
   /// Executions summed over every run of the cell (the best run's own
   /// count stays in Report.Executions).
   uint64_t TotalExecutions = 0;
+
+  /// Prefix-resumption counters summed over every run of the cell; all
+  /// zero when the engine was disabled, unavailable, or the subject is
+  /// not resume-safe. Like WallSeconds, diagnostic only — never part of
+  /// the deterministic result.
+  ResumeStats Resume;
 
   /// Throughput over all runs of the cell; 0 when nothing was timed.
   double execsPerSec() const {

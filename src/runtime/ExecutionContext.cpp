@@ -75,15 +75,57 @@ TChar ExecutionContext::nextChar() {
 
 TChar ExecutionContext::peekChar(uint32_t Lookahead) {
   uint64_t Index = static_cast<uint64_t>(Cursor) + Lookahead;
-  if (Index >= Input.size()) {
-    if (Mode == InstrumentationMode::Full)
-      Result.EofAccesses.push_back({static_cast<uint32_t>(Index)});
+  while (Index >= Input.size()) {
+    // Give the resumption engine its suspension point. A true return
+    // means the input may have grown underneath us (this very read was
+    // re-entered from a checkpoint with a longer input), so the bounds
+    // check repeats; the hook stops reporting growth once it has taken
+    // its one checkpoint for the current input.
+    if (Hook && Hook->onPastEnd(*this))
+      continue;
+    if (Mode == InstrumentationMode::Full) {
+      // Re-reads at the same position collapse into one EofEvent: a
+      // parser retrying its lookahead at one cursor wants one character,
+      // and counting every attempt would inflate the "wants more input"
+      // signal the search extends on.
+      uint32_t At = static_cast<uint32_t>(Index);
+      if (Result.EofAccesses.empty() ||
+          Result.EofAccesses.back().AccessIndex != At)
+        Result.EofAccesses.push_back({At});
+    }
     // The EOF sentinel still carries the accessed index as taint so that
     // comparisons against it can be attributed to a position.
     return TChar(EofChar, TaintSet::forIndex(static_cast<uint32_t>(Index)));
   }
   return TChar(static_cast<unsigned char>(Input[Index]),
                TaintSet::forIndex(static_cast<uint32_t>(Index)));
+}
+
+void ExecutionContext::restoreFrom(const RunSnapshot &In,
+                                   std::string_view NewInput) {
+  Input = NewInput;
+  Cursor = In.Cursor;
+  StackDepth = In.StackDepth;
+  MaxStackDepth = In.MaxStackDepth;
+  Result.assignFrom(In.Partial);
+  // assignFrom copies contents, not scratch: rebuild the interned-id
+  // remap so functions re-entered by the continuation find the ids the
+  // restored FunctionNames already assigned instead of re-appending.
+  // The views' data() are the registered __func__ literals, the intern
+  // table's very keys.
+  if (++Result.FuncPass == 0) {
+    std::fill(Result.FuncStamp.begin(), Result.FuncStamp.end(), 0u);
+    Result.FuncPass = 1;
+  }
+  for (size_t I = 0; I != Result.FunctionNames.size(); ++I) {
+    uint32_t Global = internFunctionName(Result.FunctionNames[I].data());
+    if (Global >= Result.FuncStamp.size()) {
+      Result.FuncStamp.resize(Global + 1, 0u);
+      Result.FuncId.resize(Global + 1, 0);
+    }
+    Result.FuncStamp[Global] = Result.FuncPass;
+    Result.FuncId[Global] = static_cast<int32_t>(I);
+  }
 }
 
 void ExecutionContext::ungetChar() {

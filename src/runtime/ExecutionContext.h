@@ -161,6 +161,37 @@ private:
   uint32_t FuncPass = 1;
 };
 
+class ExecutionContext;
+
+/// Callback fired when an execution attempts to read past the end of its
+/// input — the exact moment the search would extend the candidate. The
+/// prefix-resumption engine implements this to checkpoint the execution
+/// (and, on a restore, to re-enter through the same point with a longer
+/// input). Invoked before the EofEvent for the access is recorded, so a
+/// checkpoint taken inside the hook captures exactly the state a cold run
+/// of any extension would reach.
+struct PastEndHook {
+  /// Returns true when the context's input may have grown underneath the
+  /// caller (the read re-checks its bounds), false to proceed to the EOF
+  /// sentinel.
+  virtual bool onPastEnd(ExecutionContext &Ctx) = 0;
+
+protected:
+  ~PastEndHook() = default;
+};
+
+/// A copy of everything an ExecutionContext has recorded up to one point
+/// of its run — the RunResult so far plus the cursor and stack-depth
+/// counters. Captured at a suspension point and restored into a fresh
+/// context to continue the run against a longer input (the stack side of
+/// the state is a FiberCheckpoint; see runtime/PrefixResumeCache.h).
+struct RunSnapshot {
+  RunResult Partial;
+  uint32_t Cursor = 0;
+  uint32_t StackDepth = 0;
+  uint32_t MaxStackDepth = 0;
+};
+
 /// The per-execution instrumentation state handed to a Subject::run call.
 class ExecutionContext {
 public:
@@ -272,6 +303,31 @@ public:
 
   void setExitCode(int Code) { Result.ExitCode = Code; }
 
+  //===--------------------------------------------------------------------===
+  // Suspend/resume entry points (prefix-resumption engine)
+  //===--------------------------------------------------------------------===
+
+  /// Installs \p H to observe past-end reads; null detaches. The hook is
+  /// engine-internal — subjects never see it, and a context without one
+  /// behaves exactly as before.
+  void setPastEndHook(PastEndHook *H) { Hook = H; }
+
+  /// Copies the recorded-so-far state into \p Out (buffer-reusing deep
+  /// copy; scratch tables are not part of a snapshot).
+  void snapshotTo(RunSnapshot &Out) const {
+    Out.Partial.assignFrom(Result);
+    Out.Cursor = Cursor;
+    Out.StackDepth = StackDepth;
+    Out.MaxStackDepth = MaxStackDepth;
+  }
+
+  /// Restores \p In as this context's recorded state and swaps the input
+  /// for \p NewInput, which must extend the snapshotted run's input — the
+  /// continuation then records exactly what a cold run of \p NewInput
+  /// would from that point on. Rebuilds the interned-name remap scratch
+  /// so re-entered functions resolve to their restored FunctionNames ids.
+  void restoreFrom(const RunSnapshot &In, std::string_view NewInput);
+
 private:
   /// Appends \p Bytes to the result's event arena and returns its slice.
   EventSlice internEventChars(std::string_view Bytes);
@@ -288,6 +344,7 @@ private:
   uint32_t StackDepth = 0;
   uint32_t MaxStackDepth = 0;
   RunResult Result;
+  PastEndHook *Hook = nullptr;
 };
 
 } // namespace pfuzz

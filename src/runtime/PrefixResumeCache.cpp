@@ -1,0 +1,185 @@
+//===- runtime/PrefixResumeCache.cpp - Prefix-resumption engine -----------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/PrefixResumeCache.h"
+
+#include <cassert>
+
+using namespace pfuzz;
+
+//===----------------------------------------------------------------------===//
+// PrefixResumeCache
+//===----------------------------------------------------------------------===//
+
+void PrefixResumeCache::countLength(size_t Len, int Delta) {
+  if (Len >= LenCount.size())
+    LenCount.resize(Len + 1, 0);
+  LenCount[Len] += Delta;
+}
+
+PrefixResumeCache::Entry *PrefixResumeCache::lookup(uint64_t Hash,
+                                                    std::string_view Prefix) {
+  auto It = Index.find(Hash);
+  if (It == Index.end())
+    return nullptr;
+  Entry &E = *It->second;
+  // A colliding hash whose bytes differ is a miss: resuming it would
+  // continue a different parse. The byte compare keeps wrong resumes
+  // structurally impossible.
+  if (E.Prefix != Prefix)
+    return nullptr;
+  Lru.splice(Lru.begin(), Lru, It->second);
+  return &E;
+}
+
+PrefixResumeCache::Entry *
+PrefixResumeCache::insertSlot(uint64_t Hash, std::string_view Prefix,
+                              uint64_t *EvictedOut) {
+  if (Max == 0)
+    return nullptr;
+  auto It = Index.find(Hash);
+  if (It != Index.end()) {
+    // Re-mint in place (same prefix re-executed, or a collision being
+    // overwritten — either way the slot is replaced wholesale).
+    Entry &E = *It->second;
+    if (E.Prefix.size() != Prefix.size()) {
+      countLength(E.Prefix.size(), -1);
+      countLength(Prefix.size(), +1);
+    }
+    E.Prefix.assign(Prefix);
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return &E;
+  }
+  if (Index.size() >= Max) {
+    // Evict the least recently used entry; recycle its node (and its
+    // grown stack/snapshot buffers) as the new slot.
+    auto Last = std::prev(Lru.end());
+    countLength(Last->Prefix.size(), -1);
+    Index.erase(Last->Hash);
+    if (EvictedOut)
+      ++*EvictedOut;
+    Last->Stack.reset();
+    Last->Hash = Hash;
+    Last->Prefix.assign(Prefix);
+    Lru.splice(Lru.begin(), Lru, Last);
+    countLength(Prefix.size(), +1);
+    Index.emplace(Hash, Lru.begin());
+    return &*Lru.begin();
+  }
+  Lru.emplace_front();
+  Entry &E = Lru.front();
+  E.Hash = Hash;
+  E.Prefix.assign(Prefix);
+  countLength(Prefix.size(), +1);
+  Index.emplace(Hash, Lru.begin());
+  return &E;
+}
+
+//===----------------------------------------------------------------------===//
+// PrefixResumeEngine
+//===----------------------------------------------------------------------===//
+
+PrefixResumeEngine::PrefixResumeEngine(
+    std::function<int(ExecutionContext &)> RunBody, size_t CacheSize,
+    size_t MinInput)
+    : RunBody(std::move(RunBody)), Cache(CacheSize), MinInput(MinInput) {}
+
+PrefixResumeEngine::~PrefixResumeEngine() {
+  assert(Ctx == nullptr && "engine destroyed mid-execution");
+}
+
+void PrefixResumeEngine::fiberMain(void *SelfV) {
+  auto *Self = static_cast<PrefixResumeEngine *>(SelfV);
+  Self->ExitCode = Self->RunBody(*Self->Ctx);
+}
+
+void PrefixResumeEngine::execute(std::string_view Input, RunResult &InOut) {
+  assert(available() && "engine constructed without fiber support");
+  if (Input.size() < MinInput) {
+    // Below break-even the bookkeeping costs more than it skips: run
+    // plainly on this stack, no hook, no stats — indistinguishable from
+    // a non-engine execution.
+    new (CtxMem) ExecutionContext(Input, InstrumentationMode::Full,
+                                  std::move(InOut));
+    Ctx = reinterpret_cast<ExecutionContext *>(CtxMem);
+    Ctx->setExitCode(RunBody(*Ctx));
+    InOut = Ctx->takeResult();
+    Ctx->~ExecutionContext();
+    Ctx = nullptr;
+    return;
+  }
+  // Rolling FNV-1a (the same fold as core's candidate hashing): all
+  // prefix hashes of the input in one pass.
+  size_t N = Input.size();
+  PrefixHash.resize(N + 1);
+  uint64_t H = 0xCBF29CE484222325ULL;
+  PrefixHash[0] = H;
+  for (size_t I = 0; I != N; ++I) {
+    H ^= static_cast<unsigned char>(Input[I]);
+    H *= 0x100000001B3ULL;
+    PrefixHash[I + 1] = H;
+  }
+  // Longest cached prefix wins: every skipped byte is execution we do
+  // not repeat. L == N re-enters a whole earlier run of this exact input
+  // at its suspension point.
+  PrefixResumeCache::Entry *Hit = nullptr;
+  ++Stats.Probes;
+  for (size_t L = N; L >= 1; --L) {
+    if (!Cache.hasLength(L))
+      continue;
+    if ((Hit = Cache.lookup(PrefixHash[L], Input.substr(0, L))))
+      break;
+  }
+  // The context is placement-constructed at the same address every run:
+  // subject frames on the fiber hold references to it, and a restored
+  // frame must find the live context where the checkpointed one was.
+  new (CtxMem) ExecutionContext(Input, InstrumentationMode::Full,
+                                std::move(InOut));
+  Ctx = reinterpret_cast<ExecutionContext *>(CtxMem);
+  Ctx->setPastEndHook(this);
+  MintedThisRun = false;
+  ExitCode = 1;
+  if (Hit) {
+    ++Stats.Hits;
+    Stats.BytesSkipped += Hit->Prefix.size();
+    Ctx->restoreFrom(Hit->Exec, Input);
+    F.resumeAt(Hit->Stack);
+  } else {
+    ++Stats.ColdRuns;
+    F.run(&PrefixResumeEngine::fiberMain, this);
+  }
+  assert(F.finished() && "subject yielded instead of returning");
+  Ctx->setExitCode(ExitCode);
+  InOut = Ctx->takeResult();
+  Ctx->~ExecutionContext();
+  Ctx = nullptr;
+}
+
+bool PrefixResumeEngine::onPastEnd(ExecutionContext &C) {
+  // One checkpoint per run, at the first past-end read: that is where
+  // every extension of the current input diverges from it, and the state
+  // there depends only on the in-bounds bytes all extensions share.
+  if (MintedThisRun)
+    return false;
+  MintedThisRun = true;
+  std::string_view In = C.input();
+  if (In.empty())
+    return false; // a zero-length prefix skips nothing
+  PrefixResumeCache::Entry *E =
+      Cache.insertSlot(PrefixHash[In.size()], In, &Stats.Evicted);
+  if (!E)
+    return false;
+  C.snapshotTo(E->Exec);
+  E->Stack.reset();
+  if (Fiber::checkpoint(E->Stack)) {
+    // A later execute() restored this very point with a longer input.
+    // E must not be touched here — it may have been evicted since the
+    // capture; the caller (peekChar) re-checks its bounds.
+    return true;
+  }
+  ++Stats.Minted;
+  return false;
+}

@@ -1,0 +1,200 @@
+//===- runtime/PrefixResumeCache.h - Prefix-resumption engine ----*- C++ -*-==//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The prefix-resumption execution layer. pFuzzer's search grows inputs
+/// one character at a time, so nearly every candidate is P + suffix for a
+/// prefix P the campaign has already executed — yet a plain run replays P
+/// from byte 0, a cost that grows quadratically with input length. This
+/// layer runs subjects on a fiber (support/Fiber.h) and, at the first
+/// read past end-of-input — the exact EOF event the search extends
+/// candidates on — checkpoints the execution *in passing*: the live stack
+/// region, the register context and a snapshot of the RunResult so far.
+/// The run then continues to completion as if nothing happened, so every
+/// execution still yields its full report and minting a checkpoint costs
+/// one stack copy, never an extra execution.
+///
+/// Checkpoints live in PrefixResumeCache, a bounded LRU pool keyed by the
+/// FNV-1a hash of the whole input that minted them (for a parser that
+/// consumed its input and asked for more, that input *is* the shared
+/// prefix). Running a candidate probes its prefixes longest-first; a hit
+/// restores the snapshot, memcpys the stack bytes back, and re-enters the
+/// suspended read, which now sees the appended suffix — skipping the
+/// prefix's re-execution entirely. A miss falls back to a cold run on the
+/// fiber (which mints a fresh checkpoint); hash-collision divergence is
+/// caught by comparing the stored prefix bytes before any restore.
+///
+/// Why resumed runs are byte-identical to cold runs: subjects are pure
+/// functions of their input reading only through ExecutionContext, and
+/// every byte the checkpointed execution observed is in-bounds in any
+/// extension (past-end reads suspend *before* recording). The restored
+/// continuation therefore records exactly the events a cold run of the
+/// longer input records after its own first |P| bytes — same arena
+/// slices, same interned-name ids (restoreFrom rebuilds the remap), same
+/// branch trace. Reports cannot tell a resume from a cold run at any
+/// cache size.
+///
+/// Threading contract: one engine belongs to one campaign thread — the
+/// fiber, the context storage and the cache are all thread-confined.
+/// Speculation workers never touch the engine: a suspended run is owned
+/// by the sequential loop, and speculated candidates are simply
+/// re-executed cold on the worker's own stack (see core/PFuzzer.cpp),
+/// which produces the same bytes. Eligibility is per subject
+/// (Subject::resumeSafe): only parsers whose frames hold trivially
+/// restorable state may be checkpointed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_RUNTIME_PREFIXRESUMECACHE_H
+#define PFUZZ_RUNTIME_PREFIXRESUMECACHE_H
+
+#include "runtime/ExecutionContext.h"
+#include "support/Fiber.h"
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+namespace pfuzz {
+
+/// Diagnostic counters of the prefix-resumption engine. Observational
+/// only — none feed back into the search, so they may vary across cache
+/// sizes while FuzzReports stay byte-identical.
+struct ResumeStats {
+  /// Probes of the resume cache: one per engine-executed input.
+  uint64_t Probes = 0;
+  /// Probes that restored a checkpoint instead of running cold.
+  uint64_t Hits = 0;
+  /// Engine executions that ran the subject from byte 0 (on the fiber).
+  uint64_t ColdRuns = 0;
+  /// Checkpoints captured at suspension points.
+  uint64_t Minted = 0;
+  /// Checkpoints evicted by the LRU bound.
+  uint64_t Evicted = 0;
+  /// Input bytes whose re-execution resumes skipped (sum of hit prefix
+  /// lengths) — the engine's whole profit.
+  uint64_t BytesSkipped = 0;
+
+  double hitRate() const {
+    return Probes == 0 ? 0 : static_cast<double>(Hits) / Probes;
+  }
+
+  /// Sums \p Other into this — campaign runners aggregate per-seed
+  /// counters into one per-cell total.
+  void accumulate(const ResumeStats &Other) {
+    Probes += Other.Probes;
+    Hits += Other.Hits;
+    ColdRuns += Other.ColdRuns;
+    Minted += Other.Minted;
+    Evicted += Other.Evicted;
+    BytesSkipped += Other.BytesSkipped;
+  }
+};
+
+/// Bounded LRU pool of suspended runs keyed by prefix hash. Entries are
+/// node-stored (std::list), never moved or copied: a FiberCheckpoint's
+/// register context must stay pinned from capture to the last resume.
+class PrefixResumeCache {
+public:
+  struct Entry {
+    uint64_t Hash = 0;
+    /// The minting input, verified byte-for-byte on lookup so a hash
+    /// collision degrades to a miss, never to a wrong resume.
+    std::string Prefix;
+    FiberCheckpoint Stack;
+    RunSnapshot Exec;
+  };
+
+  explicit PrefixResumeCache(size_t MaxEntries) : Max(MaxEntries) {}
+
+  /// Returns the entry for \p Hash if present and its stored prefix is
+  /// exactly \p Prefix (else null), marking it most recently used.
+  Entry *lookup(uint64_t Hash, std::string_view Prefix);
+
+  /// Returns a pinned entry to (re)mint for \p Hash/\p Prefix, evicting
+  /// the least recently used entry when full (counted in *\p EvictedOut).
+  /// Null when the cache has no capacity. The returned entry's Stack and
+  /// Exec are the caller's to fill.
+  Entry *insertSlot(uint64_t Hash, std::string_view Prefix,
+                    uint64_t *EvictedOut);
+
+  /// True if any cached prefix has length \p Len — lets the probe loop
+  /// skip hash lookups for absent lengths.
+  bool hasLength(size_t Len) const {
+    return Len < LenCount.size() && LenCount[Len] != 0;
+  }
+
+  size_t size() const { return Index.size(); }
+  size_t capacity() const { return Max; }
+
+private:
+  void countLength(size_t Len, int Delta);
+
+  size_t Max;
+  /// Front = most recently used.
+  std::list<Entry> Lru;
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> Index;
+  /// How many entries have each prefix length.
+  std::vector<uint32_t> LenCount;
+};
+
+/// Runs a subject body on a fiber, minting and resuming prefix
+/// checkpoints. One engine per campaign; see the file comment for the
+/// contracts.
+class PrefixResumeEngine final : public PastEndHook {
+public:
+  /// \p RunBody executes the subject against a context (the core layer
+  /// passes Subject::run); \p CacheSize bounds the checkpoint pool.
+  /// Inputs shorter than \p MinInput bypass the machinery entirely (no
+  /// fiber, no probe, no mint): below the break-even length the fixed
+  /// per-run cost — two context switches, a snapshot copy and the
+  /// checkpoint memcpy — exceeds what skipping the prefix saves, and a
+  /// parser-directed search executes far more short inputs than long
+  /// ones. Purely a throughput knob: results are identical at any value.
+  PrefixResumeEngine(std::function<int(ExecutionContext &)> RunBody,
+                     size_t CacheSize, size_t MinInput = 0);
+  ~PrefixResumeEngine();
+
+  /// True when this build and process support checkpointed fibers.
+  static bool available() { return PFUZZ_FIBERS_AVAILABLE && Fiber::available(); }
+
+  /// One full instrumented execution of \p Input, resumed from the
+  /// longest cached prefix when possible, cold otherwise. \p InOut is
+  /// recycled exactly like Subject::execute's pooled form; afterwards it
+  /// holds the complete RunResult, byte-identical to a cold execution.
+  void execute(std::string_view Input, RunResult &InOut);
+
+  const ResumeStats &stats() const { return Stats; }
+  const PrefixResumeCache &cache() const { return Cache; }
+
+private:
+  bool onPastEnd(ExecutionContext &Ctx) override;
+  static void fiberMain(void *SelfV);
+
+  std::function<int(ExecutionContext &)> RunBody;
+  PrefixResumeCache Cache;
+  /// Inputs below this length run plainly off the fiber (see ctor).
+  size_t MinInput;
+  Fiber F;
+  ResumeStats Stats;
+  /// Rolling FNV-1a: PrefixHash[L] covers Input[0..L) of the input under
+  /// execution. Recomputed in one O(n) pass per execute().
+  std::vector<uint64_t> PrefixHash;
+  /// The context lives in engine-owned storage so its address — captured
+  /// by reference into every subject frame on the fiber — is identical
+  /// across the runs a checkpoint spans.
+  alignas(ExecutionContext) unsigned char CtxMem[sizeof(ExecutionContext)];
+  ExecutionContext *Ctx = nullptr;
+  int ExitCode = 1;
+  /// One checkpoint per run, at the first past-end read.
+  bool MintedThisRun = false;
+};
+
+} // namespace pfuzz
+
+#endif // PFUZZ_RUNTIME_PREFIXRESUMECACHE_H

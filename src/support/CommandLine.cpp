@@ -8,6 +8,7 @@
 
 #include "support/StringUtils.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 using namespace pfuzz;
@@ -51,6 +52,28 @@ int64_t CommandLine::getInt(const std::string &Name, int64_t Default) const {
   int64_t Value = std::strtoll(It->second.c_str(), &End, 10);
   if (End == It->second.c_str() || *End != '\0')
     return Default;
+  return Value;
+}
+
+int64_t CommandLine::getCount(const std::string &Name, int64_t Default,
+                              int64_t Min) const {
+  Queried[Name] = true;
+  auto It = Values.find(Name);
+  if (It == Values.end())
+    return Default;
+  // Silent-wrap protection: where getInt shrugs off garbage, a count
+  // flag must reject it — "--jobs=abc" or "--run-cache=-5" running a
+  // default-configured campaign hides the typo from the user.
+  char *End = nullptr;
+  errno = 0;
+  int64_t Value = std::strtoll(It->second.c_str(), &End, 10);
+  bool Malformed = End == It->second.c_str() || *End != '\0' ||
+                   errno == ERANGE || It->second.empty();
+  if (Malformed || Value < Min) {
+    Errors.push_back("--" + Name + " expects an integer >= " +
+                     std::to_string(Min) + ", got '" + It->second + "'");
+    return Default;
+  }
   return Value;
 }
 

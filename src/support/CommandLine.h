@@ -29,7 +29,9 @@ public:
   /// (e.g. a lone "--"), parsing stops and ok() is false.
   CommandLine(int Argc, const char *const *Argv);
 
-  bool ok() const { return Ok; }
+  /// False after a malformed argument or a getCount domain violation;
+  /// diagnostics are in errors().
+  bool ok() const { return Ok && Errors.empty(); }
 
   /// Returns the string value for \p Name, or \p Default when absent.
   std::string getString(const std::string &Name,
@@ -38,6 +40,18 @@ public:
   /// Returns the integer value for \p Name, or \p Default when absent or
   /// malformed.
   int64_t getInt(const std::string &Name, int64_t Default) const;
+
+  /// Returns the integer value for \p Name, or \p Default when absent —
+  /// but unlike getInt, a value that is garbage, has trailing junk, or
+  /// lies below \p Min (0 by default: counts of things) is a usage
+  /// error: a diagnostic naming the flag is recorded in errors(), ok()
+  /// turns false, and \p Default is returned. Flags with a sentinel
+  /// (e.g. --speculate's -1 = auto) pass their own floor.
+  int64_t getCount(const std::string &Name, int64_t Default,
+                   int64_t Min = 0) const;
+
+  /// Diagnostics accumulated by getCount, in query order.
+  const std::vector<std::string> &errors() const { return Errors; }
 
   /// Returns the boolean value for \p Name ("", "1", "true" => true).
   bool getBool(const std::string &Name, bool Default) const;
@@ -54,6 +68,7 @@ private:
   bool Ok = true;
   std::map<std::string, std::string> Values;
   mutable std::map<std::string, bool> Queried;
+  mutable std::vector<std::string> Errors;
   std::vector<std::string> Positional;
 };
 

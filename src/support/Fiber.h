@@ -1,0 +1,178 @@
+//===- support/Fiber.h - Stackful execution contexts -------------*- C++ -*-==//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A stackful coroutine on a caller-owned stack, built on ucontext. The
+/// prefix-resumption engine (runtime/PrefixResumeCache.h) runs subjects on
+/// a fiber so the execution state at an end-of-input read can be captured
+/// as a FiberCheckpoint: a copy of the live stack region plus the register
+/// context at the capture point. A checkpoint is *multi-shot* — restoring
+/// writes the saved bytes back onto the same stack addresses and jumps
+/// into the saved context, so one checkpoint can seed any number of later
+/// continuations while the original run keeps executing to completion.
+///
+/// This only works because the restored continuation re-enters the exact
+/// stack addresses it was captured from: every frame pointer, return
+/// address and address-of-local in the saved bytes stays valid. One fiber
+/// therefore serves one engine, and everything a restored frame points to
+/// outside the stack (the ExecutionContext, the engine itself) must live
+/// at a stable address across capture and resume.
+///
+/// Threading contract: a Fiber belongs to the thread that created it.
+/// run/resume/resumeAt switch stacks on the calling thread; nothing here
+/// is shared between threads, so fibers need no synchronization — and
+/// must never migrate.
+///
+/// Availability: Linux with ucontext, compiled without PFUZZ_NO_FIBERS
+/// and without ThreadSanitizer (TSan does not model user-switched
+/// stacks). When unavailable, Fiber::available() is false and callers
+/// degrade to full re-execution; the class still compiles so call sites
+/// need no #ifdefs beyond checking available().
+///
+/// Under AddressSanitizer the stack switches carry the sanitizer fiber
+/// annotations, and a restore unpoisons the fiber stack (the completed
+/// run left redzone poison that does not match the restored frames).
+/// ASan's use-after-return fake stack moves locals off the real stack,
+/// which would make stack-byte checkpoints incomplete — available()
+/// reports false while a fake stack is active (default ASan options
+/// leave it off).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_SUPPORT_FIBER_H
+#define PFUZZ_SUPPORT_FIBER_H
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PFUZZ_TSAN 1
+#endif
+#if __has_feature(address_sanitizer)
+#define PFUZZ_ASAN 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define PFUZZ_TSAN 1
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+#define PFUZZ_ASAN 1
+#endif
+
+#if !defined(PFUZZ_NO_FIBERS) && defined(__linux__) && !defined(PFUZZ_TSAN)
+#define PFUZZ_FIBERS_AVAILABLE 1
+#include <ucontext.h>
+#else
+#define PFUZZ_FIBERS_AVAILABLE 0
+#endif
+
+namespace pfuzz {
+
+/// A point-in-time copy of a fiber's live stack region and the register
+/// context to re-enter it. Checkpoints are pinned: the register context
+/// holds interior pointers (glibc's uc_mcontext.fpregs points into the
+/// struct itself), so a checkpoint must stay at one address from capture
+/// to the last resume. Owners heap-allocate or node-store them.
+struct FiberCheckpoint {
+  FiberCheckpoint() = default;
+  FiberCheckpoint(const FiberCheckpoint &) = delete;
+  FiberCheckpoint &operator=(const FiberCheckpoint &) = delete;
+
+  /// Saved bytes of [stack base + Offset, stack top).
+  std::vector<char> Stack;
+  /// Start of the saved region, as an offset from the fiber's stack base.
+  size_t Offset = 0;
+#if PFUZZ_FIBERS_AVAILABLE
+  /// Register context at the capture point inside Fiber::checkpoint.
+  ucontext_t At;
+#endif
+  bool Captured = false;
+
+  /// Releases the saved bytes (an evicted cache entry recycles through
+  /// here before re-capture reuses the buffer's capacity).
+  void reset() {
+    Stack.clear();
+    Offset = 0;
+    Captured = false;
+  }
+};
+
+/// One stackful coroutine. See the file comment for the contract.
+class Fiber {
+public:
+  /// Default stack size: generous for the recursive-descent subjects
+  /// (bounded-depth parsers), small enough to checkpoint cheaply — only
+  /// the live region is ever copied.
+  static constexpr size_t DefaultStackSize = 512 * 1024;
+
+  explicit Fiber(size_t StackSize = DefaultStackSize);
+  ~Fiber();
+  Fiber(const Fiber &) = delete;
+  Fiber &operator=(const Fiber &) = delete;
+
+  /// True when this build and process can switch and checkpoint stacks.
+  static bool available();
+
+  /// Runs \p Fn(\p Arg) on the fiber stack; returns when Fn returns or
+  /// calls yield(). The stack is reused by every run — no per-run
+  /// allocation.
+  void run(void (*Fn)(void *), void *Arg);
+
+  /// Continues a yielded fiber; returns at the next yield or completion.
+  void resume();
+
+  /// On-fiber: suspends, returning control to the caller of run/resume.
+  static void yield();
+
+  /// True once the current run's entry function has returned.
+  bool finished() const { return Finished; }
+
+  /// On-fiber: captures the live stack region and register context into
+  /// \p Out. Returns false on capture (the run continues normally) and
+  /// true each time a later resumeAt(\p Out) re-enters here with the
+  /// stack restored.
+  static bool checkpoint(FiberCheckpoint &Out);
+
+  /// Off-fiber: restores \p Cp's bytes onto this fiber's stack and jumps
+  /// into the saved context; returns when the fiber finishes or yields.
+  /// \p Cp must have been captured on this fiber, and everything its
+  /// frames point to off-stack must still be alive. The checkpoint is
+  /// not consumed.
+  void resumeAt(const FiberCheckpoint &Cp);
+
+  size_t stackSize() const { return Size; }
+
+private:
+#if PFUZZ_FIBERS_AVAILABLE
+  static void trampoline();
+  void captureStack(FiberCheckpoint &Out, char *FrameHint);
+  /// Annotated stack switches (no-ops without ASan).
+  void switchIntoFiber(ucontext_t *SaveTo, const ucontext_t *Target);
+  void switchOutOfFiber(ucontext_t *SaveTo);
+  void finishArrivalOnFiber();
+
+  ucontext_t MainUc;
+  ucontext_t FiberUc;
+  /// ASan fake-stack handles and the main thread's stack bounds, carried
+  /// across switches per the sanitizer fiber protocol.
+  void *MainFakeStack = nullptr;
+  void *FiberFakeStack = nullptr;
+  const void *MainStackBottom = nullptr;
+  size_t MainStackSize = 0;
+#endif
+  std::unique_ptr<char[]> StackMem;
+  char *StackBase = nullptr;
+  size_t Size = 0;
+  void (*Entry)(void *) = nullptr;
+  void *Arg = nullptr;
+  bool Finished = true;
+};
+
+} // namespace pfuzz
+
+#endif // PFUZZ_SUPPORT_FIBER_H

@@ -50,6 +50,47 @@ TEST(ExecutionContextTest, PeekPastEndRecordsEof) {
   EXPECT_EQ(RR.EofAccesses[0].AccessIndex, 3u);
 }
 
+TEST(ExecutionContextTest, RepeatedPeeksAtSameCursorRecordOneEofAccess) {
+  // A parser polling past the end at one position (peeking in a loop
+  // before erroring out) observes the missing input once; duplicate
+  // EofEvents would skew the substitution heuristic's EOF evidence.
+  ExecutionContext Ctx("x");
+  for (int I = 0; I != 5; ++I)
+    EXPECT_TRUE(Ctx.peekChar(2).isEof());
+  Ctx.setExitCode(1);
+  RunResult RR = Ctx.takeResult();
+  ASSERT_EQ(RR.EofAccesses.size(), 1u);
+  EXPECT_EQ(RR.EofAccesses[0].AccessIndex, 2u);
+}
+
+TEST(ExecutionContextTest, AlternatingPastEndIndicesRecordSeparately) {
+  // The dedup collapses only consecutive same-index accesses — distinct
+  // positions (and returns to an earlier one) are distinct evidence.
+  ExecutionContext Ctx("x");
+  Ctx.peekChar(1);
+  Ctx.peekChar(2);
+  Ctx.peekChar(1);
+  Ctx.setExitCode(1);
+  RunResult RR = Ctx.takeResult();
+  ASSERT_EQ(RR.EofAccesses.size(), 3u);
+  EXPECT_EQ(RR.EofAccesses[0].AccessIndex, 1u);
+  EXPECT_EQ(RR.EofAccesses[1].AccessIndex, 2u);
+  EXPECT_EQ(RR.EofAccesses[2].AccessIndex, 1u);
+}
+
+TEST(ExecutionContextTest, ConsumingPastEndReadsAdvanceTheIndex) {
+  // nextChar keeps consuming past the end, so a read loop records one
+  // event per position, not one per call at a stuck cursor.
+  ExecutionContext Ctx("");
+  Ctx.nextChar();
+  Ctx.nextChar();
+  Ctx.setExitCode(1);
+  RunResult RR = Ctx.takeResult();
+  ASSERT_EQ(RR.EofAccesses.size(), 2u);
+  EXPECT_EQ(RR.EofAccesses[0].AccessIndex, 0u);
+  EXPECT_EQ(RR.EofAccesses[1].AccessIndex, 1u);
+}
+
 TEST(ExecutionContextTest, UngetRewindsOnePosition) {
   ExecutionContext Ctx("ab");
   Ctx.nextChar();

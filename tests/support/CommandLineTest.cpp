@@ -66,6 +66,44 @@ TEST(CommandLineTest, UnqueriedFlagsReported) {
   EXPECT_EQ(Unused[0], "typo");
 }
 
+TEST(CommandLineTest, GetCountAcceptsValidValues) {
+  CommandLine C = parse({"--jobs=4", "--speculate=-1"});
+  EXPECT_EQ(C.getCount("jobs", 1), 4);
+  EXPECT_EQ(C.getCount("speculate", 0, /*Min=*/-1), -1);
+  EXPECT_EQ(C.getCount("absent", 9), 9);
+  EXPECT_TRUE(C.ok());
+  EXPECT_TRUE(C.errors().empty());
+}
+
+TEST(CommandLineTest, GetCountRejectsGarbage) {
+  // Where getInt silently falls back, a count flag must turn the whole
+  // parse into a usage error naming the flag and the offending value.
+  CommandLine C = parse({"--run-cache=abc"});
+  EXPECT_EQ(C.getCount("run-cache", 64), 64);
+  EXPECT_FALSE(C.ok());
+  ASSERT_EQ(C.errors().size(), 1u);
+  EXPECT_NE(C.errors()[0].find("--run-cache"), std::string::npos);
+  EXPECT_NE(C.errors()[0].find("abc"), std::string::npos);
+}
+
+TEST(CommandLineTest, GetCountRejectsNegativeAndTrailingJunk) {
+  CommandLine C = parse({"--jobs=-2", "--resume-cache=12x", "--depth="});
+  EXPECT_EQ(C.getCount("jobs", 1), 1);
+  EXPECT_EQ(C.getCount("resume-cache", 0), 0);
+  EXPECT_EQ(C.getCount("depth", 3), 3);
+  EXPECT_FALSE(C.ok());
+  EXPECT_EQ(C.errors().size(), 3u);
+}
+
+TEST(CommandLineTest, GetCountHonorsSentinelFloor) {
+  // --speculate admits -1 (auto) but nothing below it.
+  CommandLine C = parse({"--speculate=-2"});
+  EXPECT_EQ(C.getCount("speculate", 0, /*Min=*/-1), 0);
+  EXPECT_FALSE(C.ok());
+  ASSERT_EQ(C.errors().size(), 1u);
+  EXPECT_NE(C.errors()[0].find(">= -1"), std::string::npos);
+}
+
 TEST(CommandLineTest, BoolParsesCommonSpellings) {
   CommandLine C = parse({"--a=true", "--b=1", "--c=false", "--d=0"});
   EXPECT_TRUE(C.getBool("a", false));
