@@ -9,11 +9,15 @@
 /// as a JSON array of records
 ///
 ///   {"bench": ..., "subject": ..., "execs_per_sec": ...,
-///    "wall_ms": ..., "resume_hit_rate": ...}
+///    "wall_ms": ..., "resume_hit_rate": ..., "resume_rung_depth": ...,
+///    "locality_batch": ...}
 ///
 /// so CI and trend scripts consume throughput numbers without scraping
-/// the human-readable tables. Bench and subject names are internal
-/// identifiers (no quotes/backslashes), so no JSON escaping is needed.
+/// the human-readable tables. Every record carries every key — disabled
+/// features emit 0 instead of omitting the field, so downstream
+/// BENCH_*.json diffing never needs schema sniffing. Bench and subject
+/// names are internal identifiers (no quotes/backslashes), so no JSON
+/// escaping is needed.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,6 +38,11 @@ struct BenchJsonRecord {
   double ExecsPerSec = 0;
   double WallMs = 0;
   double ResumeHitRate = 0;
+  /// Average ladder-rung depth of resume-cache hits (0 when the ladder
+  /// is off or never hit).
+  double ResumeRungDepth = 0;
+  /// Locality batch size the measurement ran with (0 = batching off).
+  double LocalityBatch = 0;
 };
 
 /// Collects records and writes them on demand. Constructed with an empty
@@ -43,11 +52,13 @@ public:
   explicit BenchJsonWriter(std::string Path) : Path(std::move(Path)) {}
 
   void add(std::string Bench, std::string Subject, double ExecsPerSec,
-           double WallSeconds, double ResumeHitRate) {
+           double WallSeconds, double ResumeHitRate,
+           double ResumeRungDepth = 0, double LocalityBatch = 0) {
     if (Path.empty())
       return;
     Records.push_back({std::move(Bench), std::move(Subject), ExecsPerSec,
-                       WallSeconds * 1000.0, ResumeHitRate});
+                       WallSeconds * 1000.0, ResumeHitRate, ResumeRungDepth,
+                       LocalityBatch});
   }
 
   /// Writes the collected records to the path; returns true on success
@@ -68,9 +79,11 @@ public:
       std::fprintf(Out,
                    "  {\"bench\": \"%s\", \"subject\": \"%s\","
                    " \"execs_per_sec\": %.1f, \"wall_ms\": %.3f,"
-                   " \"resume_hit_rate\": %.4f}%s\n",
+                   " \"resume_hit_rate\": %.4f, \"resume_rung_depth\": %.4f,"
+                   " \"locality_batch\": %.0f}%s\n",
                    R.Bench.c_str(), R.Subject.c_str(), R.ExecsPerSec, R.WallMs,
-                   R.ResumeHitRate, I + 1 == Records.size() ? "" : ",");
+                   R.ResumeHitRate, R.ResumeRungDepth, R.LocalityBatch,
+                   I + 1 == Records.size() ? "" : ",");
     }
     std::fprintf(Out, "]\n");
     std::fclose(Out);

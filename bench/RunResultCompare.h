@@ -1,0 +1,54 @@
+//===- bench/RunResultCompare.h - Full-depth RunResult equality --*- C++ -*-==//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared by the self-checking benches (micro_resume, micro_locality):
+/// event-for-event equality of two RunResults, the strongest form of the
+/// byte-identity contract — a resumed, laddered or batched execution must
+/// record exactly what a cold execution of the same input records.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_BENCH_RUNRESULTCOMPARE_H
+#define PFUZZ_BENCH_RUNRESULTCOMPARE_H
+
+#include "runtime/ExecutionContext.h"
+
+namespace pfuzz {
+
+/// Full-depth RunResult equality: every trace, every comparison operand,
+/// every taint set.
+inline bool sameRunResult(const RunResult &A, const RunResult &B) {
+  if (A.ExitCode != B.ExitCode || A.BranchTrace != B.BranchTrace ||
+      A.EventChars != B.EventChars || A.FunctionNames != B.FunctionNames ||
+      A.EofAccesses.size() != B.EofAccesses.size() ||
+      A.CallTrace.size() != B.CallTrace.size() ||
+      A.Comparisons.size() != B.Comparisons.size())
+    return false;
+  for (size_t I = 0; I != A.EofAccesses.size(); ++I)
+    if (A.EofAccesses[I].AccessIndex != B.EofAccesses[I].AccessIndex)
+      return false;
+  for (size_t I = 0; I != A.CallTrace.size(); ++I)
+    if (A.CallTrace[I].NameId != B.CallTrace[I].NameId ||
+        A.CallTrace[I].Cursor != B.CallTrace[I].Cursor)
+      return false;
+  for (size_t I = 0; I != A.Comparisons.size(); ++I) {
+    const ComparisonEvent &EA = A.Comparisons[I];
+    const ComparisonEvent &EB = B.Comparisons[I];
+    if (EA.Kind != EB.Kind || EA.Matched != EB.Matched ||
+        EA.OnEof != EB.OnEof || EA.Implicit != EB.Implicit ||
+        EA.StackDepth != EB.StackDepth ||
+        EA.TracePosition != EB.TracePosition ||
+        A.expected(EA) != B.expected(EB) || A.actual(EA) != B.actual(EB) ||
+        !(EA.Taint == EB.Taint))
+      return false;
+  }
+  return true;
+}
+
+} // namespace pfuzz
+
+#endif // PFUZZ_BENCH_RUNRESULTCOMPARE_H

@@ -11,6 +11,11 @@
 /// budgets stand in (AFL gets a 10x budget, reflecting its throughput
 /// advantage — scale everything with --budget-scale=N for longer runs).
 ///
+/// --subject=NAME and --tools=LIST cut the grid down to one cell — CI's
+/// perf smoke runs `--tools=pfuzzer --subject=json --json=...` twice,
+/// with and without --locality, and compares throughput. The paper
+/// shape checks only run on the full grid.
+///
 /// Expected shape (paper Section 5.2): AFL ahead on ini and csv, AFL
 /// clearly ahead on mjs, pFuzzer ahead on tinyC, KLEE near zero on mjs.
 ///
@@ -42,14 +47,44 @@ int main(int Argc, char **Argv) {
       Cli.getCount("speculate", ToolCfg.PFuzzerSpeculation, /*Min=*/-1));
   ToolCfg.PFuzzerResumeCache = static_cast<uint32_t>(
       Cli.getCount("resume-cache", ToolCfg.PFuzzerResumeCache));
+  ToolCfg.PFuzzerLocality = Cli.getBool("locality", false) ? 64 : 0;
+  std::string SubjectFilter = Cli.getString("subject", "");
+  std::string ToolsFilter = Cli.getString("tools", "afl,klee,pfuzzer");
   bool Timeline = Cli.getBool("timeline", false);
   BenchJsonWriter Json(Cli.getString("json", ""));
-  if (!Cli.ok() || !Cli.unqueried().empty()) {
+  bool FlagsOk = Cli.ok() && Cli.unqueried().empty();
+
+  // Resolve the tool list before the usage check so a typo in --tools
+  // reports through the same path as an unknown flag.
+  std::vector<ToolKind> Tools;
+  for (const std::string &Name : splitString(ToolsFilter, ',')) {
+    if (Name == "afl")
+      Tools.push_back(ToolKind::Afl);
+    else if (Name == "klee")
+      Tools.push_back(ToolKind::Klee);
+    else if (Name == "pfuzzer")
+      Tools.push_back(ToolKind::PFuzzer);
+    else {
+      std::fprintf(stderr, "error: unknown tool '%s'\n", Name.c_str());
+      FlagsOk = false;
+    }
+  }
+  std::vector<const Subject *> Subjects;
+  for (const Subject *S : evaluationSubjects())
+    if (SubjectFilter.empty() || S->name() == SubjectFilter)
+      Subjects.push_back(S);
+  if (Subjects.empty()) {
+    std::fprintf(stderr, "error: unknown subject '%s'\n",
+                 SubjectFilter.c_str());
+    FlagsOk = false;
+  }
+  if (!FlagsOk) {
     for (const std::string &Err : Cli.errors())
       std::fprintf(stderr, "error: %s\n", Err.c_str());
     std::fprintf(stderr, "usage: fig2_coverage [--budget-scale=N]"
                          " [--runs=N] [--seed=N] [--jobs=N] [--run-cache=N]"
-                         " [--resume-cache=N] [--speculate=N] [--timeline]"
+                         " [--resume-cache=N] [--locality] [--speculate=N]"
+                         " [--subject=NAME] [--tools=LIST] [--timeline]"
                          " [--json=PATH]\n");
     return 1;
   }
@@ -62,9 +97,7 @@ int main(int Argc, char **Argv) {
               Jobs <= 0 ? static_cast<int>(ThreadPool::hardwareThreads())
                         : Jobs);
 
-  const ToolKind Tools[] = {ToolKind::Afl, ToolKind::Klee,
-                            ToolKind::PFuzzer};
-  std::vector<const Subject *> Subjects = evaluationSubjects();
+  size_t NumTools = Tools.size();
   // One flat grid: every (tool, subject, seed) run is an independent task,
   // so --jobs=N overlaps slow cells (AFL's 10x budget) with fast ones.
   std::vector<CampaignCell> Grid;
@@ -78,12 +111,16 @@ int main(int Argc, char **Argv) {
                            std::chrono::steady_clock::now() - GridStart)
                            .count();
 
-  TableWriter Table(
-      {"Subject", "AFL %", "KLEE %", "pFuzzer %", "Wall", "Execs/s"});
+  std::vector<std::string> Headers = {"Subject"};
+  for (ToolKind Tool : Tools)
+    Headers.push_back(std::string(toolName(Tool)) + " %");
+  Headers.push_back("Wall");
+  Headers.push_back("Execs/s");
+  TableWriter Table(Headers);
   struct BarRow {
     std::string Subject;
-    double Ratios[3];
-    std::vector<std::pair<uint64_t, uint64_t>> Timelines[3];
+    std::vector<double> Ratios;
+    std::vector<std::vector<std::pair<uint64_t, uint64_t>>> Timelines;
     uint64_t Outcomes = 0;
   };
   std::vector<BarRow> Bars;
@@ -94,16 +131,18 @@ int main(int Argc, char **Argv) {
     std::vector<std::string> Cells = {std::string(S->name())};
     double RowSeconds = 0;
     uint64_t RowExecs = 0;
-    for (int T = 0; T != 3; ++T) {
-      const CampaignResult &R = Results[SubIdx * 3 + static_cast<size_t>(T)];
-      Row.Ratios[T] = R.coverageRatio(*S);
-      Row.Timelines[T] = R.Report.CoverageTimeline;
+    for (size_t T = 0; T != NumTools; ++T) {
+      const CampaignResult &R = Results[SubIdx * NumTools + T];
+      Row.Ratios.push_back(R.coverageRatio(*S));
+      Row.Timelines.push_back(R.Report.CoverageTimeline);
       Row.Outcomes = 2ull * S->numBranchSites();
       RowSeconds += R.WallSeconds;
       RowExecs += R.TotalExecutions;
       Json.add("fig2_coverage",
                std::string(toolName(Tools[T])) + "/" + Row.Subject,
-               R.execsPerSec(), R.WallSeconds, R.Resume.hitRate());
+               R.execsPerSec(), R.WallSeconds, R.Resume.hitRate(),
+               R.Resume.avgHitRungDepth(),
+               Tools[T] == ToolKind::PFuzzer ? ToolCfg.PFuzzerLocality : 0);
       Cells.push_back(formatDouble(Row.Ratios[T] * 100, 1));
       std::fprintf(stderr,
                    "  done: %s on %s (%llu execs, %zu valid, %s, %s)\n",
@@ -135,9 +174,9 @@ int main(int Argc, char **Argv) {
   std::printf("\nCoverage by each tool:\n");
   for (const BarRow &Row : Bars) {
     std::printf("%s\n", Row.Subject.c_str());
-    printBar(stdout, "AFL", Row.Ratios[0]);
-    printBar(stdout, "KLEE", Row.Ratios[1]);
-    printBar(stdout, "pFuzzer", Row.Ratios[2]);
+    for (size_t T = 0; T != NumTools; ++T)
+      printBar(stdout, std::string(toolName(Tools[T])).c_str(),
+               Row.Ratios[T]);
   }
 
   if (Timeline) {
@@ -146,32 +185,35 @@ int main(int Argc, char **Argv) {
     for (const BarRow &Row : Bars) {
       std::printf("%s (of %llu outcomes)\n", Row.Subject.c_str(),
                   static_cast<unsigned long long>(Row.Outcomes));
-      printSeries(stdout, "AFL", Row.Timelines[0], Row.Outcomes);
-      printSeries(stdout, "KLEE", Row.Timelines[1], Row.Outcomes);
-      printSeries(stdout, "pFuzzer", Row.Timelines[2], Row.Outcomes);
+      for (size_t T = 0; T != NumTools; ++T)
+        printSeries(stdout, std::string(toolName(Tools[T])).c_str(),
+                    Row.Timelines[T], Row.Outcomes);
     }
   }
 
-  // Shape checks against the paper's Figure 2.
-  auto Ratio = [&](const char *Name, int Tool) {
-    for (const BarRow &Row : Bars)
-      if (Row.Subject == Name)
-        return Row.Ratios[Tool];
-    return 0.0;
-  };
-  std::printf("\nShape checks vs paper:\n");
-  std::printf("  AFL >= pFuzzer on ini: %s\n",
-              Ratio("ini", 0) >= Ratio("ini", 2) ? "yes" : "NO");
-  std::printf("  AFL >= pFuzzer on csv: %s\n",
-              Ratio("csv", 0) >= Ratio("csv", 2) ? "yes" : "NO");
-  std::printf("  pFuzzer > AFL on tinyc: %s\n",
-              Ratio("tinyc", 2) > Ratio("tinyc", 0) ? "yes" : "NO");
-  std::printf("  AFL > pFuzzer on mjs: %s\n",
-              Ratio("mjs", 0) > Ratio("mjs", 2) ? "yes" : "NO");
-  std::printf("  KLEE lowest on mjs: %s\n",
-              (Ratio("mjs", 1) <= Ratio("mjs", 0) &&
-               Ratio("mjs", 1) <= Ratio("mjs", 2))
-                  ? "yes"
-                  : "NO");
+  // Shape checks against the paper's Figure 2 — meaningful only on the
+  // full tool x subject grid.
+  if (NumTools == 3 && SubjectFilter.empty()) {
+    auto Ratio = [&](const char *Name, int Tool) {
+      for (const BarRow &Row : Bars)
+        if (Row.Subject == Name)
+          return Row.Ratios[static_cast<size_t>(Tool)];
+      return 0.0;
+    };
+    std::printf("\nShape checks vs paper:\n");
+    std::printf("  AFL >= pFuzzer on ini: %s\n",
+                Ratio("ini", 0) >= Ratio("ini", 2) ? "yes" : "NO");
+    std::printf("  AFL >= pFuzzer on csv: %s\n",
+                Ratio("csv", 0) >= Ratio("csv", 2) ? "yes" : "NO");
+    std::printf("  pFuzzer > AFL on tinyc: %s\n",
+                Ratio("tinyc", 2) > Ratio("tinyc", 0) ? "yes" : "NO");
+    std::printf("  AFL > pFuzzer on mjs: %s\n",
+                Ratio("mjs", 0) > Ratio("mjs", 2) ? "yes" : "NO");
+    std::printf("  KLEE lowest on mjs: %s\n",
+                (Ratio("mjs", 1) <= Ratio("mjs", 0) &&
+                 Ratio("mjs", 1) <= Ratio("mjs", 2))
+                    ? "yes"
+                    : "NO");
+  }
   return Json.write() ? 0 : 1;
 }

@@ -1,0 +1,283 @@
+//===- bench/micro_locality.cpp - Prefix-locality scheduling bench --------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures prefix-locality scheduling — checkpoint ladders plus
+/// trie-batched candidate execution — and self-checks the two contracts
+/// the features ship under (exit code 1 on any violation):
+///
+/// 1. Rung sweep: a sibling-only splice wave — substitution candidates
+///    of one long parent at hash-spread depths, the pattern of a search
+///    parked at a frontier — executed against engines with 0, 1, 2 and
+///    4 ladder rungs per run over one tight checkpoint cache. Every
+///    configuration must reproduce the cold reference event for event,
+///    and the resume rate (fraction of submitted bytes skipped) and the
+///    average hit rung depth must rise strictly with the rung count —
+///    the ladder's whole claim. Raw hit frequency is printed but not
+///    asserted beyond rungs >= 1 beating rungs == 0: once any rung
+///    exists almost every probe re-enters somewhere, and deeper ladders
+///    trade a few shallow hits for much deeper ones. With no rungs at
+///    all the wave scores zero — a sibling's past-end checkpoint embeds
+///    its own suffix, so it can never serve the next sibling, and only
+///    rungs put pure parent prefixes back in the cache. Prints
+///    execs/sec per rung count and the hit-by-rung-depth histogram.
+///
+/// 2. Campaign modes: one pFuzzer campaign run cold (no resumption),
+///    laddered (--resume-cache), and laddered + trie batching
+///    (--locality). All three reports must be byte-identical; the mode
+///    table shows where the wall-clock goes and what the locality
+///    scheduler consumed.
+///
+///   ./micro_locality [--execs=N] [--seed=N] [--cache=N] [--stride=N]
+///                    [--growth-len=N] [--wave=N] [--json=PATH]
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchJson.h"
+#include "RunResultCompare.h"
+#include "core/PFuzzer.h"
+#include "subjects/Subject.h"
+#include "support/CommandLine.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace pfuzz;
+
+namespace {
+
+/// The same deterministic JSON document micro_resume grows: flat records
+/// under one array, no 5/6/8/9 digits (see waveInputs).
+std::string growthDocument(size_t Len) {
+  std::string Doc = "{\"k\": [";
+  const char *Records[] = {
+      "{\"id\": 12, \"on\": true}", "[1, 22, 333, \"abc\"]",
+      "\"u\\u0041text\"", "{\"x\": [false, \"y\"], \"n\": 7}"};
+  for (size_t I = 0; Doc.size() < Len; ++I) {
+    if (I != 0)
+      Doc += ", ";
+    Doc += Records[I % 4];
+  }
+  Doc += "]}";
+  return Doc;
+}
+
+/// Sibling-only wave: \p N substitution candidates of one parent
+/// document, spliced at hash-spread depths in [L/4, L). The suffixes
+/// never occur in the document, so a sibling's past-end checkpoint
+/// cannot pose as a pure parent prefix — every deep re-entry has to
+/// come from a real ladder rung.
+std::vector<std::string> waveInputs(const std::string &Doc, size_t N) {
+  static const char *Suffixes[] = {"8", "9]", "5e8", "6.5", "98, ", "5678"};
+  std::vector<std::string> Steps;
+  Steps.reserve(N);
+  size_t L = Doc.size();
+  for (size_t I = 0; I != N; ++I) {
+    uint64_t R = (I + 1) * 6364136223846793005ULL;
+    R ^= R >> 29;
+    size_t Lo = L / 4;
+    size_t K = Lo + (R >> 33) % (L - Lo);
+    Steps.push_back(Doc.substr(0, K) + Suffixes[I % 6]);
+  }
+  return Steps;
+}
+
+struct CampaignOutcome {
+  FuzzReport Report;
+  ResumeStats Resume;
+  LocalityStats Locality;
+  double WallSeconds = 0;
+};
+
+CampaignOutcome runCampaign(const Subject &S, uint64_t Execs, uint64_t Seed,
+                            uint32_t ResumeCache, uint32_t LocalityBatch) {
+  CampaignOutcome Out;
+  PFuzzerOptions Options;
+  Options.ResumeCacheSize = ResumeCache;
+  Options.LocalityBatch = LocalityBatch;
+  Options.ResumeStatsOut = &Out.Resume;
+  Options.LocalityStatsOut = &Out.Locality;
+  PFuzzer Tool(Options);
+  FuzzerOptions Opts;
+  Opts.Seed = Seed;
+  Opts.MaxExecutions = Execs;
+  auto Start = std::chrono::steady_clock::now();
+  Out.Report = Tool.run(S, Opts);
+  Out.WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Out;
+}
+
+bool sameReport(const FuzzReport &A, const FuzzReport &B) {
+  return A.Executions == B.Executions && A.ValidInputs == B.ValidInputs &&
+         A.ValidBranches == B.ValidBranches &&
+         A.CoverageTimeline == B.CoverageTimeline;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine Cli(Argc, Argv);
+  uint64_t Execs = static_cast<uint64_t>(Cli.getInt("execs", 30000));
+  uint64_t Seed = static_cast<uint64_t>(Cli.getInt("seed", 1));
+  size_t CacheSize = static_cast<size_t>(Cli.getCount("cache", 8));
+  uint32_t Stride = static_cast<uint32_t>(Cli.getCount("stride", 16));
+  size_t GrowthLen = static_cast<size_t>(Cli.getCount("growth-len", 240));
+  size_t Wave = static_cast<size_t>(Cli.getCount("wave", 4000));
+  BenchJsonWriter Json(Cli.getString("json", ""));
+  if (!Cli.ok() || !Cli.unqueried().empty()) {
+    for (const std::string &Err : Cli.errors())
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+    std::fprintf(stderr, "usage: micro_locality [--execs=N] [--seed=N]"
+                         " [--cache=N] [--stride=N] [--growth-len=N]"
+                         " [--wave=N] [--json=PATH]\n");
+    return 1;
+  }
+
+  std::printf("== Prefix-locality scheduling: ladders and trie batching"
+              " ==\n");
+  std::printf("(seed %llu, checkpoint cache %zu, stride %u, fibers %s)\n\n",
+              static_cast<unsigned long long>(Seed), CacheSize, Stride,
+              PrefixResumeEngine::available() ? "available" : "UNAVAILABLE");
+
+  bool Ok = true;
+
+  // --- 1. Rung sweep: the resume rate (bytes skipped per byte
+  // submitted) and the average hit rung depth must rise strictly with
+  // the rung count.
+  if (PrefixResumeEngine::available()) {
+    const Subject &J = jsonSubject();
+    const std::string Doc = growthDocument(GrowthLen);
+    const std::vector<std::string> Steps = waveInputs(Doc, Wave);
+    uint64_t WaveBytes = 0;
+    for (const std::string &In : Steps)
+      WaveBytes += In.size();
+    std::vector<RunResult> Reference;
+    Reference.reserve(Steps.size());
+    for (const std::string &In : Steps) {
+      Reference.emplace_back();
+      Reference.back() = J.execute(In, InstrumentationMode::Full);
+    }
+    const uint32_t RungCounts[] = {0, 1, 2, 4};
+    bool Monotone = true;
+    uint64_t PrevSkipped = 0;
+    double FirstHitRate = 0, PrevDepth = -1;
+    std::printf("rung sweep (json, %zu-byte parent, %zu siblings/round,"
+                " 6 rounds):\n",
+                Doc.size(), Steps.size());
+    std::printf("  %6s %9s %11s %7s %9s %9s  %s\n", "rungs", "wall[s]",
+                "execs/s", "hit%", "resume%", "avg-rung", "report");
+    ResumeStats Deepest;
+    for (uint32_t Rungs : RungCounts) {
+      PrefixResumeEngine Engine(
+          [&J](ExecutionContext &Ctx) { return J.run(Ctx); }, CacheSize,
+          /*MinInput=*/0, Stride, Rungs);
+      bool Identical = true;
+      RunResult Scratch;
+      const int Rounds = 6;
+      auto T0 = std::chrono::steady_clock::now();
+      for (int R = 0; R != Rounds; ++R)
+        for (size_t I = 0; I != Steps.size(); ++I) {
+          const RunResult &Run = Engine.execute(Steps[I], Scratch);
+          if (!sameRunResult(Reference[I], Run))
+            Identical = false;
+        }
+      double Secs = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - T0)
+                        .count();
+      const ResumeStats St = Engine.stats();
+      Deepest = St;
+      double ResumeRate =
+          static_cast<double>(St.BytesSkipped) / (6.0 * WaveBytes);
+      std::printf("  %6u %9.3f %11.0f %6.1f%% %8.1f%% %9.2f  %s\n", Rungs,
+                  Secs, Secs > 0 ? Rounds * Steps.size() / Secs : 0,
+                  100 * St.hitRate(), 100 * ResumeRate,
+                  St.avgHitRungDepth(), Identical ? "identical" : "MISMATCH");
+      Ok &= Identical;
+      // Strictly more bytes resumed and strictly deeper hits with every
+      // added rung; any rung at all must beat the rungless engine's hit
+      // rate (which this wave pins at zero — see the header comment).
+      if (St.BytesSkipped <= PrevSkipped && Rungs != 0)
+        Monotone = false;
+      if (St.avgHitRungDepth() <= PrevDepth)
+        Monotone = false;
+      if (Rungs == 0)
+        FirstHitRate = St.hitRate();
+      else if (St.hitRate() <= FirstHitRate)
+        Monotone = false;
+      PrevSkipped = St.BytesSkipped;
+      PrevDepth = St.avgHitRungDepth();
+      char Name[32];
+      std::snprintf(Name, sizeof(Name), "json/rungs-%u", Rungs);
+      Json.add("micro_locality", Name,
+               Secs > 0 ? Rounds * Steps.size() / Secs : 0, Secs,
+               St.hitRate(), St.avgHitRungDepth());
+    }
+    std::printf("  resume rate and rung depth %s with rung count\n",
+                Monotone ? "strictly increasing" : "NOT MONOTONE");
+    Ok &= Monotone;
+    std::printf("  hits by rung depth (4 rungs):");
+    for (size_t I = 0; I != ResumeStats::RungBuckets; ++I)
+      if (Deepest.HitsByRung[I] != 0)
+        std::printf("  %zu:%llu", I,
+                    static_cast<unsigned long long>(Deepest.HitsByRung[I]));
+    std::printf("\n\n");
+  } else {
+    std::printf("rung sweep: skipped (fibers unavailable)\n\n");
+  }
+
+  // --- 2. Campaign modes: cold vs laddered vs laddered + trie batching.
+  {
+    const Subject &J = jsonSubject();
+    CampaignOutcome Cold = runCampaign(J, Execs, Seed, /*ResumeCache=*/0,
+                                       /*LocalityBatch=*/0);
+    CampaignOutcome Ladder = runCampaign(J, Execs, Seed, /*ResumeCache=*/256,
+                                         /*LocalityBatch=*/0);
+    CampaignOutcome Trie = runCampaign(J, Execs, Seed, /*ResumeCache=*/256,
+                                       /*LocalityBatch=*/64);
+    bool LadderSame = sameReport(Cold.Report, Ladder.Report);
+    bool TrieSame = sameReport(Cold.Report, Trie.Report);
+    Ok &= LadderSame && TrieSame;
+    std::printf("campaign modes (json, %llu execs):\n",
+                static_cast<unsigned long long>(Execs));
+    std::printf("  %-13s %9s %11s  %s\n", "mode", "wall[s]", "execs/s",
+                "report");
+    std::printf("  %-13s %9.3f %11.0f  %s\n", "cold", Cold.WallSeconds,
+                Cold.WallSeconds > 0 ? Execs / Cold.WallSeconds : 0,
+                "baseline");
+    std::printf("  %-13s %9.3f %11.0f  %s\n", "ladder", Ladder.WallSeconds,
+                Ladder.WallSeconds > 0 ? Execs / Ladder.WallSeconds : 0,
+                LadderSame ? "identical" : "MISMATCH");
+    std::printf("  %-13s %9.3f %11.0f  %s\n", "ladder+trie", Trie.WallSeconds,
+                Trie.WallSeconds > 0 ? Execs / Trie.WallSeconds : 0,
+                TrieSame ? "identical" : "MISMATCH");
+    std::printf("  trie batching: %llu batches, %llu pre-executed,"
+                " %llu consumed (%.1f%%)\n",
+                static_cast<unsigned long long>(Trie.Locality.Batches),
+                static_cast<unsigned long long>(Trie.Locality.Batched),
+                static_cast<unsigned long long>(Trie.Locality.Consumed),
+                100 * Trie.Locality.consumeRate());
+    Json.add("micro_locality", "json/cold",
+             Cold.WallSeconds > 0 ? Execs / Cold.WallSeconds : 0,
+             Cold.WallSeconds, 0);
+    Json.add("micro_locality", "json/ladder",
+             Ladder.WallSeconds > 0 ? Execs / Ladder.WallSeconds : 0,
+             Ladder.WallSeconds, Ladder.Resume.hitRate(),
+             Ladder.Resume.avgHitRungDepth());
+    Json.add("micro_locality", "json/ladder+trie",
+             Trie.WallSeconds > 0 ? Execs / Trie.WallSeconds : 0,
+             Trie.WallSeconds, Trie.Resume.hitRate(),
+             Trie.Resume.avgHitRungDepth(), /*LocalityBatch=*/64);
+  }
+
+  if (!Ok) {
+    std::fprintf(stderr, "error: a locality-scheduled run diverged from its"
+                         " baseline (or the rung sweep was not monotone)\n");
+    return 1;
+  }
+  return Json.write() ? 0 : 1;
+}

@@ -9,11 +9,17 @@
 /// two ways, each doubling as a byte-identical self-check (exit code 1 on
 /// any divergence from cold execution):
 ///
-/// 1. The long-prefix growth sweep — the parser-directed access pattern
-///    the engine exists for: execute every prefix of a long JSON document
-///    in order, cold vs resuming. Cold work is quadratic in the document
-///    length (every step re-parses the whole prefix); resumed work is
-///    linear, so this is where the headline speedup (>= 1.5x) shows.
+/// 1. The growth sweep — Algorithm 1's access pattern: grow a long JSON
+///    document prefix by prefix, and after every growth step run a wave
+///    of substitution candidates spliced *below* the frontier (the shape
+///    addInputs produces at Taint.minIndex()). Measured three ways under
+///    a bounded checkpoint cache: cold, single-checkpoint (stride 0, the
+///    pre-ladder engine), and laddered. Growth steps resume from the
+///    frontier in both engine modes; the spliced candidates are where
+///    ladders pay — a single-checkpoint cache only ever holds per-length
+///    past-end entries that the wave's eviction churn flushes, while
+///    ladder rungs sit at shared stride positions that every sibling
+///    re-hits and every resumed run re-mints.
 ///
 /// 2. Whole campaigns on every evaluation subject: end-to-end wall-clock,
 ///    hit rate and bytes skipped. Campaign inputs within small budgets
@@ -23,12 +29,14 @@
 ///    mjs) pin the "engine disengaged, identical results" path.
 ///
 ///   ./micro_resume [--execs=N] [--seed=N] [--resume-cache=N]
-///                  [--resume-min=N] [--run-cache=N] [--growth-len=N]
-///                  [--json=PATH]
+///                  [--resume-min=N] [--resume-stride=N] [--resume-rungs=N]
+///                  [--run-cache=N] [--growth-len=N] [--sweep-cache=N]
+///                  [--sweep-wave=N] [--json=PATH]
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchJson.h"
+#include "RunResultCompare.h"
 #include "core/PFuzzer.h"
 #include "subjects/Subject.h"
 #include "support/CommandLine.h"
@@ -47,13 +55,15 @@ struct RunOutcome {
 };
 
 RunOutcome runOnce(const Subject &S, uint64_t Execs, uint64_t Seed,
-                   uint32_t ResumeCache, uint32_t RunCache,
-                   uint32_t ResumeMin) {
+                   uint32_t ResumeCache, uint32_t RunCache, uint32_t ResumeMin,
+                   uint32_t ResumeStride, uint32_t ResumeRungs) {
   RunOutcome Out;
   PFuzzerOptions Options;
   Options.RunCacheSize = RunCache;
   Options.ResumeCacheSize = ResumeCache;
   Options.ResumeMinLength = ResumeMin;
+  Options.ResumeStride = ResumeStride;
+  Options.ResumeRungs = ResumeRungs;
   Options.ResumeStatsOut = &Out.Stats;
   PFuzzer Tool(Options);
   FuzzerOptions Opts;
@@ -73,36 +83,6 @@ bool sameReport(const FuzzReport &A, const FuzzReport &B) {
          A.CoverageTimeline == B.CoverageTimeline;
 }
 
-/// Full-depth RunResult equality — the growth sweep checks every event a
-/// resumed run records against the cold run of the same input.
-bool sameRunResult(const RunResult &A, const RunResult &B) {
-  if (A.ExitCode != B.ExitCode || A.BranchTrace != B.BranchTrace ||
-      A.EventChars != B.EventChars || A.FunctionNames != B.FunctionNames ||
-      A.EofAccesses.size() != B.EofAccesses.size() ||
-      A.CallTrace.size() != B.CallTrace.size() ||
-      A.Comparisons.size() != B.Comparisons.size())
-    return false;
-  for (size_t I = 0; I != A.EofAccesses.size(); ++I)
-    if (A.EofAccesses[I].AccessIndex != B.EofAccesses[I].AccessIndex)
-      return false;
-  for (size_t I = 0; I != A.CallTrace.size(); ++I)
-    if (A.CallTrace[I].NameId != B.CallTrace[I].NameId ||
-        A.CallTrace[I].Cursor != B.CallTrace[I].Cursor)
-      return false;
-  for (size_t I = 0; I != A.Comparisons.size(); ++I) {
-    const ComparisonEvent &EA = A.Comparisons[I];
-    const ComparisonEvent &EB = B.Comparisons[I];
-    if (EA.Kind != EB.Kind || EA.Matched != EB.Matched ||
-        EA.OnEof != EB.OnEof || EA.Implicit != EB.Implicit ||
-        EA.StackDepth != EB.StackDepth ||
-        EA.TracePosition != EB.TracePosition ||
-        A.expected(EA) != B.expected(EB) || A.actual(EA) != B.actual(EB) ||
-        !(EA.Taint == EB.Taint))
-      return false;
-  }
-  return true;
-}
-
 /// A deterministic JSON document of at least \p Len bytes — flat-ish
 /// records under one array, the shape a parser-directed search settles
 /// into once it has learned the object/array/string tokens.
@@ -120,25 +100,70 @@ std::string growthDocument(size_t Len) {
   return Doc;
 }
 
-/// Executes every prefix of Doc in growth order; resuming when \p Engine
-/// is non-null, cold otherwise. Returns false on any divergence from the
-/// cold reference results in \p Reference (filled when null).
-bool sweepPrefixes(const Subject &S, const std::string &Doc,
-                   PrefixResumeEngine *Engine,
-                   std::vector<RunResult> *Reference, bool Check) {
-  bool Identical = true;
-  RunResult Pooled;
+/// The growth sweep's execution sequence: every prefix of \p Doc in
+/// growth order, each growth step followed by a wave of substitution
+/// candidates spliced below the frontier at pseudo-random depths — the
+/// sibling-heavy shape Algorithm 1 produces when a rejected comparison
+/// spawns many rewrites of one parent at Taint.minIndex().
+///
+/// Two deliberate properties keep the single-checkpoint baseline honest:
+///
+///  - The replacement suffixes never occur in the document (no 5/6/8/9
+///    anywhere in growthDocument's records), so a splice's past-end
+///    checkpoint — whose key is the full spliced input — can never
+///    masquerade as a pure document prefix and serve later siblings.
+///
+///  - Splice depths are spread by a hash, not drifted smoothly, so a
+///    single-checkpoint cache cannot ride one per-length entry along
+///    the frontier. It must keep individual growth-step checkpoints
+///    alive under the splice wave's eviction churn, while ladder rungs
+///    sit at shared stride positions that every sibling re-hits and
+///    every resumed run re-mints.
+std::vector<std::string> sweepInputs(const std::string &Doc, size_t Wave) {
+  static const char *Suffixes[] = {"8", "9]", "5e8", "6.5", "98, ", "5678"};
+  std::vector<std::string> Steps;
+  Steps.reserve((1 + Wave) * Doc.size());
   for (size_t L = 1; L <= Doc.size(); ++L) {
-    std::string_view In(Doc.data(), L);
-    if (Engine)
-      Engine->execute(In, Pooled);
-    else
-      Pooled = S.execute(In, InstrumentationMode::Full);
-    if (Check && !sameRunResult((*Reference)[L - 1], Pooled))
+    Steps.push_back(Doc.substr(0, L));
+    for (size_t J = 0; J != Wave; ++J) {
+      // Splitmix-style spread over [L/4, L): deterministic, but with no
+      // step-to-step locality a sticky LRU entry could exploit.
+      uint64_t R =
+          L * 6364136223846793005ULL + (J + 1) * 1442695040888963407ULL;
+      R ^= R >> 29;
+      size_t Lo = L / 4;
+      size_t K = L > Lo ? Lo + (R >> 33) % (L - Lo) : 0;
+      if (K == 0)
+        continue;
+      Steps.push_back(Doc.substr(0, K) + Suffixes[(L + J) % 6]);
+    }
+  }
+  return Steps;
+}
+
+/// Executes every step of \p Steps in order; resuming when \p Engine is
+/// non-null, cold otherwise. Returns false on any divergence from the
+/// cold reference results in \p Reference (filled when Check is false).
+bool sweepRun(const Subject &S, const std::vector<std::string> &Steps,
+              PrefixResumeEngine *Engine, std::vector<RunResult> *Reference,
+              bool Check) {
+  bool Identical = true;
+  RunResult Scratch;
+  for (size_t I = 0; I != Steps.size(); ++I) {
+    const RunResult *Run;
+    if (Engine) {
+      // The engine's result may live in its checkpoint pool: read it
+      // through the returned reference, valid until the next execute.
+      Run = &Engine->execute(Steps[I], Scratch);
+    } else {
+      Scratch = S.execute(Steps[I], InstrumentationMode::Full);
+      Run = &Scratch;
+    }
+    if (Check && !sameRunResult((*Reference)[I], *Run))
       Identical = false;
     else if (!Check && Reference) {
       Reference->emplace_back();
-      Reference->back().assignFrom(Pooled);
+      Reference->back().assignFrom(*Run);
     }
   }
   return Identical;
@@ -155,14 +180,22 @@ int main(int Argc, char **Argv) {
   uint32_t RunCache = static_cast<uint32_t>(Cli.getCount("run-cache", 64));
   uint32_t ResumeMin = static_cast<uint32_t>(
       Cli.getCount("resume-min", PFuzzerOptions().ResumeMinLength));
+  uint32_t ResumeStride = static_cast<uint32_t>(
+      Cli.getCount("resume-stride", PFuzzerOptions().ResumeStride));
+  uint32_t ResumeRungs = static_cast<uint32_t>(
+      Cli.getCount("resume-rungs", PFuzzerOptions().ResumeRungs));
   size_t GrowthLen = static_cast<size_t>(Cli.getCount("growth-len", 240));
+  size_t SweepCache = static_cast<size_t>(Cli.getCount("sweep-cache", 20));
+  size_t SweepWave = static_cast<size_t>(Cli.getCount("sweep-wave", 12));
   BenchJsonWriter Json(Cli.getString("json", ""));
   if (!Cli.ok() || !Cli.unqueried().empty()) {
     for (const std::string &Err : Cli.errors())
       std::fprintf(stderr, "error: %s\n", Err.c_str());
     std::fprintf(stderr, "usage: micro_resume [--execs=N] [--seed=N]"
-                         " [--resume-cache=N] [--resume-min=N] [--run-cache=N]"
-                         " [--growth-len=N] [--json=PATH]\n");
+                         " [--resume-cache=N] [--resume-min=N]"
+                         " [--resume-stride=N] [--resume-rungs=N]"
+                         " [--run-cache=N] [--growth-len=N] [--sweep-cache=N]"
+                         " [--sweep-wave=N] [--json=PATH]\n");
     return 1;
   }
 
@@ -177,57 +210,88 @@ int main(int Argc, char **Argv) {
 
   bool AllIdentical = true;
 
-  // --- 1. Long-prefix growth sweep: execute every prefix of a long JSON
-  // document in order, the search's extend-by-a-byte access pattern. ---
+  // --- 1. Growth sweep: grow a long JSON document prefix by prefix with
+  // substitution candidates spliced below the frontier after every step,
+  // under a bounded checkpoint cache — cold vs single-checkpoint (the
+  // pre-ladder engine, stride 0) vs laddered. ---
   if (PrefixResumeEngine::available()) {
     const Subject &J = jsonSubject();
     const std::string Doc = growthDocument(GrowthLen);
+    const std::vector<std::string> Steps = sweepInputs(Doc, SweepWave);
     std::vector<RunResult> Reference;
-    Reference.reserve(Doc.size());
-    sweepPrefixes(J, Doc, nullptr, &Reference, /*Check=*/false);
-    PrefixResumeEngine Engine(
-        [&J](ExecutionContext &C) { return J.run(C); }, Doc.size() + 1);
-    // Untimed identity pass: every prefix's resumed RunResult must match
-    // the cold reference event for event.
-    bool GrowthIdentical =
-        sweepPrefixes(J, Doc, &Engine, &Reference, /*Check=*/true);
-    AllIdentical &= GrowthIdentical;
+    Reference.reserve(Steps.size());
+    sweepRun(J, Steps, nullptr, &Reference, /*Check=*/false);
+    PrefixResumeEngine Single(
+        [&J](ExecutionContext &C) { return J.run(C); }, SweepCache,
+        /*MinInput=*/0, /*RungStride=*/0, /*RungCap=*/0);
+    PrefixResumeEngine Ladder([&J](ExecutionContext &C) { return J.run(C); },
+                              SweepCache, /*MinInput=*/0, ResumeStride,
+                              ResumeRungs);
+    // Untimed identity passes: every step's resumed RunResult must match
+    // the cold reference event for event, in both engine modes.
+    bool SingleIdentical = sweepRun(J, Steps, &Single, &Reference, true);
+    bool LadderIdentical = sweepRun(J, Steps, &Ladder, &Reference, true);
+    AllIdentical &= SingleIdentical && LadderIdentical;
     const int Rounds = 20;
     auto T0 = std::chrono::steady_clock::now();
     for (int R = 0; R != Rounds; ++R)
-      sweepPrefixes(J, Doc, nullptr, nullptr, false);
+      sweepRun(J, Steps, nullptr, nullptr, false);
     auto T1 = std::chrono::steady_clock::now();
     for (int R = 0; R != Rounds; ++R)
-      sweepPrefixes(J, Doc, &Engine, nullptr, false);
+      sweepRun(J, Steps, &Single, nullptr, false);
     auto T2 = std::chrono::steady_clock::now();
+    for (int R = 0; R != Rounds; ++R)
+      sweepRun(J, Steps, &Ladder, nullptr, false);
+    auto T3 = std::chrono::steady_clock::now();
     double ColdSecs = std::chrono::duration<double>(T1 - T0).count();
-    double WarmSecs = std::chrono::duration<double>(T2 - T1).count();
-    double Steps = static_cast<double>(Rounds) * Doc.size();
-    std::printf("long-prefix growth (json, %zu-byte document, %d sweeps):\n",
-                Doc.size(), Rounds);
-    std::printf("  cold   %8.3fs  %9.0f execs/s\n", ColdSecs,
-                ColdSecs > 0 ? Steps / ColdSecs : 0);
-    std::printf("  resume %8.3fs  %9.0f execs/s  %.2fx speedup  %s\n",
-                WarmSecs, WarmSecs > 0 ? Steps / WarmSecs : 0,
-                WarmSecs > 0 ? ColdSecs / WarmSecs : 0,
-                GrowthIdentical ? "identical" : "MISMATCH");
-    Json.add("micro_resume", "json/growth-cold",
-             ColdSecs > 0 ? Steps / ColdSecs : 0, ColdSecs, 0);
-    Json.add("micro_resume", "json/growth-resume",
-             WarmSecs > 0 ? Steps / WarmSecs : 0, WarmSecs,
-             Engine.stats().hitRate());
+    double SingleSecs = std::chrono::duration<double>(T2 - T1).count();
+    double LadderSecs = std::chrono::duration<double>(T3 - T2).count();
+    double NumSteps = static_cast<double>(Rounds) * Steps.size();
+    std::printf("growth sweep (json, %zu-byte document, %zu steps/sweep,"
+                " %d sweeps, wave %zu,\n sweep-cache %zu, stride %u,"
+                " rungs %u):\n",
+                Doc.size(), Steps.size(), Rounds, SweepWave, SweepCache,
+                ResumeStride, ResumeRungs);
+    std::printf("  cold    %8.3fs  %9.0f execs/s\n", ColdSecs,
+                ColdSecs > 0 ? NumSteps / ColdSecs : 0);
+    std::printf("  single  %8.3fs  %9.0f execs/s  %.2fx vs cold  %s\n",
+                SingleSecs, SingleSecs > 0 ? NumSteps / SingleSecs : 0,
+                SingleSecs > 0 ? ColdSecs / SingleSecs : 0,
+                SingleIdentical ? "identical" : "MISMATCH");
+    std::printf("  ladder  %8.3fs  %9.0f execs/s  %.2fx vs cold"
+                "  %.2fx vs single  %s\n",
+                LadderSecs, LadderSecs > 0 ? NumSteps / LadderSecs : 0,
+                LadderSecs > 0 ? ColdSecs / LadderSecs : 0,
+                LadderSecs > 0 ? SingleSecs / LadderSecs : 0,
+                LadderIdentical ? "identical" : "MISMATCH");
+    std::printf("  ladder hit rate %.1f%% (avg rung depth %.2f,"
+                " %llu bytes skipped), single hit rate %.1f%%"
+                " (%llu bytes skipped)\n",
+                100 * Ladder.stats().hitRate(),
+                Ladder.stats().avgHitRungDepth(),
+                static_cast<unsigned long long>(Ladder.stats().BytesSkipped),
+                100 * Single.stats().hitRate(),
+                static_cast<unsigned long long>(Single.stats().BytesSkipped));
+    Json.add("micro_resume", "json/sweep-cold",
+             ColdSecs > 0 ? NumSteps / ColdSecs : 0, ColdSecs, 0);
+    Json.add("micro_resume", "json/sweep-single",
+             SingleSecs > 0 ? NumSteps / SingleSecs : 0, SingleSecs,
+             Single.stats().hitRate());
+    Json.add("micro_resume", "json/sweep-ladder",
+             LadderSecs > 0 ? NumSteps / LadderSecs : 0, LadderSecs,
+             Ladder.stats().hitRate(), Ladder.stats().avgHitRungDepth());
   } else {
-    std::printf("long-prefix growth: skipped (fibers unavailable)\n");
+    std::printf("growth sweep: skipped (fibers unavailable)\n");
   }
 
   // --- 2. Whole campaigns on every evaluation subject. ---
   std::printf("\n%-8s %9s %9s %11s %8s %6s %12s  %s\n", "subject", "mode",
               "wall[s]", "execs/s", "speedup", "hit%", "bytes-skip", "report");
   for (const Subject *S : evaluationSubjects()) {
-    RunOutcome Cold =
-        runOnce(*S, Execs, Seed, /*ResumeCache=*/0, RunCache, ResumeMin);
-    RunOutcome Warm =
-        runOnce(*S, Execs, Seed, ResumeCache, RunCache, ResumeMin);
+    RunOutcome Cold = runOnce(*S, Execs, Seed, /*ResumeCache=*/0, RunCache,
+                              ResumeMin, ResumeStride, ResumeRungs);
+    RunOutcome Warm = runOnce(*S, Execs, Seed, ResumeCache, RunCache,
+                              ResumeMin, ResumeStride, ResumeRungs);
     bool Identical = sameReport(Cold.Report, Warm.Report);
     AllIdentical &= Identical;
     double Speedup = Warm.WallSeconds > 0
@@ -248,7 +312,8 @@ int main(int Argc, char **Argv) {
              Cold.WallSeconds, 0);
     Json.add("micro_resume", std::string(S->name()) + "/resume",
              Warm.WallSeconds > 0 ? Execs / Warm.WallSeconds : 0,
-             Warm.WallSeconds, Warm.Stats.hitRate());
+             Warm.WallSeconds, Warm.Stats.hitRate(),
+             Warm.Stats.avgHitRungDepth());
   }
   if (!AllIdentical) {
     std::fprintf(stderr, "error: a resuming run diverged from the cold"

@@ -44,6 +44,14 @@ int main(int Argc, char **Argv) {
       Cli.getCount("speculate-depth", Tools.PFuzzerSpeculationDepth));
   Tools.PFuzzerResumeCache = static_cast<uint32_t>(
       Cli.getCount("resume-cache", Tools.PFuzzerResumeCache));
+  Tools.PFuzzerResumeStride = static_cast<uint32_t>(
+      Cli.getCount("resume-stride", Tools.PFuzzerResumeStride));
+  Tools.PFuzzerResumeRungs = static_cast<uint32_t>(
+      Cli.getCount("resume-rungs", Tools.PFuzzerResumeRungs));
+  // --locality is a switch with a tuned default batch size; the exact
+  // size is a wall-clock knob, never a behavior one.
+  Tools.PFuzzerLocality = Cli.getBool("locality", false) ? 64 : 0;
+  bool LocalityStatsFlag = Cli.getBool("locality-stats", false);
   bool Mine = Cli.getBool("mine", false);
   bool Quiet = Cli.getBool("quiet", false);
   if (!Cli.ok() || !Cli.unqueried().empty()) {
@@ -54,14 +62,22 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr,
                  "usage: pfuzz_cli [--subject=NAME] [--tool=NAME]"
                  " [--execs=N] [--seed=N] [--runs=N] [--jobs=N]"
-                 " [--run-cache=N] [--resume-cache=N] [--speculate=N]"
-                 " [--speculate-depth=N] [--mine] [--quiet]\n"
+                 " [--run-cache=N] [--resume-cache=N] [--resume-stride=N]"
+                 " [--resume-rungs=N] [--locality] [--locality-stats]"
+                 " [--speculate=N] [--speculate-depth=N] [--mine]"
+                 " [--quiet]\n"
                  "subjects: arith dyck ini csv json tinyc mjs\n"
                  "tools: pfuzzer afl klee random\n"
                  "--run-cache: pFuzzer memoized-run LRU entries (0=off;"
                  " results are identical at any value)\n"
                  "--resume-cache: pFuzzer prefix-resumption checkpoints"
                  " (0=off; results are identical at any value)\n"
+                 "--resume-stride: checkpoint-ladder byte stride (0 = only"
+                 " past-end checkpoints; identical results at any value)\n"
+                 "--resume-rungs: ladder checkpoints per run\n"
+                 "--locality: pre-execute the equal-score queue front in"
+                 " prefix order (identical results on or off)\n"
+                 "--locality-stats: print locality-scheduler counters\n"
                  "--speculate: pFuzzer prefetch workers per campaign"
                  " (0=off, -1=auto; results are identical at any value)\n"
                  "--speculate-depth: candidates kept in flight (0=auto)\n");
@@ -110,9 +126,25 @@ int main(int Argc, char **Argv) {
                    .c_str());
   if (Best.Resume.Probes > 0)
     std::fprintf(stderr,
-                 "prefix resumption: %.1f%% hit rate, %llu bytes skipped\n",
+                 "prefix resumption: %.1f%% hit rate, %llu bytes skipped,"
+                 " avg rung depth %.2f\n",
                  100 * Best.Resume.hitRate(),
-                 static_cast<unsigned long long>(Best.Resume.BytesSkipped));
+                 static_cast<unsigned long long>(Best.Resume.BytesSkipped),
+                 Best.Resume.avgHitRungDepth());
+  if (LocalityStatsFlag) {
+    const LocalityStats &L = Best.Locality;
+    std::fprintf(stderr,
+                 "locality batching: %llu batches, %llu tie-front"
+                 " candidates, %llu pre-executed, %llu consumed"
+                 " (%.1f%%), %llu recycled, %llu discarded\n",
+                 static_cast<unsigned long long>(L.Batches),
+                 static_cast<unsigned long long>(L.TieFront),
+                 static_cast<unsigned long long>(L.Batched),
+                 static_cast<unsigned long long>(L.Consumed),
+                 100 * L.consumeRate(),
+                 static_cast<unsigned long long>(L.Recycled),
+                 static_cast<unsigned long long>(L.Discarded));
+  }
   std::fprintf(stderr, "coverage timeline (execs -> branch outcomes):\n");
   size_t Step = std::max<size_t>(1, R.CoverageTimeline.size() / 8);
   for (size_t I = 0; I < R.CoverageTimeline.size(); I += Step)

@@ -234,6 +234,112 @@ private:
   uint32_t Tail = None;
 };
 
+class Speculator;
+
+/// Trie-batched locality scheduler: drains the equal-score front of the
+/// heuristic queue and pre-executes it on the prefix-resumption engine in
+/// radix-trie DFS order, so candidates sharing a warm prefix run
+/// back-to-back while the engine's checkpoints for that prefix are hot
+/// (and each run's own ladder rungs immediately serve its siblings).
+///
+/// Determinism discipline: only candidates *tied with the best score* are
+/// pre-executed — the heap would pop them in arbitrary sibling order
+/// anyway, and which of them it pops next is decided by the heap alone,
+/// never by this scheduler. Pre-executions burn no execution budget,
+/// draw no RNG, and their results are consumed by runCheck in pop order
+/// with identical bookkeeping; since resumed executions are
+/// byte-identical to cold ones, reports cannot tell a batched campaign
+/// from a sequential one at any batch size.
+class LocalityBatcher {
+public:
+  LocalityBatcher(RunCache &Cache, PrefixResumeEngine &Engine,
+                  uint32_t MaxBatch)
+      : Cache(Cache), Engine(Engine), MaxBatch(MaxBatch) {}
+
+  LocalityStats Stats;
+
+  /// True when a pre-executed result of \p Input is held. The speculator
+  /// checks this before submitting to a worker — waste avoidance only.
+  bool holds(uint64_t Hash, std::string_view Input) const {
+    auto It = Ready.find(Hash);
+    return It != Ready.end() && It->second->Input == Input;
+  }
+
+  /// Drains the equal-score front of \p Queue (up to the batch cap) into
+  /// the trie and pre-executes it in DFS order. \p Spec, when present,
+  /// marks inputs already speculated on a worker. Defined after
+  /// Speculator (it peeks at the in-flight table).
+  void refill(const std::vector<Candidate> &Queue, const Speculator *Spec);
+
+  /// Consumes the pre-executed result of \p Input if held: copies it
+  /// into \p RR and returns true. Stored inputs are verified, so a
+  /// 64-bit hash collision degrades to a miss, never a wrong result.
+  bool consume(uint64_t Hash, std::string_view Input, RunResult &RR) {
+    auto It = Ready.find(Hash);
+    if (It == Ready.end() || It->second->Input != Input)
+      return false;
+    RR.assignFrom(It->second->Result);
+    Free.push_back(std::move(It->second));
+    Ready.erase(It);
+    ++Stats.Consumed;
+    return true;
+  }
+
+  /// Campaign end: counts the leftovers nothing will ever consume.
+  void shutdown() {
+    Stats.Discarded += Ready.size();
+    for (auto &KV : Ready)
+      Free.push_back(std::move(KV.second));
+    Ready.clear();
+  }
+
+private:
+  struct Slot {
+    uint64_t Hash = 0;
+    /// refill() tick of last appearance in the front; eviction retires
+    /// the stalest.
+    uint64_t Tick = 0;
+    std::string Input;
+    RunResult Result;
+  };
+
+  /// Evicts the stalest held result not re-batched this tick, recycling
+  /// it into the LRU run cache (the warm execution was already paid, and
+  /// front candidates often get popped many iterations later).
+  bool evictOne() {
+    auto Victim = Ready.end();
+    for (auto It = Ready.begin(); It != Ready.end(); ++It) {
+      if (It->second->Tick == Tick)
+        continue;
+      if (Victim == Ready.end() || It->second->Tick < Victim->second->Tick)
+        Victim = It;
+    }
+    if (Victim == Ready.end())
+      return false;
+    Cache.insertForced(Victim->second->Hash, Victim->second->Input,
+                       Victim->second->Result);
+    ++Stats.Recycled;
+    Free.push_back(std::move(Victim->second));
+    Ready.erase(Victim);
+    return true;
+  }
+
+  RunCache &Cache;
+  PrefixResumeEngine &Engine;
+  uint32_t MaxBatch;
+  uint64_t Tick = 0;
+  /// Pre-executed results awaiting their pop, keyed by input hash.
+  std::unordered_map<uint64_t, std::unique_ptr<Slot>> Ready;
+  /// Retired slots for reuse (their RunResult buffers stay warm).
+  std::vector<std::unique_ptr<Slot>> Free;
+  /// Scratch, recycled across refills.
+  std::vector<uint32_t> FrontIdx;
+  std::vector<uint32_t> HeapStack;
+  std::vector<uint32_t> Order;
+  PrefixOrderTrie Trie;
+  RunResult Scratch;
+};
+
 /// Speculative execution prefetcher: runs the top-ranked queue
 /// candidates on a worker pool while the sequential Algorithm 1 loop
 /// processes the current run. Subject executions are pure functions of
@@ -253,9 +359,18 @@ private:
 /// never the search.
 class Speculator {
 public:
+  /// \p Warmth (optional) ranks prediction-window ties by how deep a
+  /// cached resume checkpoint reaches into each candidate — candidates
+  /// extending a warm prefix belong to the lineage the loop is working
+  /// on right now, so they are the likeliest next pops. \p Batch
+  /// (optional) marks inputs the locality scheduler already holds
+  /// pre-executed; submitting those would be pure waste. Both are
+  /// wall-clock levers only: they reorder speculative work, never its
+  /// consumption.
   Speculator(const Subject &S, RunCache &Cache, uint32_t Threads,
-             uint32_t Depth)
-      : S(S), Cache(Cache),
+             uint32_t Depth, const PrefixResumeEngine *Warmth,
+             const LocalityBatcher *Batch)
+      : S(S), Cache(Cache), Warmth(Warmth), Batch(Batch),
         Depth(Depth != 0 ? Depth : 2 * Threads + 2), Pool(Threads) {}
 
   ~Speculator() { shutdown(); }
@@ -276,20 +391,37 @@ public:
     size_t Window = std::min(Queue.size(), size_t(4) * Depth);
     Scratch.clear();
     for (size_t I = 0; I != Window; ++I)
-      Scratch.push_back({Queue[I].Score, I});
+      Scratch.push_back(
+          {Queue[I].Score,
+           Warmth ? Warmth->warmPrefixLength(Queue[I].Input) : 0, I});
     size_t Want = std::min<size_t>(Depth, Scratch.size());
+    // Score ties break towards the deepest cached resume prefix: a deep
+    // warm prefix means the candidate extends a lineage the loop just
+    // executed, which is exactly the region of the heap the next pops
+    // come from — warmth is a pop-likelihood signal that scores cannot
+    // see. Index last makes the order fully deterministic.
     std::partial_sort(Scratch.begin(),
                       Scratch.begin() + static_cast<ptrdiff_t>(Want),
-                      Scratch.end(),
-                      [](const std::pair<double, size_t> &A,
-                         const std::pair<double, size_t> &B) {
-                        return A.first > B.first;
+                      Scratch.end(), [](const Pick &A, const Pick &B) {
+                        if (A.Score != B.Score)
+                          return A.Score > B.Score;
+                        if (A.Warm != B.Warm)
+                          return A.Warm > B.Warm;
+                        return A.Idx < B.Idx;
                       });
     // Queue[0] is popped next no matter how score ties resolve in the
     // partial sort; force it into the prediction set.
     maybeSubmit(Queue[0]);
     for (size_t I = 0; I != Want; ++I)
-      maybeSubmit(Queue[Scratch[I].second]);
+      maybeSubmit(Queue[Scratch[I].Idx]);
+  }
+
+  /// True when \p Input is speculated (in flight or completed but not
+  /// yet consumed). The locality batcher checks this before
+  /// pre-executing — waste avoidance only, no determinism impact.
+  bool holds(uint64_t Hash, std::string_view Input) const {
+    auto It = InFlight.find(Hash);
+    return It != InFlight.end() && It->second->Input == Input;
   }
 
   /// Consumes the speculated result of \p Input if one is in flight:
@@ -362,6 +494,8 @@ private:
     }
     if (Cache.contains(C.InputHash, C.Input))
       return; // the loop will replay it for free anyway
+    if (Batch && Batch->holds(C.InputHash, C.Input))
+      return; // the locality scheduler already ran it warm
     if (InFlight.size() >= 2 * size_t(Depth) && !evictOne())
       return;
     std::unique_ptr<Slot> Sl;
@@ -413,8 +547,18 @@ private:
     return true;
   }
 
+  /// refill()'s selection record: heap score, warm resume-prefix depth,
+  /// queue index.
+  struct Pick {
+    double Score;
+    size_t Warm;
+    size_t Idx;
+  };
+
   const Subject &S;
   RunCache &Cache;
+  const PrefixResumeEngine *Warmth;
+  const LocalityBatcher *Batch;
   uint32_t Depth;
   uint64_t Tick = 0;
   /// In-flight and completed-but-unconsumed speculations, keyed by input
@@ -422,12 +566,86 @@ private:
   std::unordered_map<uint64_t, std::unique_ptr<Slot>> InFlight;
   /// Retired slots for reuse (their RunResult buffers stay warm).
   std::vector<std::unique_ptr<Slot>> Free;
-  /// (score, queue index) selection scratch for refill().
-  std::vector<std::pair<double, size_t>> Scratch;
+  /// Selection scratch for refill().
+  std::vector<Pick> Scratch;
   /// Declared last: destroyed first, so all workers have drained before
   /// the slots their lambdas point into are freed.
   ThreadPool Pool;
 };
+
+void LocalityBatcher::refill(const std::vector<Candidate> &Queue,
+                             const Speculator *Spec) {
+  if (Queue.size() < 2)
+    return;
+  // Collect the equal-score front. In a max-heap every candidate tied
+  // with the root's score forms a root-connected subtree (a tied node's
+  // parent scores >= it, and <= the root by the heap property, so the
+  // whole ancestor chain is tied too); walking children 2i+1/2i+2 while
+  // the score matches Queue[0] exactly enumerates the tie.
+  double Top = Queue[0].Score;
+  FrontIdx.clear();
+  HeapStack.clear();
+  HeapStack.push_back(0);
+  while (!HeapStack.empty() && FrontIdx.size() < MaxBatch) {
+    uint32_t I = HeapStack.back();
+    HeapStack.pop_back();
+    if (Queue[I].Score != Top)
+      continue;
+    FrontIdx.push_back(I);
+    size_t L = size_t(2) * I + 1;
+    if (L < Queue.size())
+      HeapStack.push_back(static_cast<uint32_t>(L));
+    if (L + 1 < Queue.size())
+      HeapStack.push_back(static_cast<uint32_t>(L + 1));
+  }
+  Stats.TieFront += FrontIdx.size();
+  if (FrontIdx.size() < 2)
+    return; // a front of one has no siblings to group
+  ++Tick;
+  // Trie DFS turns the heap's arbitrary sibling order into
+  // lexicographic-by-bytes order: inputs sharing a prefix come out
+  // adjacent, and a duplicate input keeps its first tag (one execution
+  // serves every copy).
+  Trie.clear();
+  for (uint32_t I : FrontIdx)
+    Trie.insert(Queue[I].Input, I);
+  Order.clear();
+  Trie.dfsOrder(Order);
+  bool Ran = false;
+  for (uint32_t I : Order) {
+    const Candidate &C = Queue[I];
+    auto It = Ready.find(C.InputHash);
+    if (It != Ready.end()) {
+      if (It->second->Input == C.Input)
+        It->second->Tick = Tick; // still in the front: keep warm
+      continue;
+    }
+    if (Cache.contains(C.InputHash, C.Input))
+      continue; // the loop will replay it for free anyway
+    if (Spec && Spec->holds(C.InputHash, C.Input))
+      continue; // a worker is already executing it
+    if (Ready.size() >= 2 * size_t(MaxBatch) && !evictOne())
+      break;
+    std::unique_ptr<Slot> Sl;
+    if (!Free.empty()) {
+      Sl = std::move(Free.back());
+      Free.pop_back();
+    } else {
+      Sl = std::make_unique<Slot>();
+    }
+    Sl->Hash = C.InputHash;
+    Sl->Tick = Tick;
+    Sl->Input = C.Input;
+    // The engine's result may live in its pooled slot; copy it out while
+    // the reference is valid (it dies at the next execute).
+    Sl->Result.assignFrom(Engine.execute(Sl->Input, Scratch));
+    ++Stats.Batched;
+    Ran = true;
+    Ready.emplace(Sl->Hash, std::move(Sl));
+  }
+  if (Ran)
+    ++Stats.Batches;
+}
 
 /// One pFuzzer campaign against one subject.
 class Campaign {
@@ -436,9 +654,6 @@ public:
            const PFuzzerOptions &Config)
       : S(S), Opts(Opts), Config(Config), Heur(Config.Heur), R(Opts.Seed),
         Cache(Config.RunCacheSize) {
-    if (Config.SpeculationThreads > 0)
-      Spec = std::make_unique<Speculator>(S, Cache, Config.SpeculationThreads,
-                                          Config.SpeculationDepth);
     // The prefix-resumption engine: only for subjects audited as safe to
     // checkpoint, and only when this build can switch stacks — anything
     // else falls back to plain full re-execution, which records the
@@ -449,16 +664,30 @@ public:
         PrefixResumeEngine::available())
       Resume = std::make_unique<PrefixResumeEngine>(
           [Subj = &S](ExecutionContext &Ctx) { return Subj->run(Ctx); },
-          Config.ResumeCacheSize, Config.ResumeMinLength);
+          Config.ResumeCacheSize, Config.ResumeMinLength,
+          Config.ResumeStride, Config.ResumeRungs);
+    // The locality batcher pre-executes through the resumption engine;
+    // without one there is nothing to keep warm and it stays off.
+    if (Config.LocalityBatch > 0 && Resume)
+      Batch = std::make_unique<LocalityBatcher>(Cache, *Resume,
+                                                Config.LocalityBatch);
+    if (Config.SpeculationThreads > 0)
+      Spec = std::make_unique<Speculator>(S, Cache, Config.SpeculationThreads,
+                                          Config.SpeculationDepth,
+                                          Resume.get(), Batch.get());
   }
 
   FuzzReport run();
 
 private:
   /// Runs \p Input; on a valid run with new coverage performs the
-  /// validInp bookkeeping. Returns true in that case (line 27-35).
+  /// validInp bookkeeping and sets \p Valid (line 27-35). Returns the
+  /// run's result, which may live in \p Scratch, the run cache, or the
+  /// resumption engine's pool — read it through the returned pointer
+  /// only, which stays valid until the next runCheck call.
   /// \p Hash must be hashInput(Input); candidates carry it precomputed.
-  bool runCheck(const std::string &Input, uint64_t Hash, RunResult &RR);
+  const RunResult *runCheck(const std::string &Input, uint64_t Hash,
+                            RunResult &Scratch, bool &Valid);
 
   /// Appends an (Executions, |vBr|) sample unless it duplicates the last
   /// one — runCheck's valid-input sample and the budget-interval sampler
@@ -560,6 +789,9 @@ private:
   /// Prefix-resumption engine, or null when disabled/ineligible; see
   /// PFuzzerOptions::ResumeCacheSize.
   std::unique_ptr<PrefixResumeEngine> Resume;
+  /// Trie-batched locality scheduler, or null when LocalityBatch == 0
+  /// or the resumption engine is off; see PFuzzerOptions::LocalityBatch.
+  std::unique_ptr<LocalityBatcher> Batch;
   /// How often each prefix was re-enqueued for another random extension;
   /// bounded so retired prefixes stop consuming budget.
   std::unordered_map<std::string, uint32_t> RequeueCounts;
@@ -582,18 +814,22 @@ FuzzReport Campaign::run() {
   // keeps capacity), so the steady state allocates nothing per run.
   RunResult RR, RE;
   while (Report.Executions < Opts.MaxExecutions) {
-    bool Valid = runCheck(Input, InputHash, RR); // line 7
-    RunStats Stats = computeStats(RR);
+    bool Valid = false;
+    const RunResult *Run = runCheck(Input, InputHash, RR, Valid); // line 7
+    RunStats Stats = computeStats(*Run);
     ++PathCounts[Stats.PathHash];
+    // Captured now: *Run may point into the resumption engine's pool,
+    // which the extension run below recycles.
+    bool WantsMore = Run->hitEof();
     if (Valid) {
       if (!Config.ResetOnValid)
-        addInputs(Input, RR, Stats, ParentCount); // via validInp, line 44
+        addInputs(Input, *Run, Stats, ParentCount); // via validInp, line 44
     } else {
       // "After every rejection, we satisfy the comparisons leading to
       // rejection": substitutions from the bare run first. (A random
       // extension could merge into the last token -- e.g. a letter after
       // a keyword -- and hide these alternatives.)
-      addInputs(Input, RR, Stats, ParentCount);
+      addInputs(Input, *Run, Stats, ParentCount);
       if (Report.Executions >= Opts.MaxExecutions)
         break;
       // Early refill: the bare run's substitutions are enqueued, so the
@@ -605,15 +841,16 @@ FuzzReport Campaign::run() {
       std::string EInp = Input + randomChar(); // line 15
       // Line 9-12: run the extended input; whether it turned out valid or
       // not, its comparisons seed the next substitutions.
-      runCheck(EInp, hashInput(EInp), RE);
-      RunStats EStats = computeStats(RE);
+      bool EValid = false;
+      const RunResult *ERun = runCheck(EInp, hashInput(EInp), RE, EValid);
+      RunStats EStats = computeStats(*ERun);
       ++PathCounts[EStats.PathHash];
-      addInputs(EInp, RE, EStats, ParentCount);
+      addInputs(EInp, *ERun, EStats, ParentCount);
     }
     // A run that read past the end wants more input: keep the prefix
     // alive so it receives further random extensions (unless valid
     // inputs are configured to reset instead of continue).
-    if (RR.hitEof() && Input.size() < Opts.MaxInputLen &&
+    if (WantsMore && Input.size() < Opts.MaxInputLen &&
         !(Valid && Config.ResetOnValid))
       requeuePrefix(Input, InputHash, Stats, ParentCount);
     if (Report.Executions / SampleEvery !=
@@ -635,6 +872,13 @@ FuzzReport Campaign::run() {
       ParentCount = 0;
       continue;
     }
+    // Locality batching runs at the iteration boundary, when the queue
+    // front is final for this pop: the tied front — whichever of it the
+    // heap happens to pop next — is pre-executed in trie order while its
+    // shared prefixes are warm. Before the speculator refill, so workers
+    // skip what the batcher holds.
+    if (Batch)
+      Batch->refill(Queue, Spec.get());
     // Final refill for this iteration: the queue now also holds the
     // extension run's candidates, and Queue[0] is the exact input popped
     // next, so its execution is guaranteed to be speculated.
@@ -662,39 +906,59 @@ FuzzReport Campaign::run() {
   }
   if (Config.ResumeStatsOut)
     *Config.ResumeStatsOut = Resume ? Resume->stats() : ResumeStats();
+  if (Batch)
+    Batch->shutdown();
+  if (Config.LocalityStatsOut)
+    *Config.LocalityStatsOut = Batch ? Batch->Stats : LocalityStats();
   return std::move(Report);
 }
 
-bool Campaign::runCheck(const std::string &Input, uint64_t Hash,
-                        RunResult &RR) {
+const RunResult *Campaign::runCheck(const std::string &Input, uint64_t Hash,
+                                    RunResult &Scratch, bool &Valid) {
+  Valid = false;
+  const RunResult *Run;
   // Memoized replay: the search re-executes identical inputs routinely
   // (requeued prefixes, candidates regenerated after a queue trim). A hit
-  // copies the recorded result instead of re-running the subject, still
-  // counts against the execution budget, and flows through the identical
-  // bookkeeping below — the report cannot tell a replay from a run.
+  // reads the recorded result in place instead of re-running the subject,
+  // still counts against the execution budget, and flows through the
+  // identical bookkeeping below — the report cannot tell a replay from a
+  // run.
   if (const RunResult *Cached = Cache.lookup(Hash, Input)) {
-    RR.assignFrom(*Cached);
-  } else if (Spec && Spec->consume(Hash, Input, RR)) {
+    Run = Cached;
+  } else if (Batch && Batch->consume(Hash, Input, Scratch)) {
+    // Pre-executed by the locality batcher while its prefix checkpoint
+    // was warm; resumed runs are byte-identical to cold ones, so this is
+    // the result re-running would produce. Flows into the cache exactly
+    // like a fresh execution.
+    Cache.insert(Hash, Input, Scratch);
+    Run = &Scratch;
+  } else if (Spec && Spec->consume(Hash, Input, Scratch)) {
     // Speculated: a worker already executed this input, and subjects are
     // deterministic, so the prefetched result is what re-running would
-    // produce. Flows into the cache exactly like a fresh execution.
-    Cache.insert(Hash, Input, RR);
+    // produce.
+    Cache.insert(Hash, Input, Scratch);
+    Run = &Scratch;
   } else if (Resume) {
     // Resume-from-checkpoint when a cached prefix matches, cold run on
-    // the fiber otherwise; either way RR ends up byte-identical to a
-    // plain execution and flows into the run cache the same.
-    Resume->execute(Input, RR);
-    Cache.insert(Hash, Input, RR);
+    // the fiber otherwise; either way the result is byte-identical to a
+    // plain execution and flows into the run cache the same. The engine
+    // may return a reference into its checkpoint pool rather than
+    // Scratch — all downstream reads go through Run.
+    const RunResult &Res = Resume->execute(Input, Scratch);
+    Cache.insert(Hash, Input, Res);
+    Run = &Res;
   } else {
-    S.execute(Input, InstrumentationMode::Full, RR); // recycles RR's buffers
-    Cache.insert(Hash, Input, RR);
+    // Recycles Scratch's buffers.
+    S.execute(Input, InstrumentationMode::Full, Scratch);
+    Cache.insert(Hash, Input, Scratch);
+    Run = &Scratch;
   }
   ++Report.Executions;
-  if (RR.ExitCode != 0)
-    return false;
+  if (Run->ExitCode != 0)
+    return Run;
   if (Opts.OnValidInput)
     Opts.OnValidInput(Input);
-  RR.coveredBranches(CoveredScratch);
+  Run->coveredBranches(CoveredScratch);
   bool NewCoverage = false;
   for (uint32_t B : CoveredScratch) {
     if (!VBr.test(B)) {
@@ -703,13 +967,14 @@ bool Campaign::runCheck(const std::string &Input, uint64_t Hash,
     }
   }
   if (!NewCoverage)
-    return false; // line 29: valid requires exit 0 AND new branches
+    return Run; // line 29: valid requires exit 0 AND new branches
   // validInp (lines 37-45): print, grow vBr, re-rank the queue.
   Report.ValidInputs.push_back(Input);
   VBr.insert(CoveredScratch.begin(), CoveredScratch.end());
   sampleTimeline();
   rescoreQueue();
-  return true;
+  Valid = true;
+  return Run;
 }
 
 std::vector<std::string> Campaign::expansions(const RunResult &RR,

@@ -52,6 +52,41 @@ struct SpeculationStats {
   }
 };
 
+/// Diagnostic counters of the trie-batched locality scheduler (see
+/// PFuzzerOptions::LocalityBatch). Purely observational — none feed back
+/// into the search, so they can vary across batch sizes while the
+/// FuzzReport stays byte-identical.
+struct LocalityStats {
+  /// Queue-front drains that pre-executed at least one candidate.
+  uint64_t Batches = 0;
+  /// Candidates inspected across all equal-score fronts.
+  uint64_t TieFront = 0;
+  /// Warm pre-executions performed in trie DFS order.
+  uint64_t Batched = 0;
+  /// Pre-executed results the pop loop consumed.
+  uint64_t Consumed = 0;
+  /// Stale pre-executions recycled into the LRU run cache.
+  uint64_t Recycled = 0;
+  /// Pre-executions dropped at campaign end without reuse.
+  uint64_t Discarded = 0;
+
+  /// Fraction of batched work the pop loop actually consumed.
+  double consumeRate() const {
+    return Batched == 0 ? 0 : static_cast<double>(Consumed) / Batched;
+  }
+
+  /// Sums \p Other into this — campaign runners aggregate per-seed
+  /// counters into one per-cell total.
+  void accumulate(const LocalityStats &Other) {
+    Batches += Other.Batches;
+    TieFront += Other.TieFront;
+    Batched += Other.Batched;
+    Consumed += Other.Consumed;
+    Recycled += Other.Recycled;
+    Discarded += Other.Discarded;
+  }
+};
+
 /// pFuzzer configuration beyond the heuristic terms.
 struct PFuzzerOptions {
   HeuristicOptions Heur;
@@ -112,9 +147,36 @@ struct PFuzzerOptions {
   /// any value.
   uint32_t ResumeMinLength = 16;
 
+  /// Byte stride of the resumption engine's checkpoint ladder: besides
+  /// the past-end checkpoint, a run mints a checkpoint at the first read
+  /// crossing each multiple of this stride (up to ResumeRungs per run).
+  /// Ladder rungs let candidates spliced *below* their parent's EOF
+  /// point — every substitution candidate — resume near their splice
+  /// instead of running cold. 0 disables mid-run checkpoints. Throughput
+  /// knob only — reports are identical at any value.
+  uint32_t ResumeStride = 16;
+
+  /// Per-run cap on ladder checkpoints (see ResumeStride).
+  uint32_t ResumeRungs = 3;
+
+  /// Maximum equal-score queue-front candidates the locality scheduler
+  /// drains per iteration; 0 (the default) disables it. With N > 0 and
+  /// the resumption engine active, candidates tied with the best score —
+  /// which the heap would otherwise pop in arbitrary sibling order — are
+  /// pre-executed in radix-trie DFS order, so inputs sharing a warm
+  /// prefix run back-to-back while its checkpoint is hot. Only
+  /// score-ties are reordered and their results are consumed in pop
+  /// order with identical bookkeeping, so the search trajectory and
+  /// FuzzReports stay byte-identical at any batch size.
+  uint32_t LocalityBatch = 0;
+
   /// Optional out-param: the resumption engine's diagnostic counters
   /// (hit rate, bytes skipped). Never part of the report.
   ResumeStats *ResumeStatsOut = nullptr;
+
+  /// Optional out-param: the locality scheduler's diagnostic counters.
+  /// Never part of the report.
+  LocalityStats *LocalityStatsOut = nullptr;
 };
 
 /// The parser-directed fuzzer.

@@ -46,7 +46,11 @@ std::unique_ptr<Fuzzer> pfuzz::makeFuzzer(ToolKind Kind,
                                                       /*Workers=*/1);
     Options.SpeculationDepth = Tools.PFuzzerSpeculationDepth;
     Options.ResumeCacheSize = Tools.PFuzzerResumeCache;
+    Options.ResumeStride = Tools.PFuzzerResumeStride;
+    Options.ResumeRungs = Tools.PFuzzerResumeRungs;
+    Options.LocalityBatch = Tools.PFuzzerLocality;
     Options.ResumeStatsOut = Tools.PFuzzerResumeStatsOut;
+    Options.LocalityStatsOut = Tools.PFuzzerLocalityStatsOut;
     return std::make_unique<PFuzzer>(Options);
   }
   case ToolKind::Afl:
@@ -110,6 +114,7 @@ struct SeedRunOutcome {
   std::set<std::string> TokensFound;
   double WallSeconds = 0;
   ResumeStats Resume;
+  LocalityStats Locality;
 };
 
 /// Runs one seed of one cell. Everything mutable (fuzzer, Rng, token
@@ -123,6 +128,7 @@ SeedRunOutcome runOneSeed(ToolKind Kind, const Subject &S,
   // share whatever pointer the caller put in Tools.
   ToolOptions SeedTools = Tools;
   SeedTools.PFuzzerResumeStatsOut = &Out.Resume;
+  SeedTools.PFuzzerLocalityStatsOut = &Out.Locality;
   std::unique_ptr<Fuzzer> Tool = makeFuzzer(Kind, SeedTools);
   TokenCoverage Tokens(S.name());
   FuzzerOptions Opts;
@@ -153,6 +159,7 @@ CampaignResult reduceCell(ToolKind Kind, const Subject &S,
     Best.WallSeconds += Out.WallSeconds;
     Best.TotalExecutions += Out.Report.Executions;
     Best.Resume.accumulate(Out.Resume);
+    Best.Locality.accumulate(Out.Locality);
     bool Better =
         !HaveBest ||
         Out.Report.ValidBranches.size() > Best.Report.ValidBranches.size() ||

@@ -24,6 +24,7 @@
 #define PFUZZ_EVAL_CAMPAIGN_H
 
 #include "core/Fuzzer.h"
+#include "core/PFuzzer.h"
 #include "runtime/PrefixResumeCache.h"
 #include "tokens/TokenCoverage.h"
 
@@ -68,12 +69,29 @@ struct ToolOptions {
   /// builds without fiber support silently run cold.
   uint32_t PFuzzerResumeCache = 64;
 
+  /// PFuzzerOptions::ResumeStride: byte stride of the engine's
+  /// checkpoint ladder (0 = past-end checkpoints only). Reports are
+  /// byte-identical at any value.
+  uint32_t PFuzzerResumeStride = 16;
+
+  /// PFuzzerOptions::ResumeRungs: per-run cap on ladder checkpoints.
+  uint32_t PFuzzerResumeRungs = 3;
+
+  /// PFuzzerOptions::LocalityBatch: equal-score queue-front candidates
+  /// the trie-batched locality scheduler pre-executes per iteration
+  /// (0 disables). Reports are byte-identical at any value.
+  uint32_t PFuzzerLocality = 0;
+
   /// When set, receives the resume-engine counters of a pFuzzer run
   /// (zeroes when the engine never engaged). The campaign runners manage
   /// this per seed run and aggregate into CampaignResult::Resume; leave
   /// null when constructing fuzzers directly unless you own the pointee
   /// for the fuzzer's whole run.
   ResumeStats *PFuzzerResumeStatsOut = nullptr;
+
+  /// Like PFuzzerResumeStatsOut, for the locality scheduler's counters
+  /// (aggregated into CampaignResult::Locality).
+  LocalityStats *PFuzzerLocalityStatsOut = nullptr;
 };
 
 /// Arbitrates cores between the seed-level Jobs layer and per-campaign
@@ -134,6 +152,10 @@ struct CampaignResult {
   /// not resume-safe. Like WallSeconds, diagnostic only — never part of
   /// the deterministic result.
   ResumeStats Resume;
+
+  /// Locality-scheduler counters summed over every run of the cell; all
+  /// zero when batching was disabled. Diagnostic only.
+  LocalityStats Locality;
 
   /// Throughput over all runs of the cell; 0 when nothing was timed.
   double execsPerSec() const {

@@ -65,6 +65,23 @@ void RunResult::assignFrom(const RunResult &Other) {
   EventChars.assign(Other.EventChars);
 }
 
+void RunResult::assignPrefixFrom(const RunResult &Full, const RunMark &At) {
+  // The marked moment predates the run's completion, so its exit code is
+  // the not-yet-finished default regardless of how the run ended.
+  ExitCode = 1;
+  Comparisons.assign(Full.Comparisons.begin(),
+                     Full.Comparisons.begin() + At.NumComparisons);
+  EofAccesses.assign(Full.EofAccesses.begin(),
+                     Full.EofAccesses.begin() + At.NumEofAccesses);
+  BranchTrace.assign(Full.BranchTrace.begin(),
+                     Full.BranchTrace.begin() + At.NumBranches);
+  CallTrace.assign(Full.CallTrace.begin(),
+                   Full.CallTrace.begin() + At.NumCalls);
+  FunctionNames.assign(Full.FunctionNames.begin(),
+                       Full.FunctionNames.begin() + At.NumNames);
+  EventChars.assign(Full.EventChars.data(), At.NumEventChars);
+}
+
 TChar ExecutionContext::nextChar() {
   TChar C = peekChar(0);
   // Advance even past the end so repeated EOF reads access fresh indices,
@@ -74,40 +91,49 @@ TChar ExecutionContext::nextChar() {
 }
 
 TChar ExecutionContext::peekChar(uint32_t Lookahead) {
-  uint64_t Index = static_cast<uint64_t>(Cursor) + Lookahead;
-  while (Index >= Input.size()) {
-    // Give the resumption engine its suspension point. A true return
-    // means the input may have grown underneath us (this very read was
-    // re-entered from a checkpoint with a longer input), so the bounds
-    // check repeats; the hook stops reporting growth once it has taken
-    // its one checkpoint for the current input.
-    if (Hook && Hook->onPastEnd(*this))
-      continue;
-    if (Mode == InstrumentationMode::Full) {
-      // Re-reads at the same position collapse into one EofEvent: a
-      // parser retrying its lookahead at one cursor wants one character,
-      // and counting every attempt would inflate the "wants more input"
-      // signal the search extends on.
-      uint32_t At = static_cast<uint32_t>(Index);
-      if (Result.EofAccesses.empty() ||
-          Result.EofAccesses.back().AccessIndex != At)
-        Result.EofAccesses.push_back({At});
+  for (;;) {
+    uint64_t Index = static_cast<uint64_t>(Cursor) + Lookahead;
+    if (Index >= Input.size()) {
+      // Give the resumption engine its suspension point. A true return
+      // means the input may have grown underneath us (this very read was
+      // re-entered from a checkpoint with a longer input), so the bounds
+      // check repeats; the hook stops reporting growth once it has taken
+      // its one checkpoint for the current input.
+      if (Hook && Hook->onPastEnd(*this))
+        continue;
+      if (Mode == InstrumentationMode::Full) {
+        // Re-reads at the same position collapse into one EofEvent: a
+        // parser retrying its lookahead at one cursor wants one character,
+        // and counting every attempt would inflate the "wants more input"
+        // signal the search extends on.
+        uint32_t At = static_cast<uint32_t>(Index);
+        if (Result.EofAccesses.empty() ||
+            Result.EofAccesses.back().AccessIndex != At)
+          Result.EofAccesses.push_back({At});
+      }
+      // The EOF sentinel still carries the accessed index as taint so that
+      // comparisons against it can be attributed to a position.
+      return TChar(EofChar, TaintSet::forIndex(static_cast<uint32_t>(Index)));
     }
-    // The EOF sentinel still carries the accessed index as taint so that
-    // comparisons against it can be attributed to a position.
-    return TChar(EofChar, TaintSet::forIndex(static_cast<uint32_t>(Index)));
+    // Mid-run suspension point for checkpoint ladders: an in-bounds read
+    // crossing the rung limit suspends before the byte is served. A true
+    // return again means this read was re-entered with a different
+    // (longer) input, so both checks above repeat against it.
+    if (Index >= RungLimit && Hook &&
+        Hook->onRungReached(*this, static_cast<uint32_t>(Index)))
+      continue;
+    return TChar(static_cast<unsigned char>(Input[Index]),
+                 TaintSet::forIndex(static_cast<uint32_t>(Index)));
   }
-  return TChar(static_cast<unsigned char>(Input[Index]),
-               TaintSet::forIndex(static_cast<uint32_t>(Index)));
 }
 
-void ExecutionContext::restoreFrom(const RunSnapshot &In,
+void ExecutionContext::restoreFrom(const RunResult &Full, const RunMark &At,
                                    std::string_view NewInput) {
   Input = NewInput;
-  Cursor = In.Cursor;
-  StackDepth = In.StackDepth;
-  MaxStackDepth = In.MaxStackDepth;
-  Result.assignFrom(In.Partial);
+  Cursor = At.Cursor;
+  StackDepth = At.StackDepth;
+  MaxStackDepth = At.MaxStackDepth;
+  Result.assignPrefixFrom(Full, At);
   // assignFrom copies contents, not scratch: rebuild the interned-id
   // remap so functions re-entered by the continuation find the ids the
   // restored FunctionNames already assigned instead of re-appending.

@@ -1,0 +1,226 @@
+//===- tests/core/PFuzzerLocalityTest.cpp - Locality scheduling -----------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The contract of prefix-locality scheduling — checkpoint ladders
+/// (PFuzzerOptions::ResumeStride/ResumeRungs) and trie-batched candidate
+/// execution (PFuzzerOptions::LocalityBatch): both are pure wall-clock
+/// optimizations. Draining the equal-score queue front in prefix order
+/// reorders only executions the heap ranks as ties, and every batched
+/// pre-execution is consumed (or recycled) by the same sequential pop
+/// loop, so the FuzzReport must be byte-identical at any batch size, any
+/// ladder geometry, and any checkpoint-cache size — on every evaluation
+/// subject. Ladder rungs restored under eviction pressure must reproduce
+/// cold execution event for event.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/PFuzzer.h"
+#include "runtime/PrefixResumeCache.h"
+#include "subjects/Subject.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace pfuzz;
+
+namespace {
+
+FuzzReport fuzzLocality(const Subject &S, uint64_t Execs, uint64_t Seed,
+                        uint32_t ResumeCache, uint32_t LocalityBatch,
+                        uint32_t Stride = 16, uint32_t Rungs = 3,
+                        LocalityStats *Stats = nullptr) {
+  PFuzzerOptions Options;
+  Options.ResumeCacheSize = ResumeCache;
+  // Engage the engine on every input so short campaign inputs exercise
+  // the batcher too (the shipped default bypasses short strings).
+  Options.ResumeMinLength = 0;
+  Options.ResumeStride = Stride;
+  Options.ResumeRungs = Rungs;
+  Options.LocalityBatch = LocalityBatch;
+  Options.LocalityStatsOut = Stats;
+  PFuzzer Tool(Options);
+  FuzzerOptions Opts;
+  Opts.Seed = Seed;
+  Opts.MaxExecutions = Execs;
+  return Tool.run(S, Opts);
+}
+
+void expectIdenticalReports(const FuzzReport &A, const FuzzReport &B) {
+  EXPECT_EQ(A.Executions, B.Executions);
+  EXPECT_EQ(A.ValidInputs, B.ValidInputs);
+  EXPECT_EQ(A.ValidBranches, B.ValidBranches);
+  EXPECT_EQ(A.CoverageTimeline, B.CoverageTimeline);
+}
+
+void expectIdenticalRunResults(const RunResult &A, const RunResult &B) {
+  EXPECT_EQ(A.ExitCode, B.ExitCode);
+  EXPECT_EQ(A.BranchTrace, B.BranchTrace);
+  EXPECT_EQ(A.EventChars, B.EventChars);
+  EXPECT_EQ(A.FunctionNames, B.FunctionNames);
+  ASSERT_EQ(A.EofAccesses.size(), B.EofAccesses.size());
+  for (size_t I = 0; I != A.EofAccesses.size(); ++I)
+    EXPECT_EQ(A.EofAccesses[I].AccessIndex, B.EofAccesses[I].AccessIndex);
+  ASSERT_EQ(A.CallTrace.size(), B.CallTrace.size());
+  for (size_t I = 0; I != A.CallTrace.size(); ++I) {
+    EXPECT_EQ(A.CallTrace[I].NameId, B.CallTrace[I].NameId);
+    EXPECT_EQ(A.CallTrace[I].Cursor, B.CallTrace[I].Cursor);
+  }
+  ASSERT_EQ(A.Comparisons.size(), B.Comparisons.size());
+  for (size_t I = 0; I != A.Comparisons.size(); ++I) {
+    const ComparisonEvent &EA = A.Comparisons[I];
+    const ComparisonEvent &EB = B.Comparisons[I];
+    EXPECT_EQ(EA.Kind, EB.Kind);
+    EXPECT_EQ(EA.Matched, EB.Matched);
+    EXPECT_EQ(EA.OnEof, EB.OnEof);
+    EXPECT_EQ(EA.Implicit, EB.Implicit);
+    EXPECT_EQ(EA.StackDepth, EB.StackDepth);
+    EXPECT_EQ(EA.TracePosition, EB.TracePosition);
+    EXPECT_EQ(A.expected(EA), B.expected(EB));
+    EXPECT_EQ(A.actual(EA), B.actual(EB));
+    EXPECT_TRUE(EA.Taint == EB.Taint);
+  }
+}
+
+} // namespace
+
+TEST(PFuzzerLocalityTest, ReportIdenticalAcrossBatchAndCacheSizes) {
+  // The identity sweep: trie-batched order must be invisible in the
+  // report on every evaluation subject, at tiny and ample batch sizes,
+  // under starved and generous checkpoint caches.
+  for (const Subject *S : evaluationSubjects()) {
+    uint64_t Execs = S == &jsonSubject() ? 3000 : 1500;
+    FuzzReport Sequential =
+        fuzzLocality(*S, Execs, 1, /*ResumeCache=*/64, /*LocalityBatch=*/0);
+    for (uint32_t Batch : {4u, 64u})
+      for (uint32_t Cache : {1u, 8u, 64u}) {
+        SCOPED_TRACE(std::string(S->name()) + " batch " +
+                     std::to_string(Batch) + " cache " +
+                     std::to_string(Cache));
+        expectIdenticalReports(Sequential,
+                               fuzzLocality(*S, Execs, 1, Cache, Batch));
+      }
+  }
+}
+
+TEST(PFuzzerLocalityTest, ReportIdenticalAcrossLadderGeometries) {
+  // Stride and rung count only move checkpoints around; the ladder off
+  // (stride 0), fine, and coarse must all report identically.
+  FuzzReport Baseline = fuzzLocality(jsonSubject(), 3000, 3, 64, 0,
+                                     /*Stride=*/0, /*Rungs=*/0);
+  struct {
+    uint32_t Stride, Rungs;
+  } Geometries[] = {{4, 1}, {16, 3}, {64, 8}};
+  for (const auto &G : Geometries) {
+    SCOPED_TRACE("stride " + std::to_string(G.Stride) + " rungs " +
+                 std::to_string(G.Rungs));
+    expectIdenticalReports(
+        Baseline,
+        fuzzLocality(jsonSubject(), 3000, 3, 64, 64, G.Stride, G.Rungs));
+  }
+}
+
+TEST(PFuzzerLocalityTest, BatchingInertWithoutResumeEngine) {
+  // LocalityBatch without a resume cache has no engine to pre-execute
+  // against: the scheduler must disengage (zero stats), not crash.
+  LocalityStats Stats;
+  FuzzReport Baseline = fuzzLocality(jsonSubject(), 2000, 7, 0, 0);
+  FuzzReport Batched = fuzzLocality(jsonSubject(), 2000, 7, /*ResumeCache=*/0,
+                                    /*LocalityBatch=*/64, 16, 3, &Stats);
+  expectIdenticalReports(Baseline, Batched);
+  EXPECT_EQ(Stats.Batches, 0u);
+  EXPECT_EQ(Stats.Batched, 0u);
+  EXPECT_EQ(Stats.Consumed, 0u);
+}
+
+TEST(PFuzzerLocalityTest, StatsExposeBatchingWork) {
+  if (!PrefixResumeEngine::available())
+    GTEST_SKIP() << "fibers unavailable in this build";
+  LocalityStats Stats;
+  fuzzLocality(jsonSubject(), 4000, 1, 256, 64, 16, 3, &Stats);
+  EXPECT_GT(Stats.Batches, 0u);
+  EXPECT_GT(Stats.TieFront, 0u);
+  EXPECT_GT(Stats.Batched, 0u);
+  EXPECT_GT(Stats.Consumed, 0u);
+  // Pre-executions are only ever taken from inspected tie fronts, and
+  // consumption cannot exceed the work performed.
+  EXPECT_LE(Stats.Batched, Stats.TieFront);
+  EXPECT_LE(Stats.Consumed, Stats.Batched);
+  // Every batched run is eventually consumed, recycled, or discarded at
+  // campaign end — nothing leaks.
+  EXPECT_EQ(Stats.Batched, Stats.Consumed + Stats.Recycled + Stats.Discarded);
+}
+
+TEST(PFuzzerLocalityTest, LadderRestoreCorrectUnderEvictionPressure) {
+  // Direct engine sweep: siblings spliced below a long parent, executed
+  // against ladders over every cache size from one entry up. Restores
+  // from rungs that survived eviction — and cold re-runs where nothing
+  // did — must match cold execution event for event.
+  if (!PrefixResumeEngine::available())
+    GTEST_SKIP() << "fibers unavailable in this build";
+  const Subject &S = jsonSubject();
+  const std::string Parent = "{\"a\": [11, 22, [33, {\"b\": \"cd\"}], 44],"
+                             " \"e\": [true, false, null, 55]}";
+  std::vector<std::string> Inputs;
+  for (size_t L = 1; L <= Parent.size(); L += 3)
+    Inputs.push_back(Parent.substr(0, L));
+  // Spliced siblings: the suffix digits never occur in the parent, so
+  // their checkpoints cannot serve as pure parent prefixes.
+  for (size_t K = 5; K + 7 < Parent.size(); K += 7) {
+    Inputs.push_back(Parent.substr(0, K) + "9");
+    Inputs.push_back(Parent.substr(0, K + 3) + "8]");
+  }
+  std::vector<RunResult> Reference;
+  Reference.reserve(Inputs.size());
+  for (const std::string &In : Inputs)
+    Reference.push_back(S.execute(In, InstrumentationMode::Full));
+  for (size_t CacheSize : {1u, 2u, 3u, 6u, 32u}) {
+    SCOPED_TRACE("cache " + std::to_string(CacheSize));
+    PrefixResumeEngine Engine([&S](ExecutionContext &C) { return S.run(C); },
+                              CacheSize, /*MinInput=*/0, /*RungStride=*/8,
+                              /*RungCap=*/4);
+    RunResult Scratch;
+    for (int Round = 0; Round != 2; ++Round)
+      for (size_t I = 0; I != Inputs.size(); ++I) {
+        SCOPED_TRACE("round " + std::to_string(Round) + " input " +
+                     std::to_string(I));
+        const RunResult &Run = Engine.execute(Inputs[I], Scratch);
+        expectIdenticalRunResults(Reference[I], Run);
+      }
+    EXPECT_GT(Engine.stats().RungsMinted, 0u);
+  }
+}
+
+TEST(PFuzzerLocalityTest, RungDepthHistogramRecordsLadderHits) {
+  // A parent long enough for several rungs, then siblings spliced at
+  // depths only rungs can serve: the hit histogram must report rung
+  // depths >= 1 and the average must be positive.
+  if (!PrefixResumeEngine::available())
+    GTEST_SKIP() << "fibers unavailable in this build";
+  const Subject &S = jsonSubject();
+  const std::string Parent = "[[1, 2, 3], [1, 2, 3], [1, 2, 3], [1, 2, 3]]";
+  PrefixResumeEngine Engine([&S](ExecutionContext &C) { return S.run(C); },
+                            /*MaxEntries=*/64, /*MinInput=*/0,
+                            /*RungStride=*/8, /*RungCap=*/4);
+  RunResult Scratch;
+  // Cold parent run mints rungs at 8, 16, 24, 32 plus its past-end
+  // checkpoint.
+  Engine.execute(Parent, Scratch);
+  EXPECT_EQ(Engine.stats().RungsMinted, 4u);
+  // A sibling spliced mid-parent can only resume from a rung: bucket 0
+  // (past-end hits) must stay empty while some deeper bucket fills.
+  Engine.execute(Parent.substr(0, 19) + "9]]", Scratch);
+  const ResumeStats &St = Engine.stats();
+  EXPECT_EQ(St.Hits, 1u);
+  EXPECT_EQ(St.HitsByRung[0], 0u);
+  EXPECT_GT(St.avgHitRungDepth(), 0.0);
+  uint64_t DeepHits = 0;
+  for (size_t I = 1; I != ResumeStats::RungBuckets; ++I)
+    DeepHits += St.HitsByRung[I];
+  EXPECT_EQ(DeepHits, 1u);
+}

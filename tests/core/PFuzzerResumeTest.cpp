@@ -170,11 +170,13 @@ TEST(PFuzzerResumeTest, EngineMatchesColdExecutionEventForEvent) {
   PrefixResumeEngine Engine(
       [&S](ExecutionContext &Ctx) { return S.run(Ctx); }, 64);
   const std::string Final = "{\"key\": [1, 22, true], \"x\": \"ab\\u0041\"}";
-  RunResult Resumed;
+  RunResult Scratch;
   for (size_t Len = 1; Len <= Final.size(); ++Len) {
     std::string Input = Final.substr(0, Len);
     SCOPED_TRACE("prefix length " + std::to_string(Len));
-    Engine.execute(Input, Resumed);
+    // The result may live in the engine's pool, not Scratch: read it
+    // through the returned reference, valid until the next execute.
+    const RunResult &Resumed = Engine.execute(Input, Scratch);
     RunResult Cold = S.execute(Input, InstrumentationMode::Full);
     expectIdenticalRunResults(Cold, Resumed);
   }
@@ -192,16 +194,20 @@ TEST(PFuzzerResumeTest, MinInputBypassesShortInputs) {
   const Subject &S = jsonSubject();
   PrefixResumeEngine Engine(
       [&S](ExecutionContext &Ctx) { return S.run(Ctx); }, 64, /*MinInput=*/8);
-  RunResult Resumed;
-  Engine.execute("[1]", Resumed);
-  RunResult Cold = S.execute("[1]", InstrumentationMode::Full);
-  expectIdenticalRunResults(Cold, Resumed);
+  RunResult Scratch;
+  {
+    const RunResult &Resumed = Engine.execute("[1]", Scratch);
+    RunResult Cold = S.execute("[1]", InstrumentationMode::Full);
+    expectIdenticalRunResults(Cold, Resumed);
+  }
   EXPECT_EQ(Engine.stats().Probes, 0u);
   EXPECT_EQ(Engine.stats().Minted, 0u);
   // At or past the threshold the machinery engages.
-  Engine.execute("[true, 12]", Resumed);
-  Cold = S.execute("[true, 12]", InstrumentationMode::Full);
-  expectIdenticalRunResults(Cold, Resumed);
+  {
+    const RunResult &Resumed = Engine.execute("[true, 12]", Scratch);
+    RunResult Cold = S.execute("[true, 12]", InstrumentationMode::Full);
+    expectIdenticalRunResults(Cold, Resumed);
+  }
   EXPECT_EQ(Engine.stats().Probes, 1u);
   EXPECT_EQ(Engine.stats().Minted, 1u);
 }
@@ -215,12 +221,12 @@ TEST(PFuzzerResumeTest, ResumesAcrossBranchingExtensions) {
   PrefixResumeEngine Engine(
       [&S](ExecutionContext &Ctx) { return S.run(Ctx); }, 64);
   const std::string Prefix = "[true, ";
-  RunResult Resumed;
-  Engine.execute(Prefix, Resumed); // cold; mints the shared checkpoint
+  RunResult Scratch;
+  Engine.execute(Prefix, Scratch); // cold; mints the shared checkpoint
   for (const char *Suffix : {"1]", "\"s\"]", "false]", "[]]", "nul", "1, 2]"}) {
     std::string Input = Prefix + Suffix;
     SCOPED_TRACE(Input);
-    Engine.execute(Input, Resumed);
+    const RunResult &Resumed = Engine.execute(Input, Scratch);
     RunResult Cold = S.execute(Input, InstrumentationMode::Full);
     expectIdenticalRunResults(Cold, Resumed);
   }
