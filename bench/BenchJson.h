@@ -10,7 +10,7 @@
 ///
 ///   {"bench": ..., "subject": ..., "execs_per_sec": ...,
 ///    "wall_ms": ..., "resume_hit_rate": ..., "resume_rung_depth": ...,
-///    "locality_batch": ...}
+///    "locality_batch": ..., "sched_tasks": ..., "sched_steal_rate": ...}
 ///
 /// so CI and trend scripts consume throughput numbers without scraping
 /// the human-readable tables. Every record carries every key — disabled
@@ -43,6 +43,11 @@ struct BenchJsonRecord {
   double ResumeRungDepth = 0;
   /// Locality batch size the measurement ran with (0 = batching off).
   double LocalityBatch = 0;
+  /// Tasks submitted to the work-stealing scheduler during the
+  /// measurement (0 = the scheduler never engaged).
+  double SchedTasks = 0;
+  /// Fraction of idle-worker steal probes that yielded a task.
+  double SchedStealRate = 0;
 };
 
 /// Collects records and writes them on demand. Constructed with an empty
@@ -53,12 +58,13 @@ public:
 
   void add(std::string Bench, std::string Subject, double ExecsPerSec,
            double WallSeconds, double ResumeHitRate,
-           double ResumeRungDepth = 0, double LocalityBatch = 0) {
+           double ResumeRungDepth = 0, double LocalityBatch = 0,
+           double SchedTasks = 0, double SchedStealRate = 0) {
     if (Path.empty())
       return;
     Records.push_back({std::move(Bench), std::move(Subject), ExecsPerSec,
                        WallSeconds * 1000.0, ResumeHitRate, ResumeRungDepth,
-                       LocalityBatch});
+                       LocalityBatch, SchedTasks, SchedStealRate});
   }
 
   /// Writes the collected records to the path; returns true on success
@@ -80,9 +86,11 @@ public:
                    "  {\"bench\": \"%s\", \"subject\": \"%s\","
                    " \"execs_per_sec\": %.1f, \"wall_ms\": %.3f,"
                    " \"resume_hit_rate\": %.4f, \"resume_rung_depth\": %.4f,"
-                   " \"locality_batch\": %.0f}%s\n",
+                   " \"locality_batch\": %.0f, \"sched_tasks\": %.0f,"
+                   " \"sched_steal_rate\": %.4f}%s\n",
                    R.Bench.c_str(), R.Subject.c_str(), R.ExecsPerSec, R.WallMs,
                    R.ResumeHitRate, R.ResumeRungDepth, R.LocalityBatch,
+                   R.SchedTasks, R.SchedStealRate,
                    I + 1 == Records.size() ? "" : ",");
     }
     std::fprintf(Out, "]\n");

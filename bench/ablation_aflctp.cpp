@@ -25,7 +25,7 @@
 #include "core/PFuzzer.h"
 #include "eval/TableWriter.h"
 #include "support/CommandLine.h"
-#include "support/ThreadPool.h"
+#include "support/Scheduler.h"
 #include "tokens/TokenCoverage.h"
 
 #include <cstdio>
@@ -123,8 +123,8 @@ int main(int Argc, char **Argv) {
       for (size_t Idx = 0; Idx != NumVariants; ++Idx)
         RunVariant(Idx);
     } else {
-      ThreadPool Pool(Jobs <= 0 ? 0 : static_cast<unsigned>(Jobs));
-      Pool.parallelFor(0, NumVariants, RunVariant);
+      Scheduler::global().parallelFor(0, NumVariants, RunVariant,
+                                      Jobs <= 0 ? 0 : static_cast<size_t>(Jobs));
     }
 
     for (size_t Idx = 0; Idx != NumVariants; ++Idx) {

@@ -22,7 +22,7 @@
 #include "eval/TableWriter.h"
 #include "support/CommandLine.h"
 #include "support/StringUtils.h"
-#include "support/ThreadPool.h"
+#include "support/Scheduler.h"
 #include "tokens/TokenCoverage.h"
 
 #include <algorithm>
@@ -121,8 +121,8 @@ int main(int Argc, char **Argv) {
       for (size_t TaskIdx = 0; TaskIdx != Outcomes.size(); ++TaskIdx)
         RunTask(TaskIdx);
     } else {
-      ThreadPool Pool(Jobs <= 0 ? 0 : static_cast<unsigned>(Jobs));
-      Pool.parallelFor(0, Outcomes.size(), RunTask);
+      Scheduler::global().parallelFor(0, Outcomes.size(), RunTask,
+                                      Jobs <= 0 ? 0 : static_cast<size_t>(Jobs));
     }
     for (size_t VarIdx = 0; VarIdx != Vars.size(); ++VarIdx) {
       double SumValid = 0, SumCov = 0, SumTokens = 0, SumLong = 0;

@@ -21,7 +21,7 @@
 #include "eval/TableWriter.h"
 #include "support/CommandLine.h"
 #include "support/StringUtils.h"
-#include "support/ThreadPool.h"
+#include "support/Scheduler.h"
 
 #include <cstdio>
 
@@ -57,8 +57,8 @@ int main(int Argc, char **Argv) {
     RunCampaign(0);
     RunCampaign(1);
   } else {
-    ThreadPool Pool(Jobs <= 0 ? 0 : static_cast<unsigned>(Jobs));
-    Pool.parallelFor(0, 2, RunCampaign);
+    Scheduler::global().parallelFor(0, 2, RunCampaign,
+                                    Jobs <= 0 ? 0 : static_cast<size_t>(Jobs));
   }
   FuzzReport &Plain = Reports[0];
   FuzzReport &Sem = Reports[1];

@@ -25,8 +25,8 @@
 #include "eval/Campaign.h"
 #include "eval/TableWriter.h"
 #include "support/CommandLine.h"
+#include "support/Scheduler.h"
 #include "support/StringUtils.h"
-#include "support/ThreadPool.h"
 
 #include <chrono>
 #include <cstdio>
@@ -94,7 +94,7 @@ int main(int Argc, char **Argv) {
               " %llu, AFL %llu execs, best of %d run(s), %d job(s))\n\n",
               static_cast<unsigned long long>(Budgets.PFuzzerExecs),
               static_cast<unsigned long long>(Budgets.AflExecs), Runs,
-              Jobs <= 0 ? static_cast<int>(ThreadPool::hardwareThreads())
+              Jobs <= 0 ? static_cast<int>(Scheduler::hardwareThreads())
                         : Jobs);
 
   size_t NumTools = Tools.size();
@@ -105,8 +105,10 @@ int main(int Argc, char **Argv) {
     for (ToolKind Tool : Tools)
       Grid.push_back({Tool, S, Budgets.executionsFor(Tool)});
   auto GridStart = std::chrono::steady_clock::now();
+  SchedulerStats SchedBefore = Scheduler::globalStats();
   std::vector<CampaignResult> Results =
       runCampaignGrid(Grid, Seed, Runs, Jobs, ToolCfg);
+  SchedulerStats Sched = Scheduler::globalStats().minus(SchedBefore);
   double GridSeconds = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - GridStart)
                            .count();
@@ -142,7 +144,9 @@ int main(int Argc, char **Argv) {
                std::string(toolName(Tools[T])) + "/" + Row.Subject,
                R.execsPerSec(), R.WallSeconds, R.Resume.hitRate(),
                R.Resume.avgHitRungDepth(),
-               Tools[T] == ToolKind::PFuzzer ? ToolCfg.PFuzzerLocality : 0);
+               Tools[T] == ToolKind::PFuzzer ? ToolCfg.PFuzzerLocality : 0,
+               static_cast<double>(Sched.submitted()),
+               Sched.stealSuccessRate());
       Cells.push_back(formatDouble(Row.Ratios[T] * 100, 1));
       std::fprintf(stderr,
                    "  done: %s on %s (%llu execs, %zu valid, %s, %s)\n",
@@ -170,6 +174,12 @@ int main(int Argc, char **Argv) {
               formatSeconds(GridSeconds).c_str(),
               formatSeconds(CpuSeconds).c_str(),
               formatExecsPerSec(GridExecs, GridSeconds).c_str());
+  if (Sched.submitted() > 0)
+    std::printf("scheduler: %llu tasks, %llu stolen, steal success %.1f%%,"
+                " idle %.2fs\n",
+                static_cast<unsigned long long>(Sched.submitted()),
+                static_cast<unsigned long long>(Sched.Stolen),
+                100 * Sched.stealSuccessRate(), Sched.IdleSeconds);
 
   std::printf("\nCoverage by each tool:\n");
   for (const BarRow &Row : Bars) {

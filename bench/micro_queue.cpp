@@ -12,16 +12,35 @@
 /// *Set* and *Bitmap* pairs run the same workload, so their ratio is the
 /// speedup of the dense representation.
 ///
+/// `--sweep` switches to the scheduler contention sweep instead: a mixed
+/// Jobs + speculation campaign grid at 1/2/4/8 workers, run twice per
+/// worker count — once on the unified work-stealing scheduler (one pool
+/// for both layers) and once on the legacy static split (mutex-FIFO
+/// ThreadPool for Jobs, a dedicated per-campaign pool for speculation).
+/// Execs/sec and steal rates go to --json; every parallel configuration
+/// is checked byte-identical against a sequential reference, so the
+/// sweep doubles as an end-to-end determinism gate (exit 1 on any
+/// divergence).
+///
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "core/BranchCoverageMap.h"
+#include "eval/Campaign.h"
 #include "runtime/ExecutionContext.h"
+#include "support/CommandLine.h"
+#include "support/Scheduler.h"
+#include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <set>
+#include <string_view>
 #include <vector>
 
 using namespace pfuzz;
@@ -197,3 +216,202 @@ static void BM_RescoreEpochSkip(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_RescoreEpochSkip);
+
+//===----------------------------------------------------------------------===//
+// Scheduler contention sweep (--sweep)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Deterministic-result equality: everything in a CampaignResult except
+/// timing must match the sequential reference bit for bit.
+bool identicalResults(const CampaignResult &A, const CampaignResult &B) {
+  return A.Report.Executions == B.Report.Executions &&
+         A.TotalExecutions == B.TotalExecutions &&
+         A.Report.ValidInputs == B.Report.ValidInputs &&
+         A.Report.ValidBranches == B.Report.ValidBranches &&
+         A.Report.CoverageTimeline == B.Report.CoverageTimeline &&
+         A.TokensFound == B.TokensFound;
+}
+
+/// Folds per-seed single-run results into one best-run cell result, in
+/// seed order — the same reduction eval/Campaign.cpp performs, repeated
+/// here so the static-split baseline can fan (cell, seed) tasks out over
+/// a plain ThreadPool without touching the unified scheduler.
+CampaignResult foldBest(std::vector<CampaignResult> &Seeds) {
+  CampaignResult Best = std::move(Seeds.front());
+  for (size_t I = 1; I < Seeds.size(); ++I) {
+    CampaignResult &Out = Seeds[I];
+    Best.WallSeconds += Out.WallSeconds;
+    Best.TotalExecutions += Out.TotalExecutions;
+    bool Better =
+        Out.Report.ValidBranches.size() > Best.Report.ValidBranches.size() ||
+        (Out.Report.ValidBranches.size() ==
+             Best.Report.ValidBranches.size() &&
+         Out.TokensFound.size() > Best.TokensFound.size());
+    if (Better) {
+      Best.Report = std::move(Out.Report);
+      Best.TokensFound = std::move(Out.TokensFound);
+    }
+  }
+  return Best;
+}
+
+uint64_t totalExecs(const std::vector<CampaignResult> &Results) {
+  uint64_t Sum = 0;
+  for (const CampaignResult &R : Results)
+    Sum += R.TotalExecutions;
+  return Sum;
+}
+
+int runSweep(int Argc, char **Argv) {
+  CommandLine Cli(Argc, Argv);
+  Cli.getBool("sweep", false); // the mode switch that got us here
+  uint64_t Execs = static_cast<uint64_t>(Cli.getInt("sweep-execs", 2500));
+  int Runs = static_cast<int>(Cli.getInt("sweep-runs", 3));
+  std::string WorkersList = Cli.getString("workers", "1,2,4,8");
+  BenchJsonWriter Json(Cli.getString("json", ""));
+  bool FlagsOk = Cli.ok() && Cli.unqueried().empty();
+  std::vector<unsigned> WorkerGrid;
+  for (const std::string &Tok : splitString(WorkersList, ',')) {
+    int W = std::atoi(Tok.c_str());
+    if (W < 1) {
+      std::fprintf(stderr, "error: bad worker count '%s'\n", Tok.c_str());
+      FlagsOk = false;
+      break;
+    }
+    WorkerGrid.push_back(static_cast<unsigned>(W));
+  }
+  if (!FlagsOk) {
+    for (const std::string &Err : Cli.errors())
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+    std::fprintf(stderr, "usage: micro_queue --sweep [--sweep-execs=N]"
+                         " [--sweep-runs=N] [--workers=LIST]"
+                         " [--json=PATH]\n");
+    return 1;
+  }
+
+  // Mixed load: two pFuzzer cells, every campaign speculating — Jobs,
+  // speculation, and (in the unified mode) their interleavings all hit
+  // the same queues.
+  std::vector<CampaignCell> Cells = {
+      {ToolKind::PFuzzer, &dyckSubject(), Execs},
+      {ToolKind::PFuzzer, &jsonSubject(), Execs},
+  };
+  constexpr uint64_t Seed = 1;
+  constexpr int SpecHint = 2;
+
+  std::printf("== Scheduler contention sweep: unified vs static split ==\n");
+  std::printf("(%zu cells x %d seed runs, %llu execs each, speculation"
+              " hint %d)\n\n",
+              Cells.size(), Runs, static_cast<unsigned long long>(Execs),
+              SpecHint);
+
+  // The sequential reference: Jobs=1, no speculation, no pools. Every
+  // parallel configuration below must reproduce it byte for byte.
+  std::vector<CampaignResult> Ref =
+      runCampaignGrid(Cells, Seed, Runs, /*Jobs=*/1, ToolOptions());
+
+  std::printf("%-9s %8s %9s %11s %7s %7s %6s  %s\n", "mode", "workers",
+              "wall[s]", "execs/s", "tasks", "stolen", "steal%", "reports");
+  bool AllIdentical = true;
+  for (unsigned W : WorkerGrid) {
+    // Unified: one work-stealing pool carries the Jobs layer and every
+    // campaign's speculation, at descending priority.
+    auto T0 = std::chrono::steady_clock::now();
+    SchedulerStats St;
+    std::vector<CampaignResult> Unified;
+    {
+      Scheduler Sched(W);
+      ToolOptions Tools;
+      Tools.Sched = &Sched;
+      Tools.PFuzzerSpeculation = SpecHint;
+      Unified = runCampaignGrid(Cells, Seed, Runs, static_cast<int>(W),
+                                Tools);
+      St = Sched.stats();
+    }
+    double UnifiedWall = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - T0)
+                             .count();
+    bool UnifiedSame = Unified.size() == Ref.size();
+    for (size_t I = 0; UnifiedSame && I != Ref.size(); ++I)
+      UnifiedSame = identicalResults(Ref[I], Unified[I]);
+    AllIdentical &= UnifiedSame;
+    double UnifiedRate =
+        UnifiedWall > 0 ? static_cast<double>(totalExecs(Unified)) /
+                              UnifiedWall
+                        : 0;
+    std::printf("%-9s %8u %9.3f %11.0f %7llu %7llu %5.1f%%  %s\n", "unified",
+                W, UnifiedWall, UnifiedRate,
+                static_cast<unsigned long long>(St.submitted()),
+                static_cast<unsigned long long>(St.Stolen),
+                100 * St.stealSuccessRate(),
+                UnifiedSame ? "identical" : "MISMATCH");
+    Json.add("micro_queue", "sweep-unified/w" + std::to_string(W),
+             UnifiedRate, UnifiedWall, 0, 0, 0,
+             static_cast<double>(St.submitted()), St.stealSuccessRate());
+
+    // Static split: the pre-scheduler world. A mutex-FIFO ThreadPool
+    // fans the (cell, seed) tasks out, and every campaign owns a
+    // dedicated speculation pool — thread counts multiply and idle
+    // speculation workers cannot help other campaigns.
+    T0 = std::chrono::steady_clock::now();
+    size_t NumRuns = static_cast<size_t>(Runs);
+    std::vector<std::vector<CampaignResult>> PerSeed(
+        Cells.size(), std::vector<CampaignResult>(NumRuns));
+    {
+      ThreadPool Pool(W);
+      Pool.parallelFor(0, Cells.size() * NumRuns, [&](size_t Idx) {
+        size_t C = Idx / NumRuns, R = Idx % NumRuns;
+        Scheduler Private(SpecHint); // per-campaign dedicated pool
+        ToolOptions Tools;
+        Tools.Sched = &Private;
+        Tools.PFuzzerSpeculation = SpecHint;
+        PerSeed[C][R] =
+            runCampaign(Cells[C].Tool, *Cells[C].S, Cells[C].Executions,
+                        Seed + R, /*Runs=*/1, /*Jobs=*/1, Tools);
+      });
+    }
+    std::vector<CampaignResult> Static;
+    Static.reserve(Cells.size());
+    for (std::vector<CampaignResult> &Seeds : PerSeed)
+      Static.push_back(foldBest(Seeds));
+    double StaticWall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - T0)
+                            .count();
+    bool StaticSame = Static.size() == Ref.size();
+    for (size_t I = 0; StaticSame && I != Ref.size(); ++I)
+      StaticSame = identicalResults(Ref[I], Static[I]);
+    AllIdentical &= StaticSame;
+    double StaticRate =
+        StaticWall > 0 ? static_cast<double>(totalExecs(Static)) / StaticWall
+                       : 0;
+    std::printf("%-9s %8u %9.3f %11.0f %7s %7s %6s  %s\n", "static", W,
+                StaticWall, StaticRate, "-", "-", "-",
+                StaticSame ? "identical" : "MISMATCH");
+    Json.add("micro_queue", "sweep-static/w" + std::to_string(W), StaticRate,
+             StaticWall, 0, 0, 0, 0, 0);
+  }
+  if (!AllIdentical) {
+    std::fprintf(stderr, "error: a parallel configuration diverged from"
+                         " the sequential reference\n");
+    return 1;
+  }
+  return Json.write() ? 0 : 1;
+}
+
+} // namespace
+
+/// Custom main instead of benchmark_main: `--sweep` runs the scheduler
+/// contention sweep; anything else goes to google-benchmark untouched.
+int main(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::string_view(Argv[I]).rfind("--sweep", 0) == 0)
+      return runSweep(Argc, Argv);
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

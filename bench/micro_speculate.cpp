@@ -21,6 +21,7 @@
 #include "core/PFuzzer.h"
 #include "subjects/Subject.h"
 #include "support/CommandLine.h"
+#include "support/Scheduler.h"
 
 #include <chrono>
 #include <cstdio>
@@ -33,6 +34,7 @@ struct RunOutcome {
   FuzzReport Report;
   SpeculationStats Stats;
   ResumeStats Resume;
+  SchedulerStats Sched;
   double WallSeconds = 0;
 };
 
@@ -47,6 +49,13 @@ RunOutcome runOnce(const Subject &S, uint64_t Execs, uint64_t Seed,
   Options.StatsOut = &Out.Stats;
   Options.ResumeCacheSize = ResumeCache;
   Options.ResumeStatsOut = &Out.Resume;
+  // A private pool pinned to exactly `Workers` threads, so the sweep
+  // measures worker counts instead of whatever Scheduler::global() has.
+  std::unique_ptr<Scheduler> Sched;
+  if (Workers > 0) {
+    Sched = std::make_unique<Scheduler>(Workers);
+    Options.Sched = Sched.get();
+  }
   PFuzzer Tool(Options);
   FuzzerOptions Opts;
   Opts.Seed = Seed;
@@ -56,6 +65,8 @@ RunOutcome runOnce(const Subject &S, uint64_t Execs, uint64_t Seed,
   Out.WallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
+  if (Sched)
+    Out.Sched = Sched->stats();
   return Out;
 }
 
@@ -124,7 +135,9 @@ int main(int Argc, char **Argv) {
       Json.add("micro_speculate",
                std::string(S->name()) + "/w" + std::to_string(Workers),
                Cur.WallSeconds > 0 ? Execs / Cur.WallSeconds : 0,
-               Cur.WallSeconds, Cur.Resume.hitRate());
+               Cur.WallSeconds, Cur.Resume.hitRate(), 0, 0,
+               static_cast<double>(Cur.Sched.submitted()),
+               Cur.Sched.stealSuccessRate());
     }
     std::printf("\n");
   }

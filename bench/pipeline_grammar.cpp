@@ -21,7 +21,7 @@
 #include "mining/MiningPipeline.h"
 #include "support/CommandLine.h"
 #include "support/StringUtils.h"
-#include "support/ThreadPool.h"
+#include "support/Scheduler.h"
 
 #include <cstdio>
 
@@ -60,8 +60,8 @@ int main(int Argc, char **Argv) {
     for (size_t Idx = 0; Idx != 4; ++Idx)
       RunPipeline(Idx);
   } else {
-    ThreadPool Pool(Jobs <= 0 ? 0 : static_cast<unsigned>(Jobs));
-    Pool.parallelFor(0, 4, RunPipeline);
+    Scheduler::global().parallelFor(0, 4, RunPipeline,
+                                    Jobs <= 0 ? 0 : static_cast<size_t>(Jobs));
   }
   for (size_t Idx = 0; Idx != 4; ++Idx) {
     const PipelineResult &R = Results[Idx];

@@ -20,6 +20,7 @@
 #include "eval/TableWriter.h"
 #include "mining/MiningPipeline.h"
 #include "support/CommandLine.h"
+#include "support/Scheduler.h"
 #include "support/StringUtils.h"
 #include "tokens/TokenCoverage.h"
 
@@ -52,6 +53,7 @@ int main(int Argc, char **Argv) {
   // size is a wall-clock knob, never a behavior one.
   Tools.PFuzzerLocality = Cli.getBool("locality", false) ? 64 : 0;
   bool LocalityStatsFlag = Cli.getBool("locality-stats", false);
+  bool SchedStatsFlag = Cli.getBool("sched-stats", false);
   bool Mine = Cli.getBool("mine", false);
   bool Quiet = Cli.getBool("quiet", false);
   if (!Cli.ok() || !Cli.unqueried().empty()) {
@@ -64,8 +66,8 @@ int main(int Argc, char **Argv) {
                  " [--execs=N] [--seed=N] [--runs=N] [--jobs=N]"
                  " [--run-cache=N] [--resume-cache=N] [--resume-stride=N]"
                  " [--resume-rungs=N] [--locality] [--locality-stats]"
-                 " [--speculate=N] [--speculate-depth=N] [--mine]"
-                 " [--quiet]\n"
+                 " [--speculate=N] [--speculate-depth=N] [--sched-stats]"
+                 " [--mine] [--quiet]\n"
                  "subjects: arith dyck ini csv json tinyc mjs\n"
                  "tools: pfuzzer afl klee random\n"
                  "--run-cache: pFuzzer memoized-run LRU entries (0=off;"
@@ -78,9 +80,10 @@ int main(int Argc, char **Argv) {
                  "--locality: pre-execute the equal-score queue front in"
                  " prefix order (identical results on or off)\n"
                  "--locality-stats: print locality-scheduler counters\n"
-                 "--speculate: pFuzzer prefetch workers per campaign"
+                 "--speculate: pFuzzer prefetch hint per campaign"
                  " (0=off, -1=auto; results are identical at any value)\n"
-                 "--speculate-depth: candidates kept in flight (0=auto)\n");
+                 "--speculate-depth: candidates kept in flight (0=auto)\n"
+                 "--sched-stats: print work-stealing scheduler counters\n");
     return 1;
   }
   const Subject *S = findSubject(SubjectName);
@@ -105,6 +108,7 @@ int main(int Argc, char **Argv) {
 
   // A campaign of one or more seeds; --jobs=N runs the seeds in parallel
   // (results are identical for every jobs value — see eval/Campaign.h).
+  SchedulerStats SchedBefore = Scheduler::globalStats();
   CampaignResult Best = runCampaign(Kind, *S, Execs, Seed, Runs, Jobs, Tools);
   const FuzzReport &R = Best.Report;
 
@@ -144,6 +148,23 @@ int main(int Argc, char **Argv) {
                  100 * L.consumeRate(),
                  static_cast<unsigned long long>(L.Recycled),
                  static_cast<unsigned long long>(L.Discarded));
+  }
+  if (SchedStatsFlag) {
+    SchedulerStats D = Scheduler::globalStats().minus(SchedBefore);
+    std::fprintf(stderr,
+                 "scheduler: %llu tasks (%llu jobs, %llu locality,"
+                 " %llu speculation), %llu on workers, %llu inline,"
+                 " %llu stolen, %llu cancelled, steal success %.1f%%,"
+                 " idle %.2fs\n",
+                 static_cast<unsigned long long>(D.submitted()),
+                 static_cast<unsigned long long>(D.Submitted[0]),
+                 static_cast<unsigned long long>(D.Submitted[1]),
+                 static_cast<unsigned long long>(D.Submitted[2]),
+                 static_cast<unsigned long long>(D.executed()),
+                 static_cast<unsigned long long>(D.RanInline),
+                 static_cast<unsigned long long>(D.Stolen),
+                 static_cast<unsigned long long>(D.Cancelled),
+                 100 * D.stealSuccessRate(), D.IdleSeconds);
   }
   std::fprintf(stderr, "coverage timeline (execs -> branch outcomes):\n");
   size_t Step = std::max<size_t>(1, R.CoverageTimeline.size() / 8);

@@ -7,7 +7,7 @@
 #include "core/PFuzzer.h"
 
 #include "support/Rng.h"
-#include "support/ThreadPool.h"
+#include "support/Scheduler.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -237,10 +237,14 @@ private:
 class Speculator;
 
 /// Trie-batched locality scheduler: drains the equal-score front of the
-/// heuristic queue and pre-executes it on the prefix-resumption engine in
-/// radix-trie DFS order, so candidates sharing a warm prefix run
-/// back-to-back while the engine's checkpoints for that prefix are hot
-/// (and each run's own ladder rungs immediately serve its siblings).
+/// heuristic queue and pre-executes it in radix-trie DFS order. With a
+/// prefix-resumption engine the pre-executions run inline through it, so
+/// candidates sharing a warm prefix run back-to-back while the engine's
+/// checkpoints for that prefix are hot (and each run's own ladder rungs
+/// immediately serve its siblings). Without an engine — TSan builds,
+/// non-resume-safe subjects — the DFS-ordered front fans out as cold
+/// executions on the shared work-stealing scheduler at Locality priority
+/// instead, overlapping the sequential loop.
 ///
 /// Determinism discipline: only candidates *tied with the best score* are
 /// pre-executed — the heap would pop them in arbitrary sibling order
@@ -252,9 +256,16 @@ class Speculator;
 /// from a sequential one at any batch size.
 class LocalityBatcher {
 public:
-  LocalityBatcher(RunCache &Cache, PrefixResumeEngine &Engine,
+  /// Exactly one of \p Engine and \p Sched drives the pre-executions:
+  /// engine-inline when a resumption engine exists (its checkpoint reuse
+  /// is the whole point of the DFS order), scheduler fan-out otherwise.
+  LocalityBatcher(RunCache &Cache, const Subject &S,
+                  PrefixResumeEngine *Engine, Scheduler *Sched,
                   uint32_t MaxBatch)
-      : Cache(Cache), Engine(Engine), MaxBatch(MaxBatch) {}
+      : Cache(Cache), S(S), Engine(Engine), Sched(Sched), MaxBatch(MaxBatch) {
+  }
+
+  ~LocalityBatcher() { shutdown(); }
 
   LocalityStats Stats;
 
@@ -272,21 +283,43 @@ public:
   void refill(const std::vector<Candidate> &Queue, const Speculator *Spec);
 
   /// Consumes the pre-executed result of \p Input if held: copies it
-  /// into \p RR and returns true. Stored inputs are verified, so a
-  /// 64-bit hash collision degrades to a miss, never a wrong result.
+  /// into \p RR and returns true. On the scheduler path the execution
+  /// may still be pending or in flight; a pending one is claimed and run
+  /// on this thread (never waited for — waiting on unclaimed work while
+  /// campaigns occupy the shared pool could deadlock it), a running one
+  /// is awaited (bounded: a claimed execution always terminates). Stored
+  /// inputs are verified, so a 64-bit hash collision degrades to a miss,
+  /// never a wrong result.
   bool consume(uint64_t Hash, std::string_view Input, RunResult &RR) {
     auto It = Ready.find(Hash);
     if (It == Ready.end() || It->second->Input != Input)
       return false;
-    RR.assignFrom(It->second->Result);
-    Free.push_back(std::move(It->second));
+    std::unique_ptr<Slot> Sl = std::move(It->second);
     Ready.erase(It);
+    if (Sl->Task.valid() && !Sl->Task.ran() && !Sl->Task.runInline())
+      Sl->Task.wait();
+    if (Sl->Task.valid() && !Sl->Task.ran()) {
+      // Unreachable in practice (only this thread cancels); a defensive
+      // miss beats reading an unwritten result.
+      ++Stats.Discarded;
+      Free.push_back(std::move(Sl));
+      return false;
+    }
+    RR.assignFrom(Sl->Result);
+    Free.push_back(std::move(Sl));
     ++Stats.Consumed;
     return true;
   }
 
   /// Campaign end: counts the leftovers nothing will ever consume.
+  /// Scheduler-path slots are cancelled or awaited first so no worker
+  /// outlives the slot its task writes into.
   void shutdown() {
+    for (auto &KV : Ready) {
+      Slot &Sl = *KV.second;
+      if (Sl.Task.valid() && !Sl.Task.cancel())
+        Sl.Task.wait();
+    }
     Stats.Discarded += Ready.size();
     for (auto &KV : Ready)
       Free.push_back(std::move(KV.second));
@@ -300,12 +333,18 @@ private:
     /// the stalest.
     uint64_t Tick = 0;
     std::string Input;
+    /// Engine path: written inline by refill. Scheduler path: written
+    /// only by the task claimed for this slot, read after ran() (the
+    /// release/acquire edge is the task's Done publication).
     RunResult Result;
+    /// Scheduler path only; invalid on the engine path.
+    TaskHandle Task;
   };
 
-  /// Evicts the stalest held result not re-batched this tick, recycling
-  /// it into the LRU run cache (the warm execution was already paid, and
-  /// front candidates often get popped many iterations later).
+  /// Evicts the stalest held result not re-batched this tick. A completed
+  /// pre-execution is recycled into the LRU run cache (the execution was
+  /// already paid, and front candidates often get popped many iterations
+  /// later); a still-pending scheduler task is cancelled outright.
   bool evictOne() {
     auto Victim = Ready.end();
     for (auto It = Ready.begin(); It != Ready.end(); ++It) {
@@ -316,16 +355,24 @@ private:
     }
     if (Victim == Ready.end())
       return false;
-    Cache.insertForced(Victim->second->Hash, Victim->second->Input,
-                       Victim->second->Result);
-    ++Stats.Recycled;
+    Slot &Sl = *Victim->second;
+    if (Sl.Task.valid() && Sl.Task.cancel()) {
+      ++Stats.Discarded; // never ran; nothing to recycle
+    } else {
+      if (Sl.Task.valid())
+        Sl.Task.wait();
+      Cache.insertForced(Sl.Hash, Sl.Input, Sl.Result);
+      ++Stats.Recycled;
+    }
     Free.push_back(std::move(Victim->second));
     Ready.erase(Victim);
     return true;
   }
 
   RunCache &Cache;
-  PrefixResumeEngine &Engine;
+  const Subject &S;
+  PrefixResumeEngine *Engine;
+  Scheduler *Sched;
   uint32_t MaxBatch;
   uint64_t Tick = 0;
   /// Pre-executed results awaiting their pop, keyed by input hash.
@@ -341,13 +388,15 @@ private:
 };
 
 /// Speculative execution prefetcher: runs the top-ranked queue
-/// candidates on a worker pool while the sequential Algorithm 1 loop
-/// processes the current run. Subject executions are pure functions of
-/// the input (deterministic, no shared mutable state — see the
-/// thread-safety contract in runtime/ExecutionContext.h), so a
-/// prefetched RunResult *is* the result the loop would have produced by
-/// executing the input itself; consuming it instead of re-running the
-/// subject cannot change any report byte.
+/// candidates on the shared work-stealing scheduler (Speculation
+/// priority, the lowest — prefetch never displaces campaigns or locality
+/// batches) while the sequential Algorithm 1 loop processes the current
+/// run. Subject executions are pure functions of the input
+/// (deterministic, no shared mutable state — see the thread-safety
+/// contract in runtime/ExecutionContext.h), so a prefetched RunResult
+/// *is* the result the loop would have produced by executing the input
+/// itself; consuming it instead of re-running the subject cannot change
+/// any report byte.
 ///
 /// Determinism discipline: the sequential thread makes every decision —
 /// which inputs to speculate (refill), which results to consume
@@ -367,11 +416,11 @@ public:
   /// pre-executed; submitting those would be pure waste. Both are
   /// wall-clock levers only: they reorder speculative work, never its
   /// consumption.
-  Speculator(const Subject &S, RunCache &Cache, uint32_t Threads,
-             uint32_t Depth, const PrefixResumeEngine *Warmth,
-             const LocalityBatcher *Batch)
-      : S(S), Cache(Cache), Warmth(Warmth), Batch(Batch),
-        Depth(Depth != 0 ? Depth : 2 * Threads + 2), Pool(Threads) {}
+  Speculator(const Subject &S, RunCache &Cache, Scheduler &Sched,
+             uint32_t Threads, uint32_t Depth,
+             const PrefixResumeEngine *Warmth, const LocalityBatcher *Batch)
+      : S(S), Cache(Cache), Sched(Sched), Warmth(Warmth), Batch(Batch),
+        Depth(Depth != 0 ? Depth : 2 * Threads + 2) {}
 
   ~Speculator() { shutdown(); }
 
@@ -425,9 +474,13 @@ public:
   }
 
   /// Consumes the speculated result of \p Input if one is in flight:
-  /// waits for the worker when necessary, copies the result into \p RR
-  /// and returns true. Stored inputs are verified, so a 64-bit hash
-  /// collision degrades to a miss, never a wrong result.
+  /// a still-pending task is claimed and executed on this thread (never
+  /// waited for — waiting on unclaimed work while campaigns occupy the
+  /// shared pool could deadlock it), a running one is awaited (bounded:
+  /// a claimed execution always terminates), and either way the result
+  /// is copied into \p RR and true returned. Stored inputs are verified,
+  /// so a 64-bit hash collision degrades to a miss, never a wrong
+  /// result.
   bool consume(uint64_t Hash, std::string_view Input, RunResult &RR) {
     ++Stats.Lookups;
     auto It = InFlight.find(Hash);
@@ -436,7 +489,8 @@ public:
     std::unique_ptr<Slot> Sl = std::move(It->second);
     InFlight.erase(It);
     bool Ready = Sl->Task.ran();
-    Sl->Task.wait();
+    if (!Ready && !Sl->Task.runInline())
+      Sl->Task.wait();
     if (!Sl->Task.ran()) {
       // Cancelled shell that had not drained yet: a miss.
       Free.push_back(std::move(Sl));
@@ -476,13 +530,14 @@ private:
     /// refill() tick of last prediction; eviction retires the stalest.
     uint64_t Tick = 0;
     std::string Input;
-    /// Written only by the worker running this slot's task; read by the
-    /// sequential thread after Task.wait() (release/acquire through the
-    /// task's future). Recycled across speculations, so a warm slot
-    /// executes without trace-buffer allocation, like the loop's own
-    /// pooled RunResults.
+    /// Written only by the thread that claimed this slot's task (a
+    /// scheduler worker, or the sequential thread via runInline); read
+    /// by the sequential thread after ran() (release/acquire through
+    /// the task's Done publication). Recycled across speculations, so a
+    /// warm slot executes without trace-buffer allocation, like the
+    /// loop's own pooled RunResults.
     RunResult Result;
-    CancellableTask Task;
+    TaskHandle Task;
   };
 
   void maybeSubmit(const Candidate &C) {
@@ -510,7 +565,7 @@ private:
     Sl->Input = C.Input;
     Slot *Raw = Sl.get();
     const Subject *Subj = &S;
-    Sl->Task = Pool.submitCancellable([Subj, Raw] {
+    Sl->Task = Sched.submit(TaskClass::Speculation, [Subj, Raw] {
       Subj->execute(Raw->Input, InstrumentationMode::Full, Raw->Result);
     });
     ++Stats.Submitted;
@@ -557,6 +612,10 @@ private:
 
   const Subject &S;
   RunCache &Cache;
+  /// The shared pool. Not owned: shutdown() cancels or awaits every
+  /// in-flight task before the slots their lambdas point into are freed,
+  /// so no destruction-order coupling with the scheduler is needed.
+  Scheduler &Sched;
   const PrefixResumeEngine *Warmth;
   const LocalityBatcher *Batch;
   uint32_t Depth;
@@ -568,9 +627,6 @@ private:
   std::vector<std::unique_ptr<Slot>> Free;
   /// Selection scratch for refill().
   std::vector<Pick> Scratch;
-  /// Declared last: destroyed first, so all workers have drained before
-  /// the slots their lambdas point into are freed.
-  ThreadPool Pool;
 };
 
 void LocalityBatcher::refill(const std::vector<Candidate> &Queue,
@@ -636,9 +692,26 @@ void LocalityBatcher::refill(const std::vector<Candidate> &Queue,
     Sl->Hash = C.InputHash;
     Sl->Tick = Tick;
     Sl->Input = C.Input;
-    // The engine's result may live in its pooled slot; copy it out while
-    // the reference is valid (it dies at the next execute).
-    Sl->Result.assignFrom(Engine.execute(Sl->Input, Scratch));
+    if (Engine) {
+      // The engine's result may live in its pooled slot; copy it out
+      // while the reference is valid (it dies at the next execute). The
+      // engine is confined to this sequential thread, so warm execution
+      // stays inline — its minted ladder rungs immediately serve the
+      // next DFS sibling, which is the locality win itself.
+      Sl->Task = TaskHandle();
+      Sl->Result.assignFrom(Engine->execute(Sl->Input, Scratch));
+    } else {
+      // Cold pre-execution on the shared pool, still submitted in DFS
+      // order so workers execute prefix-adjacent inputs back-to-back
+      // (cache locality in the subject itself). The slot outlives the
+      // task: consume/evict/shutdown all cancel-or-await before retiring
+      // it, and a recycled slot's previous task is always terminal.
+      const Subject *Subj = &S;
+      Slot *Raw = Sl.get();
+      Sl->Task = Sched->submit(TaskClass::Locality, [Subj, Raw] {
+        Subj->execute(Raw->Input, InstrumentationMode::Full, Raw->Result);
+      });
+    }
     ++Stats.Batched;
     Ran = true;
     Ready.emplace(Sl->Hash, std::move(Sl));
@@ -666,13 +739,26 @@ public:
           [Subj = &S](ExecutionContext &Ctx) { return Subj->run(Ctx); },
           Config.ResumeCacheSize, Config.ResumeMinLength,
           Config.ResumeStride, Config.ResumeRungs);
-    // The locality batcher pre-executes through the resumption engine;
-    // without one there is nothing to keep warm and it stays off.
-    if (Config.LocalityBatch > 0 && Resume)
-      Batch = std::make_unique<LocalityBatcher>(Cache, *Resume,
-                                                Config.LocalityBatch);
+    // Resolve the shared pool once: an explicit Config.Sched wins
+    // (campaign runners thread theirs through so Jobs and speculation
+    // share workers), otherwise the process-global scheduler — but only
+    // when something will actually submit to it, so plain sequential
+    // campaigns never spin up threads.
+    Scheduler *Sched = Config.Sched;
+    bool WantSched = Config.SpeculationThreads > 0 ||
+                     (Config.LocalityBatch > 0 && !Resume);
+    if (!Sched && WantSched)
+      Sched = &Scheduler::global();
+    // The locality batcher pre-executes through the resumption engine
+    // when one exists (warm, inline, rungs hot for DFS siblings);
+    // without one it fans cold executions out on the scheduler instead.
+    if (Config.LocalityBatch > 0)
+      Batch = std::make_unique<LocalityBatcher>(
+          Cache, S, Resume.get(), Resume ? nullptr : Sched,
+          Config.LocalityBatch);
     if (Config.SpeculationThreads > 0)
-      Spec = std::make_unique<Speculator>(S, Cache, Config.SpeculationThreads,
+      Spec = std::make_unique<Speculator>(S, Cache, *Sched,
+                                          Config.SpeculationThreads,
                                           Config.SpeculationDepth,
                                           Resume.get(), Batch.get());
   }

@@ -23,6 +23,8 @@
 
 namespace pfuzz {
 
+class Scheduler;
+
 /// Diagnostic counters of the speculative prefetcher (see
 /// PFuzzerOptions::SpeculationThreads). Purely observational: none of
 /// these feed back into the search, so they can vary across worker
@@ -107,12 +109,16 @@ struct PFuzzerOptions {
   /// unchanged at any cache size.
   uint32_t RunCacheSize = 64;
 
-  /// Worker threads of the speculative prefetcher; 0 (the default) keeps
-  /// the Algorithm 1 loop single-threaded. With N > 0 workers, the
-  /// campaign executes the top-ranked queue candidates in the background
-  /// while the sequential loop processes the current run; when the loop
-  /// pops an input that was speculated, it consumes the prefetched
-  /// RunResult instead of re-running the subject. All bookkeeping
+  /// Soft parallelism hint of the speculative prefetcher; 0 (the
+  /// default) keeps the Algorithm 1 loop single-threaded. With N > 0,
+  /// the campaign executes the top-ranked queue candidates on the shared
+  /// work-stealing scheduler (see Sched below) while the sequential loop
+  /// processes the current run; when the loop pops an input that was
+  /// speculated, it consumes the prefetched RunResult instead of
+  /// re-running the subject. The value no longer sizes a dedicated pool —
+  /// workers are shared process-wide and flow to whichever campaign has
+  /// runnable work — it only enables the prefetcher and scales its
+  /// default in-flight depth (see SpeculationDepth). All bookkeeping
   /// (budget counting, vBr growth, OnValidInput, rescoring, RNG draws)
   /// stays on the sequential thread and consumes results in pop order,
   /// so FuzzReports are byte-identical at any worker count.
@@ -160,11 +166,14 @@ struct PFuzzerOptions {
   uint32_t ResumeRungs = 3;
 
   /// Maximum equal-score queue-front candidates the locality scheduler
-  /// drains per iteration; 0 (the default) disables it. With N > 0 and
-  /// the resumption engine active, candidates tied with the best score —
-  /// which the heap would otherwise pop in arbitrary sibling order — are
-  /// pre-executed in radix-trie DFS order, so inputs sharing a warm
-  /// prefix run back-to-back while its checkpoint is hot. Only
+  /// drains per iteration; 0 (the default) disables it. With N > 0,
+  /// candidates tied with the best score — which the heap would
+  /// otherwise pop in arbitrary sibling order — are pre-executed in
+  /// radix-trie DFS order. With the resumption engine active they run
+  /// inline through it, so inputs sharing a warm prefix run back-to-back
+  /// while its checkpoint is hot; without an engine (TSan builds,
+  /// non-resume-safe subjects) they fan out as cold executions on the
+  /// shared work-stealing scheduler at Locality priority. Only
   /// score-ties are reordered and their results are consumed in pop
   /// order with identical bookkeeping, so the search trajectory and
   /// FuzzReports stay byte-identical at any batch size.
@@ -177,6 +186,15 @@ struct PFuzzerOptions {
   /// Optional out-param: the locality scheduler's diagnostic counters.
   /// Never part of the report.
   LocalityStats *LocalityStatsOut = nullptr;
+
+  /// Work-stealing scheduler the prefetcher and the locality batcher's
+  /// engine-less pre-executions submit to. Null (the default) lazily
+  /// resolves to the process-global Scheduler::global() when either
+  /// feature is enabled; campaign runners pass their own pool through
+  /// here so seed-level Jobs and per-campaign speculation share one set
+  /// of workers instead of multiplying threads. Purely a placement knob:
+  /// reports are byte-identical for any scheduler and worker count.
+  Scheduler *Sched = nullptr;
 };
 
 /// The parser-directed fuzzer.

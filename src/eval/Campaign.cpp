@@ -10,28 +10,39 @@
 #include "baselines/KleeFuzzer.h"
 #include "baselines/RandomFuzzer.h"
 #include "core/PFuzzer.h"
-#include "support/ThreadPool.h"
+#include "support/Scheduler.h"
 
 #include <chrono>
 
 using namespace pfuzz;
 
-unsigned pfuzz::arbitrateSpeculation(int Requested, size_t Workers) {
+SpeculationHint pfuzz::arbitrateSpeculation(int Requested, size_t Workers,
+                                            unsigned Hardware) {
+  SpeculationHint Hint;
   if (Requested == 0)
-    return 0;
-  size_t HW = ThreadPool::hardwareThreads();
+    return Hint;
+  size_t HW = Hardware != 0 ? Hardware : Scheduler::hardwareThreads();
   if (Workers < 1)
     Workers = 1;
-  if (Requested < 0) // auto: leftover cores, divided evenly
-    return HW > Workers ? static_cast<unsigned>((HW - Workers) / Workers) : 0;
+  if (Requested < 0) { // auto: leftover cores, divided evenly
+    Hint.Threads =
+        HW > Workers ? static_cast<unsigned>((HW - Workers) / Workers) : 0;
+    return Hint;
+  }
   unsigned Req = static_cast<unsigned>(Requested);
-  if (Workers <= 1)
-    return Req;
-  // Explicit request under a parallel seed fan-out: cap at the fair
+  if (Workers <= 1) {
+    Hint.Threads = Req;
+    return Hint;
+  }
+  // Explicit request under a parallel seed fan-out: soften to the fair
   // share (floor 1 so the speculation machinery stays engaged even on
   // small machines — determinism never depends on the worker count).
-  return std::min<unsigned>(
-      Req, static_cast<unsigned>(std::max<size_t>(1, HW / Workers)));
+  // Merely a hint bounding in-flight prefetch depth: the shared pool
+  // lets any idle worker steal any campaign's speculation regardless.
+  unsigned Fair = static_cast<unsigned>(std::max<size_t>(1, HW / Workers));
+  Hint.Threads = std::min(Req, Fair);
+  Hint.Capped = Hint.Threads < Req;
+  return Hint;
 }
 
 std::unique_ptr<Fuzzer> pfuzz::makeFuzzer(ToolKind Kind,
@@ -42,9 +53,10 @@ std::unique_ptr<Fuzzer> pfuzz::makeFuzzer(ToolKind Kind,
     Options.RunCacheSize = Tools.PFuzzerRunCache;
     // Direct construction counts as one lone campaign; the campaign
     // runners pre-arbitrate and pass a resolved (>= 0) value instead.
-    Options.SpeculationThreads = arbitrateSpeculation(Tools.PFuzzerSpeculation,
-                                                      /*Workers=*/1);
+    Options.SpeculationThreads =
+        arbitrateSpeculation(Tools.PFuzzerSpeculation, /*Workers=*/1).Threads;
     Options.SpeculationDepth = Tools.PFuzzerSpeculationDepth;
+    Options.Sched = Tools.Sched;
     Options.ResumeCacheSize = Tools.PFuzzerResumeCache;
     Options.ResumeStride = Tools.PFuzzerResumeStride;
     Options.ResumeRungs = Tools.PFuzzerResumeRungs;
@@ -175,6 +187,21 @@ CampaignResult reduceCell(ToolKind Kind, const Subject &S,
   return Best;
 }
 
+/// Resolves the caller's ToolOptions for seed runs fanned out on
+/// \p Sched with \p Campaigns of them executing concurrently: arbitrates
+/// the speculation request down to a per-campaign hint and pins the
+/// scheduler, so every fuzzer the runners create shares the one pool.
+/// The single place the Jobs layer and the speculation layer meet —
+/// keep the policy here, not at the call sites.
+ToolOptions resolveSeedTools(const ToolOptions &Tools, size_t Campaigns,
+                             Scheduler *Sched) {
+  ToolOptions Seed = Tools;
+  Seed.PFuzzerSpeculation = static_cast<int>(
+      arbitrateSpeculation(Tools.PFuzzerSpeculation, Campaigns).Threads);
+  Seed.Sched = Sched;
+  return Seed;
+}
+
 } // namespace
 
 CampaignResult pfuzz::runCampaign(ToolKind Kind, const Subject &S,
@@ -182,26 +209,29 @@ CampaignResult pfuzz::runCampaign(ToolKind Kind, const Subject &S,
                                   int Runs, int Jobs,
                                   const ToolOptions &Tools) {
   std::vector<SeedRunOutcome> Outcomes(std::max(Runs, 0));
-  // Resolve the speculation request against the number of seed runs that
-  // will actually execute concurrently, so the Jobs layer and the
-  // per-campaign prefetcher share the machine instead of multiplying.
-  ToolOptions SeedTools = Tools;
   if (Jobs == 1 || Runs <= 1) {
-    SeedTools.PFuzzerSpeculation =
-        static_cast<int>(arbitrateSpeculation(Tools.PFuzzerSpeculation, 1));
-    // Inline fast path: no pool, no thread handoff.
+    // Inline fast path: no pool handoff for the seed layer (speculation
+    // may still engage the scheduler from within the campaign).
+    ToolOptions SeedTools = resolveSeedTools(Tools, 1, Tools.Sched);
     for (int RunIdx = 0; RunIdx < Runs; ++RunIdx)
       Outcomes[RunIdx] =
           runOneSeed(Kind, S, Executions, Seed + static_cast<uint64_t>(RunIdx),
                      SeedTools);
   } else {
-    ThreadPool Pool(Jobs <= 0 ? 0 : static_cast<unsigned>(Jobs));
-    SeedTools.PFuzzerSpeculation = static_cast<int>(arbitrateSpeculation(
-        Tools.PFuzzerSpeculation, std::min(Pool.size(), Outcomes.size())));
-    Pool.parallelFor(0, Outcomes.size(), [&](size_t RunIdx) {
-      Outcomes[RunIdx] =
-          runOneSeed(Kind, S, Executions, Seed + RunIdx, SeedTools);
-    });
+    Scheduler &Sch = Tools.Sched ? *Tools.Sched : Scheduler::global();
+    size_t Cap = Jobs <= 0 ? static_cast<size_t>(Sch.size())
+                           : static_cast<size_t>(Jobs);
+    ToolOptions SeedTools = resolveSeedTools(
+        Tools,
+        std::min({static_cast<size_t>(Sch.size()), Cap, Outcomes.size()}),
+        &Sch);
+    Sch.parallelFor(
+        0, Outcomes.size(),
+        [&](size_t RunIdx) {
+          Outcomes[RunIdx] =
+              runOneSeed(Kind, S, Executions, Seed + RunIdx, SeedTools);
+        },
+        Jobs <= 0 ? 0 : static_cast<size_t>(Jobs), TaskClass::Jobs);
   }
   return reduceCell(Kind, S, Outcomes);
 }
@@ -213,11 +243,11 @@ pfuzz::runCampaignGrid(const std::vector<CampaignCell> &Cells, uint64_t Seed,
   std::vector<std::vector<SeedRunOutcome>> Outcomes(Cells.size());
   for (std::vector<SeedRunOutcome> &Cell : Outcomes)
     Cell.resize(NumRuns);
-  // One flat (cell, seed) task list over one pool: a slow cell (AFL's
-  // 10x budget) overlaps with every other cell instead of serialising
-  // the grid.
+  // One flat (cell, seed) task list over the shared pool: a slow cell
+  // (AFL's 10x budget) overlaps with every other cell instead of
+  // serialising the grid.
   size_t Total = Cells.size() * NumRuns;
-  ToolOptions SeedTools = Tools;
+  ToolOptions SeedTools;
   auto RunTask = [&](size_t TaskIdx) {
     size_t CellIdx = TaskIdx / NumRuns;
     size_t RunIdx = TaskIdx % NumRuns;
@@ -227,15 +257,18 @@ pfuzz::runCampaignGrid(const std::vector<CampaignCell> &Cells, uint64_t Seed,
                                            SeedTools);
   };
   if (Jobs == 1 || Total <= 1) {
-    SeedTools.PFuzzerSpeculation =
-        static_cast<int>(arbitrateSpeculation(Tools.PFuzzerSpeculation, 1));
+    SeedTools = resolveSeedTools(Tools, 1, Tools.Sched);
     for (size_t TaskIdx = 0; TaskIdx != Total; ++TaskIdx)
       RunTask(TaskIdx);
   } else {
-    ThreadPool Pool(Jobs <= 0 ? 0 : static_cast<unsigned>(Jobs));
-    SeedTools.PFuzzerSpeculation = static_cast<int>(arbitrateSpeculation(
-        Tools.PFuzzerSpeculation, std::min(Pool.size(), Total)));
-    Pool.parallelFor(0, Total, RunTask);
+    Scheduler &Sch = Tools.Sched ? *Tools.Sched : Scheduler::global();
+    size_t Cap = Jobs <= 0 ? static_cast<size_t>(Sch.size())
+                           : static_cast<size_t>(Jobs);
+    SeedTools = resolveSeedTools(
+        Tools, std::min({static_cast<size_t>(Sch.size()), Cap, Total}), &Sch);
+    Sch.parallelFor(0, Total, RunTask,
+                    Jobs <= 0 ? 0 : static_cast<size_t>(Jobs),
+                    TaskClass::Jobs);
   }
   std::vector<CampaignResult> Results;
   Results.reserve(Cells.size());

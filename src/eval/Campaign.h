@@ -13,10 +13,14 @@
 ///
 /// The evaluation is embarrassingly parallel: every (tool, subject, seed)
 /// run owns its fuzzer, Rng and TokenCoverage and shares nothing mutable,
-/// so runCampaign fans the seeds out over a thread pool and
-/// runCampaignGrid fans out whole tool x subject cells. Results are
-/// reduced in seed order, never completion order, so any Jobs value
-/// produces results identical to Jobs=1.
+/// so runCampaign fans the seeds out over the shared work-stealing
+/// scheduler (support/Scheduler.h) and runCampaignGrid fans out whole
+/// tool x subject cells. Seed-level Jobs, per-campaign speculation, and
+/// locality pre-execution all draw from the same worker pool at
+/// descending priorities, so the process never oversubscribes the
+/// machine with Jobs x SpeculationThreads threads. Results are reduced
+/// in seed order, never completion order, so any Jobs value produces
+/// results identical to Jobs=1.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -49,15 +53,16 @@ struct ToolOptions {
   /// LRU capacity, 0 disables. Reports are byte-identical at any value.
   uint32_t PFuzzerRunCache = 64;
 
-  /// Speculative-prefetch workers per pFuzzer campaign
+  /// Speculative-prefetch parallelism hint per pFuzzer campaign
   /// (PFuzzerOptions::SpeculationThreads). 0 (default) disables
-  /// speculation; N > 0 requests N workers per campaign; -1 means auto —
-  /// divide the hardware threads left over by the Jobs layer among the
-  /// concurrently running campaigns. Explicit requests are honored for a
-  /// lone campaign and capped at the per-campaign fair share when
-  /// several seed runs execute concurrently (see arbitrateSpeculation),
-  /// so the two parallelism layers cannot multiply into Jobs x N
-  /// threads. Reports are byte-identical at any value.
+  /// speculation; N > 0 requests depth-N prefetch per campaign; -1 means
+  /// auto — divide the hardware threads left over by the Jobs layer
+  /// among the concurrently running campaigns. Since every campaign
+  /// submits to one shared work-stealing scheduler, this no longer sizes
+  /// a dedicated pool; arbitration (see arbitrateSpeculation) merely
+  /// scales each campaign's in-flight prefetch depth so mispredicted
+  /// speculative work stays proportionate to the cores actually
+  /// available. Reports are byte-identical at any value.
   int PFuzzerSpeculation = 0;
 
   /// PFuzzerOptions::SpeculationDepth (0 = auto).
@@ -92,17 +97,41 @@ struct ToolOptions {
   /// Like PFuzzerResumeStatsOut, for the locality scheduler's counters
   /// (aggregated into CampaignResult::Locality).
   LocalityStats *PFuzzerLocalityStatsOut = nullptr;
+
+  /// Work-stealing scheduler the campaign runners fan seed runs out on
+  /// and thread through to every fuzzer they create
+  /// (PFuzzerOptions::Sched). Null (the default) uses the process-global
+  /// Scheduler::global(). Benches pass a private pool here to measure a
+  /// specific worker count without touching global state. Purely a
+  /// placement knob: reports are byte-identical for any scheduler.
+  Scheduler *Sched = nullptr;
 };
 
-/// Arbitrates cores between the seed-level Jobs layer and per-campaign
-/// speculation: returns the effective SpeculationThreads for one pFuzzer
-/// campaign when \p Workers campaigns run concurrently. \p Requested < 0
-/// (auto) yields the leftover hardware threads divided among the
-/// workers — zero on a saturated machine. An explicit request is honored
-/// as-is when Workers <= 1 and otherwise capped at max(1, hardware /
-/// Workers). Speculation is behavior-invariant, so arbitration affects
-/// wall-clock only, never reports.
-unsigned arbitrateSpeculation(int Requested, size_t Workers);
+/// What arbitrateSpeculation decided for one campaign.
+struct SpeculationHint {
+  /// Effective PFuzzerOptions::SpeculationThreads: a soft prefetch-depth
+  /// hint on the shared scheduler, not a thread count (no pool is sized
+  /// from it). 0 disables speculation for the campaign.
+  unsigned Threads = 0;
+  /// True when an explicit request was reduced to the per-campaign fair
+  /// share because several campaigns run concurrently.
+  bool Capped = false;
+};
+
+/// Arbitrates the speculation hint between the seed-level Jobs layer and
+/// per-campaign prefetching: returns the effective hint for one pFuzzer
+/// campaign when \p Workers campaigns run concurrently on \p Hardware
+/// cores (0 = ask the scheduler). \p Requested < 0 (auto) yields the
+/// leftover hardware threads divided among the workers — zero on a
+/// saturated machine. An explicit request is honored as-is when
+/// Workers <= 1 and otherwise capped at max(1, Hardware / Workers), with
+/// Capped set when that reduced it. Since all work shares one
+/// work-stealing pool, this is a soft hint bounding wasted speculative
+/// executions, not a hard core partition — an idle worker always steals
+/// whatever is runnable. Speculation is behavior-invariant, so
+/// arbitration affects wall-clock only, never reports.
+SpeculationHint arbitrateSpeculation(int Requested, size_t Workers,
+                                     unsigned Hardware = 0);
 
 /// Creates a fresh fuzzer instance for \p Kind.
 std::unique_ptr<Fuzzer> makeFuzzer(ToolKind Kind,
@@ -172,9 +201,10 @@ struct CampaignResult {
 /// \p Executions budget, and returns the run with the highest valid-input
 /// branch coverage (ties: most tokens).
 ///
-/// \p Jobs caps the worker threads used to run seeds concurrently: 1 (the
-/// default) runs inline on the calling thread, 0 means all hardware
-/// threads. Each seed's run is fully self-contained, and the best run is
+/// \p Jobs caps how many seed runs execute concurrently on the shared
+/// scheduler (Tools.Sched, or Scheduler::global()): 1 (the default) runs
+/// inline on the calling thread, 0 means no cap beyond the pool's worker
+/// count. Each seed's run is fully self-contained, and the best run is
 /// selected by reducing in seed order, so every Jobs value returns a
 /// result identical to Jobs=1.
 CampaignResult runCampaign(ToolKind Kind, const Subject &S,
@@ -189,10 +219,11 @@ struct CampaignCell {
 };
 
 /// Runs every cell of \p Cells for \p Runs seeds each, fanning all
-/// (cell, seed) tasks out over one pool of \p Jobs workers (0 = all
-/// hardware threads, the default). Returns one best-run result per cell,
-/// in the order of \p Cells; like runCampaign, the reduction is
-/// deterministic in seed order regardless of Jobs.
+/// (cell, seed) tasks out over the shared scheduler with at most \p Jobs
+/// running concurrently (0 = no cap beyond the pool's worker count, the
+/// default). Returns one best-run result per cell, in the order of
+/// \p Cells; like runCampaign, the reduction is deterministic in seed
+/// order regardless of Jobs.
 std::vector<CampaignResult>
 runCampaignGrid(const std::vector<CampaignCell> &Cells, uint64_t Seed,
                 int Runs, int Jobs = 0, const ToolOptions &Tools = {});

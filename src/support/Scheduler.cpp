@@ -1,0 +1,493 @@
+//===- support/Scheduler.cpp - Work-stealing task scheduler ---------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Scheduler.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+using namespace pfuzz;
+
+namespace pfuzz {
+namespace sched_detail {
+
+/// One scheduled task. Lifetime is refcounted: one reference held by the
+/// queue slot (released when the shell drains), one by the caller's
+/// TaskHandle (and its copies). Every cross-thread byte of this struct is
+/// published through the Phase word: the claimer's successful CAS
+/// acquires what the submitter released, and the Done store releases Fn's
+/// results (whatever the body wrote) to whoever observes Done.
+struct TaskNode {
+  enum : int { Pending = 0, Running = 1, Done = 2, Cancelled = 3 };
+
+  TaskNode(std::function<void()> Fn, TaskClass Class, Scheduler *Sched)
+      : Fn(std::move(Fn)), Class(Class), Sched(Sched) {}
+
+  std::function<void()> Fn;
+  const TaskClass Class;
+  Scheduler *const Sched;
+  std::atomic<int> Phase{Pending};
+  /// Written by the executing thread before the Done release store; read
+  /// by waiters after an acquire load observed Done.
+  std::exception_ptr Error;
+  std::atomic<int> Refs{2};
+  /// Terminal-state waiting. The Phase word stays the lock-free
+  /// arbitration point; the mutex/condvar only park waiters (short
+  /// speculative tasks are awaited rarely, Jobs slots for seconds — a
+  /// spin wait would burn a core either way).
+  std::mutex WaitMutex;
+  std::condition_variable WaitCv;
+
+  void retain() { Refs.fetch_add(1, std::memory_order_relaxed); }
+  void release() {
+    if (Refs.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      delete this;
+  }
+
+  bool terminal() const {
+    int P = Phase.load(std::memory_order_acquire);
+    return P == Done || P == Cancelled;
+  }
+
+  /// Publishes a terminal phase and wakes waiters. The empty critical
+  /// section serializes against a waiter that checked the phase under the
+  /// mutex but has not entered the condvar wait yet.
+  void publishTerminal(int P) {
+    Phase.store(P, std::memory_order_release);
+    { std::lock_guard<std::mutex> G(WaitMutex); }
+    WaitCv.notify_all();
+  }
+};
+
+/// Per-worker state. Lives in Impl::Workers; a thread-local pointer marks
+/// the current thread as a worker so submissions land in its own deque.
+struct WorkerState {
+  WorkStealingDeque<TaskNode> Deque;
+  std::thread Thread;
+  /// xorshift state for randomized victim selection.
+  uint64_t StealSeed = 0;
+  std::atomic<uint64_t> IdleNanos{0};
+};
+
+} // namespace sched_detail
+} // namespace pfuzz
+
+using sched_detail::TaskNode;
+using sched_detail::WorkerState;
+
+namespace {
+
+thread_local WorkerState *CurWorker = nullptr;
+thread_local Scheduler *CurOwner = nullptr;
+
+uint64_t xorshift(uint64_t &State) {
+  State ^= State << 13;
+  State ^= State >> 7;
+  State ^= State << 17;
+  return State;
+}
+
+} // namespace
+
+struct Scheduler::Impl {
+  explicit Impl(Scheduler &Self) : Self(Self) {}
+
+  Scheduler &Self;
+  std::vector<std::unique_ptr<WorkerState>> Workers;
+
+  /// Per-class injector queue for submissions from non-worker threads.
+  /// A mutex-guarded FIFO is fine here: the lock-free requirement is on
+  /// the owner path (worker self-submissions, which bypass this).
+  struct InjectorQueue {
+    std::mutex M;
+    std::deque<TaskNode *> Q;
+    /// Approximate size, checked before taking the mutex so empty-queue
+    /// scans stay uncontended.
+    std::atomic<size_t> Size{0};
+  };
+  InjectorQueue Injector[NumTaskClasses];
+
+  /// Unclaimed tasks per class (submitted minus claimed/cancelled).
+  std::atomic<int64_t> ClassDepth[NumTaskClasses] = {};
+  /// Sum over classes; the sleep predicate. seq_cst on this counter and
+  /// on Sleepers pairs submitter and sleeper so a wakeup is never missed.
+  std::atomic<int64_t> PendingHint{0};
+
+  std::mutex SleepMutex;
+  std::condition_variable WorkAvailable;
+  std::atomic<unsigned> Sleepers{0};
+  std::atomic<bool> Stopping{false};
+
+  // Cumulative counters (relaxed: totals, not synchronization).
+  std::atomic<uint64_t> CtrSubmitted[NumTaskClasses] = {};
+  std::atomic<uint64_t> CtrExecuted[NumTaskClasses] = {};
+  std::atomic<uint64_t> CtrRanInline{0};
+  std::atomic<uint64_t> CtrStolen{0};
+  std::atomic<uint64_t> CtrCancelled{0};
+  std::atomic<uint64_t> CtrStealAttempts{0};
+  std::atomic<uint64_t> CtrStealHits{0};
+
+  /// A task left Pending state under this thread's control: balance the
+  /// depth counters. Exactly one of claim/cancel ever gets here per task.
+  void noteClaimed(const TaskNode &N) {
+    ClassDepth[unsigned(N.Class)].fetch_sub(1, std::memory_order_relaxed);
+    PendingHint.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  /// Executes a claimed task's body, records its exception, publishes
+  /// Done. Runs on whichever thread won the claim CAS.
+  void runBody(TaskNode &N) {
+    try {
+      N.Fn();
+    } catch (...) {
+      N.Error = std::current_exception();
+    }
+    N.Fn = nullptr; // drop captured state before waiters resume
+    N.publishTerminal(TaskNode::Done);
+  }
+
+  /// Worker-side execution: claim (losing means a cancel won — the shell
+  /// drains here, in O(1)), run, account.
+  void runOnWorker(TaskNode *N, bool Stolen) {
+    int Expected = TaskNode::Pending;
+    if (!N->Phase.compare_exchange_strong(Expected, TaskNode::Running,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+      N->release();
+      return;
+    }
+    noteClaimed(*N);
+    if (Stolen)
+      CtrStolen.fetch_add(1, std::memory_order_relaxed);
+    // Count at claim time, before Done is published: a thread that
+    // waited for this task and then snapshots stats() must already see
+    // it accounted (executed + inline + cancelled == submitted holds
+    // whenever all submitted tasks are terminal).
+    CtrExecuted[unsigned(N->Class)].fetch_add(1, std::memory_order_relaxed);
+    runBody(*N);
+    N->release();
+  }
+
+  TaskNode *popInjector(TaskClass C) {
+    InjectorQueue &Q = Injector[unsigned(C)];
+    if (Q.Size.load(std::memory_order_acquire) == 0)
+      return nullptr;
+    std::lock_guard<std::mutex> G(Q.M);
+    if (Q.Q.empty())
+      return nullptr;
+    TaskNode *N = Q.Q.front();
+    Q.Q.pop_front();
+    Q.Size.store(Q.Q.size(), std::memory_order_release);
+    return N;
+  }
+
+  /// One scheduling decision: injector Jobs first (campaigns must never
+  /// starve behind speculation), then the worker's own deque (hot,
+  /// lock-free), then the remaining injector classes by priority, then a
+  /// randomized pass over the other workers' deques.
+  TaskNode *findTask(WorkerState &W, bool &Stolen) {
+    Stolen = false;
+    if (TaskNode *N = popInjector(TaskClass::Jobs))
+      return N;
+    if (TaskNode *N = W.Deque.pop())
+      return N;
+    if (TaskNode *N = popInjector(TaskClass::Locality))
+      return N;
+    if (TaskNode *N = popInjector(TaskClass::Speculation))
+      return N;
+    size_t NumW = Workers.size();
+    if (NumW > 1) {
+      size_t Start = size_t(xorshift(W.StealSeed) % NumW);
+      for (size_t I = 0; I != NumW; ++I) {
+        WorkerState *Victim = Workers[(Start + I) % NumW].get();
+        if (Victim == &W)
+          continue;
+        CtrStealAttempts.fetch_add(1, std::memory_order_relaxed);
+        if (TaskNode *N = Victim->Deque.steal()) {
+          CtrStealHits.fetch_add(1, std::memory_order_relaxed);
+          Stolen = true;
+          return N;
+        }
+      }
+    }
+    return nullptr;
+  }
+
+  void signalWork() {
+    if (Sleepers.load(std::memory_order_seq_cst) == 0)
+      return;
+    // The empty critical section pairs with the sleeper's predicate
+    // check under SleepMutex, so the notify cannot slip between a false
+    // predicate and the wait.
+    { std::lock_guard<std::mutex> G(SleepMutex); }
+    WorkAvailable.notify_one();
+  }
+
+  void workerLoop(WorkerState &W) {
+    CurWorker = &W;
+    CurOwner = &Self;
+    for (;;) {
+      bool Stolen = false;
+      if (TaskNode *N = findTask(W, Stolen)) {
+        runOnWorker(N, Stolen);
+        continue;
+      }
+      std::unique_lock<std::mutex> L(SleepMutex);
+      Sleepers.fetch_add(1, std::memory_order_seq_cst);
+      auto T0 = std::chrono::steady_clock::now();
+      WorkAvailable.wait(L, [this] {
+        return Stopping.load(std::memory_order_relaxed) ||
+               PendingHint.load(std::memory_order_seq_cst) > 0;
+      });
+      W.IdleNanos.fetch_add(
+          uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count()),
+          std::memory_order_relaxed);
+      Sleepers.fetch_sub(1, std::memory_order_seq_cst);
+      // Exit only when stopping *and* nothing is left unclaimed; a task
+      // still pending anywhere keeps every worker alive, so submitted
+      // work is guaranteed to drain before destruction completes.
+      bool Exit = Stopping.load(std::memory_order_relaxed) &&
+                  PendingHint.load(std::memory_order_seq_cst) <= 0;
+      L.unlock();
+      if (Exit)
+        return;
+    }
+  }
+};
+
+unsigned Scheduler::hardwareThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+Scheduler::Scheduler(unsigned Workers) : I(std::make_unique<Impl>(*this)) {
+  if (Workers == 0)
+    Workers = hardwareThreads();
+  I->Workers.reserve(Workers);
+  for (unsigned W = 0; W != Workers; ++W) {
+    auto State = std::make_unique<WorkerState>();
+    // Distinct nonzero xorshift seeds; the constant is splitmix64's.
+    State->StealSeed = 0x9E3779B97F4A7C15ULL * (W + 1);
+    I->Workers.push_back(std::move(State));
+  }
+  for (auto &W : I->Workers)
+    W->Thread = std::thread([this, Raw = W.get()] { I->workerLoop(*Raw); });
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> G(I->SleepMutex);
+    I->Stopping.store(true, std::memory_order_seq_cst);
+  }
+  I->WorkAvailable.notify_all();
+  for (auto &W : I->Workers)
+    W->Thread.join();
+  // Workers only exit once nothing is unclaimed, so what remains in the
+  // queues are drained-less shells: cancelled or inline-claimed tasks.
+  // Release their queue references.
+  for (auto &W : I->Workers)
+    while (TaskNode *N = W->Deque.pop())
+      N->release();
+  for (auto &Q : I->Injector)
+    for (TaskNode *N : Q.Q)
+      N->release();
+}
+
+size_t Scheduler::size() const { return I->Workers.size(); }
+
+TaskHandle Scheduler::submit(TaskClass Class, std::function<void()> Fn) {
+  auto *N = new TaskNode(std::move(Fn), Class, this);
+  unsigned C = unsigned(Class);
+  I->CtrSubmitted[C].fetch_add(1, std::memory_order_relaxed);
+  I->ClassDepth[C].fetch_add(1, std::memory_order_relaxed);
+  I->PendingHint.fetch_add(1, std::memory_order_seq_cst);
+  if (CurOwner == this && CurWorker != nullptr) {
+    CurWorker->Deque.push(N);
+  } else {
+    Impl::InjectorQueue &Q = I->Injector[C];
+    std::lock_guard<std::mutex> G(Q.M);
+    Q.Q.push_back(N);
+    Q.Size.store(Q.Q.size(), std::memory_order_release);
+  }
+  I->signalWork();
+  return TaskHandle(N);
+}
+
+bool Scheduler::cancelTask(TaskNode &N) {
+  int Expected = TaskNode::Pending;
+  if (!N.Phase.compare_exchange_strong(Expected, TaskNode::Cancelled,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire))
+    return false;
+  I->noteClaimed(N);
+  I->CtrCancelled.fetch_add(1, std::memory_order_relaxed);
+  // No notify-through-store here: publishTerminal needs the phase store
+  // *before* the wake, and the CAS above already stored it.
+  { std::lock_guard<std::mutex> G(N.WaitMutex); }
+  N.WaitCv.notify_all();
+  return true;
+}
+
+bool Scheduler::inlineTask(TaskNode &N) {
+  int Expected = TaskNode::Pending;
+  if (!N.Phase.compare_exchange_strong(Expected, TaskNode::Running,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire))
+    return false;
+  I->noteClaimed(N);
+  I->CtrRanInline.fetch_add(1, std::memory_order_relaxed);
+  I->runBody(N);
+  return true;
+}
+
+void Scheduler::parallelFor(size_t Begin, size_t End,
+                            const std::function<void(size_t)> &Fn,
+                            size_t MaxConcurrency, TaskClass Class) {
+  if (Begin >= End)
+    return;
+  size_t N = End - Begin;
+  size_t Slots = I->Workers.size();
+  if (MaxConcurrency != 0)
+    Slots = std::min(Slots, MaxConcurrency);
+  Slots = std::min(Slots, N);
+  if (Slots < 1)
+    Slots = 1;
+  // Slot tasks pull indices from a shared counter: min(size, cap) slots
+  // bound the concurrency while any free worker can pick up any slot —
+  // no per-index task flood, no static index partition to go idle early.
+  std::atomic<size_t> Next{Begin};
+  std::vector<std::exception_ptr> Errors(N);
+  std::vector<TaskHandle> Handles;
+  Handles.reserve(Slots);
+  for (size_t S = 0; S != Slots; ++S)
+    Handles.push_back(submit(Class, [&Fn, &Next, &Errors, Begin, End] {
+      for (;;) {
+        size_t Idx = Next.fetch_add(1, std::memory_order_relaxed);
+        if (Idx >= End)
+          return;
+        try {
+          Fn(Idx);
+        } catch (...) {
+          Errors[Idx - Begin] = std::current_exception();
+        }
+      }
+    }));
+  // Wait for everything first so all iterations complete even when an
+  // early one threw; then surface the first exception in index order.
+  for (TaskHandle &H : Handles)
+    H.wait();
+  for (std::exception_ptr &E : Errors)
+    if (E)
+      std::rethrow_exception(E);
+}
+
+SchedulerStats Scheduler::stats() const {
+  SchedulerStats S;
+  for (unsigned C = 0; C != NumTaskClasses; ++C) {
+    S.Submitted[C] = I->CtrSubmitted[C].load(std::memory_order_relaxed);
+    S.Executed[C] = I->CtrExecuted[C].load(std::memory_order_relaxed);
+    int64_t Depth = I->ClassDepth[C].load(std::memory_order_relaxed);
+    S.QueueDepth[C] = Depth > 0 ? uint64_t(Depth) : 0;
+  }
+  S.RanInline = I->CtrRanInline.load(std::memory_order_relaxed);
+  S.Stolen = I->CtrStolen.load(std::memory_order_relaxed);
+  S.Cancelled = I->CtrCancelled.load(std::memory_order_relaxed);
+  S.StealAttempts = I->CtrStealAttempts.load(std::memory_order_relaxed);
+  S.StealHits = I->CtrStealHits.load(std::memory_order_relaxed);
+  uint64_t IdleNanos = 0;
+  for (const auto &W : I->Workers)
+    IdleNanos += W->IdleNanos.load(std::memory_order_relaxed);
+  S.IdleSeconds = double(IdleNanos) / 1e9;
+  return S;
+}
+
+namespace {
+std::atomic<bool> GlobalStarted{false};
+} // namespace
+
+Scheduler &Scheduler::global() {
+  static Scheduler S(0);
+  GlobalStarted.store(true, std::memory_order_release);
+  return S;
+}
+
+SchedulerStats Scheduler::globalStats() {
+  if (!GlobalStarted.load(std::memory_order_acquire))
+    return SchedulerStats();
+  return global().stats();
+}
+
+TaskHandle::~TaskHandle() {
+  if (Node)
+    Node->release();
+}
+
+TaskHandle::TaskHandle(const TaskHandle &Other) : Node(Other.Node) {
+  if (Node)
+    Node->retain();
+}
+
+TaskHandle &TaskHandle::operator=(const TaskHandle &Other) {
+  if (this == &Other)
+    return *this;
+  if (Other.Node)
+    Other.Node->retain();
+  if (Node)
+    Node->release();
+  Node = Other.Node;
+  return *this;
+}
+
+TaskHandle::TaskHandle(TaskHandle &&Other) noexcept : Node(Other.Node) {
+  Other.Node = nullptr;
+}
+
+TaskHandle &TaskHandle::operator=(TaskHandle &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  if (Node)
+    Node->release();
+  Node = Other.Node;
+  Other.Node = nullptr;
+  return *this;
+}
+
+bool TaskHandle::cancel() {
+  if (!Node)
+    return false;
+  return Node->Sched->cancelTask(*Node);
+}
+
+bool TaskHandle::runInline() {
+  if (!Node)
+    return false;
+  return Node->Sched->inlineTask(*Node);
+}
+
+void TaskHandle::wait() const {
+  if (!Node || Node->terminal())
+    return;
+  std::unique_lock<std::mutex> L(Node->WaitMutex);
+  Node->WaitCv.wait(L, [this] { return Node->terminal(); });
+}
+
+void TaskHandle::get() const {
+  wait();
+  if (Node && Node->Phase.load(std::memory_order_acquire) == TaskNode::Done &&
+      Node->Error)
+    std::rethrow_exception(Node->Error);
+}
+
+bool TaskHandle::ran() const {
+  return Node &&
+         Node->Phase.load(std::memory_order_acquire) == TaskNode::Done &&
+         !Node->Error;
+}

@@ -1,0 +1,356 @@
+//===- support/Scheduler.h - Work-stealing task scheduler --------*- C++ -*-==//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process-wide work-stealing scheduler: one core pool shared by the
+/// campaign Jobs layer, the speculative prefetcher, and the locality
+/// batcher's pre-executions. Each worker owns a Chase-Lev deque (lock-free
+/// push/pop on the owner path, FIFO steal from the top); external threads
+/// submit through per-class injector queues; idle workers steal from
+/// victims in randomized order. Priority classes (Jobs > Locality >
+/// Speculation) decide which *unclaimed* work a free worker picks first,
+/// so cores flow dynamically to whichever campaign has runnable work —
+/// the static arbitrateSpeculation core split becomes a soft hint.
+///
+/// Cancellation vs. stealing: the single arbitration point of a task's
+/// fate is a compare-and-swap on its Phase word. A worker (owner or
+/// thief) claims by CAS Pending -> Running; TaskHandle::cancel() retracts
+/// by CAS Pending -> Cancelled; exactly one of the two ever succeeds, no
+/// matter which deque the node sits in or how many times it was stolen.
+/// A stolen-then-cancelled node's queue slot drains in O(1): the claim
+/// CAS fails and the worker drops the shell without running anything.
+/// Unlike the legacy ThreadPool — whose retraction visibility leaned on
+/// the single queue mutex — this protocol carries its own release/acquire
+/// edges on the Phase word, so it is steal-safe by construction (the TSan
+/// job exercises it via SchedulerTest's cancel-under-stealing stress).
+///
+/// Determinism: the scheduler never decides *what* work means, only
+/// *where* it runs. Callers that need byte-identical results keep every
+/// decision on their sequential thread and consume results in
+/// submission/pop order (see core/PFuzzer.cpp and eval/Campaign.cpp);
+/// worker count and steal order then affect wall-clock only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PFUZZ_SUPPORT_SCHEDULER_H
+#define PFUZZ_SUPPORT_SCHEDULER_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace pfuzz {
+
+class Scheduler;
+
+/// Priority classes of scheduler work, scanned by free workers in this
+/// order. Jobs are whole seed campaigns (long, mandatory); Locality is
+/// the batcher's DFS-ordered pre-execution (short, soon consumed);
+/// Speculation is opportunistic prefetch (cheapest to waste).
+enum class TaskClass : unsigned { Jobs = 0, Locality = 1, Speculation = 2 };
+
+inline constexpr unsigned NumTaskClasses = 3;
+
+/// Counters of one scheduler, exported via --sched-stats and BenchJson.
+/// All counters are cumulative since construction; callers measuring one
+/// region snapshot before/after and subtract (see minus()).
+struct SchedulerStats {
+  /// Tasks submitted, per class.
+  uint64_t Submitted[NumTaskClasses] = {0, 0, 0};
+  /// Tasks executed on a worker thread, per class (includes stolen ones).
+  uint64_t Executed[NumTaskClasses] = {0, 0, 0};
+  /// Tasks claimed and executed inline by a consumer thread
+  /// (TaskHandle::runInline) instead of waiting for a worker.
+  uint64_t RanInline = 0;
+  /// Executed tasks that were claimed from another worker's deque.
+  uint64_t Stolen = 0;
+  /// Tasks retracted by cancel() before any worker claimed them.
+  uint64_t Cancelled = 0;
+  /// Victim deques probed by idle workers.
+  uint64_t StealAttempts = 0;
+  /// Probes that yielded a task.
+  uint64_t StealHits = 0;
+  /// Unclaimed tasks per class at the time stats() was taken (a snapshot,
+  /// not a cumulative counter).
+  uint64_t QueueDepth[NumTaskClasses] = {0, 0, 0};
+  /// Total worker time spent parked waiting for work.
+  double IdleSeconds = 0;
+
+  uint64_t submitted() const {
+    return Submitted[0] + Submitted[1] + Submitted[2];
+  }
+  uint64_t executed() const { return Executed[0] + Executed[1] + Executed[2]; }
+  double stealSuccessRate() const {
+    return StealAttempts == 0 ? 0
+                              : static_cast<double>(StealHits) /
+                                    static_cast<double>(StealAttempts);
+  }
+
+  /// Counter delta of this snapshot against an earlier one. QueueDepth is
+  /// a point-in-time value and keeps this snapshot's reading.
+  SchedulerStats minus(const SchedulerStats &Before) const {
+    SchedulerStats D = *this;
+    for (unsigned C = 0; C != NumTaskClasses; ++C) {
+      D.Submitted[C] -= Before.Submitted[C];
+      D.Executed[C] -= Before.Executed[C];
+    }
+    D.RanInline -= Before.RanInline;
+    D.Stolen -= Before.Stolen;
+    D.Cancelled -= Before.Cancelled;
+    D.StealAttempts -= Before.StealAttempts;
+    D.StealHits -= Before.StealHits;
+    D.IdleSeconds -= Before.IdleSeconds;
+    return D;
+  }
+};
+
+namespace sched_detail {
+
+struct TaskNode;
+
+/// Chase-Lev work-stealing deque of T pointers. The owner thread pushes
+/// and pops at the bottom (LIFO, lock-free, no CAS on the common path);
+/// any other thread steals from the top (FIFO, one CAS per steal). The
+/// ring buffer grows geometrically; retired rings are kept alive until
+/// destruction because a slow thief may still be reading a stale buffer
+/// pointer (the value it reads is identical at the same logical index,
+/// and its Top CAS arbitrates ownership either way).
+///
+/// Memory ordering: Top and Bottom use seq_cst throughout instead of the
+/// fence-based formulation of Le et al. — the owner/thief race on the
+/// last element needs the store-load ordering a seq_cst fence would
+/// provide, TSan does not model standalone fences, and at this queue's
+/// submission rates (thousands of tasks per second, each worth a subject
+/// execution) the cost of seq_cst stores is noise. Element *contents*
+/// never rely on deque ordering at all: everything cross-thread in a
+/// TaskNode is published through its Phase CAS (see Scheduler.cpp).
+template <typename T> class WorkStealingDeque {
+public:
+  explicit WorkStealingDeque(int64_t InitialCapacity = 64) {
+    Rings.push_back(std::make_unique<Ring>(InitialCapacity));
+    Buf.store(Rings.back().get(), std::memory_order_relaxed);
+  }
+
+  WorkStealingDeque(const WorkStealingDeque &) = delete;
+  WorkStealingDeque &operator=(const WorkStealingDeque &) = delete;
+
+  /// Owner only: pushes \p Item at the bottom.
+  void push(T *Item) {
+    int64_t B = Bottom.load(std::memory_order_seq_cst);
+    int64_t Tp = Top.load(std::memory_order_seq_cst);
+    Ring *A = Buf.load(std::memory_order_relaxed);
+    if (B - Tp >= A->Cap)
+      A = grow(A, Tp, B);
+    A->put(B, Item);
+    Bottom.store(B + 1, std::memory_order_seq_cst);
+  }
+
+  /// Owner only: pops the most recently pushed item (LIFO), or null when
+  /// empty / the last element was stolen concurrently.
+  T *pop() {
+    int64_t B = Bottom.load(std::memory_order_seq_cst) - 1;
+    Ring *A = Buf.load(std::memory_order_relaxed);
+    Bottom.store(B, std::memory_order_seq_cst);
+    int64_t Tp = Top.load(std::memory_order_seq_cst);
+    if (Tp > B) {
+      // Already empty; restore Bottom.
+      Bottom.store(B + 1, std::memory_order_seq_cst);
+      return nullptr;
+    }
+    T *Item = A->get(B);
+    if (Tp == B) {
+      // One element left: race the thieves for it.
+      if (!Top.compare_exchange_strong(Tp, Tp + 1,
+                                       std::memory_order_seq_cst))
+        Item = nullptr; // a thief won
+      Bottom.store(B + 1, std::memory_order_seq_cst);
+    }
+    return Item;
+  }
+
+  /// Any thread: steals the oldest item (FIFO), or null when empty or the
+  /// race for it was lost.
+  T *steal() {
+    int64_t Tp = Top.load(std::memory_order_seq_cst);
+    int64_t B = Bottom.load(std::memory_order_seq_cst);
+    if (Tp >= B)
+      return nullptr;
+    Ring *A = Buf.load(std::memory_order_acquire);
+    T *Item = A->get(Tp);
+    if (!Top.compare_exchange_strong(Tp, Tp + 1, std::memory_order_seq_cst))
+      return nullptr; // another thief or the owner took it
+    return Item;
+  }
+
+  /// Approximate size; only meaningful to the owner or for diagnostics.
+  int64_t sizeRelaxed() const {
+    return Bottom.load(std::memory_order_relaxed) -
+           Top.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct Ring {
+    explicit Ring(int64_t N)
+        : Cap(N), Mask(N - 1), Cells(new std::atomic<T *>[size_t(N)]) {}
+    const int64_t Cap;
+    const int64_t Mask;
+    std::unique_ptr<std::atomic<T *>[]> Cells;
+
+    T *get(int64_t I) const {
+      return Cells[size_t(I & Mask)].load(std::memory_order_relaxed);
+    }
+    void put(int64_t I, T *V) {
+      Cells[size_t(I & Mask)].store(V, std::memory_order_relaxed);
+    }
+  };
+
+  /// Owner only: doubles the ring, copying the live range [Tp, B).
+  Ring *grow(Ring *Old, int64_t Tp, int64_t B) {
+    Rings.push_back(std::make_unique<Ring>(Old->Cap * 2));
+    Ring *New = Rings.back().get();
+    for (int64_t I = Tp; I != B; ++I)
+      New->put(I, Old->get(I));
+    Buf.store(New, std::memory_order_release);
+    return New;
+  }
+
+  std::atomic<int64_t> Top{0};
+  std::atomic<int64_t> Bottom{0};
+  std::atomic<Ring *> Buf{nullptr};
+  /// Current ring last; retired rings stay allocated for slow thieves.
+  std::vector<std::unique_ptr<Ring>> Rings;
+};
+
+} // namespace sched_detail
+
+/// Refcounted handle to a task submitted via Scheduler::submit. Mirrors
+/// the legacy CancellableTask semantics (best-effort retraction of work
+/// that has not started; a cancelled task's queue slot drains as a no-op)
+/// and adds runInline() so a consumer that needs a still-pending result
+/// can claim and execute it itself instead of waiting — the pattern that
+/// keeps a shared pool deadlock-free when consumers run *on* the pool.
+class TaskHandle {
+public:
+  TaskHandle() = default;
+  ~TaskHandle();
+  TaskHandle(const TaskHandle &Other);
+  TaskHandle &operator=(const TaskHandle &Other);
+  TaskHandle(TaskHandle &&Other) noexcept;
+  TaskHandle &operator=(TaskHandle &&Other) noexcept;
+
+  /// True when this handle refers to a submitted task.
+  bool valid() const { return Node != nullptr; }
+
+  /// Attempts to cancel. Returns true when the task had not started and
+  /// will never run (its queue slot still drains, as a no-op). Returns
+  /// false when the task is already running, finished, or claimed inline.
+  bool cancel();
+
+  /// Attempts to claim a still-pending task and execute it on the calling
+  /// thread. Returns true when this call ran it (ran() is then true);
+  /// false when a worker already claimed it, it finished, or it was
+  /// cancelled. Never blocks.
+  bool runInline();
+
+  /// Blocks until the task reached a terminal state: finished running, or
+  /// cancelled (in which case this returns without the shell having to
+  /// drain from its queue). Must not be called on a still-pending task
+  /// from a scheduler worker — claim it with runInline() or cancel()
+  /// first; waiting for an unclaimed task while occupying a worker can
+  /// deadlock the pool.
+  void wait() const;
+
+  /// wait(), then rethrows the exception the task exited with, if any.
+  void get() const;
+
+  /// Non-blocking: true when the task ran to completion without throwing
+  /// (as opposed to still pending/running, cancelled, or failed).
+  bool ran() const;
+
+private:
+  friend class Scheduler;
+  explicit TaskHandle(sched_detail::TaskNode *Node) : Node(Node) {}
+
+  sched_detail::TaskNode *Node = nullptr;
+};
+
+/// The work-stealing pool. One process-global instance (global()) backs
+/// production runs; benches and tests construct private instances to pin
+/// worker counts independently of the hardware.
+class Scheduler {
+public:
+  /// Creates \p Workers worker threads; 0 means hardwareThreads().
+  /// Worker counts above the hardware are allowed (benches sweep 1/2/4/8
+  /// workers regardless of the machine).
+  explicit Scheduler(unsigned Workers = 0);
+
+  /// Drains every unclaimed task (cancelled shells just drain), then
+  /// joins the workers. Tasks submitted before destruction are
+  /// guaranteed to run or to have been cancelled.
+  ~Scheduler();
+
+  Scheduler(const Scheduler &) = delete;
+  Scheduler &operator=(const Scheduler &) = delete;
+
+  /// Number of worker threads.
+  size_t size() const;
+
+  /// Submits \p Fn under \p Class. Submissions from a worker thread of
+  /// this scheduler go to that worker's own deque (lock-free, LIFO-hot);
+  /// submissions from any other thread go to the class's injector queue.
+  TaskHandle submit(TaskClass Class, std::function<void()> Fn);
+
+  /// Runs Fn(I) for every I in [Begin, End) on the pool and blocks until
+  /// all calls finished. At most min(size(), MaxConcurrency) iterations
+  /// run concurrently (\p MaxConcurrency 0 = no cap beyond the pool).
+  /// The first exception thrown by any call is rethrown in the caller, in
+  /// index order; the remaining iterations still run. Call from a
+  /// non-worker thread only (the caller blocks without lending a hand).
+  void parallelFor(size_t Begin, size_t End,
+                   const std::function<void(size_t)> &Fn,
+                   size_t MaxConcurrency = 0,
+                   TaskClass Class = TaskClass::Jobs);
+
+  /// Snapshot of the cumulative counters (plus current queue depths).
+  SchedulerStats stats() const;
+
+  /// The process-wide scheduler, created on first use with one worker
+  /// per hardware thread. Everything that shares the machine — campaign
+  /// runners, speculation, locality pre-execution — defaults to this
+  /// instance so the layers share one set of workers instead of
+  /// multiplying threads.
+  static Scheduler &global();
+
+  /// global().stats() when the global scheduler was ever started, else
+  /// all zeroes — lets benches report scheduler counters without spinning
+  /// up workers they never used.
+  static SchedulerStats globalStats();
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to report 0).
+  static unsigned hardwareThreads();
+
+private:
+  friend class TaskHandle;
+
+  /// Phase CAS Pending -> Cancelled; on success updates depth counters
+  /// and wakes waiters. The one half of the cancel-vs-steal arbitration.
+  bool cancelTask(sched_detail::TaskNode &N);
+
+  /// Phase CAS Pending -> Running on the *calling* thread; on success
+  /// runs the body inline. The other consumer-side claim path.
+  bool inlineTask(sched_detail::TaskNode &N);
+
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+} // namespace pfuzz
+
+#endif // PFUZZ_SUPPORT_SCHEDULER_H

@@ -5,12 +5,30 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A small fixed-size thread pool used by the evaluation harness to fan
-/// out independent fuzzing campaigns. There is deliberately no work
-/// stealing and no task dependency graph: campaign cells are large,
-/// independent, and deterministic, so a FIFO queue drained by N workers
-/// is all the machinery needed. Callers that require determinism reduce
+/// A small fixed-size thread pool: a FIFO queue drained by N workers
+/// under one mutex, no work stealing, no task dependency graph. Since
+/// support/Scheduler.h landed, the campaign runners and the speculative
+/// prefetcher run on the work-stealing scheduler instead; this pool
+/// remains as the simple alternative for callers that want strict FIFO
+/// dispatch, and as the baseline the bench/micro_queue sweep measures
+/// the scheduler against. Callers that require determinism reduce
 /// results in submission order, never in completion order.
+///
+/// Cancellation-vs-dispatch audit (the race Scheduler must solve
+/// lock-free): here, retraction is trivially race-free because the
+/// global Mutex serializes it against dispatch — a worker marks a task
+/// Running while holding the lock, and cancel()'s Pending->Cancelled
+/// CAS runs against that single ordered timeline, so "cancelled but
+/// also executed" cannot happen and a cancelled slot drains O(1) as a
+/// no-op. The cost is that every dispatch and every retraction takes
+/// the same lock. Scheduler keeps the identical Phase state machine but
+/// drops the lock: a task sitting in a lock-free deque can be *stolen*
+/// concurrently with being cancelled, and the claim CAS
+/// (Pending->Running by the thief or inliner, Pending->Cancelled by the
+/// canceller) is the sole arbiter — exactly one side wins, stolen
+/// shells of lost cancellations drain O(1), and the TSan CI job runs
+/// SchedulerTest.CancellationArbitratesCorrectlyUnderStealing to pin
+/// that protocol.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -18,7 +18,7 @@
 
 #include "core/PFuzzer.h"
 #include "eval/Campaign.h"
-#include "support/ThreadPool.h"
+#include "support/Scheduler.h"
 
 #include <gtest/gtest.h>
 
@@ -144,17 +144,46 @@ TEST(PFuzzerSpeculationTest, CampaignSpeculatingJobs4MatchesSequential) {
 }
 
 TEST(PFuzzerSpeculationTest, ArbitrationSharesCoresAcrossLayers) {
-  size_t HW = ThreadPool::hardwareThreads();
+  size_t HW = Scheduler::hardwareThreads();
   // Off stays off, no matter the fan-out.
-  EXPECT_EQ(arbitrateSpeculation(0, 1), 0u);
-  EXPECT_EQ(arbitrateSpeculation(0, 8), 0u);
-  // A lone campaign gets its explicit request verbatim.
-  EXPECT_EQ(arbitrateSpeculation(4, 1), 4u);
-  // Auto on a saturated machine yields nothing.
-  EXPECT_EQ(arbitrateSpeculation(-1, HW + 1), 0u);
+  EXPECT_EQ(arbitrateSpeculation(0, 1).Threads, 0u);
+  EXPECT_EQ(arbitrateSpeculation(0, 8).Threads, 0u);
+  EXPECT_FALSE(arbitrateSpeculation(0, 8).Capped);
+  // A lone campaign gets its explicit request verbatim, uncapped.
+  EXPECT_EQ(arbitrateSpeculation(4, 1).Threads, 4u);
+  EXPECT_FALSE(arbitrateSpeculation(4, 1).Capped);
+  // Auto on a saturated machine yields nothing (and is never "capped" —
+  // nothing explicit was reduced).
+  EXPECT_EQ(arbitrateSpeculation(-1, HW + 1).Threads, 0u);
+  EXPECT_FALSE(arbitrateSpeculation(-1, HW + 1).Capped);
   // Explicit requests under fan-out are capped at the fair share but
   // never silently disabled.
-  unsigned Shared = arbitrateSpeculation(4, 4);
-  EXPECT_GE(Shared, 1u);
-  EXPECT_LE(Shared, std::max<size_t>(1, HW / 4));
+  SpeculationHint Shared = arbitrateSpeculation(4, 4);
+  EXPECT_GE(Shared.Threads, 1u);
+  EXPECT_LE(Shared.Threads, std::max<size_t>(1, HW / 4));
+}
+
+TEST(PFuzzerSpeculationTest, ArbitrationOnExplicitHardwareCounts) {
+  // A 1-core box, four concurrent campaigns: auto yields nothing, an
+  // explicit request softens to the floor of 1 and reports the cap.
+  EXPECT_EQ(arbitrateSpeculation(-1, 4, /*Hardware=*/1).Threads, 0u);
+  SpeculationHint OneCore = arbitrateSpeculation(4, 4, /*Hardware=*/1);
+  EXPECT_EQ(OneCore.Threads, 1u);
+  EXPECT_TRUE(OneCore.Capped);
+  // Oversubscribed: 8 campaigns on 4 cores. Auto has no leftover; an
+  // explicit 2 collapses to the fair-share floor.
+  EXPECT_EQ(arbitrateSpeculation(-1, 8, /*Hardware=*/4).Threads, 0u);
+  SpeculationHint Over = arbitrateSpeculation(2, 8, /*Hardware=*/4);
+  EXPECT_EQ(Over.Threads, 1u);
+  EXPECT_TRUE(Over.Capped);
+  // Plenty of cores: 16 cores over 4 campaigns leaves room, the request
+  // fits inside the fair share and stays uncapped.
+  EXPECT_EQ(arbitrateSpeculation(-1, 4, /*Hardware=*/16).Threads, 3u);
+  SpeculationHint Roomy = arbitrateSpeculation(3, 4, /*Hardware=*/16);
+  EXPECT_EQ(Roomy.Threads, 3u);
+  EXPECT_FALSE(Roomy.Capped);
+  // The cap flag fires exactly when the returned hint is below the ask.
+  SpeculationHint Trimmed = arbitrateSpeculation(8, 4, /*Hardware=*/16);
+  EXPECT_EQ(Trimmed.Threads, 4u);
+  EXPECT_TRUE(Trimmed.Capped);
 }

@@ -1,0 +1,417 @@
+//===- tests/support/SchedulerTest.cpp - Work-stealing scheduler tests ----===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The contract of the shared work-stealing scheduler: Chase-Lev deque
+/// ordering (owner LIFO, thief FIFO), priority-class scan order, the
+/// Phase-CAS arbitration between cancel(), runInline() and worker claims
+/// (exercised under real stealing — the TSan CI job runs these tests to
+/// check the protocol's happens-before edges), exception propagation,
+/// parallelFor semantics, drain-on-destruction, and the stats counters.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+using namespace pfuzz;
+
+TEST(SchedulerDequeTest, OwnerPopsLifoThiefStealsFifo) {
+  sched_detail::WorkStealingDeque<int> D;
+  int Items[3] = {10, 20, 30};
+  for (int &I : Items)
+    D.push(&I);
+  EXPECT_EQ(D.sizeRelaxed(), 3);
+  // The thief sees the oldest element first...
+  EXPECT_EQ(D.steal(), &Items[0]);
+  // ...while the owner pops the newest.
+  EXPECT_EQ(D.pop(), &Items[2]);
+  EXPECT_EQ(D.pop(), &Items[1]);
+  EXPECT_EQ(D.pop(), nullptr);
+  EXPECT_EQ(D.steal(), nullptr);
+}
+
+TEST(SchedulerDequeTest, GrowthPreservesEveryElementInOrder) {
+  // Push past the initial ring capacity so grow() copies the live range.
+  sched_detail::WorkStealingDeque<int> D(4);
+  std::vector<int> Items(100);
+  for (size_t I = 0; I != Items.size(); ++I) {
+    Items[I] = static_cast<int>(I);
+    D.push(&Items[I]);
+  }
+  // Steal half from the top (oldest first), pop half from the bottom.
+  for (size_t I = 0; I != 50; ++I)
+    EXPECT_EQ(D.steal(), &Items[I]);
+  for (size_t I = Items.size(); I != 50;)
+    EXPECT_EQ(D.pop(), &Items[--I]);
+  EXPECT_EQ(D.pop(), nullptr);
+}
+
+TEST(SchedulerDequeTest, ConcurrentStealsClaimEachElementExactlyOnce) {
+  // The classic deque torture: one owner pushing and popping, several
+  // thieves stealing; every element must be claimed exactly once. Run
+  // under TSan in CI, this is the memory-ordering regression test for
+  // the seq_cst Chase-Lev variant.
+  constexpr int NumItems = 20000;
+  constexpr int NumThieves = 3;
+  sched_detail::WorkStealingDeque<std::atomic<int>> D;
+  std::vector<std::atomic<int>> Claims(NumItems);
+  for (std::atomic<int> &C : Claims)
+    C.store(0);
+  std::atomic<bool> Done{false};
+  std::atomic<int> Claimed{0};
+  std::vector<std::thread> Thieves;
+  for (int T = 0; T != NumThieves; ++T)
+    Thieves.emplace_back([&] {
+      while (!Done.load() || Claimed.load() != NumItems) {
+        if (std::atomic<int> *Item = D.steal()) {
+          EXPECT_EQ(Item->fetch_add(1), 0);
+          Claimed.fetch_add(1);
+        }
+      }
+    });
+  // Owner: push everything, popping a few along the way to exercise the
+  // one-element owner/thief race.
+  for (int I = 0; I != NumItems; ++I) {
+    D.push(&Claims[static_cast<size_t>(I)]);
+    if (I % 7 == 0) {
+      if (std::atomic<int> *Item = D.pop()) {
+        EXPECT_EQ(Item->fetch_add(1), 0);
+        Claimed.fetch_add(1);
+      }
+    }
+  }
+  while (std::atomic<int> *Item = D.pop()) {
+    EXPECT_EQ(Item->fetch_add(1), 0);
+    Claimed.fetch_add(1);
+  }
+  Done.store(true);
+  for (std::thread &T : Thieves)
+    T.join();
+  EXPECT_EQ(Claimed.load(), NumItems);
+  for (const std::atomic<int> &C : Claims)
+    EXPECT_EQ(C.load(), 1);
+}
+
+TEST(SchedulerTest, HardwareThreadsAtLeastOne) {
+  EXPECT_GE(Scheduler::hardwareThreads(), 1u);
+}
+
+TEST(SchedulerTest, DefaultSizeMatchesHardware) {
+  Scheduler Sched;
+  EXPECT_EQ(Sched.size(), Scheduler::hardwareThreads());
+}
+
+TEST(SchedulerTest, SubmittedTasksRunAndWaitReturns) {
+  Scheduler Sched(2);
+  std::atomic<uint64_t> Sum{0};
+  std::vector<TaskHandle> Tasks;
+  for (uint64_t I = 1; I <= 500; ++I)
+    Tasks.push_back(
+        Sched.submit(TaskClass::Jobs, [&Sum, I] { Sum.fetch_add(I); }));
+  for (TaskHandle &T : Tasks) {
+    T.wait();
+    EXPECT_TRUE(T.ran());
+  }
+  EXPECT_EQ(Sum.load(), 500u * 501u / 2);
+}
+
+TEST(SchedulerTest, GetRethrowsTaskException) {
+  Scheduler Sched(2);
+  TaskHandle T = Sched.submit(TaskClass::Jobs,
+                              [] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(T.get(), std::runtime_error);
+  // A task that threw did not "run to completion".
+  EXPECT_FALSE(T.ran());
+}
+
+TEST(SchedulerTest, JobsOutrankLocalityOutranksSpeculation) {
+  // Occupy the lone worker, enqueue one task per class in *ascending*
+  // priority order, then release: the worker must drain the injectors
+  // in class order — Jobs, Locality, Speculation — regardless of
+  // submission order.
+  Scheduler Sched(1);
+  std::atomic<bool> Release{false};
+  TaskHandle Gate = Sched.submit(TaskClass::Jobs, [&Release] {
+    while (!Release.load())
+      std::this_thread::yield();
+  });
+  std::mutex OrderMutex;
+  std::vector<TaskClass> Order;
+  auto Record = [&](TaskClass C) {
+    std::lock_guard<std::mutex> Lock(OrderMutex);
+    Order.push_back(C);
+  };
+  std::vector<TaskHandle> Tasks;
+  for (TaskClass C : {TaskClass::Speculation, TaskClass::Locality,
+                      TaskClass::Jobs})
+    Tasks.push_back(Sched.submit(C, [&Record, C] { Record(C); }));
+  Release.store(true);
+  for (TaskHandle &T : Tasks)
+    T.wait();
+  ASSERT_EQ(Order.size(), 3u);
+  EXPECT_EQ(Order[0], TaskClass::Jobs);
+  EXPECT_EQ(Order[1], TaskClass::Locality);
+  EXPECT_EQ(Order[2], TaskClass::Speculation);
+}
+
+TEST(SchedulerTest, CancelPendingTaskSkipsExecution) {
+  Scheduler Sched(1);
+  std::atomic<bool> Release{false};
+  TaskHandle Gate = Sched.submit(TaskClass::Jobs, [&Release] {
+    while (!Release.load())
+      std::this_thread::yield();
+  });
+  std::atomic<bool> Ran{false};
+  TaskHandle Task =
+      Sched.submit(TaskClass::Speculation, [&Ran] { Ran.store(true); });
+  ASSERT_TRUE(Task.valid());
+  EXPECT_TRUE(Task.cancel());
+  EXPECT_FALSE(Task.cancel()) << "second cancel must report failure";
+  EXPECT_FALSE(Task.runInline()) << "cancelled tasks cannot be claimed";
+  Release.store(true);
+  Gate.wait();
+  Task.wait(); // returns without the shell having drained yet
+  EXPECT_FALSE(Ran.load());
+  EXPECT_FALSE(Task.ran());
+}
+
+TEST(SchedulerTest, CancelRunningTaskFailsAndTaskCompletes) {
+  Scheduler Sched(1);
+  std::atomic<bool> Started{false}, Release{false}, Ran{false};
+  TaskHandle Task = Sched.submit(TaskClass::Jobs, [&] {
+    Started.store(true);
+    while (!Release.load())
+      std::this_thread::yield();
+    Ran.store(true);
+  });
+  while (!Started.load())
+    std::this_thread::yield();
+  EXPECT_FALSE(Task.cancel()) << "a started task cannot be retracted";
+  Release.store(true);
+  Task.wait();
+  EXPECT_TRUE(Ran.load());
+  EXPECT_TRUE(Task.ran());
+}
+
+TEST(SchedulerTest, RunInlineClaimsPendingTask) {
+  Scheduler Sched(1);
+  std::atomic<bool> Release{false};
+  TaskHandle Gate = Sched.submit(TaskClass::Jobs, [&Release] {
+    while (!Release.load())
+      std::this_thread::yield();
+  });
+  std::atomic<bool> Ran{false};
+  TaskHandle Task =
+      Sched.submit(TaskClass::Speculation, [&Ran] { Ran.store(true); });
+  // The worker is blocked, so the claim must succeed on this thread.
+  EXPECT_TRUE(Task.runInline());
+  EXPECT_TRUE(Ran.load());
+  EXPECT_TRUE(Task.ran());
+  EXPECT_FALSE(Task.cancel()) << "an executed task cannot be retracted";
+  EXPECT_FALSE(Task.runInline()) << "a task only runs once";
+  Release.store(true);
+  Gate.wait();
+  SchedulerStats Stats = Sched.stats();
+  EXPECT_EQ(Stats.RanInline, 1u);
+}
+
+TEST(SchedulerTest, CancellationArbitratesCorrectlyUnderStealing) {
+  // The satellite regression test for cancel-vs-steal: a worker-side
+  // producer floods its own deque (so other workers claim via steals),
+  // while this thread races cancel() against the claims. The Phase CAS
+  // must hand every task to exactly one fate: executed on some thread,
+  // or cancelled and never run. Run under TSan in CI, this checks the
+  // cross-thread publication of the task body as well.
+  constexpr size_t NumTasks = 4000;
+  Scheduler Sched(4);
+  std::vector<std::atomic<int>> Ran(NumTasks);
+  for (std::atomic<int> &R : Ran)
+    R.store(0);
+  std::vector<TaskHandle> Handles(NumTasks);
+  std::atomic<size_t> Published{0};
+  TaskHandle Producer = Sched.submit(TaskClass::Jobs, [&] {
+    for (size_t I = 0; I != NumTasks; ++I) {
+      // Submitted from a worker: lands in its own deque, so every
+      // execution by the other three workers is a steal.
+      Handles[I] = Sched.submit(TaskClass::Speculation, [&Ran, I] {
+        EXPECT_EQ(Ran[I].fetch_add(1), 0);
+      });
+      Published.store(I + 1, std::memory_order_release);
+    }
+  });
+  size_t Cancelled = 0;
+  for (size_t I = 0; I != NumTasks; ++I) {
+    while (Published.load(std::memory_order_acquire) <= I)
+      std::this_thread::yield();
+    if (I % 3 == 0 && Handles[I].cancel())
+      ++Cancelled;
+  }
+  Producer.wait();
+  size_t Executed = 0;
+  for (size_t I = 0; I != NumTasks; ++I) {
+    Handles[I].wait();
+    if (Handles[I].ran()) {
+      ++Executed;
+      EXPECT_EQ(Ran[I].load(), 1);
+    } else {
+      EXPECT_EQ(Ran[I].load(), 0) << "a cancelled task must never run";
+    }
+  }
+  EXPECT_EQ(Executed + Cancelled, NumTasks);
+  SchedulerStats Stats = Sched.stats();
+  EXPECT_EQ(Stats.Cancelled, Cancelled);
+  EXPECT_EQ(Stats.Executed[2] + Stats.RanInline, Executed);
+}
+
+TEST(SchedulerTest, ParallelForCoversEveryIndexExactlyOnce) {
+  Scheduler Sched(4);
+  std::vector<std::atomic<int>> Hits(100);
+  for (std::atomic<int> &H : Hits)
+    H.store(0);
+  Sched.parallelFor(0, Hits.size(),
+                    [&Hits](size_t I) { Hits[I].fetch_add(1); });
+  for (const std::atomic<int> &Hit : Hits)
+    EXPECT_EQ(Hit.load(), 1);
+}
+
+TEST(SchedulerTest, ParallelForEmptyRangeIsANoOp) {
+  Scheduler Sched(2);
+  int Calls = 0;
+  Sched.parallelFor(5, 5, [&Calls](size_t) { ++Calls; });
+  EXPECT_EQ(Calls, 0);
+}
+
+TEST(SchedulerTest, ParallelForHonorsConcurrencyCap) {
+  Scheduler Sched(4);
+  std::atomic<int> Active{0}, MaxActive{0};
+  Sched.parallelFor(
+      0, 64,
+      [&](size_t) {
+        int Now = Active.fetch_add(1) + 1;
+        int Seen = MaxActive.load();
+        while (Now > Seen && !MaxActive.compare_exchange_weak(Seen, Now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        Active.fetch_sub(1);
+      },
+      /*MaxConcurrency=*/2);
+  EXPECT_LE(MaxActive.load(), 2);
+}
+
+TEST(SchedulerTest, ParallelForRethrowsFirstExceptionInIndexOrder) {
+  Scheduler Sched(4);
+  std::atomic<int> Completed{0};
+  try {
+    Sched.parallelFor(0, 32, [&Completed](size_t I) {
+      if (I == 3)
+        throw std::runtime_error("index 3");
+      if (I == 20)
+        throw std::logic_error("index 20");
+      Completed.fetch_add(1);
+    });
+    FAIL() << "parallelFor should have thrown";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "index 3");
+  }
+  // Every non-throwing iteration still ran despite the exceptions.
+  EXPECT_EQ(Completed.load(), 30);
+}
+
+TEST(SchedulerTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> Done{0};
+  {
+    Scheduler Sched(1);
+    // The first task blocks the lone worker long enough for the rest to
+    // pile up; all of them must still run before the destructor returns.
+    for (int I = 0; I != 8; ++I)
+      Sched.submit(TaskClass::Jobs, [&Done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        Done.fetch_add(1);
+      });
+  }
+  EXPECT_EQ(Done.load(), 8);
+}
+
+TEST(SchedulerTest, CancelledQueuedTasksDrainWithoutRunning) {
+  std::atomic<int> Executed{0};
+  std::vector<TaskHandle> Tasks;
+  {
+    Scheduler Sched(1);
+    std::atomic<bool> Release{false};
+    Sched.submit(TaskClass::Jobs, [&Release] {
+      while (!Release.load())
+        std::this_thread::yield();
+    });
+    for (int I = 0; I != 8; ++I)
+      Tasks.push_back(Sched.submit(
+          TaskClass::Jobs, [&Executed] { Executed.fetch_add(1); }));
+    for (size_t I = 0; I != Tasks.size(); I += 2)
+      EXPECT_TRUE(Tasks[I].cancel());
+    Release.store(true);
+    // Scheduler destructor drains the queue: cancelled shells are no-ops.
+  }
+  EXPECT_EQ(Executed.load(), 4);
+  for (size_t I = 0; I != Tasks.size(); ++I)
+    EXPECT_EQ(Tasks[I].ran(), I % 2 == 1);
+}
+
+TEST(SchedulerTest, DefaultConstructedHandleIsInvalid) {
+  TaskHandle Task;
+  EXPECT_FALSE(Task.valid());
+  EXPECT_FALSE(Task.cancel());
+  EXPECT_FALSE(Task.runInline());
+  EXPECT_FALSE(Task.ran());
+  Task.wait(); // no-op, must not crash
+}
+
+TEST(SchedulerTest, HandleCopiesShareTheTask) {
+  Scheduler Sched(1);
+  std::atomic<bool> Release{false};
+  TaskHandle Gate = Sched.submit(TaskClass::Jobs, [&Release] {
+    while (!Release.load())
+      std::this_thread::yield();
+  });
+  TaskHandle A = Sched.submit(TaskClass::Jobs, [] {});
+  TaskHandle B = A;
+  EXPECT_TRUE(A.cancel());
+  EXPECT_FALSE(B.cancel()) << "the copy observes the shared cancellation";
+  TaskHandle C = std::move(A);
+  EXPECT_FALSE(A.valid());
+  EXPECT_TRUE(C.valid());
+  Release.store(true);
+  Gate.wait();
+}
+
+TEST(SchedulerTest, StatsCountSubmissionsPerClass) {
+  Scheduler Sched(2);
+  std::vector<TaskHandle> Tasks;
+  for (int I = 0; I != 3; ++I)
+    Tasks.push_back(Sched.submit(TaskClass::Jobs, [] {}));
+  for (int I = 0; I != 2; ++I)
+    Tasks.push_back(Sched.submit(TaskClass::Locality, [] {}));
+  Tasks.push_back(Sched.submit(TaskClass::Speculation, [] {}));
+  for (TaskHandle &T : Tasks)
+    T.wait();
+  SchedulerStats Stats = Sched.stats();
+  EXPECT_EQ(Stats.Submitted[0], 3u);
+  EXPECT_EQ(Stats.Submitted[1], 2u);
+  EXPECT_EQ(Stats.Submitted[2], 1u);
+  EXPECT_EQ(Stats.submitted(), 6u);
+  EXPECT_EQ(Stats.executed() + Stats.RanInline, 6u);
+  EXPECT_EQ(Stats.Cancelled, 0u);
+  // Delta against an empty baseline is the snapshot itself.
+  SchedulerStats Delta = Stats.minus(SchedulerStats());
+  EXPECT_EQ(Delta.submitted(), Stats.submitted());
+}
