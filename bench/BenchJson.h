@@ -10,7 +10,8 @@
 ///
 ///   {"bench": ..., "subject": ..., "execs_per_sec": ...,
 ///    "wall_ms": ..., "resume_hit_rate": ..., "resume_rung_depth": ...,
-///    "locality_batch": ..., "sched_tasks": ..., "sched_steal_rate": ...}
+///    "locality_batch": ..., "sched_tasks": ..., "sched_steal_rate": ...,
+///    "queue_bytes_peak": ..., "rescore_ns_per_exec": ...}
 ///
 /// so CI and trend scripts consume throughput numbers without scraping
 /// the human-readable tables. Every record carries every key — disabled
@@ -48,6 +49,10 @@ struct BenchJsonRecord {
   double SchedTasks = 0;
   /// Fraction of idle-worker steal probes that yielded a task.
   double SchedStealRate = 0;
+  /// Peak sampled candidate-queue bytes (0 = not a pFuzzer measurement).
+  double QueueBytesPeak = 0;
+  /// Queue-rescore wall time amortized per execution, in nanoseconds.
+  double RescoreNsPerExec = 0;
 };
 
 /// Collects records and writes them on demand. Constructed with an empty
@@ -59,12 +64,14 @@ public:
   void add(std::string Bench, std::string Subject, double ExecsPerSec,
            double WallSeconds, double ResumeHitRate,
            double ResumeRungDepth = 0, double LocalityBatch = 0,
-           double SchedTasks = 0, double SchedStealRate = 0) {
+           double SchedTasks = 0, double SchedStealRate = 0,
+           double QueueBytesPeak = 0, double RescoreNsPerExec = 0) {
     if (Path.empty())
       return;
     Records.push_back({std::move(Bench), std::move(Subject), ExecsPerSec,
                        WallSeconds * 1000.0, ResumeHitRate, ResumeRungDepth,
-                       LocalityBatch, SchedTasks, SchedStealRate});
+                       LocalityBatch, SchedTasks, SchedStealRate,
+                       QueueBytesPeak, RescoreNsPerExec});
   }
 
   /// Writes the collected records to the path; returns true on success
@@ -87,10 +94,12 @@ public:
                    " \"execs_per_sec\": %.1f, \"wall_ms\": %.3f,"
                    " \"resume_hit_rate\": %.4f, \"resume_rung_depth\": %.4f,"
                    " \"locality_batch\": %.0f, \"sched_tasks\": %.0f,"
-                   " \"sched_steal_rate\": %.4f}%s\n",
+                   " \"sched_steal_rate\": %.4f, \"queue_bytes_peak\": %.0f,"
+                   " \"rescore_ns_per_exec\": %.4f}%s\n",
                    R.Bench.c_str(), R.Subject.c_str(), R.ExecsPerSec, R.WallMs,
                    R.ResumeHitRate, R.ResumeRungDepth, R.LocalityBatch,
-                   R.SchedTasks, R.SchedStealRate,
+                   R.SchedTasks, R.SchedStealRate, R.QueueBytesPeak,
+                   R.RescoreNsPerExec,
                    I + 1 == Records.size() ? "" : ",");
     }
     std::fprintf(Out, "]\n");

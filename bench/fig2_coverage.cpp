@@ -28,6 +28,7 @@
 #include "support/Scheduler.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 
@@ -146,7 +147,11 @@ int main(int Argc, char **Argv) {
                R.Resume.avgHitRungDepth(),
                Tools[T] == ToolKind::PFuzzer ? ToolCfg.PFuzzerLocality : 0,
                static_cast<double>(Sched.submitted()),
-               Sched.stealSuccessRate());
+               Sched.stealSuccessRate(),
+               static_cast<double>(R.Queue.PeakBytes),
+               static_cast<double>(R.Queue.RescoreNanos) /
+                   static_cast<double>(
+                       std::max<uint64_t>(R.TotalExecutions, 1)));
       Cells.push_back(formatDouble(Row.Ratios[T] * 100, 1));
       std::fprintf(stderr,
                    "  done: %s on %s (%llu execs, %zu valid, %s, %s)\n",

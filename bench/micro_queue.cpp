@@ -12,15 +12,18 @@
 /// *Set* and *Bitmap* pairs run the same workload, so their ratio is the
 /// speedup of the dense representation.
 ///
-/// `--sweep` switches to the scheduler contention sweep instead: a mixed
-/// Jobs + speculation campaign grid at 1/2/4/8 workers, run twice per
-/// worker count — once on the unified work-stealing scheduler (one pool
-/// for both layers) and once on the legacy static split (mutex-FIFO
-/// ThreadPool for Jobs, a dedicated per-campaign pool for speculation).
-/// Execs/sec and steal rates go to --json; every parallel configuration
-/// is checked byte-identical against a sequential reference, so the
-/// sweep doubles as an end-to-end determinism gate (exit 1 on any
-/// divergence).
+/// `--sweep` switches to the campaign sweeps instead. First the
+/// scheduler contention sweep: a mixed Jobs + speculation campaign grid
+/// at 1/2/4/8 workers, run twice per worker count — once on the unified
+/// work-stealing scheduler (one pool for both layers) and once on the
+/// legacy static split (mutex-FIFO ThreadPool for Jobs, a dedicated
+/// per-campaign pool for speculation). Then the queue representation
+/// sweep: each cell re-run sequentially on the compact candidate store
+/// and on the string-backed reference queue, recording peak queue bytes
+/// and amortized rescore time per execution for both. Everything goes to
+/// --json; every configuration is checked byte-identical against a
+/// sequential reference, so the sweep doubles as an end-to-end
+/// determinism gate (exit 1 on any divergence).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -392,6 +395,68 @@ int runSweep(int Argc, char **Argv) {
     Json.add("micro_queue", "sweep-static/w" + std::to_string(W), StaticRate,
              StaticWall, 0, 0, 0, 0, 0);
   }
+
+  // Queue representation sweep: sequential campaigns run twice, once on
+  // the compact candidate store and once on the by-value string queue,
+  // compared byte for byte against each other. The dyck/json cells reuse
+  // the contention budget (short-input regime, where the string queue
+  // rides the small-string optimization); json-deep runs a 32x budget at
+  // the default queue cap, filling the queue with ~100k candidates whose
+  // inputs have outgrown SSO — the O(candidates x input-length) regime
+  // the compact store targets, and where the headline memory ratio is
+  // measured.
+  struct RepCell {
+    const char *Label;
+    const Subject *S;
+    uint64_t Execs;
+    size_t MaxQueue; // 0 = default cap
+  };
+  const RepCell RepCells[] = {
+      {"dyck", &dyckSubject(), Execs, 0},
+      {"json", &jsonSubject(), Execs, 0},
+      {"json-deep", &jsonSubject(), Execs * 32, 0},
+  };
+  std::printf("\n== Queue representation: compact store vs string queue ==\n");
+  std::printf("%-9s %-10s %9s %11s %12s %11s  %s\n", "mode", "cell",
+              "wall[s]", "execs/s", "peak[B]", "resc[ns/e]", "reports");
+  for (const RepCell &Cell : RepCells) {
+    const char *ModeName[2] = {"compact", "stringq"};
+    double PeakBytes[2] = {0, 0};
+    double Rate[2] = {0, 0};
+    CampaignResult Results[2];
+    for (int Mode = 0; Mode != 2; ++Mode) {
+      ToolOptions Tools;
+      Tools.PFuzzerReferenceQueue = Mode == 1;
+      Tools.PFuzzerMaxQueue = Cell.MaxQueue;
+      auto T0 = std::chrono::steady_clock::now();
+      Results[Mode] = runCampaign(ToolKind::PFuzzer, *Cell.S, Cell.Execs,
+                                  Seed, Runs, /*Jobs=*/1, Tools);
+      double Wall = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - T0)
+                        .count();
+      const CampaignResult &R = Results[Mode];
+      bool Same = Mode == 0 || identicalResults(Results[0], Results[1]);
+      AllIdentical &= Same;
+      Rate[Mode] =
+          Wall > 0 ? static_cast<double>(R.TotalExecutions) / Wall : 0;
+      PeakBytes[Mode] = static_cast<double>(R.Queue.PeakBytes);
+      double RescoreNs = static_cast<double>(R.Queue.RescoreNanos) /
+                         static_cast<double>(std::max<uint64_t>(
+                             R.TotalExecutions, 1));
+      std::printf("%-9s %-10s %9.3f %11.0f %12.0f %11.1f  %s\n",
+                  ModeName[Mode], Cell.Label, Wall, Rate[Mode],
+                  PeakBytes[Mode], RescoreNs,
+                  Mode == 0 ? "-" : Same ? "identical" : "MISMATCH");
+      Json.add("micro_queue",
+               std::string("sweep-") + ModeName[Mode] + "/" + Cell.Label,
+               Rate[Mode], Wall, 0, 0, 0, 0, 0, PeakBytes[Mode], RescoreNs);
+    }
+    if (PeakBytes[0] > 0 && Rate[1] > 0)
+      std::printf("%-9s %-10s queue bytes %.2fx smaller, throughput %.2fx\n",
+                  "ratio", Cell.Label, PeakBytes[1] / PeakBytes[0],
+                  Rate[0] / Rate[1]);
+  }
+
   if (!AllIdentical) {
     std::fprintf(stderr, "error: a parallel configuration diverged from"
                          " the sequential reference\n");

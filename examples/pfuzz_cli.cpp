@@ -52,8 +52,11 @@ int main(int Argc, char **Argv) {
   // --locality is a switch with a tuned default batch size; the exact
   // size is a wall-clock knob, never a behavior one.
   Tools.PFuzzerLocality = Cli.getBool("locality", false) ? 64 : 0;
+  Tools.PFuzzerMaxQueue =
+      static_cast<size_t>(Cli.getCount("max-queue", Tools.PFuzzerMaxQueue));
   bool LocalityStatsFlag = Cli.getBool("locality-stats", false);
   bool SchedStatsFlag = Cli.getBool("sched-stats", false);
+  bool QueueStatsFlag = Cli.getBool("queue-stats", false);
   bool Mine = Cli.getBool("mine", false);
   bool Quiet = Cli.getBool("quiet", false);
   if (!Cli.ok() || !Cli.unqueried().empty()) {
@@ -67,7 +70,7 @@ int main(int Argc, char **Argv) {
                  " [--run-cache=N] [--resume-cache=N] [--resume-stride=N]"
                  " [--resume-rungs=N] [--locality] [--locality-stats]"
                  " [--speculate=N] [--speculate-depth=N] [--sched-stats]"
-                 " [--mine] [--quiet]\n"
+                 " [--max-queue=N] [--queue-stats] [--mine] [--quiet]\n"
                  "subjects: arith dyck ini csv json tinyc mjs\n"
                  "tools: pfuzzer afl klee random\n"
                  "--run-cache: pFuzzer memoized-run LRU entries (0=off;"
@@ -83,7 +86,12 @@ int main(int Argc, char **Argv) {
                  "--speculate: pFuzzer prefetch hint per campaign"
                  " (0=off, -1=auto; results are identical at any value)\n"
                  "--speculate-depth: candidates kept in flight (0=auto)\n"
-                 "--sched-stats: print work-stealing scheduler counters\n");
+                 "--sched-stats: print work-stealing scheduler counters\n"
+                 "--max-queue: candidate-queue cap (0 = default; unlike"
+                 " the knobs above this one changes which candidates"
+                 " survive trims)\n"
+                 "--queue-stats: print candidate-store counters (queue"
+                 " memory, rescore time)\n");
     return 1;
   }
   const Subject *S = findSubject(SubjectName);
@@ -148,6 +156,31 @@ int main(int Argc, char **Argv) {
                  100 * L.consumeRate(),
                  static_cast<unsigned long long>(L.Recycled),
                  static_cast<unsigned long long>(L.Discarded));
+  }
+  if (QueueStatsFlag) {
+    const QueueStats &Q = Best.Queue;
+    std::fprintf(stderr,
+                 "candidate store: %llu pushes, %llu rescores (%.1f ms,"
+                 " %llu group slices), %llu trims (%llu dropped),"
+                 " %llu compactions (%llu bytes reclaimed),"
+                 " %llu path decays\n",
+                 static_cast<unsigned long long>(Q.Pushes),
+                 static_cast<unsigned long long>(Q.Rescores),
+                 static_cast<double>(Q.RescoreNanos) / 1e6,
+                 static_cast<unsigned long long>(Q.GroupsFiltered),
+                 static_cast<unsigned long long>(Q.Trims),
+                 static_cast<unsigned long long>(Q.TrimmedCandidates),
+                 static_cast<unsigned long long>(Q.Compactions),
+                 static_cast<unsigned long long>(Q.ArenaBytesReclaimed),
+                 static_cast<unsigned long long>(Q.PathDecays));
+    std::fprintf(stderr,
+                 "queue peaks: %llu bytes, %llu candidates, %llu arena"
+                 " bytes, %llu groups, %llu path entries\n",
+                 static_cast<unsigned long long>(Q.PeakBytes),
+                 static_cast<unsigned long long>(Q.PeakCandidates),
+                 static_cast<unsigned long long>(Q.PeakArenaBytes),
+                 static_cast<unsigned long long>(Q.PeakGroups),
+                 static_cast<unsigned long long>(Q.PeakPathTable));
   }
   if (SchedStatsFlag) {
     SchedulerStats D = Scheduler::globalStats().minus(SchedBefore);

@@ -1,0 +1,574 @@
+//===- core/CandidateStore.cpp - Compact candidate queue store ------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CandidateStore.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstring>
+#include <unordered_set>
+
+using namespace pfuzz;
+
+namespace {
+
+/// Score-only comparators — the single comparator property the
+/// determinism argument rests on: for equal scores they return exactly
+/// what the by-value queue's comparator returned, so every positional
+/// heap algorithm produces the same permutation.
+struct EntryScoreLess {
+  template <typename T> bool operator()(const T &A, const T &B) const {
+    return A.Score < B.Score;
+  }
+};
+struct EntryScoreGreater {
+  template <typename T> bool operator()(const T &A, const T &B) const {
+    return A.Score > B.Score;
+  }
+};
+
+} // namespace
+
+void QueueStats::accumulate(const QueueStats &Other) {
+  Pushes += Other.Pushes;
+  Rescores += Other.Rescores;
+  RescoreNanos += Other.RescoreNanos;
+  GroupsFiltered += Other.GroupsFiltered;
+  Trims += Other.Trims;
+  TrimmedCandidates += Other.TrimmedCandidates;
+  Compactions += Other.Compactions;
+  ArenaBytesReclaimed += Other.ArenaBytesReclaimed;
+  PathDecays += Other.PathDecays;
+  PeakBytes = std::max(PeakBytes, Other.PeakBytes);
+  PeakCandidates = std::max(PeakCandidates, Other.PeakCandidates);
+  PeakArenaBytes = std::max(PeakArenaBytes, Other.PeakArenaBytes);
+  PeakGroups = std::max(PeakGroups, Other.PeakGroups);
+  PeakPathTable = std::max(PeakPathTable, Other.PeakPathTable);
+}
+
+CandidateStore::CandidateStore(bool Reference, size_t MaxQueue)
+    : Reference(Reference), MaxQueue(MaxQueue) {}
+
+CandidateStore::~CandidateStore() = default;
+
+//===----------------------------------------------------------------------===//
+// Record and group slabs
+//===----------------------------------------------------------------------===//
+
+uint32_t CandidateStore::allocRecord() {
+  if (FreeHead != None) {
+    uint32_t Id = FreeHead;
+    FreeHead = Records[Id].Parent; // the intrusive free-list link
+    Records[Id] = Record();
+    return Id;
+  }
+  // Slabs at this size grow by 1.25x, not the libstdc++ 2x: the record
+  // slab is the store's largest block and a doubling overshoot at
+  // 100k-candidate scale wastes megabytes against a 25% one.
+  if (Records.size() == Records.capacity())
+    Records.reserve(Records.capacity() + Records.capacity() / 4 + 64);
+  Records.emplace_back();
+  return static_cast<uint32_t>(Records.size()) - 1;
+}
+
+void CandidateStore::freeRecord(uint32_t Id) {
+  Record &R = Records[Id];
+  ArenaGarbage += R.SuffixLen;
+  unlinkGroup(Id);
+  R.Refs = 0;
+  R.SuffixLen = 0;   // compaction walks Refs>0 only, but keep it inert
+  R.Parent = FreeHead; // freed slots chain through their Parent field
+  FreeHead = Id;
+}
+
+uint32_t CandidateStore::allocGroup() {
+  uint32_t Id;
+  if (!FreeGroups.empty()) {
+    Id = FreeGroups.back();
+    FreeGroups.pop_back();
+  } else {
+    if (Groups.size() == Groups.capacity())
+      Groups.reserve(Groups.capacity() + Groups.capacity() / 4 + 16);
+    Groups.emplace_back();
+    Id = static_cast<uint32_t>(Groups.size()) - 1;
+    if (Reference)
+      RefShared.resize(Groups.size());
+  }
+  Group &G = Groups[Id];
+  G.Branches.clear(); // keeps capacity: a recycled group copies its run's
+                      // list into an already-sized buffer
+  if (Reference)
+    RefShared[Id].reset();
+  G.FilterEpoch = 0;
+  G.PathHash = 0;
+  G.AvgStack = 0;
+  G.NumParentsBase = 0;
+  G.Members = 0;
+  G.RunPinned = false;
+  ++LiveGroups;
+  return Id;
+}
+
+void CandidateStore::maybeFreeGroup(uint32_t GroupId) {
+  Group &G = Groups[GroupId];
+  if (G.RunPinned || G.Members > 0)
+    return;
+  if (Reference)
+    RefShared[GroupId].reset();
+  // Recycled slots keep small buffers (steady-state lists are a handful
+  // of branches, so reuse skips the realloc) but release outliers: early
+  // runs discover dozens of branches at once, and without the cap every
+  // slot ratchets up to the largest list it ever held.
+  if (G.Branches.capacity() > 16)
+    std::vector<uint32_t>().swap(G.Branches);
+  else
+    G.Branches.clear();
+  FreeGroups.push_back(GroupId);
+  --LiveGroups;
+}
+
+void CandidateStore::unlinkGroup(uint32_t Id) {
+  Record &R = Records[Id];
+  if (R.Group == None)
+    return;
+  uint32_t GroupId = R.Group;
+  R.Group = None;
+  --Groups[GroupId].Members;
+  maybeFreeGroup(GroupId);
+}
+
+//===----------------------------------------------------------------------===//
+// Lineage
+//===----------------------------------------------------------------------===//
+
+uint32_t CandidateStore::internRoot(std::string_view Input, uint64_t Hash) {
+  if (Reference)
+    return None;
+  uint32_t Id = allocRecord();
+  Record &R = Records[Id];
+  R.InputHash = Hash;
+  R.Parent = None;
+  R.SpliceAt = 0;
+  R.SuffixOfs = Arena.append(Input);
+  R.SuffixLen = static_cast<uint32_t>(Input.size());
+  R.Refs = 1;
+  return Id;
+}
+
+uint32_t CandidateStore::internChild(uint32_t Parent, size_t SpliceAt,
+                                     std::string_view ParentInput,
+                                     std::string_view Suffix, uint64_t Hash) {
+  if (Reference)
+    return None;
+  if (Parent != None)
+    maybeRebase(Parent, ParentInput);
+  uint32_t Id = allocRecord();
+  Record &R = Records[Id];
+  R.InputHash = Hash;
+  R.Parent = Parent;
+  if (Parent != None) {
+    ++Records[Parent].Refs;
+    R.Depth = static_cast<uint8_t>(Records[Parent].Depth + 1);
+  }
+  R.SpliceAt = static_cast<uint32_t>(SpliceAt);
+  R.SuffixOfs = Arena.append(Suffix);
+  R.SuffixLen = static_cast<uint32_t>(Suffix.size());
+  R.Refs = 1;
+  return Id;
+}
+
+void CandidateStore::maybeRebase(uint32_t Id, std::string_view Input) {
+  // About to become a parent at the chain-depth cap: rewrite the record
+  // as a root holding its full bytes. Purely a storage change — the
+  // record's materialized bytes, hash, input length (SpliceAt+SuffixLen)
+  // and group are all unchanged, and records gaining children are never
+  // queue members — so scores and pop order cannot move. The lineage pin
+  // on the old parent drops, releasing ancestry nothing else holds.
+  Record &R = Records[Id];
+  if (R.Depth < MaxChainDepth)
+    return;
+  assert(Input.size() == R.SpliceAt + R.SuffixLen &&
+         "rebase input must be the record's materialized bytes");
+  ArenaGarbage += R.SuffixLen;
+  uint32_t OldParent = R.Parent;
+  R.SuffixOfs = Arena.append(Input);
+  R.SuffixLen = static_cast<uint32_t>(Input.size());
+  R.SpliceAt = 0;
+  R.Parent = None;
+  R.Depth = 0;
+  release(OldParent);
+}
+
+void CandidateStore::release(uint32_t Id) {
+  // The cascade is what keeps chains from leaking: freeing a record drops
+  // its parent pin, which may free the parent, and so on up to the root.
+  // A record queued anywhere below keeps its whole ancestry alive.
+  while (Id != None) {
+    Record &R = Records[Id];
+    if (--R.Refs > 0)
+      return;
+    uint32_t Parent = R.Parent;
+    freeRecord(Id);
+    Id = Parent;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Run lifecycle
+//===----------------------------------------------------------------------===//
+
+uint32_t CandidateStore::makeRun(const std::vector<uint32_t> &NewBranches,
+                                 uint64_t FilterEpoch, double AvgStack,
+                                 uint64_t PathHash, uint32_t NumParentsBase) {
+  uint32_t Id = allocGroup();
+  Group &G = Groups[Id];
+  if (Reference)
+    RefShared[Id] = std::make_shared<const std::vector<uint32_t>>(NewBranches);
+  else
+    G.Branches = NewBranches;
+  G.FilterEpoch = FilterEpoch;
+  G.PathHash = PathHash;
+  G.AvgStack = AvgStack;
+  G.NumParentsBase = NumParentsBase;
+  G.RunPinned = true;
+  return Id;
+}
+
+void CandidateStore::releaseRun(uint32_t Run) {
+  if (Run == None)
+    return;
+  Groups[Run].RunPinned = false;
+  maybeFreeGroup(Run);
+}
+
+//===----------------------------------------------------------------------===//
+// Queue operations
+//===----------------------------------------------------------------------===//
+
+void CandidateStore::push(uint32_t Run, uint32_t Parent,
+                          std::string_view ParentInput, size_t SpliceAt,
+                          std::string_view Suffix, uint64_t Hash,
+                          uint32_t ReplacementLen, uint32_t ParentDelta,
+                          double Score) {
+  ++Stats.Pushes;
+  Group &G = Groups[Run];
+  if (Reference) {
+    RefCandidate C;
+    C.Input.reserve(SpliceAt + Suffix.size());
+    C.Input.assign(ParentInput.substr(0, SpliceAt));
+    C.Input.append(Suffix);
+    C.NumParents = G.NumParentsBase + ParentDelta;
+    C.AvgStack = G.AvgStack;
+    C.ReplacementLen = ReplacementLen;
+    C.NewBranches = RefShared[Run];
+    C.FilterEpoch = G.FilterEpoch;
+    C.PathHash = G.PathHash;
+    C.InputHash = Hash;
+    C.Score = Score;
+    RefQueue.push_back(std::move(C));
+    std::push_heap(RefQueue.begin(), RefQueue.end(), EntryScoreLess());
+  } else {
+    if (Parent != None)
+      maybeRebase(Parent, ParentInput);
+    // Dead rebased roots and released ancestry can pile up whole-input
+    // blocks in the arena between trims, so garbage collection cannot
+    // wait for trim pressure alone; the threshold check makes the
+    // periodic call nearly free.
+    if ((PushTick & 255) == 0)
+      maybeCompactArena();
+    uint32_t Id = allocRecord();
+    Record &R = Records[Id];
+    R.InputHash = Hash;
+    R.Parent = Parent;
+    if (Parent != None) {
+      ++Records[Parent].Refs;
+      R.Depth = static_cast<uint8_t>(Records[Parent].Depth + 1);
+    }
+    R.SpliceAt = static_cast<uint32_t>(SpliceAt);
+    R.SuffixOfs = Arena.append(Suffix);
+    R.SuffixLen = static_cast<uint32_t>(Suffix.size());
+    R.Group = Run;
+    ++G.Members;
+    R.Refs = 1; // the queue entry's pin; pop transfers it to the caller
+    // Replacements are comparison operands (single chars or string-equality
+    // literals); 64 KiB headroom is far beyond any grammar token, and the
+    // identity sweep would flag a truncation as a score divergence.
+    R.ReplacementLen = static_cast<uint16_t>(ReplacementLen);
+    R.ParentDelta = static_cast<uint8_t>(ParentDelta);
+    // The caller trims past MaxQueue, so the heap never outgrows
+    // MaxQueue + 1 entries — clamp growth there instead of letting the
+    // final doubling overshoot the cap by nearly 2x.
+    if (Entries.size() == Entries.capacity())
+      Entries.reserve(std::min(MaxQueue + 1, Entries.capacity() +
+                                                 Entries.capacity() / 4 + 64));
+    Entries.push_back(Entry{Score, Id});
+    std::push_heap(Entries.begin(), Entries.end(), EntryScoreLess());
+  }
+  if ((++PushTick & 1023) == 0)
+    samplePeaks();
+}
+
+void CandidateStore::materialize(uint32_t Id, std::string &Out) const {
+  const Record &Top = Records[Id];
+  size_t Take = Top.SpliceAt + Top.SuffixLen;
+  Out.resize(Take);
+  // Walk up the chain copying each record's suffix segment into its
+  // [SpliceAt, SpliceAt + SuffixLen) window, clipped to the bytes the
+  // descendants have not already overridden (Take). Every visited record
+  // satisfies Take <= SpliceAt + SuffixLen — a child's splice point never
+  // exceeds its parent's length — so the loop terminates with Take == 0
+  // at or before the chain root.
+  uint32_t Cur = Id;
+  while (Take > 0) {
+    const Record &R = Records[Cur];
+    if (R.SpliceAt < Take) {
+      size_t Copy = std::min<size_t>(R.SuffixLen, Take - R.SpliceAt);
+      std::memcpy(&Out[R.SpliceAt], Arena.data() + R.SuffixOfs, Copy);
+      Take = R.SpliceAt;
+    }
+    if (R.Parent == None)
+      break;
+    Cur = R.Parent;
+  }
+}
+
+CandidateStore::Popped CandidateStore::pop(std::string &InputOut) {
+  Popped P;
+  if (Reference) {
+    std::pop_heap(RefQueue.begin(), RefQueue.end(), EntryScoreLess());
+    RefCandidate &Best = RefQueue.back();
+    P.Score = Best.Score;
+    P.InputHash = Best.InputHash;
+    P.NumParents = Best.NumParents;
+    P.ReplacementLen = Best.ReplacementLen;
+    P.NewBranchCount =
+        Best.NewBranches ? static_cast<uint32_t>(Best.NewBranches->size()) : 0;
+    InputOut = std::move(Best.Input);
+    RefQueue.pop_back();
+    return P;
+  }
+  std::pop_heap(Entries.begin(), Entries.end(), EntryScoreLess());
+  Entry E = Entries.back();
+  Entries.pop_back();
+  Record &R = Records[E.Id];
+  Group &G = Groups[R.Group];
+  P.Id = E.Id;
+  P.Score = E.Score;
+  P.InputHash = R.InputHash;
+  P.NumParents = G.NumParentsBase + R.ParentDelta;
+  P.ReplacementLen = R.ReplacementLen;
+  P.NewBranchCount = static_cast<uint32_t>(G.Branches.size());
+  // The popped input is about to execute; its branch list has served its
+  // purpose, so leave the group now and let it die with its last queued
+  // member instead of with this record's whole ancestry.
+  unlinkGroup(E.Id);
+  materialize(E.Id, InputOut);
+  return P; // the queue pin transfers to the caller — no Refs change
+}
+
+size_t CandidateStore::queueSize() const {
+  return Reference ? RefQueue.size() : Entries.size();
+}
+
+double CandidateStore::scoreAt(size_t Pos) const {
+  return Reference ? RefQueue[Pos].Score : Entries[Pos].Score;
+}
+
+uint64_t CandidateStore::hashAt(size_t Pos) const {
+  return Reference ? RefQueue[Pos].InputHash
+                   : Records[Entries[Pos].Id].InputHash;
+}
+
+void CandidateStore::materializeAt(size_t Pos, std::string &Out) const {
+  if (Reference)
+    Out = RefQueue[Pos].Input;
+  else
+    materialize(Entries[Pos].Id, Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Rescore
+//===----------------------------------------------------------------------===//
+
+double CandidateStore::scoreRecord(const Record &R, const Group &G,
+                                   const PathCountMap &PathCounts,
+                                   const HeuristicOptions &Heur) const {
+  CandidateFeatures F;
+  F.NewBranches = static_cast<uint32_t>(G.Branches.size());
+  F.InputLen = R.SpliceAt + R.SuffixLen;
+  F.ReplacementLen = R.ReplacementLen;
+  F.AvgStackSize = G.AvgStack;
+  F.NumParents = G.NumParentsBase + R.ParentDelta;
+  auto It = PathCounts.find(G.PathHash);
+  F.PathCount = It == PathCounts.end() ? 0 : It->second;
+  return heuristicScore(F, Heur);
+}
+
+bool CandidateStore::rescore(const BranchCoverageMap &VBr,
+                             const PathCountMap &PathCounts,
+                             const HeuristicOptions &Heur) {
+  auto Begin = std::chrono::steady_clock::now();
+  ++Stats.Rescores;
+  bool Trimmed = false;
+  uint64_t Now = VBr.epoch();
+  if (Reference) {
+    // The pre-store pass, verbatim: vBr only grows, so each candidate's
+    // not-yet-covered list only shrinks. Candidates spawned from the same
+    // run share one immutable list, so filter each distinct list once
+    // (copy-on-rescore) and hand the filtered copy back to every sharer;
+    // the epoch check skips even that when coverage has not grown since
+    // the list was built.
+    struct FilterEntry {
+      SharedBranches Original; // pins the key's address for this pass
+      SharedBranches Replacement;
+    };
+    std::unordered_map<const void *, FilterEntry> Filtered;
+    for (RefCandidate &C : RefQueue) {
+      if (C.NewBranches && !C.NewBranches->empty() && C.FilterEpoch != Now) {
+        FilterEntry &Slot = Filtered[C.NewBranches.get()];
+        if (!Slot.Replacement) {
+          Slot.Original = C.NewBranches;
+          auto Kept = std::make_shared<std::vector<uint32_t>>();
+          Kept->reserve(C.NewBranches->size());
+          for (uint32_t B : *C.NewBranches)
+            if (!VBr.test(B))
+              Kept->push_back(B);
+          Slot.Replacement = std::move(Kept);
+          ++Stats.GroupsFiltered;
+        }
+        C.NewBranches = Slot.Replacement;
+      }
+      C.FilterEpoch = Now;
+      CandidateFeatures F;
+      F.NewBranches =
+          C.NewBranches ? static_cast<uint32_t>(C.NewBranches->size()) : 0;
+      F.InputLen = static_cast<uint32_t>(C.Input.size());
+      F.ReplacementLen = C.ReplacementLen;
+      F.AvgStackSize = C.AvgStack;
+      F.NumParents = C.NumParents;
+      auto It = PathCounts.find(C.PathHash);
+      F.PathCount = It == PathCounts.end() ? 0 : It->second;
+      C.Score = heuristicScore(F, Heur);
+    }
+    if (RefQueue.size() > MaxQueue) {
+      std::nth_element(RefQueue.begin(), RefQueue.begin() + MaxQueue / 2,
+                       RefQueue.end(), EntryScoreGreater());
+      Stats.TrimmedCandidates += RefQueue.size() - MaxQueue / 2;
+      ++Stats.Trims;
+      RefQueue.resize(MaxQueue / 2);
+      Trimmed = true;
+    }
+    std::make_heap(RefQueue.begin(), RefQueue.end(), EntryScoreLess());
+  } else {
+    // Group-sliced pass: each distinct branch list is filtered exactly
+    // once per rescore — the group's filter epoch is the memo, replacing
+    // the per-pass pointer-keyed map. Filtering is in place; see the
+    // header for why that is observationally identical to
+    // copy-on-rescore.
+    for (Entry &E : Entries) {
+      Record &R = Records[E.Id];
+      Group &G = Groups[R.Group];
+      if (G.FilterEpoch != Now) {
+        if (!G.Branches.empty()) {
+          size_t Kept = 0;
+          for (uint32_t B : G.Branches)
+            if (!VBr.test(B))
+              G.Branches[Kept++] = B;
+          G.Branches.resize(Kept);
+          ++Stats.GroupsFiltered;
+        }
+        G.FilterEpoch = Now;
+      }
+      E.Score = scoreRecord(R, G, PathCounts, Heur);
+    }
+    if (Entries.size() > MaxQueue) {
+      // Same positional nth_element + resize as the by-value queue; it
+      // sees the same score sequence at the same positions, so the same
+      // candidates survive. The dropped ids release their suffix bytes
+      // and (via the pin cascade) any ancestry nothing else holds.
+      std::nth_element(Entries.begin(), Entries.begin() + MaxQueue / 2,
+                       Entries.end(), EntryScoreGreater());
+      for (size_t I = MaxQueue / 2, N = Entries.size(); I < N; ++I)
+        release(Entries[I].Id);
+      Stats.TrimmedCandidates += Entries.size() - MaxQueue / 2;
+      ++Stats.Trims;
+      Entries.resize(MaxQueue / 2);
+      Trimmed = true;
+      maybeCompactArena();
+    }
+    std::make_heap(Entries.begin(), Entries.end(), EntryScoreLess());
+  }
+  Stats.RescoreNanos += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Begin)
+          .count());
+  samplePeaks();
+  return Trimmed;
+}
+
+//===----------------------------------------------------------------------===//
+// Arena compaction
+//===----------------------------------------------------------------------===//
+
+void CandidateStore::maybeCompactArena() {
+  // Rebuild when over half the arena is dead suffix bytes (and enough of
+  // them to be worth a pass). Live records are exactly those with pins;
+  // their offsets are patched to the fresh arena.
+  if (ArenaGarbage <= 4096 || ArenaGarbage <= Arena.size() / 2)
+    return;
+  ByteArena Fresh;
+  Fresh.reserve(Arena.size() - ArenaGarbage);
+  for (Record &R : Records) {
+    if (R.Refs == 0)
+      continue;
+    R.SuffixOfs = Fresh.append(Arena.view(R.SuffixOfs, R.SuffixLen));
+  }
+  Stats.ArenaBytesReclaimed += Arena.size() - Fresh.size();
+  ++Stats.Compactions;
+  Arena.swap(Fresh);
+  ArenaGarbage = 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Accounting
+//===----------------------------------------------------------------------===//
+
+size_t CandidateStore::bytesInUse() const {
+  if (Reference) {
+    // The honest by-value footprint: candidate structs, each string's
+    // heap block (capacity + NUL when it outgrew the small-string
+    // buffer), and each distinct shared branch list (control block +
+    // vector head + payload) counted once.
+    size_t Bytes = RefQueue.capacity() * sizeof(RefCandidate);
+    constexpr size_t SharedListOverhead =
+        sizeof(std::vector<uint32_t>) + 32; // vector head + control block
+    std::unordered_set<const void *> Seen;
+    for (const RefCandidate &C : RefQueue) {
+      if (C.Input.capacity() > 15)
+        Bytes += C.Input.capacity() + 1;
+      if (C.NewBranches && Seen.insert(C.NewBranches.get()).second)
+        Bytes +=
+            SharedListOverhead + C.NewBranches->capacity() * sizeof(uint32_t);
+    }
+    return Bytes;
+  }
+  size_t Bytes = Records.capacity() * sizeof(Record) +
+                 Entries.capacity() * sizeof(Entry) + Arena.capacity() +
+                 Groups.capacity() * sizeof(Group) +
+                 FreeGroups.capacity() * sizeof(uint32_t);
+  for (const Group &G : Groups)
+    Bytes += G.Branches.capacity() * sizeof(uint32_t);
+  return Bytes;
+}
+
+void CandidateStore::samplePeaks() {
+  Stats.PeakBytes =
+      std::max<uint64_t>(Stats.PeakBytes, static_cast<uint64_t>(bytesInUse()));
+  Stats.PeakCandidates = std::max<uint64_t>(Stats.PeakCandidates, queueSize());
+  Stats.PeakArenaBytes = std::max<uint64_t>(Stats.PeakArenaBytes, Arena.size());
+  Stats.PeakGroups = std::max<uint64_t>(Stats.PeakGroups, LiveGroups);
+}

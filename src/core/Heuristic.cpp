@@ -29,6 +29,18 @@ double pfuzz::heuristicScore(const HeuristicInputs &In,
   return Cov;
 }
 
+double pfuzz::heuristicScore(const CandidateFeatures &F,
+                             const HeuristicOptions &Opt) {
+  HeuristicInputs In;
+  In.NewBranches = F.NewBranches;
+  In.InputLen = F.InputLen;
+  In.ReplacementLen = F.ReplacementLen;
+  In.AvgStackSize = F.AvgStackSize;
+  In.NumParents = F.NumParents;
+  In.PathCount = F.PathCount;
+  return heuristicScore(In, Opt);
+}
+
 //===----------------------------------------------------------------------===//
 // PrefixOrderTrie
 //===----------------------------------------------------------------------===//

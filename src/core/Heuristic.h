@@ -58,6 +58,24 @@ struct HeuristicInputs {
 /// Computes the candidate score; the queue pops the maximum.
 double heuristicScore(const HeuristicInputs &In, const HeuristicOptions &Opt);
 
+/// A queued candidate as the compact store describes it: the same terms
+/// as HeuristicInputs, but with the path-novelty count already resolved
+/// by the caller (the store keeps path hashes, not counts — the campaign
+/// owns the path table). Both the campaign's push-time scoring and the
+/// store's rescore pass go through this one function, so a candidate's
+/// score is computed identically no matter which layer asks.
+struct CandidateFeatures {
+  uint32_t NewBranches = 0;
+  uint32_t InputLen = 0;
+  uint32_t ReplacementLen = 0;
+  double AvgStackSize = 0;
+  uint32_t NumParents = 0;
+  uint32_t PathCount = 0;
+};
+
+/// Scores a candidate described by its compact record features.
+double heuristicScore(const CandidateFeatures &F, const HeuristicOptions &Opt);
+
 /// Path-compressed radix trie ordering a batch of candidate inputs for
 /// prefix locality. The equal-score front of the heuristic queue is
 /// inserted with opaque tags, and dfsOrder() emits the tags in

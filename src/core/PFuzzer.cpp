@@ -25,46 +25,6 @@ PFuzzer::PFuzzer(PFuzzerOptions Options) : Options(Options) {}
 
 namespace {
 
-/// Queue cap; when exceeded the worst-scored half is dropped at the next
-/// re-rank (the paper's prototype lets the queue grow; we bound memory).
-constexpr size_t MaxQueueSize = 100000;
-
-/// Immutable branch list shared between every candidate spawned from the
-/// same parent run. One run's comparisons can fan out into dozens of
-/// substitution candidates; sharing the list replaces a per-candidate
-/// vector copy with a refcount bump, cutting queue memory and push cost.
-using SharedBranches = std::shared_ptr<const std::vector<uint32_t>>;
-
-/// A not-yet-executed input in the priority queue (Algorithm 1, line 3).
-struct Candidate {
-  std::string Input;
-  /// Length of substitution chain from the initial input (line 50).
-  uint32_t NumParents = 0;
-  /// Average stack size between the last two comparisons of the parent run.
-  double AvgStack = 0;
-  /// Length of the replacement that produced this candidate (line 49).
-  uint32_t ReplacementLen = 1;
-  /// Branches the parent run covered (up to the last accepted character)
-  /// that were not yet covered by valid inputs at creation time. Replaced
-  /// (copy-on-rescore, never mutated in place) as vBr grows.
-  SharedBranches NewBranches;
-  /// vBr epoch at which NewBranches was last filtered; when the epoch has
-  /// not moved, a re-rank can skip re-filtering entirely.
-  uint64_t FilterEpoch = 0;
-  /// Hash of the parent run's parse path (for path-novelty ranking).
-  uint64_t PathHash = 0;
-  /// FNV-1a hash of Input, computed once at creation (addInputs already
-  /// hashes every candidate for the Enqueued dedup set). runCheck and the
-  /// run cache key on it, so a popped candidate is never rehashed; the
-  /// speculative prefetcher keys its in-flight table on it too.
-  uint64_t InputHash = 0;
-  double Score = 0;
-};
-
-bool scoreLess(const Candidate &A, const Candidate &B) {
-  return A.Score < B.Score;
-}
-
 uint64_t hashBranches(const std::vector<uint32_t> &Branches) {
   uint64_t H = 0xCBF29CE484222325ULL;
   for (uint32_t B : Branches) {
@@ -74,15 +34,25 @@ uint64_t hashBranches(const std::vector<uint32_t> &Branches) {
   return H;
 }
 
+constexpr uint64_t FnvBasis = 0xCBF29CE484222325ULL;
+constexpr uint64_t FnvPrime = 0x100000001B3ULL;
+
+/// Folds \p Bytes into the running FNV-1a state \p H. FNV-1a is strictly
+/// left-to-right, so extending the hash of a prefix with the replacement
+/// bytes yields exactly the hash of prefix + replacement — addInputs
+/// hashes candidates without ever building their strings.
+uint64_t extendHash(uint64_t H, std::string_view Bytes) {
+  for (char C : Bytes) {
+    H ^= static_cast<unsigned char>(C);
+    H *= FnvPrime;
+  }
+  return H;
+}
+
 /// FNV-1a over input bytes; keys both the run cache and the
 /// seen-candidate dedup set.
 uint64_t hashInput(std::string_view Input) {
-  uint64_t H = 0xCBF29CE484222325ULL;
-  for (char C : Input) {
-    H ^= static_cast<unsigned char>(C);
-    H *= 0x100000001B3ULL;
-  }
-  return H;
+  return extendHash(FnvBasis, Input);
 }
 
 /// Bounded LRU memoization of bare subject runs, keyed by input bytes.
@@ -277,10 +247,11 @@ public:
   }
 
   /// Drains the equal-score front of \p Queue (up to the batch cap) into
-  /// the trie and pre-executes it in DFS order. \p Spec, when present,
-  /// marks inputs already speculated on a worker. Defined after
-  /// Speculator (it peeks at the in-flight table).
-  void refill(const std::vector<Candidate> &Queue, const Speculator *Spec);
+  /// the trie and pre-executes it in DFS order, materializing each front
+  /// candidate's bytes from the store into recycled scratch strings.
+  /// \p Spec, when present, marks inputs already speculated on a worker.
+  /// Defined after Speculator (it peeks at the in-flight table).
+  void refill(const CandidateStore &Queue, const Speculator *Spec);
 
   /// Consumes the pre-executed result of \p Input if held: copies it
   /// into \p RR and returns true. On the scheduler path the execution
@@ -379,10 +350,13 @@ private:
   std::unordered_map<uint64_t, std::unique_ptr<Slot>> Ready;
   /// Retired slots for reuse (their RunResult buffers stay warm).
   std::vector<std::unique_ptr<Slot>> Free;
-  /// Scratch, recycled across refills.
+  /// Scratch, recycled across refills. FrontInputs holds the
+  /// materialized bytes of the tied front (one recycled string per
+  /// slot), the only point where batched candidates exist as strings.
   std::vector<uint32_t> FrontIdx;
   std::vector<uint32_t> HeapStack;
   std::vector<uint32_t> Order;
+  std::vector<std::string> FrontInputs;
   PrefixOrderTrie Trie;
   RunResult Scratch;
 };
@@ -427,22 +401,30 @@ public:
   SpeculationStats Stats;
 
   /// Predicts the likely next pops from the max-heap \p Queue and tops
-  /// the in-flight set up to Depth speculative executions. Queue[0] — the
-  /// *exact* next pop — is always submitted first; the rest of the
+  /// the in-flight set up to Depth speculative executions. Position 0 —
+  /// the *exact* next pop — is always submitted first; the rest of the
   /// prediction window covers the heap's top levels, where the following
   /// pops almost always live. Entries predicted again are kept warm;
   /// stale mispredictions are evicted (cancelled if not started,
-  /// recycled into the run cache if complete).
-  void refill(const std::vector<Candidate> &Queue) {
-    if (Queue.empty())
+  /// recycled into the run cache if complete). The window's candidate
+  /// bytes are materialized from the store into recycled scratch strings
+  /// — the prediction handoff is one of the few points where a queued
+  /// candidate needs to exist as a string at all.
+  void refill(const CandidateStore &Queue) {
+    size_t Size = Queue.queueSize();
+    if (Size == 0)
       return;
     ++Tick;
-    size_t Window = std::min(Queue.size(), size_t(4) * Depth);
+    size_t Window = std::min(Size, size_t(4) * Depth);
+    if (WindowInputs.size() < Window)
+      WindowInputs.resize(Window);
     Scratch.clear();
-    for (size_t I = 0; I != Window; ++I)
+    for (size_t I = 0; I != Window; ++I) {
+      Queue.materializeAt(I, WindowInputs[I]);
       Scratch.push_back(
-          {Queue[I].Score,
-           Warmth ? Warmth->warmPrefixLength(Queue[I].Input) : 0, I});
+          {Queue.scoreAt(I),
+           Warmth ? Warmth->warmPrefixLength(WindowInputs[I]) : 0, I});
+    }
     size_t Want = std::min<size_t>(Depth, Scratch.size());
     // Score ties break towards the deepest cached resume prefix: a deep
     // warm prefix means the candidate extends a lineage the loop just
@@ -458,11 +440,11 @@ public:
                           return A.Warm > B.Warm;
                         return A.Idx < B.Idx;
                       });
-    // Queue[0] is popped next no matter how score ties resolve in the
+    // Position 0 is popped next no matter how score ties resolve in the
     // partial sort; force it into the prediction set.
-    maybeSubmit(Queue[0]);
+    maybeSubmit(Queue.hashAt(0), WindowInputs[0]);
     for (size_t I = 0; I != Want; ++I)
-      maybeSubmit(Queue[Scratch[I].Idx]);
+      maybeSubmit(Queue.hashAt(Scratch[I].Idx), WindowInputs[Scratch[I].Idx]);
   }
 
   /// True when \p Input is speculated (in flight or completed but not
@@ -540,16 +522,16 @@ private:
     TaskHandle Task;
   };
 
-  void maybeSubmit(const Candidate &C) {
-    auto It = InFlight.find(C.InputHash);
+  void maybeSubmit(uint64_t Hash, const std::string &Input) {
+    auto It = InFlight.find(Hash);
     if (It != InFlight.end()) {
-      if (It->second->Input == C.Input)
+      if (It->second->Input == Input)
         It->second->Tick = Tick; // predicted again: keep warm
       return;
     }
-    if (Cache.contains(C.InputHash, C.Input))
+    if (Cache.contains(Hash, Input))
       return; // the loop will replay it for free anyway
-    if (Batch && Batch->holds(C.InputHash, C.Input))
+    if (Batch && Batch->holds(Hash, Input))
       return; // the locality scheduler already ran it warm
     if (InFlight.size() >= 2 * size_t(Depth) && !evictOne())
       return;
@@ -560,9 +542,9 @@ private:
     } else {
       Sl = std::make_unique<Slot>();
     }
-    Sl->Hash = C.InputHash;
+    Sl->Hash = Hash;
     Sl->Tick = Tick;
-    Sl->Input = C.Input;
+    Sl->Input = Input;
     Slot *Raw = Sl.get();
     const Subject *Subj = &S;
     Sl->Task = Sched.submit(TaskClass::Speculation, [Subj, Raw] {
@@ -627,31 +609,35 @@ private:
   std::vector<std::unique_ptr<Slot>> Free;
   /// Selection scratch for refill().
   std::vector<Pick> Scratch;
+  /// Materialized prediction-window inputs, one recycled string per
+  /// window slot.
+  std::vector<std::string> WindowInputs;
 };
 
-void LocalityBatcher::refill(const std::vector<Candidate> &Queue,
+void LocalityBatcher::refill(const CandidateStore &Queue,
                              const Speculator *Spec) {
-  if (Queue.size() < 2)
+  size_t Size = Queue.queueSize();
+  if (Size < 2)
     return;
   // Collect the equal-score front. In a max-heap every candidate tied
   // with the root's score forms a root-connected subtree (a tied node's
   // parent scores >= it, and <= the root by the heap property, so the
   // whole ancestor chain is tied too); walking children 2i+1/2i+2 while
-  // the score matches Queue[0] exactly enumerates the tie.
-  double Top = Queue[0].Score;
+  // the score matches position 0 exactly enumerates the tie.
+  double Top = Queue.scoreAt(0);
   FrontIdx.clear();
   HeapStack.clear();
   HeapStack.push_back(0);
   while (!HeapStack.empty() && FrontIdx.size() < MaxBatch) {
     uint32_t I = HeapStack.back();
     HeapStack.pop_back();
-    if (Queue[I].Score != Top)
+    if (Queue.scoreAt(I) != Top)
       continue;
     FrontIdx.push_back(I);
     size_t L = size_t(2) * I + 1;
-    if (L < Queue.size())
+    if (L < Size)
       HeapStack.push_back(static_cast<uint32_t>(L));
-    if (L + 1 < Queue.size())
+    if (L + 1 < Size)
       HeapStack.push_back(static_cast<uint32_t>(L + 1));
   }
   Stats.TieFront += FrontIdx.size();
@@ -661,24 +647,31 @@ void LocalityBatcher::refill(const std::vector<Candidate> &Queue,
   // Trie DFS turns the heap's arbitrary sibling order into
   // lexicographic-by-bytes order: inputs sharing a prefix come out
   // adjacent, and a duplicate input keeps its first tag (one execution
-  // serves every copy).
+  // serves every copy). The front's bytes are materialized here, into
+  // recycled strings — the trie copies label bytes into its own arena,
+  // so the scratch can be reused next refill.
+  if (FrontInputs.size() < FrontIdx.size())
+    FrontInputs.resize(FrontIdx.size());
   Trie.clear();
-  for (uint32_t I : FrontIdx)
-    Trie.insert(Queue[I].Input, I);
+  for (size_t J = 0; J != FrontIdx.size(); ++J) {
+    Queue.materializeAt(FrontIdx[J], FrontInputs[J]);
+    Trie.insert(FrontInputs[J], static_cast<uint32_t>(J));
+  }
   Order.clear();
   Trie.dfsOrder(Order);
   bool Ran = false;
-  for (uint32_t I : Order) {
-    const Candidate &C = Queue[I];
-    auto It = Ready.find(C.InputHash);
+  for (uint32_t J : Order) {
+    const std::string &CInput = FrontInputs[J];
+    uint64_t CHash = Queue.hashAt(FrontIdx[J]);
+    auto It = Ready.find(CHash);
     if (It != Ready.end()) {
-      if (It->second->Input == C.Input)
+      if (It->second->Input == CInput)
         It->second->Tick = Tick; // still in the front: keep warm
       continue;
     }
-    if (Cache.contains(C.InputHash, C.Input))
+    if (Cache.contains(CHash, CInput))
       continue; // the loop will replay it for free anyway
-    if (Spec && Spec->holds(C.InputHash, C.Input))
+    if (Spec && Spec->holds(CHash, CInput))
       continue; // a worker is already executing it
     if (Ready.size() >= 2 * size_t(MaxBatch) && !evictOne())
       break;
@@ -689,9 +682,9 @@ void LocalityBatcher::refill(const std::vector<Candidate> &Queue,
     } else {
       Sl = std::make_unique<Slot>();
     }
-    Sl->Hash = C.InputHash;
+    Sl->Hash = CHash;
     Sl->Tick = Tick;
-    Sl->Input = C.Input;
+    Sl->Input = CInput;
     if (Engine) {
       // The engine's result may live in its pooled slot; copy it out
       // while the reference is valid (it dies at the next execute). The
@@ -726,7 +719,8 @@ public:
   Campaign(const Subject &S, const FuzzerOptions &Opts,
            const PFuzzerOptions &Config)
       : S(S), Opts(Opts), Config(Config), Heur(Config.Heur), R(Opts.Seed),
-        Cache(Config.RunCacheSize) {
+        Cache(Config.RunCacheSize),
+        Store(Config.ReferenceQueue, Config.MaxQueue) {
     // The prefix-resumption engine: only for subjects audited as safe to
     // checkpoint, and only when this build can switch stacks — anything
     // else falls back to plain full re-execution, which records the
@@ -786,12 +780,16 @@ private:
     Report.CoverageTimeline.push_back(Sample);
   }
 
-  /// Heuristic-relevant facts extracted from one run. NewBranches is
-  /// built once per run and shared (refcounted) by every candidate the
-  /// run spawns.
+  /// Heuristic-relevant facts extracted from one run. The run's
+  /// new-branch list lives in the store as a group (one list shared by
+  /// every candidate the run spawns); Run is its handle, released at the
+  /// end of the iteration that executed it. NewBranchCount is the list
+  /// size captured at creation — push-time scores use it even if a
+  /// mid-iteration rescore filters the queued copies, exactly as the
+  /// by-value queue scored pushes from its unfiltered RunStats list.
   struct RunStats {
-    SharedBranches NewBranches;
-    uint64_t FilterEpoch = 0;
+    uint32_t Run = CandidateStore::None;
+    uint32_t NewBranchCount = 0;
     double AvgStack = 0;
     uint64_t PathHash = 0;
     uint32_t LastIdx = 0;
@@ -799,44 +797,79 @@ private:
   };
 
   /// Computes coverage/stack/path statistics of \p RR per Section 3.1
-  /// (coverage only up to the first comparison of the last character).
-  RunStats computeStats(const RunResult &RR);
+  /// (coverage only up to the first comparison of the last character)
+  /// and opens the run's group in the store. \p ParentCount becomes the
+  /// group's parent-chain base (substitution candidates add one).
+  RunStats computeStats(const RunResult &RR, uint32_t ParentCount);
 
   /// Generates substitution candidates from the comparisons of \p RR on
-  /// \p Input (procedure addInputs, lines 19-25).
+  /// \p Input (procedure addInputs, lines 19-25). \p ParentRec is the
+  /// store record of \p Input (the candidates' materialization parent).
   void addInputs(const std::string &Input, const RunResult &RR,
-                 const RunStats &Stats, uint32_t ParentCount);
+                 const RunStats &Stats, uint32_t ParentCount,
+                 uint32_t ParentRec);
 
   /// Puts \p Input back into the queue after a run that tried to read
   /// past the end: the parser wants more input, so the prefix deserves
   /// further random extensions (Section 2: "continue with the generated
   /// prefix"). Path-novelty decay keeps this from looping forever.
   void requeuePrefix(const std::string &Input, uint64_t Hash,
-                     const RunStats &Stats, uint32_t ParentCount);
+                     const RunStats &Stats, uint32_t ParentCount,
+                     uint32_t ParentRec);
 
   /// Recomputes all queue scores against the grown vBr (lines 40-43) and
-  /// enforces the queue cap.
-  void rescoreQueue();
+  /// enforces the queue cap; a trim also resets oversized requeue
+  /// counters, as before.
+  void rescoreQueue() {
+    if (Store.rescore(VBr, PathCounts, Heur) &&
+        RequeueCounts.size() > Config.MaxQueue)
+      RequeueCounts.clear();
+  }
 
-  void pushCandidate(Candidate C);
-  Candidate popBest();
+  /// Counts one execution of the parse path \p PathHash, decaying the
+  /// table when it outgrows the queue cap. The table previously grew
+  /// without bound over a campaign (8+4 bytes per distinct path);
+  /// halving all counts and dropping the zeros keeps it capped while
+  /// preserving the ranking's shape — hot paths stay hot relative to
+  /// cold ones, and a count that decayed to zero had already stopped
+  /// mattering (the score term saturates at 24). Both queue modes share
+  /// this table, so decay cannot break compact-vs-reference identity.
+  void notePath(uint64_t PathHash) {
+    ++PathCounts[PathHash];
+    Store.Stats.PeakPathTable =
+        std::max<uint64_t>(Store.Stats.PeakPathTable, PathCounts.size());
+    if (PathCounts.size() <= Config.MaxQueue)
+      return;
+    for (auto It = PathCounts.begin(); It != PathCounts.end();) {
+      It->second /= 2;
+      if (It->second == 0)
+        It = PathCounts.erase(It);
+      else
+        ++It;
+    }
+    ++Store.Stats.PathDecays;
+  }
 
   /// The possible replacement strings a comparison admits. \p RR owns the
   /// arena the event's operand slices resolve against.
   std::vector<std::string> expansions(const RunResult &RR,
                                       const ComparisonEvent &E);
 
-  double scoreOf(const Candidate &C) {
-    HeuristicInputs In;
-    In.NewBranches =
-        C.NewBranches ? static_cast<uint32_t>(C.NewBranches->size()) : 0;
-    In.InputLen = static_cast<uint32_t>(C.Input.size());
-    In.ReplacementLen = C.ReplacementLen;
-    In.AvgStackSize = C.AvgStack;
-    In.NumParents = C.NumParents;
-    auto It = PathCounts.find(C.PathHash);
-    In.PathCount = It == PathCounts.end() ? 0 : It->second;
-    return heuristicScore(In, Heur);
+  /// Push-time candidate score; the store's rescore pass recomputes the
+  /// same features through the same heuristicScore overload, so a
+  /// candidate's score is identical no matter which layer computes it.
+  double scoreCandidate(uint32_t NewBranchCount, size_t InputLen,
+                        size_t ReplacementLen, double AvgStack,
+                        uint32_t NumParents, uint64_t PathHash) {
+    CandidateFeatures F;
+    F.NewBranches = NewBranchCount;
+    F.InputLen = static_cast<uint32_t>(InputLen);
+    F.ReplacementLen = static_cast<uint32_t>(ReplacementLen);
+    F.AvgStackSize = AvgStack;
+    F.NumParents = NumParents;
+    auto It = PathCounts.find(PathHash);
+    F.PathCount = It == PathCounts.end() ? 0 : It->second;
+    return heuristicScore(F, Heur);
   }
 
   char randomChar() {
@@ -856,11 +889,11 @@ private:
   const HeuristicOptions &Heur;
   Rng R;
   FuzzReport Report;
-  std::vector<Candidate> Queue; // max-heap by Score
   /// Branches covered by valid inputs (Algorithm 1's vBr, line 2); lives
   /// directly in the report. A dense bitmap: the test-per-branch loops in
   /// runCheck/computeStats/rescoreQueue are the campaign's hottest code.
   BranchCoverageMap &VBr = Report.ValidBranches;
+  /// Per-path execution counts, bounded by notePath's decay.
   std::unordered_map<uint64_t, uint32_t> PathCounts;
   /// Seen-candidate dedup keyed by 64-bit input hash instead of the input
   /// bytes. A colliding hash drops a genuinely new candidate; tolerated —
@@ -870,6 +903,10 @@ private:
   std::unordered_set<uint64_t> Enqueued;
   /// Memoized bare runs; see PFuzzerOptions::RunCacheSize.
   RunCache Cache;
+  /// The candidate priority queue (max-heap by score): compact
+  /// prefix-suffix records by default, by-value strings when
+  /// Config.ReferenceQueue — see core/CandidateStore.h.
+  CandidateStore Store;
   /// Speculative prefetcher, or null when SpeculationThreads == 0.
   std::unique_ptr<Speculator> Spec;
   /// Prefix-resumption engine, or null when disabled/ineligible; see
@@ -879,13 +916,25 @@ private:
   /// or the resumption engine is off; see PFuzzerOptions::LocalityBatch.
   std::unique_ptr<LocalityBatcher> Batch;
   /// How often each prefix was re-enqueued for another random extension;
-  /// bounded so retired prefixes stop consuming budget.
-  std::unordered_map<std::string, uint32_t> RequeueCounts;
+  /// bounded so retired prefixes stop consuming budget. Keyed by the
+  /// prefix's 64-bit input hash (the campaign already carries it)
+  /// instead of the prefix bytes: no O(len) copy + hash per requeue, 12
+  /// bytes per entry instead of a stored string. A colliding hash merges
+  /// two prefixes' retry counters; tolerated for the same reason as the
+  /// Enqueued set above.
+  std::unordered_map<uint64_t, uint32_t> RequeueCounts;
   uint64_t LastRescore = 0;
   /// Reusable scratch for per-run distinct-branch extraction; cleared,
   /// never reallocated, on each execution.
   std::vector<uint32_t> CoveredScratch;
   std::vector<uint32_t> UpToScratch;
+  /// Per-run not-yet-covered list, handed to the store's makeRun;
+  /// recycled across runs (the store copies it).
+  std::vector<uint32_t> FreshScratch;
+  /// Rolling FNV-1a prefix hashes of the current addInputs input:
+  /// PrefixHashes[i] hashes the first i bytes, so a candidate's hash is
+  /// extendHash(PrefixHashes[SpliceAt], Rep) — no string is built.
+  std::vector<uint64_t> PrefixHashes;
 };
 
 } // namespace
@@ -894,6 +943,11 @@ FuzzReport Campaign::run() {
   std::string Input(1, randomChar()); // line 4
   uint64_t InputHash = hashInput(Input);
   uint32_t ParentCount = 0;
+  // The current input's store record: candidates spawned from it
+  // reference it as their materialization parent instead of copying its
+  // bytes. Popping a candidate hands over its (already pinned) record;
+  // campaign starts and restarts intern a fresh root.
+  uint32_t CurId = Store.internRoot(Input, InputHash);
   uint64_t SampleEvery = std::max<uint64_t>(1, Opts.MaxExecutions / 256);
   // The two RunResults live across the whole campaign: each execution
   // recycles their trace buffers (Subject::execute clears contents but
@@ -902,43 +956,55 @@ FuzzReport Campaign::run() {
   while (Report.Executions < Opts.MaxExecutions) {
     bool Valid = false;
     const RunResult *Run = runCheck(Input, InputHash, RR, Valid); // line 7
-    RunStats Stats = computeStats(*Run);
-    ++PathCounts[Stats.PathHash];
+    RunStats Stats = computeStats(*Run, ParentCount);
+    notePath(Stats.PathHash);
     // Captured now: *Run may point into the resumption engine's pool,
     // which the extension run below recycles.
     bool WantsMore = Run->hitEof();
+    // The extension input's record, when this iteration makes one; its
+    // substitution children splice below its one-char suffix.
+    uint32_t EId = CandidateStore::None;
     if (Valid) {
       if (!Config.ResetOnValid)
-        addInputs(Input, *Run, Stats, ParentCount); // via validInp, line 44
+        addInputs(Input, *Run, Stats, ParentCount,
+                  CurId); // via validInp, line 44
     } else {
       // "After every rejection, we satisfy the comparisons leading to
       // rejection": substitutions from the bare run first. (A random
       // extension could merge into the last token -- e.g. a letter after
       // a keyword -- and hide these alternatives.)
-      addInputs(Input, *Run, Stats, ParentCount);
-      if (Report.Executions >= Opts.MaxExecutions)
+      addInputs(Input, *Run, Stats, ParentCount, CurId);
+      if (Report.Executions >= Opts.MaxExecutions) {
+        Store.releaseRun(Stats.Run);
         break;
+      }
       // Early refill: the bare run's substitutions are enqueued, so the
       // heap's top already names the likely next pops. Handing them to
       // the workers *before* the sequential extension run below lets the
       // speculative executions overlap it.
       if (Spec)
-        Spec->refill(Queue);
+        Spec->refill(Store);
       std::string EInp = Input + randomChar(); // line 15
+      uint64_t EHash = hashInput(EInp);
       // Line 9-12: run the extended input; whether it turned out valid or
       // not, its comparisons seed the next substitutions.
       bool EValid = false;
-      const RunResult *ERun = runCheck(EInp, hashInput(EInp), RE, EValid);
-      RunStats EStats = computeStats(*ERun);
-      ++PathCounts[EStats.PathHash];
-      addInputs(EInp, *ERun, EStats, ParentCount);
+      const RunResult *ERun = runCheck(EInp, EHash, RE, EValid);
+      RunStats EStats = computeStats(*ERun, ParentCount);
+      notePath(EStats.PathHash);
+      EId = Store.internChild(CurId, Input.size(), Input,
+                              std::string_view(EInp).substr(Input.size()),
+                              EHash);
+      addInputs(EInp, *ERun, EStats, ParentCount, EId);
+      Store.releaseRun(EStats.Run);
     }
     // A run that read past the end wants more input: keep the prefix
     // alive so it receives further random extensions (unless valid
     // inputs are configured to reset instead of continue).
     if (WantsMore && Input.size() < Opts.MaxInputLen &&
         !(Valid && Config.ResetOnValid))
-      requeuePrefix(Input, InputHash, Stats, ParentCount);
+      requeuePrefix(Input, InputHash, Stats, ParentCount, CurId);
+    Store.releaseRun(Stats.Run);
     if (Report.Executions / SampleEvery !=
         (Report.Executions + 1) / SampleEvery)
       sampleTimeline();
@@ -950,12 +1016,15 @@ FuzzReport Campaign::run() {
       LastRescore = Report.Executions;
       rescoreQueue();
     }
-    if (Queue.empty()) {
+    if (Store.empty()) {
       // Search exhausted (tiny languages): restart from a fresh random
       // character to keep exploring different seeds.
+      Store.release(EId);
+      Store.release(CurId);
       Input.assign(1, randomChar());
       InputHash = hashInput(Input);
       ParentCount = 0;
+      CurId = Store.internRoot(Input, InputHash);
       continue;
     }
     // Locality batching runs at the iteration boundary, when the queue
@@ -964,25 +1033,30 @@ FuzzReport Campaign::run() {
     // shared prefixes are warm. Before the speculator refill, so workers
     // skip what the batcher holds.
     if (Batch)
-      Batch->refill(Queue, Spec.get());
+      Batch->refill(Store, Spec.get());
     // Final refill for this iteration: the queue now also holds the
-    // extension run's candidates, and Queue[0] is the exact input popped
-    // next, so its execution is guaranteed to be speculated.
+    // extension run's candidates, and position 0 is the exact input
+    // popped next, so its execution is guaranteed to be speculated.
     if (Spec)
-      Spec->refill(Queue);
-    Candidate Best = popBest(); // line 14
+      Spec->refill(Store);
+    CandidateStore::Popped Best = Store.pop(Input); // line 14
     if (Opts.Verbose)
       std::fprintf(stderr,
                    "pop score=%.1f new=%zu len=%zu rep=%u par=%u [%s]\n",
-                   Best.Score,
-                   Best.NewBranches ? Best.NewBranches->size() : size_t(0),
-                   Best.Input.size(), Best.ReplacementLen, Best.NumParents,
-                   Best.Input.c_str());
-    Input = std::move(Best.Input);
+                   Best.Score, static_cast<size_t>(Best.NewBranchCount),
+                   Input.size(), Best.ReplacementLen, Best.NumParents,
+                   Input.c_str());
+    // The old current input (and this iteration's extension) stop being
+    // potential parents; their pins drop and the popped record's takes
+    // over. Any queued descendant keeps the needed ancestry alive.
+    Store.release(EId);
+    Store.release(CurId);
+    CurId = Best.Id;
     InputHash = Best.InputHash;
     ParentCount = Best.NumParents;
   }
   sampleTimeline();
+  Store.samplePeaks();
   if (Spec) {
     Spec->shutdown();
     if (Config.StatsOut)
@@ -996,6 +1070,8 @@ FuzzReport Campaign::run() {
     Batch->shutdown();
   if (Config.LocalityStatsOut)
     *Config.LocalityStatsOut = Batch ? Batch->Stats : LocalityStats();
+  if (Config.QueueStatsOut)
+    *Config.QueueStatsOut = Store.Stats;
   return std::move(Report);
 }
 
@@ -1103,7 +1179,8 @@ std::vector<std::string> Campaign::expansions(const RunResult &RR,
   return Out;
 }
 
-Campaign::RunStats Campaign::computeStats(const RunResult &RR) {
+Campaign::RunStats Campaign::computeStats(const RunResult &RR,
+                                          uint32_t ParentCount) {
   RunStats Stats;
   // The last compared input position: substitutions always happen at the
   // last index where a comparison took place (Section 3). Comparisons on
@@ -1132,14 +1209,14 @@ Campaign::RunStats Campaign::computeStats(const RunResult &RR) {
     if (!E.Implicit)
       Cutoff = E.TracePosition + 1;
   RR.coveredBranchesUpTo(Cutoff, UpToScratch);
-  // One shared list per run; every candidate spawned from this run holds
-  // a reference instead of a copy.
-  auto Fresh = std::make_shared<std::vector<uint32_t>>();
+  // One list per run, stored as a group in the candidate store; every
+  // candidate spawned from this run references the group instead of
+  // carrying a copy.
+  FreshScratch.clear();
   for (uint32_t B : UpToScratch)
     if (!VBr.test(B))
-      Fresh->push_back(B);
-  Stats.NewBranches = std::move(Fresh);
-  Stats.FilterEpoch = VBr.epoch();
+      FreshScratch.push_back(B);
+  Stats.NewBranchCount = static_cast<uint32_t>(FreshScratch.size());
   Stats.PathHash = hashBranches(UpToScratch);
 
   // Average stack size between the second-last and last comparison.
@@ -1154,13 +1231,27 @@ Campaign::RunStats Campaign::computeStats(const RunResult &RR) {
     Stats.AvgStack = SecondLast != nullptr
                          ? (Last->StackDepth + SecondLast->StackDepth) / 2.0
                          : Last->StackDepth;
+  Stats.Run = Store.makeRun(FreshScratch, VBr.epoch(), Stats.AvgStack,
+                            Stats.PathHash, ParentCount);
   return Stats;
 }
 
 void Campaign::addInputs(const std::string &Input, const RunResult &RR,
-                         const RunStats &Stats, uint32_t ParentCount) {
+                         const RunStats &Stats, uint32_t ParentCount,
+                         uint32_t ParentRec) {
   if (!Stats.HaveIdx)
     return;
+  // Rolling prefix hashes, computed once per call: candidate hashes are
+  // derived from them without building any candidate string — the
+  // allocation the by-value queue paid per candidate is gone entirely.
+  PrefixHashes.resize(Input.size() + 1);
+  uint64_t H = FnvBasis;
+  PrefixHashes[0] = H;
+  for (size_t I = 0; I != Input.size(); ++I) {
+    H ^= static_cast<unsigned char>(Input[I]);
+    H *= FnvPrime;
+    PrefixHashes[I + 1] = H;
+  }
   for (const ComparisonEvent &E : RR.Comparisons) {
     if (E.Implicit || E.OnEof || E.Taint.empty())
       continue;
@@ -1176,115 +1267,52 @@ void Campaign::addInputs(const std::string &Input, const RunResult &RR,
       continue;
     size_t SpliceAt = std::min<size_t>(E.Taint.minIndex(), Input.size());
     for (std::string &Rep : expansions(RR, E)) {
-      Candidate C;
-      C.Input = Input.substr(0, SpliceAt) + Rep;
-      if (C.Input == Input || C.Input.size() > Opts.MaxInputLen)
+      // The candidate is Input[0, SpliceAt) + Rep; compare and hash it
+      // against the parent in place.
+      size_t NewLen = SpliceAt + Rep.size();
+      if ((NewLen == Input.size() &&
+           Input.compare(SpliceAt, Rep.size(), Rep) == 0) ||
+          NewLen > Opts.MaxInputLen)
         continue;
-      // One FNV-1a pass serves the dedup set here, the run-cache key and
-      // the prefetcher's in-flight table later: the hash rides on the
-      // candidate instead of being recomputed at pop time.
-      C.InputHash = hashInput(C.Input);
-      if (!Enqueued.insert(C.InputHash).second)
+      // One FNV-1a extension serves the dedup set here, the run-cache key
+      // and the prefetcher's in-flight table later: the hash rides on the
+      // record instead of being recomputed at pop time.
+      uint64_t Hash = extendHash(PrefixHashes[SpliceAt], Rep);
+      if (!Enqueued.insert(Hash).second)
         continue;
-      C.NumParents = ParentCount + 1;
-      C.AvgStack = Stats.AvgStack;
-      C.ReplacementLen = static_cast<uint32_t>(Rep.size());
-      C.NewBranches = Stats.NewBranches;
-      C.FilterEpoch = Stats.FilterEpoch;
-      C.PathHash = Stats.PathHash;
-      C.Score = scoreOf(C);
-      pushCandidate(std::move(C));
+      double Score =
+          scoreCandidate(Stats.NewBranchCount, NewLen, Rep.size(),
+                         Stats.AvgStack, ParentCount + 1, Stats.PathHash);
+      Store.push(Stats.Run, ParentRec, Input, SpliceAt, Rep, Hash,
+                 static_cast<uint32_t>(Rep.size()), /*ParentDelta=*/1, Score);
+      if (Store.queueSize() > Config.MaxQueue)
+        rescoreQueue();
     }
   }
 }
 
 void Campaign::requeuePrefix(const std::string &Input, uint64_t Hash,
-                             const RunStats &Stats, uint32_t ParentCount) {
-  uint32_t &Count = RequeueCounts[Input];
+                             const RunStats &Stats, uint32_t ParentCount,
+                             uint32_t ParentRec) {
+  uint32_t &Count = RequeueCounts[Hash];
   if (Count >= 12)
     return; // retired: this prefix had its chances
   ++Count;
-  Candidate C;
-  C.Input = Input;
-  C.InputHash = Hash;
-  C.NumParents = ParentCount;
-  C.AvgStack = Stats.AvgStack;
-  C.ReplacementLen = 1;
-  C.NewBranches = Stats.NewBranches;
-  C.FilterEpoch = Stats.FilterEpoch;
-  C.PathHash = Stats.PathHash;
   // Deliberately bypasses the Enqueued dedup: the same prefix re-enters
   // once per execution so a fresh random extension gets its chance; each
   // round costs it an extra score point so retries drain gradually.
-  C.Score = scoreOf(C) - Count;
+  double Score = scoreCandidate(Stats.NewBranchCount, Input.size(), 1,
+                                Stats.AvgStack, ParentCount, Stats.PathHash) -
+                 Count;
   if (Opts.Verbose)
-    std::fprintf(stderr, "requeue score=%.1f count=%u [%s]\n", C.Score,
-                 Count, C.Input.c_str());
-  pushCandidate(std::move(C));
-}
-
-void Campaign::pushCandidate(Candidate C) {
-  Queue.push_back(std::move(C));
-  std::push_heap(Queue.begin(), Queue.end(), scoreLess);
-  if (Queue.size() > MaxQueueSize)
+    std::fprintf(stderr, "requeue score=%.1f count=%u [%s]\n", Score, Count,
+                 Input.c_str());
+  // An empty-suffix record spliced at the full length: the requeued
+  // candidate *is* its parent, byte for byte, at zero stored bytes.
+  Store.push(Stats.Run, ParentRec, Input, Input.size(), std::string_view(),
+             Hash, /*ReplacementLen=*/1, /*ParentDelta=*/0, Score);
+  if (Store.queueSize() > Config.MaxQueue)
     rescoreQueue();
-}
-
-Candidate Campaign::popBest() {
-  std::pop_heap(Queue.begin(), Queue.end(), scoreLess);
-  Candidate Best = std::move(Queue.back());
-  Queue.pop_back();
-  return Best;
-}
-
-void Campaign::rescoreQueue() {
-  // vBr only grows, so each candidate's not-yet-covered list only
-  // shrinks. Candidates spawned from the same run share one immutable
-  // list, so filter each distinct list once (copy-on-rescore) and hand
-  // the filtered copy back to every sharer; the epoch check skips even
-  // that when coverage has not grown since the list was built.
-  uint64_t Now = VBr.epoch();
-  struct FilterEntry {
-    SharedBranches Original; // pins the key's address for this pass
-    SharedBranches Replacement;
-  };
-  std::unordered_map<const void *, FilterEntry> Filtered;
-  for (Candidate &C : Queue) {
-    if (C.NewBranches && !C.NewBranches->empty() && C.FilterEpoch != Now) {
-      FilterEntry &Entry = Filtered[C.NewBranches.get()];
-      if (!Entry.Replacement) {
-        Entry.Original = C.NewBranches;
-        auto Kept = std::make_shared<std::vector<uint32_t>>();
-        Kept->reserve(C.NewBranches->size());
-        for (uint32_t B : *C.NewBranches)
-          if (!VBr.test(B))
-            Kept->push_back(B);
-        Entry.Replacement = std::move(Kept);
-      }
-      C.NewBranches = Entry.Replacement;
-    }
-    C.FilterEpoch = Now;
-    C.Score = scoreOf(C);
-  }
-  if (Queue.size() > MaxQueueSize) {
-    std::nth_element(Queue.begin(), Queue.begin() + MaxQueueSize / 2,
-                     Queue.end(),
-                     [](const Candidate &A, const Candidate &B) {
-                       return A.Score > B.Score;
-                     });
-    Queue.resize(MaxQueueSize / 2);
-    // Enqueued survives the trim: at 8 bytes per hash it grows slower
-    // than the queue it deduplicates, and keeping it means a trimmed
-    // candidate is never regenerated and re-executed. (The seed rebuilt
-    // the set from the surviving candidates here, which cost a pass over
-    // the queue and re-admitted every dropped input.)
-    if (RequeueCounts.size() > MaxQueueSize) {
-      // Retired prefixes lose their retry counters too and may earn one
-      // more round of random extensions; acceptable for the same reason.
-      RequeueCounts.clear();
-    }
-  }
-  std::make_heap(Queue.begin(), Queue.end(), scoreLess);
 }
 
 FuzzReport PFuzzer::run(const Subject &S, const FuzzerOptions &Opts) {

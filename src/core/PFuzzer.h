@@ -17,6 +17,7 @@
 #ifndef PFUZZ_CORE_PFUZZER_H
 #define PFUZZ_CORE_PFUZZER_H
 
+#include "core/CandidateStore.h"
 #include "core/Fuzzer.h"
 #include "core/Heuristic.h"
 #include "runtime/PrefixResumeCache.h"
@@ -186,6 +187,25 @@ struct PFuzzerOptions {
   /// Optional out-param: the locality scheduler's diagnostic counters.
   /// Never part of the report.
   LocalityStats *LocalityStatsOut = nullptr;
+
+  /// Queue cap: when a push or rescore finds more candidates than this,
+  /// the next re-rank drops the worst-scored half (the paper's prototype
+  /// lets the queue grow; we bound memory). Also caps the path-count
+  /// table, whose entries decay when it outgrows the cap. A knob mainly
+  /// so tests can exercise trim pressure and path decay on small
+  /// campaigns; the default matches the historical constant.
+  size_t MaxQueue = 100000;
+
+  /// Store candidates as full by-value strings (the pre-store
+  /// representation) instead of compact prefix-suffix records. The
+  /// search trajectory is byte-identical either way — this exists so the
+  /// identity sweep test and the queue benches can compare the two
+  /// representations honestly.
+  bool ReferenceQueue = false;
+
+  /// Optional out-param: the candidate store's diagnostic counters
+  /// (pushes, rescore count/time, peak bytes). Never part of the report.
+  QueueStats *QueueStatsOut = nullptr;
 
   /// Work-stealing scheduler the prefetcher and the locality batcher's
   /// engine-less pre-executions submit to. Null (the default) lazily

@@ -63,6 +63,10 @@ std::unique_ptr<Fuzzer> pfuzz::makeFuzzer(ToolKind Kind,
     Options.LocalityBatch = Tools.PFuzzerLocality;
     Options.ResumeStatsOut = Tools.PFuzzerResumeStatsOut;
     Options.LocalityStatsOut = Tools.PFuzzerLocalityStatsOut;
+    Options.ReferenceQueue = Tools.PFuzzerReferenceQueue;
+    if (Tools.PFuzzerMaxQueue != 0)
+      Options.MaxQueue = Tools.PFuzzerMaxQueue;
+    Options.QueueStatsOut = Tools.PFuzzerQueueStatsOut;
     return std::make_unique<PFuzzer>(Options);
   }
   case ToolKind::Afl:
@@ -127,6 +131,7 @@ struct SeedRunOutcome {
   double WallSeconds = 0;
   ResumeStats Resume;
   LocalityStats Locality;
+  QueueStats Queue;
 };
 
 /// Runs one seed of one cell. Everything mutable (fuzzer, Rng, token
@@ -141,6 +146,7 @@ SeedRunOutcome runOneSeed(ToolKind Kind, const Subject &S,
   ToolOptions SeedTools = Tools;
   SeedTools.PFuzzerResumeStatsOut = &Out.Resume;
   SeedTools.PFuzzerLocalityStatsOut = &Out.Locality;
+  SeedTools.PFuzzerQueueStatsOut = &Out.Queue;
   std::unique_ptr<Fuzzer> Tool = makeFuzzer(Kind, SeedTools);
   TokenCoverage Tokens(S.name());
   FuzzerOptions Opts;
@@ -172,6 +178,7 @@ CampaignResult reduceCell(ToolKind Kind, const Subject &S,
     Best.TotalExecutions += Out.Report.Executions;
     Best.Resume.accumulate(Out.Resume);
     Best.Locality.accumulate(Out.Locality);
+    Best.Queue.accumulate(Out.Queue);
     bool Better =
         !HaveBest ||
         Out.Report.ValidBranches.size() > Best.Report.ValidBranches.size() ||

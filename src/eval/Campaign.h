@@ -98,6 +98,23 @@ struct ToolOptions {
   /// (aggregated into CampaignResult::Locality).
   LocalityStats *PFuzzerLocalityStatsOut = nullptr;
 
+  /// PFuzzerOptions::ReferenceQueue: store candidates as full by-value
+  /// strings instead of compact prefix-suffix records. Reports are
+  /// byte-identical either way; the identity sweep test and the queue
+  /// benches flip this for honest before/after comparisons.
+  bool PFuzzerReferenceQueue = false;
+
+  /// PFuzzerOptions::MaxQueue: candidate-queue cap (trims drop the
+  /// worst-scored half past it). 0 keeps the PFuzzerOptions default.
+  /// Unlike the knobs above this one is score-visible in principle —
+  /// both queue representations share it, so compact-vs-reference
+  /// comparisons stay valid at any value.
+  size_t PFuzzerMaxQueue = 0;
+
+  /// Like PFuzzerResumeStatsOut, for the candidate store's counters
+  /// (aggregated into CampaignResult::Queue).
+  QueueStats *PFuzzerQueueStatsOut = nullptr;
+
   /// Work-stealing scheduler the campaign runners fan seed runs out on
   /// and thread through to every fuzzer they create
   /// (PFuzzerOptions::Sched). Null (the default) uses the process-global
@@ -185,6 +202,11 @@ struct CampaignResult {
   /// Locality-scheduler counters summed over every run of the cell; all
   /// zero when batching was disabled. Diagnostic only.
   LocalityStats Locality;
+
+  /// Candidate-store counters summed over every run of the cell (peak
+  /// byte figures are maxed, not summed — see QueueStats::accumulate).
+  /// Diagnostic only.
+  QueueStats Queue;
 
   /// Throughput over all runs of the cell; 0 when nothing was timed.
   double execsPerSec() const {
