@@ -11,7 +11,9 @@
 ///   {"bench": ..., "subject": ..., "execs_per_sec": ...,
 ///    "wall_ms": ..., "resume_hit_rate": ..., "resume_rung_depth": ...,
 ///    "locality_batch": ..., "sched_tasks": ..., "sched_steal_rate": ...,
-///    "queue_bytes_peak": ..., "rescore_ns_per_exec": ...}
+///    "queue_bytes_peak": ..., "rescore_ns_per_exec": ...,
+///    "shards": ..., "shard_deltas": ..., "shard_migrations": ...,
+///    "shard_frontier_lag": ...}
 ///
 /// so CI and trend scripts consume throughput numbers without scraping
 /// the human-readable tables. Every record carries every key — disabled
@@ -53,6 +55,15 @@ struct BenchJsonRecord {
   double QueueBytesPeak = 0;
   /// Queue-rescore wall time amortized per execution, in nanoseconds.
   double RescoreNsPerExec = 0;
+  /// Shard loops the measurement ran with (0 = not a sharded pFuzzer
+  /// measurement; 1 = sharded engine explicitly pinned to one shard).
+  double Shards = 0;
+  /// Coverage-frontier delta packets published across all shards.
+  double ShardDeltas = 0;
+  /// Candidate migrations accepted across all shards.
+  double ShardMigrations = 0;
+  /// Worst observed frontier lag, in sync epochs.
+  double ShardFrontierLag = 0;
 };
 
 /// Collects records and writes them on demand. Constructed with an empty
@@ -65,13 +76,16 @@ public:
            double WallSeconds, double ResumeHitRate,
            double ResumeRungDepth = 0, double LocalityBatch = 0,
            double SchedTasks = 0, double SchedStealRate = 0,
-           double QueueBytesPeak = 0, double RescoreNsPerExec = 0) {
+           double QueueBytesPeak = 0, double RescoreNsPerExec = 0,
+           double Shards = 0, double ShardDeltas = 0,
+           double ShardMigrations = 0, double ShardFrontierLag = 0) {
     if (Path.empty())
       return;
     Records.push_back({std::move(Bench), std::move(Subject), ExecsPerSec,
                        WallSeconds * 1000.0, ResumeHitRate, ResumeRungDepth,
                        LocalityBatch, SchedTasks, SchedStealRate,
-                       QueueBytesPeak, RescoreNsPerExec});
+                       QueueBytesPeak, RescoreNsPerExec, Shards, ShardDeltas,
+                       ShardMigrations, ShardFrontierLag});
   }
 
   /// Writes the collected records to the path; returns true on success
@@ -95,11 +109,14 @@ public:
                    " \"resume_hit_rate\": %.4f, \"resume_rung_depth\": %.4f,"
                    " \"locality_batch\": %.0f, \"sched_tasks\": %.0f,"
                    " \"sched_steal_rate\": %.4f, \"queue_bytes_peak\": %.0f,"
-                   " \"rescore_ns_per_exec\": %.4f}%s\n",
+                   " \"rescore_ns_per_exec\": %.4f, \"shards\": %.0f,"
+                   " \"shard_deltas\": %.0f, \"shard_migrations\": %.0f,"
+                   " \"shard_frontier_lag\": %.0f}%s\n",
                    R.Bench.c_str(), R.Subject.c_str(), R.ExecsPerSec, R.WallMs,
                    R.ResumeHitRate, R.ResumeRungDepth, R.LocalityBatch,
                    R.SchedTasks, R.SchedStealRate, R.QueueBytesPeak,
-                   R.RescoreNsPerExec,
+                   R.RescoreNsPerExec, R.Shards, R.ShardDeltas,
+                   R.ShardMigrations, R.ShardFrontierLag,
                    I + 1 == Records.size() ? "" : ",");
     }
     std::fprintf(Out, "]\n");

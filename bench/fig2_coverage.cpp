@@ -49,6 +49,8 @@ int main(int Argc, char **Argv) {
   ToolCfg.PFuzzerResumeCache = static_cast<uint32_t>(
       Cli.getCount("resume-cache", ToolCfg.PFuzzerResumeCache));
   ToolCfg.PFuzzerLocality = Cli.getBool("locality", false) ? 64 : 0;
+  ToolCfg.PFuzzerShards = static_cast<uint32_t>(
+      Cli.getCount("shards", ToolCfg.PFuzzerShards, /*Min=*/1));
   std::string SubjectFilter = Cli.getString("subject", "");
   std::string ToolsFilter = Cli.getString("tools", "afl,klee,pfuzzer");
   bool Timeline = Cli.getBool("timeline", false);
@@ -85,8 +87,8 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "usage: fig2_coverage [--budget-scale=N]"
                          " [--runs=N] [--seed=N] [--jobs=N] [--run-cache=N]"
                          " [--resume-cache=N] [--locality] [--speculate=N]"
-                         " [--subject=NAME] [--tools=LIST] [--timeline]"
-                         " [--json=PATH]\n");
+                         " [--shards=N] [--subject=NAME] [--tools=LIST]"
+                         " [--timeline] [--json=PATH]\n");
     return 1;
   }
 
@@ -151,7 +153,11 @@ int main(int Argc, char **Argv) {
                static_cast<double>(R.Queue.PeakBytes),
                static_cast<double>(R.Queue.RescoreNanos) /
                    static_cast<double>(
-                       std::max<uint64_t>(R.TotalExecutions, 1)));
+                       std::max<uint64_t>(R.TotalExecutions, 1)),
+               Tools[T] == ToolKind::PFuzzer ? ToolCfg.PFuzzerShards : 0,
+               static_cast<double>(R.Shards.DeltasPublished),
+               static_cast<double>(R.Shards.MigrationsAccepted),
+               static_cast<double>(R.Shards.MaxFrontierLag));
       Cells.push_back(formatDouble(Row.Ratios[T] * 100, 1));
       std::fprintf(stderr,
                    "  done: %s on %s (%llu execs, %zu valid, %s, %s)\n",

@@ -41,6 +41,7 @@
 #include "core/PFuzzer.h"
 #include "subjects/Subject.h"
 #include "support/CommandLine.h"
+#include "support/Scheduler.h"
 
 #include <chrono>
 #include <cstdio>
@@ -89,6 +90,9 @@ struct CampaignOutcome {
   FuzzReport Report;
   ResumeStats Resume;
   LocalityStats Locality;
+  /// Shared-scheduler activity attributable to this campaign (a global-
+  /// counter delta; exact here because the modes run one at a time).
+  SchedulerStats Sched;
   double WallSeconds = 0;
 };
 
@@ -104,11 +108,13 @@ CampaignOutcome runCampaign(const Subject &S, uint64_t Execs, uint64_t Seed,
   FuzzerOptions Opts;
   Opts.Seed = Seed;
   Opts.MaxExecutions = Execs;
+  SchedulerStats Before = Scheduler::globalStats();
   auto Start = std::chrono::steady_clock::now();
   Out.Report = Tool.run(S, Opts);
   Out.WallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
+  Out.Sched = Scheduler::globalStats().minus(Before);
   return Out;
 }
 
@@ -263,15 +269,21 @@ int main(int Argc, char **Argv) {
                 100 * Trie.Locality.consumeRate());
     Json.add("micro_locality", "json/cold",
              Cold.WallSeconds > 0 ? Execs / Cold.WallSeconds : 0,
-             Cold.WallSeconds, 0);
+             Cold.WallSeconds, 0, 0, 0,
+             static_cast<double>(Cold.Sched.submitted()),
+             Cold.Sched.stealSuccessRate());
     Json.add("micro_locality", "json/ladder",
              Ladder.WallSeconds > 0 ? Execs / Ladder.WallSeconds : 0,
              Ladder.WallSeconds, Ladder.Resume.hitRate(),
-             Ladder.Resume.avgHitRungDepth());
+             Ladder.Resume.avgHitRungDepth(), 0,
+             static_cast<double>(Ladder.Sched.submitted()),
+             Ladder.Sched.stealSuccessRate());
     Json.add("micro_locality", "json/ladder+trie",
              Trie.WallSeconds > 0 ? Execs / Trie.WallSeconds : 0,
              Trie.WallSeconds, Trie.Resume.hitRate(),
-             Trie.Resume.avgHitRungDepth(), /*LocalityBatch=*/64);
+             Trie.Resume.avgHitRungDepth(), /*LocalityBatch=*/64,
+             static_cast<double>(Trie.Sched.submitted()),
+             Trie.Sched.stealSuccessRate());
   }
 
   if (!Ok) {

@@ -39,6 +39,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -362,6 +363,12 @@ int runSweep(int Argc, char **Argv) {
     size_t NumRuns = static_cast<size_t>(Runs);
     std::vector<std::vector<CampaignResult>> PerSeed(
         Cells.size(), std::vector<CampaignResult>(NumRuns));
+    // Summed over every short-lived private pool, so the JSON row carries
+    // the split world's real task traffic, comparable with the unified
+    // row above.
+    std::atomic<uint64_t> StaticTasks{0};
+    std::atomic<uint64_t> StaticStealAttempts{0};
+    std::atomic<uint64_t> StaticStealHits{0};
     {
       ThreadPool Pool(W);
       Pool.parallelFor(0, Cells.size() * NumRuns, [&](size_t Idx) {
@@ -373,6 +380,10 @@ int runSweep(int Argc, char **Argv) {
         PerSeed[C][R] =
             runCampaign(Cells[C].Tool, *Cells[C].S, Cells[C].Executions,
                         Seed + R, /*Runs=*/1, /*Jobs=*/1, Tools);
+        SchedulerStats PSt = Private.stats();
+        StaticTasks += PSt.submitted();
+        StaticStealAttempts += PSt.StealAttempts;
+        StaticStealHits += PSt.StealHits;
       });
     }
     std::vector<CampaignResult> Static;
@@ -392,8 +403,12 @@ int runSweep(int Argc, char **Argv) {
     std::printf("%-9s %8u %9.3f %11.0f %7s %7s %6s  %s\n", "static", W,
                 StaticWall, StaticRate, "-", "-", "-",
                 StaticSame ? "identical" : "MISMATCH");
+    uint64_t Attempts = StaticStealAttempts.load();
     Json.add("micro_queue", "sweep-static/w" + std::to_string(W), StaticRate,
-             StaticWall, 0, 0, 0, 0, 0);
+             StaticWall, 0, 0, 0, static_cast<double>(StaticTasks.load()),
+             Attempts == 0 ? 0
+                           : static_cast<double>(StaticStealHits.load()) /
+                                 static_cast<double>(Attempts));
   }
 
   // Queue representation sweep: sequential campaigns run twice, once on
@@ -428,12 +443,14 @@ int runSweep(int Argc, char **Argv) {
       ToolOptions Tools;
       Tools.PFuzzerReferenceQueue = Mode == 1;
       Tools.PFuzzerMaxQueue = Cell.MaxQueue;
+      SchedulerStats SchedBefore = Scheduler::globalStats();
       auto T0 = std::chrono::steady_clock::now();
       Results[Mode] = runCampaign(ToolKind::PFuzzer, *Cell.S, Cell.Execs,
                                   Seed, Runs, /*Jobs=*/1, Tools);
       double Wall = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - T0)
                         .count();
+      SchedulerStats SchedDelta = Scheduler::globalStats().minus(SchedBefore);
       const CampaignResult &R = Results[Mode];
       bool Same = Mode == 0 || identicalResults(Results[0], Results[1]);
       AllIdentical &= Same;
@@ -449,7 +466,9 @@ int runSweep(int Argc, char **Argv) {
                   Mode == 0 ? "-" : Same ? "identical" : "MISMATCH");
       Json.add("micro_queue",
                std::string("sweep-") + ModeName[Mode] + "/" + Cell.Label,
-               Rate[Mode], Wall, 0, 0, 0, 0, 0, PeakBytes[Mode], RescoreNs);
+               Rate[Mode], Wall, 0, 0, 0,
+               static_cast<double>(SchedDelta.submitted()),
+               SchedDelta.stealSuccessRate(), PeakBytes[Mode], RescoreNs);
     }
     if (PeakBytes[0] > 0 && Rate[1] > 0)
       std::printf("%-9s %-10s queue bytes %.2fx smaller, throughput %.2fx\n",

@@ -12,7 +12,8 @@
 ///
 ///   ./pfuzz_cli --subject=json [--tool=pfuzzer|afl|klee|random]
 ///               [--execs=N] [--seed=N] [--runs=N] [--jobs=N]
-///               [--mine] [--quiet]
+///               [--shards=N] [--shard-sync=N] [--shard-stats]
+///               [--list-subjects] [--mine] [--quiet]
 ///
 //===----------------------------------------------------------------------===//
 
@@ -54,6 +55,14 @@ int main(int Argc, char **Argv) {
   Tools.PFuzzerLocality = Cli.getBool("locality", false) ? 64 : 0;
   Tools.PFuzzerMaxQueue =
       static_cast<size_t>(Cli.getCount("max-queue", Tools.PFuzzerMaxQueue));
+  // getCount with Min=1 rejects 0, negatives and garbage outright —
+  // a campaign always has at least one shard.
+  Tools.PFuzzerShards = static_cast<uint32_t>(
+      Cli.getCount("shards", Tools.PFuzzerShards, /*Min=*/1));
+  Tools.PFuzzerShardSyncInterval = static_cast<uint32_t>(
+      Cli.getCount("shard-sync", Tools.PFuzzerShardSyncInterval));
+  bool ShardStatsFlag = Cli.getBool("shard-stats", false);
+  bool ListSubjects = Cli.getBool("list-subjects", false);
   bool LocalityStatsFlag = Cli.getBool("locality-stats", false);
   bool SchedStatsFlag = Cli.getBool("sched-stats", false);
   bool QueueStatsFlag = Cli.getBool("queue-stats", false);
@@ -70,7 +79,9 @@ int main(int Argc, char **Argv) {
                  " [--run-cache=N] [--resume-cache=N] [--resume-stride=N]"
                  " [--resume-rungs=N] [--locality] [--locality-stats]"
                  " [--speculate=N] [--speculate-depth=N] [--sched-stats]"
-                 " [--max-queue=N] [--queue-stats] [--mine] [--quiet]\n"
+                 " [--max-queue=N] [--queue-stats] [--shards=N]"
+                 " [--shard-sync=N] [--shard-stats] [--list-subjects]"
+                 " [--mine] [--quiet]\n"
                  "subjects: arith dyck ini csv json tinyc mjs\n"
                  "tools: pfuzzer afl klee random\n"
                  "--run-cache: pFuzzer memoized-run LRU entries (0=off;"
@@ -91,8 +102,21 @@ int main(int Argc, char **Argv) {
                  " the knobs above this one changes which candidates"
                  " survive trims)\n"
                  "--queue-stats: print candidate-store counters (queue"
-                 " memory, rescore time)\n");
+                 " memory, rescore time)\n"
+                 "--shards: concurrent pFuzzer shard loops (>= 1; shards=1"
+                 " matches the unsharded engine byte for byte, N > 1 is a"
+                 " deterministic sharded search)\n"
+                 "--shard-sync: executions per coverage-sync epoch\n"
+                 "--shard-stats: print shard-sync counters\n"
+                 "--list-subjects: print the built-in subject names and"
+                 " exit\n");
     return 1;
+  }
+  if (ListSubjects) {
+    for (const Subject *Sub : allSubjects())
+      std::printf("%.*s\n", static_cast<int>(Sub->name().size()),
+                  Sub->name().data());
+    return 0;
   }
   const Subject *S = findSubject(SubjectName);
   if (S == nullptr) {
@@ -181,6 +205,22 @@ int main(int Argc, char **Argv) {
                  static_cast<unsigned long long>(Q.PeakArenaBytes),
                  static_cast<unsigned long long>(Q.PeakGroups),
                  static_cast<unsigned long long>(Q.PeakPathTable));
+  }
+  if (ShardStatsFlag) {
+    const ShardStats &Sh = Best.Shards;
+    std::fprintf(stderr,
+                 "shard sync: %llu sync points, %llu deltas published"
+                 " (%llu merged), %llu branches imported, migrations"
+                 " %llu accepted / %llu rejected of %llu offered,"
+                 " max frontier lag %llu epochs\n",
+                 static_cast<unsigned long long>(Sh.SyncPoints),
+                 static_cast<unsigned long long>(Sh.DeltasPublished),
+                 static_cast<unsigned long long>(Sh.DeltasMerged),
+                 static_cast<unsigned long long>(Sh.BranchesImported),
+                 static_cast<unsigned long long>(Sh.MigrationsAccepted),
+                 static_cast<unsigned long long>(Sh.MigrationsRejected),
+                 static_cast<unsigned long long>(Sh.MigrationsOffered),
+                 static_cast<unsigned long long>(Sh.MaxFrontierLag));
   }
   if (SchedStatsFlag) {
     SchedulerStats D = Scheduler::globalStats().minus(SchedBefore);

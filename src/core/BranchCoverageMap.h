@@ -14,6 +14,16 @@
 /// filtered new-branch list) and skip recomputation while coverage has
 /// not grown.
 ///
+/// The map also keeps an append-only journal of the keys in the order
+/// they were first set. Because every newly set key advances the epoch by
+/// exactly one, an epoch value doubles as a journal position, and
+/// exportDelta(SinceEpoch) hands out precisely the keys set after that
+/// epoch — the coverage-frontier packets the sharded campaign engine
+/// (core/ShardSync.h) exchanges between shards. The journal costs four
+/// bytes per distinct covered outcome (a few KB on the paper subjects)
+/// and is reset by clear(), after which deltas reaching back past the
+/// clear degrade to a full-content resync.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PFUZZ_CORE_BRANCHCOVERAGEMAP_H
@@ -39,6 +49,7 @@ public:
     if (Words[Word] & Bit)
       return false;
     Words[Word] |= Bit;
+    Journal.push_back(Key);
     ++Count;
     ++Epoch;
     return true;
@@ -69,6 +80,47 @@ public:
     Words.clear();
     Count = 0;
     ++Epoch;
+    // The journal restarts here: deltas anchored before the clear can no
+    // longer be served incrementally and degrade to a full resync.
+    Journal.clear();
+    JournalBaseEpoch = Epoch;
+  }
+
+  /// Appends to \p Out every key set after \p SinceEpoch, in the order
+  /// they were first set. \p SinceEpoch is a value previously returned by
+  /// epoch(); passing the current epoch appends nothing. When the anchor
+  /// predates a clear() the incremental journal is gone, so the entire
+  /// current content is appended instead (a superset of the true delta —
+  /// merging is idempotent, so over-sending is safe). Returns the number
+  /// of keys appended.
+  size_t exportDelta(uint64_t SinceEpoch, std::vector<uint32_t> &Out) const {
+    if (SinceEpoch < JournalBaseEpoch) {
+      // Full resync: the journal no longer reaches back to the anchor.
+      std::vector<uint32_t> All = values();
+      Out.insert(Out.end(), All.begin(), All.end());
+      return All.size();
+    }
+    // Journal entry I was recorded when the epoch advanced to
+    // JournalBaseEpoch + I + 1, so an anchor of E maps to index
+    // E - JournalBaseEpoch. clear() is the only non-set epoch advance and
+    // it rebases the journal, so the mapping is exact.
+    size_t From = static_cast<size_t>(SinceEpoch - JournalBaseEpoch);
+    if (From >= Journal.size())
+      return 0;
+    Out.insert(Out.end(), Journal.begin() + static_cast<ptrdiff_t>(From),
+               Journal.end());
+    return Journal.size() - From;
+  }
+
+  /// Sets every key of [First, Last) — a delta another map exported —
+  /// and returns how many were newly set here. Duplicates (keys this map
+  /// already covers, or repeated resync content) merge silently.
+  template <typename It> size_t mergeDelta(It First, It Last) {
+    size_t Fresh = 0;
+    for (; First != Last; ++First)
+      if (set(*First))
+        ++Fresh;
+    return Fresh;
   }
 
   /// The set keys in ascending order.
@@ -121,6 +173,12 @@ private:
   std::vector<uint64_t> Words;
   size_t Count = 0;
   uint64_t Epoch = 0;
+  /// Keys in first-set order; see exportDelta. Holds each set key exactly
+  /// once (set() appends only on a fresh bit).
+  std::vector<uint32_t> Journal;
+  /// Epoch value at which the journal begins (advanced by clear()).
+  /// Invariant: Epoch == JournalBaseEpoch + Journal.size().
+  uint64_t JournalBaseEpoch = 0;
 };
 
 } // namespace pfuzz

@@ -390,6 +390,32 @@ void CandidateStore::materializeAt(size_t Pos, std::string &Out) const {
     materialize(Entries[Pos].Id, Out);
 }
 
+void CandidateStore::exportAt(size_t Pos, Exported &Out) const {
+  if (Reference) {
+    const RefCandidate &C = RefQueue[Pos];
+    Out.Bytes = C.Input;
+    Out.Hash = C.InputHash;
+    if (C.NewBranches)
+      Out.Branches = *C.NewBranches;
+    else
+      Out.Branches.clear();
+    Out.AvgStack = C.AvgStack;
+    Out.PathHash = C.PathHash;
+    Out.NumParents = C.NumParents;
+    Out.ReplacementLen = C.ReplacementLen;
+    return;
+  }
+  const Record &R = Records[Entries[Pos].Id];
+  const Group &G = Groups[R.Group];
+  materialize(Entries[Pos].Id, Out.Bytes);
+  Out.Hash = R.InputHash;
+  Out.Branches = G.Branches;
+  Out.AvgStack = G.AvgStack;
+  Out.PathHash = G.PathHash;
+  Out.NumParents = G.NumParentsBase + R.ParentDelta;
+  Out.ReplacementLen = R.ReplacementLen;
+}
+
 //===----------------------------------------------------------------------===//
 // Rescore
 //===----------------------------------------------------------------------===//

@@ -221,6 +221,25 @@ public:
   uint64_t hashAt(size_t Pos) const;
   void materializeAt(size_t Pos, std::string &Out) const;
 
+  /// Everything a candidate needs to cross a shard boundary (see
+  /// core/ShardSync.h): full bytes, hash, and the run features an
+  /// importing shard rescores against its own coverage. Branches is the
+  /// candidate's group list as last filtered *here* — importers re-filter
+  /// it against their own vBr, which monotone filtering makes exact.
+  struct Exported {
+    std::string Bytes;
+    uint64_t Hash = 0;
+    std::vector<uint32_t> Branches;
+    double AvgStack = 0;
+    uint64_t PathHash = 0;
+    uint32_t NumParents = 0;
+    uint32_t ReplacementLen = 0;
+  };
+
+  /// Copies the candidate at heap position \p Pos (0 = the next pop) out
+  /// of the store. String buffers of \p Out are recycled across calls.
+  void exportAt(size_t Pos, Exported &Out) const;
+
   //===--------------------------------------------------------------------===//
   // Accounting
   //===--------------------------------------------------------------------===//

@@ -6,12 +6,15 @@
 
 #include "core/PFuzzer.h"
 
+#include "core/ShardSync.h"
 #include "support/Rng.h"
 #include "support/Scheduler.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -755,6 +758,7 @@ public:
                                           Config.SpeculationThreads,
                                           Config.SpeculationDepth,
                                           Resume.get(), Batch.get());
+    Sync = Config.SyncEndpoint;
   }
 
   FuzzReport run();
@@ -872,6 +876,24 @@ private:
     return heuristicScore(F, Heur);
   }
 
+  /// Crosses every epoch boundary the execution count has passed:
+  /// publishes this shard's packet (coverage delta + top-of-heap
+  /// candidate), then merges peers' packets through the previous epoch —
+  /// the lag-1 discipline that makes every merge point and packet content
+  /// a pure function of execution counts. No-op when unsharded.
+  void shardSyncPoints();
+
+  /// Builds and publishes the packet of epoch EpochsDone. Final packets
+  /// carry the last coverage delta and never a candidate.
+  void publishShardPacket(bool Final);
+
+  /// Bookkeeping of one consumed peer packet: folds the coverage delta
+  /// into vBr and imports the migrated candidate (rescored against this
+  /// shard's own coverage and path counts). \p Alive distinguishes
+  /// in-loop merges from the end-of-campaign drain, where candidates are
+  /// counted rejected — the campaign is over and cannot execute them.
+  void handleShardPacket(const ShardPacket &P, bool Alive);
+
   char randomChar() {
     // "A random character from the set of all ASCII characters"; we skew
     // towards printables with occasional whitespace/control bytes.
@@ -935,6 +957,16 @@ private:
   /// PrefixHashes[i] hashes the first i bytes, so a candidate's hash is
   /// extendHash(PrefixHashes[SpliceAt], Rep) — no string is built.
   std::vector<uint64_t> PrefixHashes;
+  /// Shard-sync endpoint, or null when this campaign is unsharded.
+  ShardEndpoint *Sync = nullptr;
+  /// Epoch boundaries crossed so far (== packets published).
+  uint64_t EpochsDone = 0;
+  /// vBr epoch at the last publish: the exportDelta anchor, so each
+  /// packet carries exactly the outcomes covered since the previous one.
+  uint64_t LastPublishedMark = 0;
+  /// Scratch of publishShardPacket / handleShardPacket (recycled).
+  CandidateStore::Exported ExportScratch;
+  std::vector<uint32_t> ImportFilterScratch;
 };
 
 } // namespace
@@ -1016,6 +1048,11 @@ FuzzReport Campaign::run() {
       LastRescore = Report.Executions;
       rescoreQueue();
     }
+    // Shard synchronization at deterministic execution-count boundaries.
+    // Before the empty-queue check: a migrated candidate can rescue an
+    // exhausted queue instead of forcing a random restart.
+    if (Sync)
+      shardSyncPoints();
     if (Store.empty()) {
       // Search exhausted (tiny languages): restart from a fresh random
       // character to keep exploring different seeds.
@@ -1056,6 +1093,17 @@ FuzzReport Campaign::run() {
     ParentCount = Best.NumParents;
   }
   sampleTimeline();
+  // Terminal exchange: the Final packet carries the last coverage delta
+  // and tells peers to stop waiting for this shard; the drain consumes
+  // every remaining peer packet so that globally every published packet
+  // is merged exactly once (late migrations count as rejected — the
+  // campaign cannot execute them anymore).
+  if (Sync) {
+    ++EpochsDone;
+    publishShardPacket(/*Final=*/true);
+    Sync->drainAll(
+        [this](const ShardPacket &P) { handleShardPacket(P, false); });
+  }
   Store.samplePeaks();
   if (Spec) {
     Spec->shutdown();
@@ -1315,6 +1363,238 @@ void Campaign::requeuePrefix(const std::string &Input, uint64_t Hash,
     rescoreQueue();
 }
 
+void Campaign::shardSyncPoints() {
+  uint64_t Interval = std::max<uint64_t>(1, Config.ShardSyncInterval);
+  // An iteration can cross more than one boundary (two executions per
+  // iteration at a tiny interval); every crossed boundary publishes its
+  // own packet so the per-producer epoch sequence stays gapless — the
+  // collect protocol counts on packets arriving as 1, 2, 3, ...
+  while (Report.Executions >= (EpochsDone + 1) * Interval) {
+    ++EpochsDone;
+    publishShardPacket(/*Final=*/false);
+    // Lag-1 merge: consume peers through the previous epoch. Publishing
+    // *before* collecting keeps the protocol deadlock-free — every shard
+    // makes its packet available before it waits on anyone else's.
+    Sync->collectThrough(EpochsDone - 1, [this](const ShardPacket &P) {
+      handleShardPacket(P, /*Alive=*/true);
+    });
+  }
+}
+
+void Campaign::publishShardPacket(bool Final) {
+  ShardPacket P;
+  P.Epoch = EpochsDone;
+  P.Final = Final;
+  VBr.exportDelta(LastPublishedMark, P.Branches);
+  LastPublishedMark = VBr.epoch();
+  // Migration payload: the exact next pop of this shard's heap — its
+  // best-scored lead, worth propagating instead of re-deriving N times.
+  // Final packets skip it (peers may already be draining).
+  if (!Final && !Store.empty()) {
+    Store.exportAt(0, ExportScratch);
+    P.HasCandidate = true;
+    P.CandidateBytes = ExportScratch.Bytes;
+    P.CandidateHash = ExportScratch.Hash;
+    P.CandidateBranches = ExportScratch.Branches;
+    P.CandidateAvgStack = ExportScratch.AvgStack;
+    P.CandidatePathHash = ExportScratch.PathHash;
+    P.CandidateNumParents = ExportScratch.NumParents;
+    P.CandidateReplacementLen = ExportScratch.ReplacementLen;
+  }
+  Sync->publish(P);
+}
+
+void Campaign::handleShardPacket(const ShardPacket &P, bool Alive) {
+  // Foreign coverage folds straight into vBr: the valid-input novelty
+  // test and the heuristic's NewBranches term now measure against the
+  // joint frontier, so shards stop re-earning each other's discoveries.
+  // vBr stays grow-only, which is all the store's monotone group
+  // filtering assumes.
+  Sync->Stats.BranchesImported +=
+      VBr.mergeDelta(P.Branches.begin(), P.Branches.end());
+  if (!P.HasCandidate)
+    return;
+  if (!Alive || P.CandidateBytes.size() > Opts.MaxInputLen ||
+      !Enqueued.insert(P.CandidateHash).second) {
+    // Already enqueued here (or previously migrated in), oversize, or
+    // arriving after this campaign's budget ended.
+    ++Sync->Stats.MigrationsRejected;
+    return;
+  }
+  // Rescore against *this* shard's coverage: the carried branch list is
+  // re-filtered against local vBr and the score recomputed with local
+  // path counts, so an import competes in the local queue on local
+  // merit.
+  ImportFilterScratch.clear();
+  for (uint32_t B : P.CandidateBranches)
+    if (!VBr.test(B))
+      ImportFilterScratch.push_back(B);
+  uint32_t Run = Store.makeRun(ImportFilterScratch, VBr.epoch(),
+                               P.CandidateAvgStack, P.CandidatePathHash,
+                               P.CandidateNumParents);
+  double Score = scoreCandidate(
+      static_cast<uint32_t>(ImportFilterScratch.size()),
+      P.CandidateBytes.size(), P.CandidateReplacementLen, P.CandidateAvgStack,
+      P.CandidateNumParents, P.CandidatePathHash);
+  // Root-shaped push: no parent record, splice at 0, the full bytes as
+  // the suffix — the one record shape that materializes identically in
+  // both queue representations.
+  Store.push(Run, CandidateStore::None, P.CandidateBytes, /*SpliceAt=*/0,
+             P.CandidateBytes, P.CandidateHash, P.CandidateReplacementLen,
+             /*ParentDelta=*/0, Score);
+  Store.releaseRun(Run);
+  ++Sync->Stats.MigrationsAccepted;
+  if (Store.queueSize() > Config.MaxQueue)
+    rescoreQueue();
+}
+
+namespace {
+
+/// Per-shard seed: a SplitMix64 finalizer over (seed, shard) so shard
+/// streams are decorrelated. Deliberately maps shard 0 away from the
+/// campaign seed — a sharded search differs from the unsharded one
+/// anyway, and distinct streams avoid N shards racing through identical
+/// opening moves.
+uint64_t mixShardSeed(uint64_t Seed, uint32_t Shard) {
+  uint64_t Z = Seed + 0x9E3779B97F4A7C15ULL * (uint64_t(Shard) + 1);
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+  return Z ^ (Z >> 31);
+}
+
+/// The sharded campaign engine: N full shard campaigns on dedicated
+/// threads, exchanging frontier deltas and candidates through a ShardHub,
+/// reduced into one FuzzReport in stable shard order. Deterministic for
+/// fixed (seed, N, interval): per-shard seeds and budgets are computed,
+/// sync points are execution-count epochs, and the reduce never looks at
+/// completion order.
+FuzzReport runSharded(const Subject &S, const FuzzerOptions &Opts,
+                      const PFuzzerOptions &Config) {
+  uint32_t N = Config.Shards;
+  ShardHub Hub(N);
+  // Option blocks and stat sinks live here so the campaign-held
+  // references stay valid for the threads' whole lifetime.
+  std::vector<FuzzerOptions> ShardOpts(N);
+  std::vector<PFuzzerOptions> ShardConfigs(N);
+  std::vector<SpeculationStats> SpecStats(N);
+  std::vector<ResumeStats> ResumeStats_(N);
+  std::vector<LocalityStats> LocalityStats_(N);
+  std::vector<QueueStats> QueueStats_(N);
+  std::vector<FuzzReport> Reports(N);
+  // OnValidInput is caller-supplied and not required to be thread-safe;
+  // serialize it. Callback order across shards is timing-dependent, but
+  // every caller in the tree accumulates commutatively (token sets), and
+  // the FuzzReport itself never depends on the callback.
+  std::mutex ValidMutex;
+  for (uint32_t I = 0; I != N; ++I) {
+    FuzzerOptions &SO = ShardOpts[I];
+    SO = Opts;
+    SO.Seed = mixShardSeed(Opts.Seed, I);
+    // Budget split: first MaxExecutions % N shards take the remainder,
+    // so the shard budgets are a deterministic partition of the total.
+    SO.MaxExecutions =
+        Opts.MaxExecutions / N + (I < Opts.MaxExecutions % N ? 1 : 0);
+    if (Opts.OnValidInput) {
+      auto Inner = Opts.OnValidInput;
+      SO.OnValidInput = [&ValidMutex, Inner](std::string_view Input) {
+        std::lock_guard<std::mutex> Lock(ValidMutex);
+        Inner(Input);
+      };
+    }
+    PFuzzerOptions &SC = ShardConfigs[I];
+    SC = Config;
+    SC.Shards = 1;
+    SC.SyncEndpoint = &Hub.endpoint(I);
+    SC.StatsOut = &SpecStats[I];
+    SC.ResumeStatsOut = &ResumeStats_[I];
+    SC.LocalityStatsOut = &LocalityStats_[I];
+    SC.QueueStatsOut = &QueueStats_[I];
+    SC.ShardStatsOut = nullptr;
+  }
+  // Dedicated threads by design — see PFuzzerOptions::Shards. Shard
+  // loops block at epoch boundaries; their speculation and locality
+  // sublayers still share the work-stealing scheduler.
+  std::vector<std::thread> Threads;
+  Threads.reserve(N);
+  for (uint32_t I = 0; I != N; ++I)
+    Threads.emplace_back([&S, &ShardOpts, &ShardConfigs, &Reports, I] {
+      Reports[I] = Campaign(S, ShardOpts[I], ShardConfigs[I]).run();
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  // Aggregate the optional diagnostic sinks.
+  if (Config.StatsOut) {
+    *Config.StatsOut = SpeculationStats();
+    for (const SpeculationStats &St : SpecStats)
+      Config.StatsOut->accumulate(St);
+  }
+  if (Config.ResumeStatsOut) {
+    *Config.ResumeStatsOut = ResumeStats();
+    for (const ResumeStats &St : ResumeStats_)
+      Config.ResumeStatsOut->accumulate(St);
+  }
+  if (Config.LocalityStatsOut) {
+    *Config.LocalityStatsOut = LocalityStats();
+    for (const LocalityStats &St : LocalityStats_)
+      Config.LocalityStatsOut->accumulate(St);
+  }
+  if (Config.QueueStatsOut) {
+    *Config.QueueStatsOut = QueueStats();
+    for (const QueueStats &St : QueueStats_)
+      Config.QueueStatsOut->accumulate(St);
+  }
+  if (Config.ShardStatsOut) {
+    *Config.ShardStatsOut = ShardStats();
+    for (uint32_t I = 0; I != N; ++I)
+      Config.ShardStatsOut->accumulate(Hub.endpoint(I).Stats);
+  }
+
+  // Deterministic reduce, stable shard order (never completion order).
+  FuzzReport Merged;
+  uint64_t Offset = 0;
+  uint64_t RunningCoverage = 0;
+  for (uint32_t I = 0; I != N; ++I) {
+    FuzzReport &R = Reports[I];
+    Merged.Executions += R.Executions;
+    for (std::string &Input : R.ValidInputs)
+      Merged.ValidInputs.push_back(std::move(Input));
+    // Union of per-shard frontiers. Every foreign branch a shard merged
+    // was genuinely covered by its origin shard, so the union equals the
+    // coverage of the concatenated valid-input stream.
+    std::vector<uint32_t> Values = R.ValidBranches.values();
+    Merged.ValidBranches.insert(Values.begin(), Values.end());
+    // Timeline: concatenate with per-shard execution offsets, forcing
+    // the coverage coordinate monotone (shards overlap in wall-clock, so
+    // a serialized timeline is an approximate diagnostic, not a report
+    // invariant — documented in docs/TUNING.md).
+    for (const std::pair<uint64_t, uint64_t> &Sample : R.CoverageTimeline) {
+      uint64_t Cov = std::max(RunningCoverage, Sample.second);
+      RunningCoverage = Cov;
+      if (!Merged.CoverageTimeline.empty() &&
+          Merged.CoverageTimeline.back() ==
+              std::make_pair(Offset + Sample.first, Cov))
+        continue;
+      Merged.CoverageTimeline.emplace_back(Offset + Sample.first, Cov);
+    }
+    Offset += R.Executions;
+  }
+  std::pair<uint64_t, uint64_t> FinalSample(Merged.Executions,
+                                            Merged.ValidBranches.size());
+  if (Merged.CoverageTimeline.empty() ||
+      Merged.CoverageTimeline.back() != FinalSample)
+    Merged.CoverageTimeline.push_back(FinalSample);
+  return Merged;
+}
+
+} // namespace
+
 FuzzReport PFuzzer::run(const Subject &S, const FuzzerOptions &Opts) {
+  if (Options.Shards > 1)
+    return runSharded(S, Opts, Options);
+  // Unsharded: the plain sequential engine, untouched — --shards=1 is
+  // byte-identical to every prior release by construction.
+  if (Options.ShardStatsOut)
+    *Options.ShardStatsOut = ShardStats();
   return Campaign(S, Opts, Options).run();
 }

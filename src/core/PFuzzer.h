@@ -25,6 +25,8 @@
 namespace pfuzz {
 
 class Scheduler;
+class ShardEndpoint;
+struct ShardStats;
 
 /// Diagnostic counters of the speculative prefetcher (see
 /// PFuzzerOptions::SpeculationThreads). Purely observational: none of
@@ -52,6 +54,18 @@ struct SpeculationStats {
                ? 0
                : static_cast<double>(Submitted - Hits - Cancelled) /
                      static_cast<double>(Submitted);
+  }
+
+  /// Sums \p Other into this — the sharded engine aggregates per-shard
+  /// prefetcher counters into one campaign total.
+  void accumulate(const SpeculationStats &Other) {
+    Lookups += Other.Lookups;
+    Submitted += Other.Submitted;
+    Hits += Other.Hits;
+    HitsReady += Other.HitsReady;
+    Cancelled += Other.Cancelled;
+    Recycled += Other.Recycled;
+    Discarded += Other.Discarded;
   }
 };
 
@@ -215,6 +229,42 @@ struct PFuzzerOptions {
   /// of workers instead of multiplying threads. Purely a placement knob:
   /// reports are byte-identical for any scheduler and worker count.
   Scheduler *Sched = nullptr;
+
+  /// Shard count of the campaign. 1 (the default) runs the plain
+  /// sequential Algorithm 1 loop, byte-identical to every prior engine.
+  /// With N > 1 the campaign splits into N concurrent shard loops — each
+  /// a full pFuzzer with its own candidate store, run cache and resume
+  /// ladder, on its own dedicated thread — that exchange coverage-
+  /// frontier deltas and migrate top candidates through core/ShardSync
+  /// at deterministic execution-count epochs. The execution budget is
+  /// split across shards and the shard reports are merged in stable
+  /// shard order, so for a fixed (seed, N) the merged report is
+  /// bit-reproducible; different N values explore differently (sharding
+  /// is the one perf layer that is *not* behavior-invariant across its
+  /// settings — it changes the search, deterministically).
+  ///
+  /// Shard loops run on dedicated threads rather than as tasks of the
+  /// work-stealing scheduler: a shard blocks at epoch boundaries waiting
+  /// for peers, and a blocking task would hold its worker hostage —
+  /// with fewer workers than shards the waited-on peer could never be
+  /// scheduled at all. Each shard's inner speculation and locality
+  /// layers still submit to the shared scheduler as usual.
+  uint32_t Shards = 1;
+
+  /// Executions per shard between synchronization epochs (delta publish
+  /// + peer merge + candidate migration). Smaller intervals tighten the
+  /// joint frontier at more sync overhead. Part of the deterministic
+  /// protocol: changing it changes the (reproducible) sharded search.
+  uint32_t ShardSyncInterval = 512;
+
+  /// Optional out-param: aggregated ShardSync counters of the campaign
+  /// (all zero when Shards <= 1). Never part of the report.
+  ShardStats *ShardStatsOut = nullptr;
+
+  /// Internal wiring of the sharded engine: the sync endpoint of the
+  /// shard campaign being constructed. Callers never set this — the
+  /// engine fills it for each shard it spawns.
+  ShardEndpoint *SyncEndpoint = nullptr;
 };
 
 /// The parser-directed fuzzer.

@@ -1,0 +1,97 @@
+//===- core/ShardSync.cpp - Sharded-campaign synchronization --------------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ShardSync.h"
+
+using namespace pfuzz;
+
+ShardHub::ShardHub(uint32_t NumShards) {
+  size_t N = NumShards;
+  Rings.resize(N * N);
+  for (size_t P = 0; P != N; ++P)
+    for (size_t C = 0; C != N; ++C)
+      if (P != C)
+        Rings[P * N + C] = std::make_unique<ShardPacketRing>();
+  Endpoints.reserve(N);
+  for (size_t S = 0; S != N; ++S) {
+    auto E = std::make_unique<ShardEndpoint>();
+    E->Index = static_cast<uint32_t>(S);
+    // Peer order is ascending shard index with self skipped — identical
+    // on every shard and every run, which keeps the collect order (and
+    // therefore every merge interleaving) deterministic.
+    for (size_t Peer = 0; Peer != N; ++Peer) {
+      if (Peer == S)
+        continue;
+      ShardEndpoint::PeerState PS;
+      PS.In = Rings[Peer * N + S].get();
+      PS.Out = Rings[S * N + Peer].get();
+      E->Peers.push_back(PS);
+    }
+    Endpoints.push_back(std::move(E));
+  }
+}
+
+uint32_t ShardEndpoint::peerCount() const {
+  return static_cast<uint32_t>(Peers.size());
+}
+
+void ShardEndpoint::publish(const ShardPacket &P) {
+  ++Stats.SyncPoints;
+  for (PeerState &Peer : Peers) {
+    ShardPacket Copy = P;
+    Peer.Out->push(std::move(Copy));
+    ++Stats.DeltasPublished;
+    if (P.HasCandidate)
+      ++Stats.MigrationsOffered;
+  }
+}
+
+void ShardEndpoint::consumeOne(PeerState &Peer, const PacketHandler &Handler) {
+  ShardPacket P;
+  Peer.In->pop(P);
+  ++Stats.DeltasMerged;
+  Peer.ConsumedEpoch = P.Epoch;
+  if (P.Final)
+    Peer.Done = true;
+  Handler(P);
+}
+
+void ShardEndpoint::collectThrough(uint64_t Through,
+                                   const PacketHandler &Handler) {
+  for (PeerState &Peer : Peers) {
+    while (!Peer.Done && Peer.ConsumedEpoch < Through)
+      consumeOne(Peer, Handler);
+    // Frontier lag at this merge point: how far the joint frontier this
+    // shard sees trails its own position. Through is own epoch - 1, so
+    // steady state is a lag of 1; a finished peer's lag stops being
+    // meaningful and is not counted.
+    if (!Peer.Done && Through + 1 > Peer.ConsumedEpoch) {
+      uint64_t Lag = Through + 1 - Peer.ConsumedEpoch;
+      if (Lag > Stats.MaxFrontierLag)
+        Stats.MaxFrontierLag = Lag;
+    }
+  }
+}
+
+void ShardEndpoint::drainAll(const PacketHandler &Handler) {
+  // Opportunistic sweep first: packets already buffered are consumed
+  // without sleeping, which lets peers blocked on a full ring proceed
+  // before this shard commits to blocking waits.
+  for (PeerState &Peer : Peers)
+    while (!Peer.Done) {
+      ShardPacket P;
+      if (!Peer.In->tryPop(P))
+        break;
+      ++Stats.DeltasMerged;
+      Peer.ConsumedEpoch = P.Epoch;
+      if (P.Final)
+        Peer.Done = true;
+      Handler(P);
+    }
+  for (PeerState &Peer : Peers)
+    while (!Peer.Done)
+      consumeOne(Peer, Handler);
+}

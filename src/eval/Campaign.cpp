@@ -67,6 +67,10 @@ std::unique_ptr<Fuzzer> pfuzz::makeFuzzer(ToolKind Kind,
     if (Tools.PFuzzerMaxQueue != 0)
       Options.MaxQueue = Tools.PFuzzerMaxQueue;
     Options.QueueStatsOut = Tools.PFuzzerQueueStatsOut;
+    Options.Shards = std::max(1u, Tools.PFuzzerShards);
+    if (Tools.PFuzzerShardSyncInterval != 0)
+      Options.ShardSyncInterval = Tools.PFuzzerShardSyncInterval;
+    Options.ShardStatsOut = Tools.PFuzzerShardStatsOut;
     return std::make_unique<PFuzzer>(Options);
   }
   case ToolKind::Afl:
@@ -132,6 +136,7 @@ struct SeedRunOutcome {
   ResumeStats Resume;
   LocalityStats Locality;
   QueueStats Queue;
+  ShardStats Shards;
 };
 
 /// Runs one seed of one cell. Everything mutable (fuzzer, Rng, token
@@ -147,6 +152,7 @@ SeedRunOutcome runOneSeed(ToolKind Kind, const Subject &S,
   SeedTools.PFuzzerResumeStatsOut = &Out.Resume;
   SeedTools.PFuzzerLocalityStatsOut = &Out.Locality;
   SeedTools.PFuzzerQueueStatsOut = &Out.Queue;
+  SeedTools.PFuzzerShardStatsOut = &Out.Shards;
   std::unique_ptr<Fuzzer> Tool = makeFuzzer(Kind, SeedTools);
   TokenCoverage Tokens(S.name());
   FuzzerOptions Opts;
@@ -179,6 +185,7 @@ CampaignResult reduceCell(ToolKind Kind, const Subject &S,
     Best.Resume.accumulate(Out.Resume);
     Best.Locality.accumulate(Out.Locality);
     Best.Queue.accumulate(Out.Queue);
+    Best.Shards.accumulate(Out.Shards);
     bool Better =
         !HaveBest ||
         Out.Report.ValidBranches.size() > Best.Report.ValidBranches.size() ||

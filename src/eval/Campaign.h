@@ -29,6 +29,7 @@
 
 #include "core/Fuzzer.h"
 #include "core/PFuzzer.h"
+#include "core/ShardSync.h"
 #include "runtime/PrefixResumeCache.h"
 #include "tokens/TokenCoverage.h"
 
@@ -114,6 +115,19 @@ struct ToolOptions {
   /// Like PFuzzerResumeStatsOut, for the candidate store's counters
   /// (aggregated into CampaignResult::Queue).
   QueueStats *PFuzzerQueueStatsOut = nullptr;
+
+  /// PFuzzerOptions::Shards: shard loops per pFuzzer campaign. 1 (the
+  /// default) is the plain engine, byte-identical to every prior
+  /// release; N > 1 runs the sharded engine — deterministic for fixed
+  /// (seed, N) but a different search than unsharded.
+  uint32_t PFuzzerShards = 1;
+
+  /// PFuzzerOptions::ShardSyncInterval. 0 keeps the engine default.
+  uint32_t PFuzzerShardSyncInterval = 0;
+
+  /// Like PFuzzerResumeStatsOut, for the shard-sync counters
+  /// (aggregated into CampaignResult::Shards).
+  ShardStats *PFuzzerShardStatsOut = nullptr;
 
   /// Work-stealing scheduler the campaign runners fan seed runs out on
   /// and thread through to every fuzzer they create
@@ -207,6 +221,11 @@ struct CampaignResult {
   /// byte figures are maxed, not summed — see QueueStats::accumulate).
   /// Diagnostic only.
   QueueStats Queue;
+
+  /// Shard-sync counters summed over every run of the cell (lag figures
+  /// are maxed — see ShardStats::accumulate); all zero for unsharded
+  /// campaigns. Diagnostic only.
+  ShardStats Shards;
 
   /// Throughput over all runs of the cell; 0 when nothing was timed.
   double execsPerSec() const {

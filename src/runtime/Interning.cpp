@@ -7,8 +7,9 @@
 #include "runtime/Interning.h"
 
 #include <atomic>
-#include <cassert>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 using namespace pfuzz;
@@ -60,7 +61,16 @@ uint32_t pfuzz::internFunctionName(const char *Name) {
     if (K == Name)
       return Table[Probe].Id; // another thread registered it first
     if (K == nullptr) {
-      assert(NextId < TableSize / 2 && "function intern table overflow");
+      // Past half full, probe chains stop being short and, at full, the
+      // probe loops above never terminate — a hard capacity limit, so
+      // fail loudly in every build mode, not just under assertions.
+      if (NextId >= TableSize / 2) {
+        std::fprintf(stderr,
+                     "pfuzz: fatal: function intern table overflow (%zu "
+                     "functions; the %zu-slot table supports at most %zu)\n",
+                     static_cast<size_t>(NextId), TableSize, TableSize / 2);
+        std::abort();
+      }
       uint32_t Id = NextId++;
       Table[Probe].Id = Id;
       Table[Probe].Key.store(Name, std::memory_order_release);

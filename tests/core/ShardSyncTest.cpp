@@ -1,0 +1,175 @@
+//===- tests/core/ShardSyncTest.cpp - Shard exchange-layer tests ----------===//
+//
+// Part of the pfuzz project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shard synchronization layer on its own, without a campaign on top:
+/// the SPSC packet ring preserves order and blocks correctly at both
+/// ends, endpoints deliver every published packet exactly once (the
+/// published == merged ledger), collectThrough enforces the lag-1 epoch
+/// discipline across unevenly paced producers, and the terminal
+/// Final-then-drain handshake lets shards with different lifetimes all
+/// terminate with balanced books.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/ShardSync.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace pfuzz;
+
+namespace {
+
+ShardPacket makePacket(uint64_t Epoch, std::vector<uint32_t> Branches = {},
+                       bool Final = false) {
+  ShardPacket P;
+  P.Epoch = Epoch;
+  P.Final = Final;
+  P.Branches = std::move(Branches);
+  return P;
+}
+
+} // namespace
+
+TEST(ShardSyncTest, RingTransfersInOrder) {
+  ShardPacketRing Ring;
+  for (uint64_t E = 1; E <= 3; ++E)
+    Ring.push(makePacket(E, {static_cast<uint32_t>(E * 10)}));
+  ShardPacket P;
+  for (uint64_t E = 1; E <= 3; ++E) {
+    Ring.pop(P);
+    EXPECT_EQ(P.Epoch, E);
+    EXPECT_EQ(P.Branches, std::vector<uint32_t>{static_cast<uint32_t>(E * 10)});
+  }
+  EXPECT_FALSE(Ring.tryPop(P));
+}
+
+TEST(ShardSyncTest, RingBlocksFullProducerAndEmptyConsumer) {
+  ShardPacketRing Ring;
+  // Fill to capacity, then push one more from a thread; it must block
+  // until the consumer makes room — and every packet must come out in
+  // order anyway.
+  for (uint64_t E = 1; E <= ShardPacketRing::Capacity; ++E)
+    Ring.push(makePacket(E));
+  std::thread Producer(
+      [&Ring] { Ring.push(makePacket(ShardPacketRing::Capacity + 1)); });
+  ShardPacket P;
+  for (uint64_t E = 1; E <= ShardPacketRing::Capacity + 1; ++E) {
+    Ring.pop(P); // the last pop blocks until the producer lands its push
+    EXPECT_EQ(P.Epoch, E);
+  }
+  Producer.join();
+}
+
+TEST(ShardSyncTest, TwoEndpointsExchangeWithBalancedLedger) {
+  ShardHub Hub(2);
+  const int Epochs = 20;
+  auto ShardLoop = [&Hub](uint32_t Index) {
+    ShardEndpoint &Self = Hub.endpoint(Index);
+    std::vector<uint64_t> Seen;
+    for (uint64_t E = 1; E <= Epochs; ++E) {
+      Self.publish(makePacket(E, {static_cast<uint32_t>(Index * 1000 + E)}));
+      Self.collectThrough(E - 1, [&Seen](const ShardPacket &P) {
+        Seen.push_back(P.Epoch);
+      });
+    }
+    ShardPacket Final = makePacket(Epochs + 1, {}, /*Final=*/true);
+    Self.publish(Final);
+    Self.drainAll(
+        [&Seen](const ShardPacket &P) { Seen.push_back(P.Epoch); });
+    // In-order, gapless delivery from the single peer.
+    ASSERT_EQ(Seen.size(), static_cast<size_t>(Epochs + 1));
+    for (size_t I = 0; I != Seen.size(); ++I)
+      EXPECT_EQ(Seen[I], I + 1);
+  };
+  std::thread Other([&ShardLoop] { ShardLoop(1); });
+  ShardLoop(0);
+  Other.join();
+  uint64_t Published = 0, Merged = 0;
+  for (uint32_t I = 0; I != 2; ++I) {
+    Published += Hub.endpoint(I).Stats.DeltasPublished;
+    Merged += Hub.endpoint(I).Stats.DeltasMerged;
+    EXPECT_EQ(Hub.endpoint(I).Stats.SyncPoints,
+              static_cast<uint64_t>(Epochs + 1));
+    // Lag-1 discipline: no merge point ever waited on more than one
+    // outstanding epoch.
+    EXPECT_LE(Hub.endpoint(I).Stats.MaxFrontierLag, 1u);
+  }
+  EXPECT_EQ(Published, Merged);
+  EXPECT_EQ(Published, 2u * (Epochs + 1));
+}
+
+TEST(ShardSyncTest, ThreeShardsWithUnevenLifetimes) {
+  // Shards run different epoch counts; the Final/drain handshake must
+  // still deliver every packet exactly once and let everyone terminate.
+  ShardHub Hub(3);
+  const uint64_t EpochsFor[3] = {3, 10, 6};
+  auto ShardLoop = [&](uint32_t Index) {
+    ShardEndpoint &Self = Hub.endpoint(Index);
+    uint64_t E = 1;
+    for (; E <= EpochsFor[Index]; ++E) {
+      Self.publish(makePacket(E));
+      Self.collectThrough(E - 1, [](const ShardPacket &) {});
+    }
+    Self.publish(makePacket(E, {}, /*Final=*/true));
+    Self.drainAll([](const ShardPacket &) {});
+  };
+  std::thread T1([&] { ShardLoop(1); });
+  std::thread T2([&] { ShardLoop(2); });
+  ShardLoop(0);
+  T1.join();
+  T2.join();
+  uint64_t Published = 0, Merged = 0, Expected = 0;
+  for (uint32_t I = 0; I != 3; ++I) {
+    Published += Hub.endpoint(I).Stats.DeltasPublished;
+    Merged += Hub.endpoint(I).Stats.DeltasMerged;
+    Expected += 2 * (EpochsFor[I] + 1); // every epoch + Final, to 2 peers
+  }
+  EXPECT_EQ(Published, Merged);
+  EXPECT_EQ(Published, Expected);
+}
+
+TEST(ShardSyncTest, MigrationLedgerBalances) {
+  ShardHub Hub(2);
+  const int Epochs = 5;
+  auto ShardLoop = [&Hub](uint32_t Index) {
+    ShardEndpoint &Self = Hub.endpoint(Index);
+    for (uint64_t E = 1; E <= Epochs; ++E) {
+      ShardPacket P = makePacket(E);
+      P.HasCandidate = true;
+      P.CandidateBytes = "abc";
+      P.CandidateHash = Index * 100 + E;
+      Self.publish(P);
+      Self.collectThrough(E - 1, [&Self](const ShardPacket &In) {
+        if (!In.HasCandidate)
+          return;
+        // Accept even hashes, reject odd ones — any deterministic split.
+        if (In.CandidateHash % 2 == 0)
+          ++Self.Stats.MigrationsAccepted;
+        else
+          ++Self.Stats.MigrationsRejected;
+      });
+    }
+    Self.publish(makePacket(Epochs + 1, {}, /*Final=*/true));
+    Self.drainAll([&Self](const ShardPacket &In) {
+      if (In.HasCandidate)
+        ++Self.Stats.MigrationsRejected; // late arrivals are rejects
+    });
+  };
+  std::thread Other([&ShardLoop] { ShardLoop(1); });
+  ShardLoop(0);
+  Other.join();
+  uint64_t Offered = 0, Accepted = 0, Rejected = 0;
+  for (uint32_t I = 0; I != 2; ++I) {
+    Offered += Hub.endpoint(I).Stats.MigrationsOffered;
+    Accepted += Hub.endpoint(I).Stats.MigrationsAccepted;
+    Rejected += Hub.endpoint(I).Stats.MigrationsRejected;
+  }
+  EXPECT_EQ(Offered, 2u * Epochs);
+  EXPECT_EQ(Accepted + Rejected, Offered);
+}
