@@ -18,9 +18,15 @@
 /// so CI and trend scripts consume throughput numbers without scraping
 /// the human-readable tables. Every record carries every key — disabled
 /// features emit 0 instead of omitting the field, so downstream
-/// BENCH_*.json diffing never needs schema sniffing. Bench and subject
-/// names are internal identifiers (no quotes/backslashes), so no JSON
-/// escaping is needed.
+/// BENCH_*.json diffing never needs schema sniffing. String fields are
+/// JSON-escaped on write, so records stay well-formed even when a label
+/// carries quotes, backslashes, or control bytes.
+///
+/// Benches fill a BenchJsonRecord by designated initializer — each
+/// measurement names exactly the fields it has, everything else stays at
+/// its documented zero — and hand it to add(). The old positional
+/// overload (14 defaulted doubles, where adding a field in the middle
+/// silently re-bound every later call site) is gone on purpose.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +45,9 @@ struct BenchJsonRecord {
   std::string Bench;
   std::string Subject;
   double ExecsPerSec = 0;
+  /// Measurement wall-clock in milliseconds. Call sites convert
+  /// explicitly (`.WallMs = Seconds * 1000.0`) — the writer stores what
+  /// it is given.
   double WallMs = 0;
   double ResumeHitRate = 0;
   /// Average ladder-rung depth of resume-cache hits (0 when the ladder
@@ -66,26 +75,58 @@ struct BenchJsonRecord {
   double ShardFrontierLag = 0;
 };
 
+/// Escapes \p S for embedding in a JSON string literal: quotes and
+/// backslashes get a backslash, control bytes become \uXXXX.
+inline std::string benchJsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    unsigned char U = static_cast<unsigned char>(C);
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (U < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", U);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
 /// Collects records and writes them on demand. Constructed with an empty
 /// path (the flag's default), every call is a no-op.
 class BenchJsonWriter {
 public:
   explicit BenchJsonWriter(std::string Path) : Path(std::move(Path)) {}
 
-  void add(std::string Bench, std::string Subject, double ExecsPerSec,
-           double WallSeconds, double ResumeHitRate,
-           double ResumeRungDepth = 0, double LocalityBatch = 0,
-           double SchedTasks = 0, double SchedStealRate = 0,
-           double QueueBytesPeak = 0, double RescoreNsPerExec = 0,
-           double Shards = 0, double ShardDeltas = 0,
-           double ShardMigrations = 0, double ShardFrontierLag = 0) {
+  void add(BenchJsonRecord Record) {
     if (Path.empty())
       return;
-    Records.push_back({std::move(Bench), std::move(Subject), ExecsPerSec,
-                       WallSeconds * 1000.0, ResumeHitRate, ResumeRungDepth,
-                       LocalityBatch, SchedTasks, SchedStealRate,
-                       QueueBytesPeak, RescoreNsPerExec, Shards, ShardDeltas,
-                       ShardMigrations, ShardFrontierLag});
+    Records.push_back(std::move(Record));
   }
 
   /// Writes the collected records to the path; returns true on success
@@ -112,7 +153,8 @@ public:
                    " \"rescore_ns_per_exec\": %.4f, \"shards\": %.0f,"
                    " \"shard_deltas\": %.0f, \"shard_migrations\": %.0f,"
                    " \"shard_frontier_lag\": %.0f}%s\n",
-                   R.Bench.c_str(), R.Subject.c_str(), R.ExecsPerSec, R.WallMs,
+                   benchJsonEscape(R.Bench).c_str(),
+                   benchJsonEscape(R.Subject).c_str(), R.ExecsPerSec, R.WallMs,
                    R.ResumeHitRate, R.ResumeRungDepth, R.LocalityBatch,
                    R.SchedTasks, R.SchedStealRate, R.QueueBytesPeak,
                    R.RescoreNsPerExec, R.Shards, R.ShardDeltas,

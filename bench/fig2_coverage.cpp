@@ -27,6 +27,7 @@
 #include "support/CommandLine.h"
 #include "support/Scheduler.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <chrono>
@@ -54,8 +55,21 @@ int main(int Argc, char **Argv) {
   std::string SubjectFilter = Cli.getString("subject", "");
   std::string ToolsFilter = Cli.getString("tools", "afl,klee,pfuzzer");
   bool Timeline = Cli.getBool("timeline", false);
+  std::string TelemetryPath = Cli.getString("telemetry", "");
+  uint64_t HeartbeatEvery = static_cast<uint64_t>(
+      Cli.getCount("heartbeat", 4096, /*Min=*/1));
   BenchJsonWriter Json(Cli.getString("json", ""));
   bool FlagsOk = Cli.ok() && Cli.unqueried().empty();
+
+  HeartbeatEmitter Heartbeat;
+  if (FlagsOk && !TelemetryPath.empty()) {
+    if (!Heartbeat.open(TelemetryPath, HeartbeatEvery)) {
+      std::fprintf(stderr, "error: cannot open telemetry file '%s'\n",
+                   TelemetryPath.c_str());
+      return 1;
+    }
+    ToolCfg.PFuzzerHeartbeat = &Heartbeat;
+  }
 
   // Resolve the tool list before the usage check so a typo in --tools
   // reports through the same path as an unknown flag.
@@ -88,7 +102,8 @@ int main(int Argc, char **Argv) {
                          " [--runs=N] [--seed=N] [--jobs=N] [--run-cache=N]"
                          " [--resume-cache=N] [--locality] [--speculate=N]"
                          " [--shards=N] [--subject=NAME] [--tools=LIST]"
-                         " [--timeline] [--json=PATH]\n");
+                         " [--timeline] [--telemetry=FILE] [--heartbeat=N]"
+                         " [--json=PATH]\n");
     return 1;
   }
 
@@ -143,21 +158,29 @@ int main(int Argc, char **Argv) {
       Row.Outcomes = 2ull * S->numBranchSites();
       RowSeconds += R.WallSeconds;
       RowExecs += R.TotalExecutions;
-      Json.add("fig2_coverage",
-               std::string(toolName(Tools[T])) + "/" + Row.Subject,
-               R.execsPerSec(), R.WallSeconds, R.Resume.hitRate(),
-               R.Resume.avgHitRungDepth(),
-               Tools[T] == ToolKind::PFuzzer ? ToolCfg.PFuzzerLocality : 0,
-               static_cast<double>(Sched.submitted()),
-               Sched.stealSuccessRate(),
-               static_cast<double>(R.Queue.PeakBytes),
+      Json.add(
+          {.Bench = "fig2_coverage",
+           .Subject = std::string(toolName(Tools[T])) + "/" + Row.Subject,
+           .ExecsPerSec = R.execsPerSec(),
+           .WallMs = R.WallSeconds * 1000.0,
+           .ResumeHitRate = R.Resume.hitRate(),
+           .ResumeRungDepth = R.Resume.avgHitRungDepth(),
+           .LocalityBatch = Tools[T] == ToolKind::PFuzzer
+                                ? static_cast<double>(ToolCfg.PFuzzerLocality)
+                                : 0,
+           .SchedTasks = static_cast<double>(Sched.submitted()),
+           .SchedStealRate = Sched.stealSuccessRate(),
+           .QueueBytesPeak = static_cast<double>(R.Queue.PeakBytes),
+           .RescoreNsPerExec =
                static_cast<double>(R.Queue.RescoreNanos) /
-                   static_cast<double>(
-                       std::max<uint64_t>(R.TotalExecutions, 1)),
-               Tools[T] == ToolKind::PFuzzer ? ToolCfg.PFuzzerShards : 0,
-               static_cast<double>(R.Shards.DeltasPublished),
-               static_cast<double>(R.Shards.MigrationsAccepted),
-               static_cast<double>(R.Shards.MaxFrontierLag));
+               static_cast<double>(std::max<uint64_t>(R.TotalExecutions, 1)),
+           .Shards = Tools[T] == ToolKind::PFuzzer
+                         ? static_cast<double>(ToolCfg.PFuzzerShards)
+                         : 0,
+           .ShardDeltas = static_cast<double>(R.Shards.DeltasPublished),
+           .ShardMigrations = static_cast<double>(R.Shards.MigrationsAccepted),
+           .ShardFrontierLag =
+               static_cast<double>(R.Shards.MaxFrontierLag)});
       Cells.push_back(formatDouble(Row.Ratios[T] * 100, 1));
       std::fprintf(stderr,
                    "  done: %s on %s (%llu execs, %zu valid, %s, %s)\n",
@@ -235,6 +258,17 @@ int main(int Argc, char **Argv) {
                  Ratio("mjs", 1) <= Ratio("mjs", 2))
                     ? "yes"
                     : "NO");
+  }
+  if (Heartbeat.enabled()) {
+    uint64_t Beats = Heartbeat.beats();
+    if (!Heartbeat.close()) {
+      std::fprintf(stderr, "error: writing telemetry file '%s' failed\n",
+                   TelemetryPath.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "telemetry: %llu heartbeat records -> %s\n",
+                 static_cast<unsigned long long>(Beats),
+                 TelemetryPath.c_str());
   }
   return Json.write() ? 0 : 1;
 }

@@ -21,6 +21,7 @@
 #include "eval/TableWriter.h"
 #include "support/CommandLine.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 
 #include <cstdio>
 #include <map>
@@ -41,14 +42,28 @@ int main(int Argc, char **Argv) {
       Cli.getCount("speculate", ToolCfg.PFuzzerSpeculation, /*Min=*/-1));
   ToolCfg.PFuzzerResumeCache = static_cast<uint32_t>(
       Cli.getCount("resume-cache", ToolCfg.PFuzzerResumeCache));
+  std::string TelemetryPath = Cli.getString("telemetry", "");
+  uint64_t HeartbeatEvery = static_cast<uint64_t>(
+      Cli.getCount("heartbeat", 4096, /*Min=*/1));
   BenchJsonWriter Json(Cli.getString("json", ""));
   if (!Cli.ok() || !Cli.unqueried().empty()) {
     for (const std::string &Err : Cli.errors())
       std::fprintf(stderr, "error: %s\n", Err.c_str());
     std::fprintf(stderr, "usage: fig3_tokens [--budget-scale=N] [--runs=N]"
                          " [--seed=N] [--jobs=N] [--run-cache=N]"
-                         " [--resume-cache=N] [--speculate=N] [--json=PATH]\n");
+                         " [--resume-cache=N] [--speculate=N]"
+                         " [--telemetry=FILE] [--heartbeat=N]"
+                         " [--json=PATH]\n");
     return 1;
+  }
+  HeartbeatEmitter Heartbeat;
+  if (!TelemetryPath.empty()) {
+    if (!Heartbeat.open(TelemetryPath, HeartbeatEvery)) {
+      std::fprintf(stderr, "error: cannot open telemetry file '%s'\n",
+                   TelemetryPath.c_str());
+      return 1;
+    }
+    ToolCfg.PFuzzerHeartbeat = &Heartbeat;
   }
 
   std::printf("== Figure 3: tokens generated, grouped by token length ==\n");
@@ -95,10 +110,12 @@ int main(int Argc, char **Argv) {
       for (const auto &[Length, Count] : Totals)
         Cells.push_back(std::to_string(Found[Length]));
       Table.addRow(std::move(Cells));
-      Json.add("fig3_tokens",
-               std::string(toolName(Tools[T])) + "/" +
-                   std::string(S->name()),
-               R.execsPerSec(), R.WallSeconds, R.Resume.hitRate());
+      Json.add({.Bench = "fig3_tokens",
+                .Subject = std::string(toolName(Tools[T])) + "/" +
+                           std::string(S->name()),
+                .ExecsPerSec = R.execsPerSec(),
+                .WallMs = R.WallSeconds * 1000.0,
+                .ResumeHitRate = R.Resume.hitRate()});
       std::fprintf(stderr, "  done: %s on %s (%zu tokens, %s, %s)\n",
                    std::string(toolName(Tools[T])).c_str(),
                    std::string(S->name()).c_str(), R.TokensFound.size(),
@@ -128,5 +145,16 @@ int main(int Argc, char **Argv) {
   std::printf("\nCentral result (only pFuzzer detects longer tokens):"
               " %s\n",
               PFuzzerWinsLong ? "reproduced" : "NOT reproduced");
+  if (Heartbeat.enabled()) {
+    uint64_t Beats = Heartbeat.beats();
+    if (!Heartbeat.close()) {
+      std::fprintf(stderr, "error: writing telemetry file '%s' failed\n",
+                   TelemetryPath.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "telemetry: %llu heartbeat records -> %s\n",
+                 static_cast<unsigned long long>(Beats),
+                 TelemetryPath.c_str());
+  }
   return Json.write() ? 0 : 1;
 }

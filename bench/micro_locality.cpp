@@ -219,9 +219,12 @@ int main(int Argc, char **Argv) {
       PrevDepth = St.avgHitRungDepth();
       char Name[32];
       std::snprintf(Name, sizeof(Name), "json/rungs-%u", Rungs);
-      Json.add("micro_locality", Name,
-               Secs > 0 ? Rounds * Steps.size() / Secs : 0, Secs,
-               St.hitRate(), St.avgHitRungDepth());
+      Json.add({.Bench = "micro_locality",
+                .Subject = Name,
+                .ExecsPerSec = Secs > 0 ? Rounds * Steps.size() / Secs : 0,
+                .WallMs = Secs * 1000.0,
+                .ResumeHitRate = St.hitRate(),
+                .ResumeRungDepth = St.avgHitRungDepth()});
     }
     std::printf("  resume rate and rung depth %s with rung count\n",
                 Monotone ? "strictly increasing" : "NOT MONOTONE");
@@ -267,23 +270,32 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(Trie.Locality.Batched),
                 static_cast<unsigned long long>(Trie.Locality.Consumed),
                 100 * Trie.Locality.consumeRate());
-    Json.add("micro_locality", "json/cold",
-             Cold.WallSeconds > 0 ? Execs / Cold.WallSeconds : 0,
-             Cold.WallSeconds, 0, 0, 0,
-             static_cast<double>(Cold.Sched.submitted()),
-             Cold.Sched.stealSuccessRate());
-    Json.add("micro_locality", "json/ladder",
-             Ladder.WallSeconds > 0 ? Execs / Ladder.WallSeconds : 0,
-             Ladder.WallSeconds, Ladder.Resume.hitRate(),
-             Ladder.Resume.avgHitRungDepth(), 0,
-             static_cast<double>(Ladder.Sched.submitted()),
-             Ladder.Sched.stealSuccessRate());
-    Json.add("micro_locality", "json/ladder+trie",
-             Trie.WallSeconds > 0 ? Execs / Trie.WallSeconds : 0,
-             Trie.WallSeconds, Trie.Resume.hitRate(),
-             Trie.Resume.avgHitRungDepth(), /*LocalityBatch=*/64,
-             static_cast<double>(Trie.Sched.submitted()),
-             Trie.Sched.stealSuccessRate());
+    Json.add({.Bench = "micro_locality",
+              .Subject = "json/cold",
+              .ExecsPerSec =
+                  Cold.WallSeconds > 0 ? Execs / Cold.WallSeconds : 0,
+              .WallMs = Cold.WallSeconds * 1000.0,
+              .SchedTasks = static_cast<double>(Cold.Sched.submitted()),
+              .SchedStealRate = Cold.Sched.stealSuccessRate()});
+    Json.add({.Bench = "micro_locality",
+              .Subject = "json/ladder",
+              .ExecsPerSec =
+                  Ladder.WallSeconds > 0 ? Execs / Ladder.WallSeconds : 0,
+              .WallMs = Ladder.WallSeconds * 1000.0,
+              .ResumeHitRate = Ladder.Resume.hitRate(),
+              .ResumeRungDepth = Ladder.Resume.avgHitRungDepth(),
+              .SchedTasks = static_cast<double>(Ladder.Sched.submitted()),
+              .SchedStealRate = Ladder.Sched.stealSuccessRate()});
+    Json.add({.Bench = "micro_locality",
+              .Subject = "json/ladder+trie",
+              .ExecsPerSec =
+                  Trie.WallSeconds > 0 ? Execs / Trie.WallSeconds : 0,
+              .WallMs = Trie.WallSeconds * 1000.0,
+              .ResumeHitRate = Trie.Resume.hitRate(),
+              .ResumeRungDepth = Trie.Resume.avgHitRungDepth(),
+              .LocalityBatch = 64,
+              .SchedTasks = static_cast<double>(Trie.Sched.submitted()),
+              .SchedStealRate = Trie.Sched.stealSuccessRate()});
   }
 
   if (!Ok) {

@@ -351,9 +351,12 @@ int runSweep(int Argc, char **Argv) {
                 static_cast<unsigned long long>(St.Stolen),
                 100 * St.stealSuccessRate(),
                 UnifiedSame ? "identical" : "MISMATCH");
-    Json.add("micro_queue", "sweep-unified/w" + std::to_string(W),
-             UnifiedRate, UnifiedWall, 0, 0, 0,
-             static_cast<double>(St.submitted()), St.stealSuccessRate());
+    Json.add({.Bench = "micro_queue",
+              .Subject = "sweep-unified/w" + std::to_string(W),
+              .ExecsPerSec = UnifiedRate,
+              .WallMs = UnifiedWall * 1000.0,
+              .SchedTasks = static_cast<double>(St.submitted()),
+              .SchedStealRate = St.stealSuccessRate()});
 
     // Static split: the pre-scheduler world. A mutex-FIFO ThreadPool
     // fans the (cell, seed) tasks out, and every campaign owns a
@@ -404,11 +407,16 @@ int runSweep(int Argc, char **Argv) {
                 StaticWall, StaticRate, "-", "-", "-",
                 StaticSame ? "identical" : "MISMATCH");
     uint64_t Attempts = StaticStealAttempts.load();
-    Json.add("micro_queue", "sweep-static/w" + std::to_string(W), StaticRate,
-             StaticWall, 0, 0, 0, static_cast<double>(StaticTasks.load()),
-             Attempts == 0 ? 0
-                           : static_cast<double>(StaticStealHits.load()) /
-                                 static_cast<double>(Attempts));
+    Json.add({.Bench = "micro_queue",
+              .Subject = "sweep-static/w" + std::to_string(W),
+              .ExecsPerSec = StaticRate,
+              .WallMs = StaticWall * 1000.0,
+              .SchedTasks = static_cast<double>(StaticTasks.load()),
+              .SchedStealRate =
+                  Attempts == 0
+                      ? 0
+                      : static_cast<double>(StaticStealHits.load()) /
+                            static_cast<double>(Attempts)});
   }
 
   // Queue representation sweep: sequential campaigns run twice, once on
@@ -464,11 +472,15 @@ int runSweep(int Argc, char **Argv) {
                   ModeName[Mode], Cell.Label, Wall, Rate[Mode],
                   PeakBytes[Mode], RescoreNs,
                   Mode == 0 ? "-" : Same ? "identical" : "MISMATCH");
-      Json.add("micro_queue",
-               std::string("sweep-") + ModeName[Mode] + "/" + Cell.Label,
-               Rate[Mode], Wall, 0, 0, 0,
-               static_cast<double>(SchedDelta.submitted()),
-               SchedDelta.stealSuccessRate(), PeakBytes[Mode], RescoreNs);
+      Json.add({.Bench = "micro_queue",
+                .Subject = std::string("sweep-") + ModeName[Mode] + "/" +
+                           Cell.Label,
+                .ExecsPerSec = Rate[Mode],
+                .WallMs = Wall * 1000.0,
+                .SchedTasks = static_cast<double>(SchedDelta.submitted()),
+                .SchedStealRate = SchedDelta.stealSuccessRate(),
+                .QueueBytesPeak = PeakBytes[Mode],
+                .RescoreNsPerExec = RescoreNs});
     }
     if (PeakBytes[0] > 0 && Rate[1] > 0)
       std::printf("%-9s %-10s queue bytes %.2fx smaller, throughput %.2fx\n",

@@ -272,14 +272,21 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(Ladder.stats().BytesSkipped),
                 100 * Single.stats().hitRate(),
                 static_cast<unsigned long long>(Single.stats().BytesSkipped));
-    Json.add("micro_resume", "json/sweep-cold",
-             ColdSecs > 0 ? NumSteps / ColdSecs : 0, ColdSecs, 0);
-    Json.add("micro_resume", "json/sweep-single",
-             SingleSecs > 0 ? NumSteps / SingleSecs : 0, SingleSecs,
-             Single.stats().hitRate());
-    Json.add("micro_resume", "json/sweep-ladder",
-             LadderSecs > 0 ? NumSteps / LadderSecs : 0, LadderSecs,
-             Ladder.stats().hitRate(), Ladder.stats().avgHitRungDepth());
+    Json.add({.Bench = "micro_resume",
+              .Subject = "json/sweep-cold",
+              .ExecsPerSec = ColdSecs > 0 ? NumSteps / ColdSecs : 0,
+              .WallMs = ColdSecs * 1000.0});
+    Json.add({.Bench = "micro_resume",
+              .Subject = "json/sweep-single",
+              .ExecsPerSec = SingleSecs > 0 ? NumSteps / SingleSecs : 0,
+              .WallMs = SingleSecs * 1000.0,
+              .ResumeHitRate = Single.stats().hitRate()});
+    Json.add({.Bench = "micro_resume",
+              .Subject = "json/sweep-ladder",
+              .ExecsPerSec = LadderSecs > 0 ? NumSteps / LadderSecs : 0,
+              .WallMs = LadderSecs * 1000.0,
+              .ResumeHitRate = Ladder.stats().hitRate(),
+              .ResumeRungDepth = Ladder.stats().avgHitRungDepth()});
   } else {
     std::printf("growth sweep: skipped (fibers unavailable)\n");
   }
@@ -307,13 +314,18 @@ int main(int Argc, char **Argv) {
                 100 * Warm.Stats.hitRate(),
                 static_cast<unsigned long long>(Warm.Stats.BytesSkipped),
                 Identical ? "identical" : "MISMATCH");
-    Json.add("micro_resume", std::string(S->name()) + "/cold",
-             Cold.WallSeconds > 0 ? Execs / Cold.WallSeconds : 0,
-             Cold.WallSeconds, 0);
-    Json.add("micro_resume", std::string(S->name()) + "/resume",
-             Warm.WallSeconds > 0 ? Execs / Warm.WallSeconds : 0,
-             Warm.WallSeconds, Warm.Stats.hitRate(),
-             Warm.Stats.avgHitRungDepth());
+    Json.add({.Bench = "micro_resume",
+              .Subject = std::string(S->name()) + "/cold",
+              .ExecsPerSec = Cold.WallSeconds > 0 ? Execs / Cold.WallSeconds
+                                                  : 0,
+              .WallMs = Cold.WallSeconds * 1000.0});
+    Json.add({.Bench = "micro_resume",
+              .Subject = std::string(S->name()) + "/resume",
+              .ExecsPerSec = Warm.WallSeconds > 0 ? Execs / Warm.WallSeconds
+                                                  : 0,
+              .WallMs = Warm.WallSeconds * 1000.0,
+              .ResumeHitRate = Warm.Stats.hitRate(),
+              .ResumeRungDepth = Warm.Stats.avgHitRungDepth()});
   }
   if (!AllIdentical) {
     std::fprintf(stderr, "error: a resuming run diverged from the cold"

@@ -164,13 +164,15 @@ int main(int Argc, char **Argv) {
                   Identical ? (N == 1 ? "identical" : "reproducible")
                             : "MISMATCH",
                   Balanced ? "" : " UNBALANCED");
-      Json.add("micro_shard",
-               std::string(S->name()) + "/s" + std::to_string(N),
-               Cur.WallSeconds > 0 ? Execs / Cur.WallSeconds : 0,
-               Cur.WallSeconds, 0, 0, 0, 0, 0, 0, 0, N,
-               static_cast<double>(St.DeltasPublished),
-               static_cast<double>(St.MigrationsAccepted),
-               static_cast<double>(St.MaxFrontierLag));
+      Json.add({.Bench = "micro_shard",
+                .Subject = std::string(S->name()) + "/s" + std::to_string(N),
+                .ExecsPerSec = Cur.WallSeconds > 0 ? Execs / Cur.WallSeconds
+                                                   : 0,
+                .WallMs = Cur.WallSeconds * 1000.0,
+                .Shards = static_cast<double>(N),
+                .ShardDeltas = static_cast<double>(St.DeltasPublished),
+                .ShardMigrations = static_cast<double>(St.MigrationsAccepted),
+                .ShardFrontierLag = static_cast<double>(St.MaxFrontierLag)});
     }
     std::printf("\n");
   }

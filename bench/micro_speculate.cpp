@@ -132,12 +132,15 @@ int main(int Argc, char **Argv) {
                   Speedup, HitRate, ReadyRate, 100 * St.wasteRate(),
                   Workers == 0 ? "baseline"
                                : (Identical ? "identical" : "MISMATCH"));
-      Json.add("micro_speculate",
-               std::string(S->name()) + "/w" + std::to_string(Workers),
-               Cur.WallSeconds > 0 ? Execs / Cur.WallSeconds : 0,
-               Cur.WallSeconds, Cur.Resume.hitRate(), 0, 0,
-               static_cast<double>(Cur.Sched.submitted()),
-               Cur.Sched.stealSuccessRate());
+      Json.add({.Bench = "micro_speculate",
+                .Subject = std::string(S->name()) + "/w" +
+                           std::to_string(Workers),
+                .ExecsPerSec = Cur.WallSeconds > 0 ? Execs / Cur.WallSeconds
+                                                   : 0,
+                .WallMs = Cur.WallSeconds * 1000.0,
+                .ResumeHitRate = Cur.Resume.hitRate(),
+                .SchedTasks = static_cast<double>(Cur.Sched.submitted()),
+                .SchedStealRate = Cur.Sched.stealSuccessRate()});
     }
     std::printf("\n");
   }

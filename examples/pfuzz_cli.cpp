@@ -13,6 +13,7 @@
 ///   ./pfuzz_cli --subject=json [--tool=pfuzzer|afl|klee|random]
 ///               [--execs=N] [--seed=N] [--runs=N] [--jobs=N]
 ///               [--shards=N] [--shard-sync=N] [--shard-stats]
+///               [--telemetry=FILE] [--heartbeat=N] [--telemetry-stats]
 ///               [--list-subjects] [--mine] [--quiet]
 ///
 //===----------------------------------------------------------------------===//
@@ -23,6 +24,7 @@
 #include "support/CommandLine.h"
 #include "support/Scheduler.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 #include "tokens/TokenCoverage.h"
 
 #include <cstdio>
@@ -62,6 +64,12 @@ int main(int Argc, char **Argv) {
   Tools.PFuzzerShardSyncInterval = static_cast<uint32_t>(
       Cli.getCount("shard-sync", Tools.PFuzzerShardSyncInterval));
   bool ShardStatsFlag = Cli.getBool("shard-stats", false);
+  std::string TelemetryPath = Cli.getString("telemetry", "");
+  // Interval in executions between heartbeat records; the default keeps
+  // the stream small even on long campaigns.
+  uint64_t HeartbeatEvery = static_cast<uint64_t>(
+      Cli.getCount("heartbeat", 4096, /*Min=*/1));
+  bool TelemetryStatsFlag = Cli.getBool("telemetry-stats", false);
   bool ListSubjects = Cli.getBool("list-subjects", false);
   bool LocalityStatsFlag = Cli.getBool("locality-stats", false);
   bool SchedStatsFlag = Cli.getBool("sched-stats", false);
@@ -80,7 +88,8 @@ int main(int Argc, char **Argv) {
                  " [--resume-rungs=N] [--locality] [--locality-stats]"
                  " [--speculate=N] [--speculate-depth=N] [--sched-stats]"
                  " [--max-queue=N] [--queue-stats] [--shards=N]"
-                 " [--shard-sync=N] [--shard-stats] [--list-subjects]"
+                 " [--shard-sync=N] [--shard-stats] [--telemetry=FILE]"
+                 " [--heartbeat=N] [--telemetry-stats] [--list-subjects]"
                  " [--mine] [--quiet]\n"
                  "subjects: arith dyck ini csv json tinyc mjs\n"
                  "tools: pfuzzer afl klee random\n"
@@ -108,6 +117,12 @@ int main(int Argc, char **Argv) {
                  " deterministic sharded search)\n"
                  "--shard-sync: executions per coverage-sync epoch\n"
                  "--shard-stats: print shard-sync counters\n"
+                 "--telemetry: stream heartbeat NDJSON records to FILE"
+                 " (observational only; results are identical with or"
+                 " without)\n"
+                 "--heartbeat: executions between heartbeat records\n"
+                 "--telemetry-stats: print the consolidated telemetry"
+                 " snapshot\n"
                  "--list-subjects: print the built-in subject names and"
                  " exit\n");
     return 1;
@@ -136,6 +151,16 @@ int main(int Argc, char **Argv) {
   else {
     std::fprintf(stderr, "error: unknown tool '%s'\n", ToolName.c_str());
     return 1;
+  }
+
+  HeartbeatEmitter Heartbeat;
+  if (!TelemetryPath.empty()) {
+    if (!Heartbeat.open(TelemetryPath, HeartbeatEvery)) {
+      std::fprintf(stderr, "error: cannot open telemetry file '%s'\n",
+                   TelemetryPath.c_str());
+      return 1;
+    }
+    Tools.PFuzzerHeartbeat = &Heartbeat;
   }
 
   // A campaign of one or more seeds; --jobs=N runs the seeds in parallel
@@ -238,6 +263,42 @@ int main(int Argc, char **Argv) {
                  static_cast<unsigned long long>(D.Stolen),
                  static_cast<unsigned long long>(D.Cancelled),
                  100 * D.stealSuccessRate(), D.IdleSeconds);
+  }
+  if (TelemetryStatsFlag) {
+    const TelemetrySnapshot &T = Best.Telemetry;
+    std::fprintf(stderr,
+                 "telemetry: %llu executions, %llu valid inputs,"
+                 " frontier %llu, run cache %llu/%llu (%.1f%%)\n",
+                 static_cast<unsigned long long>(T.Executions),
+                 static_cast<unsigned long long>(T.ValidInputs),
+                 static_cast<unsigned long long>(T.FrontierSize),
+                 static_cast<unsigned long long>(T.RunCacheHits),
+                 static_cast<unsigned long long>(T.RunCacheLookups),
+                 100 * T.runCacheHitRate());
+    std::fprintf(stderr,
+                 "telemetry: speculation %llu submitted / %llu hits,"
+                 " resume %llu/%llu probes, locality %llu batched,"
+                 " queue peak %llu bytes, %llu shard sync points,"
+                 " sched %llu tasks (%llu stolen)\n",
+                 static_cast<unsigned long long>(T.Speculation.Submitted),
+                 static_cast<unsigned long long>(T.Speculation.Hits),
+                 static_cast<unsigned long long>(T.Resume.Hits),
+                 static_cast<unsigned long long>(T.Resume.Probes),
+                 static_cast<unsigned long long>(T.Locality.Batched),
+                 static_cast<unsigned long long>(T.Queue.PeakBytes),
+                 static_cast<unsigned long long>(T.Sharding.SyncPoints),
+                 static_cast<unsigned long long>(T.Sched.submitted()),
+                 static_cast<unsigned long long>(T.Sched.Stolen));
+  }
+  if (Heartbeat.enabled()) {
+    uint64_t Beats = Heartbeat.beats();
+    if (!Heartbeat.close())
+      std::fprintf(stderr, "error: writing telemetry file '%s' failed\n",
+                   TelemetryPath.c_str());
+    else
+      std::fprintf(stderr, "telemetry: %llu heartbeat records -> %s\n",
+                   static_cast<unsigned long long>(Beats),
+                   TelemetryPath.c_str());
   }
   std::fprintf(stderr, "coverage timeline (execs -> branch outcomes):\n");
   size_t Step = std::max<size_t>(1, R.CoverageTimeline.size() / 8);

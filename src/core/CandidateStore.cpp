@@ -6,6 +6,8 @@
 
 #include "core/CandidateStore.h"
 
+#include "support/Telemetry.h"
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>
@@ -481,6 +483,7 @@ bool CandidateStore::rescore(const BranchCoverageMap &VBr,
       C.Score = heuristicScore(F, Heur);
     }
     if (RefQueue.size() > MaxQueue) {
+      TELEMETRY_SPAN("trim");
       std::nth_element(RefQueue.begin(), RefQueue.begin() + MaxQueue / 2,
                        RefQueue.end(), EntryScoreGreater());
       Stats.TrimmedCandidates += RefQueue.size() - MaxQueue / 2;
@@ -512,6 +515,7 @@ bool CandidateStore::rescore(const BranchCoverageMap &VBr,
       E.Score = scoreRecord(R, G, PathCounts, Heur);
     }
     if (Entries.size() > MaxQueue) {
+      TELEMETRY_SPAN("trim");
       // Same positional nth_element + resize as the by-value queue; it
       // sees the same score sequence at the same positions, so the same
       // candidates survive. The dropped ids release their suffix bytes

@@ -9,6 +9,7 @@
 #include "core/ShardSync.h"
 #include "support/Rng.h"
 #include "support/Scheduler.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -69,6 +70,12 @@ class RunCache {
 public:
   explicit RunCache(uint32_t Capacity) : Capacity(Capacity) {}
 
+  /// Telemetry only (heartbeat hit rate, TelemetrySnapshot): probes of
+  /// an enabled cache and how many replayed a recorded result. Never
+  /// read by the search.
+  uint64_t Lookups = 0;
+  uint64_t Hits = 0;
+
   /// Returns the recorded result of running \p Input, or nullptr. The
   /// pointer is valid until the next insert(). \p Hash must be
   /// hashInput(Input) — the caller computes it once and shares it with
@@ -76,6 +83,7 @@ public:
   const RunResult *lookup(uint64_t Hash, std::string_view Input) {
     if (Capacity == 0)
       return nullptr;
+    ++Lookups;
     auto It = Index.find(Hash);
     if (It == Index.end())
       return nullptr;
@@ -83,6 +91,7 @@ public:
     if (E.Input != Input)
       return nullptr; // hash collision: treat as a miss
     touch(It->second);
+    ++Hits;
     return &E.Result;
   }
 
@@ -825,9 +834,33 @@ private:
   /// enforces the queue cap; a trim also resets oversized requeue
   /// counters, as before.
   void rescoreQueue() {
+    TELEMETRY_SPAN("rescore");
     if (Store.rescore(VBr, PathCounts, Heur) &&
         RequeueCounts.size() > Config.MaxQueue)
       RequeueCounts.clear();
+  }
+
+  /// Samples this shard's local state and writes one heartbeat record.
+  /// Called by the runCheck whose tick crossed an interval boundary;
+  /// reads only shard-confined state (plus scheduler counters, which are
+  /// atomics), so concurrent shard emissions need no shared locks beyond
+  /// the emitter's own.
+  void emitHeartbeat() {
+    HeartbeatSample HS;
+    HS.Shard = Sync ? Sync->index() : 0;
+    HS.Frontier = VBr.size();
+    HS.QueueBytes = Store.bytesInUse();
+    HS.RunCacheHitRate =
+        Cache.Lookups == 0 ? 0
+                           : static_cast<double>(Cache.Hits) /
+                                 static_cast<double>(Cache.Lookups);
+    if (Resume)
+      HS.ResumeHitRate = Resume->stats().hitRate();
+    HS.SchedStealRate =
+        (Config.Sched ? Config.Sched->stats() : Scheduler::globalStats())
+            .stealSuccessRate();
+    HS.ShardLag = Sync ? Sync->Stats.MaxFrontierLag : 0;
+    Config.Heartbeat->emit(HS);
   }
 
   /// Counts one execution of the parse path \p PathHash, decaying the
@@ -1120,11 +1153,35 @@ FuzzReport Campaign::run() {
     *Config.LocalityStatsOut = Batch ? Batch->Stats : LocalityStats();
   if (Config.QueueStatsOut)
     *Config.QueueStatsOut = Store.Stats;
+  // The consolidated tree is filled from the very sources the individual
+  // sinks above just read (after every shutdown finalized them), so the
+  // old `*StatsOut` pointers are thin views over this snapshot: both
+  // always report field-identical values. The scheduler delta is filled
+  // one level up in PFuzzer::run, which brackets the whole campaign.
+  if (Config.TelemetryOut) {
+    TelemetrySnapshot &T = *Config.TelemetryOut;
+    T = TelemetrySnapshot();
+    T.Executions = Report.Executions;
+    T.ValidInputs = Report.ValidInputs.size();
+    T.FrontierSize = VBr.size();
+    T.RunCacheLookups = Cache.Lookups;
+    T.RunCacheHits = Cache.Hits;
+    if (Spec)
+      T.Speculation = Spec->Stats;
+    if (Resume)
+      T.Resume = Resume->stats();
+    if (Batch)
+      T.Locality = Batch->Stats;
+    T.Queue = Store.Stats;
+    if (Sync)
+      T.Sharding = Sync->Stats;
+  }
   return std::move(Report);
 }
 
 const RunResult *Campaign::runCheck(const std::string &Input, uint64_t Hash,
                                     RunResult &Scratch, bool &Valid) {
+  TELEMETRY_SPAN("run");
   Valid = false;
   const RunResult *Run;
   // Memoized replay: the search re-executes identical inputs routinely
@@ -1164,6 +1221,11 @@ const RunResult *Campaign::runCheck(const std::string &Input, uint64_t Hash,
     Run = &Scratch;
   }
   ++Report.Executions;
+  // Heartbeat: one branch when disabled, one relaxed increment when
+  // armed. The claiming tick samples and emits; nothing here reads back
+  // into the search.
+  if (Config.Heartbeat && Config.Heartbeat->tick())
+    emitHeartbeat();
   if (Run->ExitCode != 0)
     return Run;
   if (Opts.OnValidInput)
@@ -1370,6 +1432,7 @@ void Campaign::shardSyncPoints() {
   // own packet so the per-producer epoch sequence stays gapless — the
   // collect protocol counts on packets arriving as 1, 2, 3, ...
   while (Report.Executions >= (EpochsDone + 1) * Interval) {
+    TELEMETRY_SPAN("shard_sync");
     ++EpochsDone;
     publishShardPacket(/*Final=*/false);
     // Lag-1 merge: consume peers through the previous epoch. Publishing
@@ -1480,6 +1543,7 @@ FuzzReport runSharded(const Subject &S, const FuzzerOptions &Opts,
   std::vector<ResumeStats> ResumeStats_(N);
   std::vector<LocalityStats> LocalityStats_(N);
   std::vector<QueueStats> QueueStats_(N);
+  std::vector<TelemetrySnapshot> Telemetry_(N);
   std::vector<FuzzReport> Reports(N);
   // OnValidInput is caller-supplied and not required to be thread-safe;
   // serialize it. Callback order across shards is timing-dependent, but
@@ -1510,6 +1574,7 @@ FuzzReport runSharded(const Subject &S, const FuzzerOptions &Opts,
     SC.LocalityStatsOut = &LocalityStats_[I];
     SC.QueueStatsOut = &QueueStats_[I];
     SC.ShardStatsOut = nullptr;
+    SC.TelemetryOut = Config.TelemetryOut ? &Telemetry_[I] : nullptr;
   }
   // Dedicated threads by design — see PFuzzerOptions::Shards. Shard
   // loops block at epoch boundaries; their speculation and locality
@@ -1549,6 +1614,13 @@ FuzzReport runSharded(const Subject &S, const FuzzerOptions &Opts,
     for (uint32_t I = 0; I != N; ++I)
       Config.ShardStatsOut->accumulate(Hub.endpoint(I).Stats);
   }
+  if (Config.TelemetryOut) {
+    // Fold per-shard snapshots in stable shard order, exactly as the
+    // individual sinks above fold their per-shard vectors.
+    *Config.TelemetryOut = TelemetrySnapshot();
+    for (uint32_t I = 0; I != N; ++I)
+      Config.TelemetryOut->accumulate(Telemetry_[I]);
+  }
 
   // Deterministic reduce, stable shard order (never completion order).
   FuzzReport Merged;
@@ -1584,17 +1656,37 @@ FuzzReport runSharded(const Subject &S, const FuzzerOptions &Opts,
   if (Merged.CoverageTimeline.empty() ||
       Merged.CoverageTimeline.back() != FinalSample)
     Merged.CoverageTimeline.push_back(FinalSample);
+  // The merged union is the campaign's real frontier; per-shard
+  // accumulation above only kept the largest single-shard view of it.
+  if (Config.TelemetryOut)
+    Config.TelemetryOut->FrontierSize = Merged.ValidBranches.size();
   return Merged;
 }
 
 } // namespace
 
 FuzzReport PFuzzer::run(const Subject &S, const FuzzerOptions &Opts) {
-  if (Options.Shards > 1)
-    return runSharded(S, Opts, Options);
-  // Unsharded: the plain sequential engine, untouched — --shards=1 is
-  // byte-identical to every prior release by construction.
-  if (Options.ShardStatsOut)
-    *Options.ShardStatsOut = ShardStats();
-  return Campaign(S, Opts, Options).run();
+  // The scheduler delta brackets the whole campaign (all shards, all
+  // sublayers submit to the same pool). Read only when requested, so
+  // campaigns without telemetry never force the global pool into
+  // existence.
+  SchedulerStats SchedBefore;
+  if (Options.TelemetryOut)
+    SchedBefore =
+        Options.Sched ? Options.Sched->stats() : Scheduler::globalStats();
+  FuzzReport R;
+  if (Options.Shards > 1) {
+    R = runSharded(S, Opts, Options);
+  } else {
+    // Unsharded: the plain sequential engine, untouched — --shards=1 is
+    // byte-identical to every prior release by construction.
+    if (Options.ShardStatsOut)
+      *Options.ShardStatsOut = ShardStats();
+    R = Campaign(S, Opts, Options).run();
+  }
+  if (Options.TelemetryOut)
+    Options.TelemetryOut->Sched =
+        (Options.Sched ? Options.Sched->stats() : Scheduler::globalStats())
+            .minus(SchedBefore);
+  return R;
 }

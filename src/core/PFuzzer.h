@@ -20,13 +20,13 @@
 #include "core/CandidateStore.h"
 #include "core/Fuzzer.h"
 #include "core/Heuristic.h"
+#include "core/ShardSync.h"
 #include "runtime/PrefixResumeCache.h"
+#include "support/Scheduler.h"
 
 namespace pfuzz {
 
-class Scheduler;
-class ShardEndpoint;
-struct ShardStats;
+class HeartbeatEmitter;
 
 /// Diagnostic counters of the speculative prefetcher (see
 /// PFuzzerOptions::SpeculationThreads). Purely observational: none of
@@ -101,6 +101,68 @@ struct LocalityStats {
     Consumed += Other.Consumed;
     Recycled += Other.Recycled;
     Discarded += Other.Discarded;
+  }
+};
+
+/// One coherent tree of every diagnostic counter a campaign exports —
+/// the per-layer `*StatsOut` structs (speculation, resume ladder,
+/// locality batcher, candidate store, shard sync, scheduler) plus the
+/// campaign-level counts none of them carry (executions, frontier size,
+/// run-cache hit counters). Filled from the *same* per-layer sources the
+/// individual `*StatsOut` pointers read, at the same point in the
+/// campaign, so the old sinks are thin views over this tree: requesting
+/// both always yields field-identical values. Purely observational —
+/// never part of the report, never feeds back into the search.
+struct TelemetrySnapshot {
+  /// Subject executions performed (== FuzzReport::Executions).
+  uint64_t Executions = 0;
+  /// Valid inputs emitted (== FuzzReport::ValidInputs.size()).
+  uint64_t ValidInputs = 0;
+  /// Covered branch outcomes in the final frontier. Accumulation takes
+  /// the max — frontiers of different runs overlap, so a sum would
+  /// double-count; the max reports the largest single-run frontier.
+  uint64_t FrontierSize = 0;
+  /// Memoized-run LRU cache probes (counted while the cache is enabled).
+  uint64_t RunCacheLookups = 0;
+  /// Probes that replayed a recorded result.
+  uint64_t RunCacheHits = 0;
+
+  SpeculationStats Speculation;
+  ResumeStats Resume;
+  LocalityStats Locality;
+  QueueStats Queue;
+  ShardStats Sharding;
+  /// Scheduler-counter delta over the campaign, read from the pool the
+  /// campaign submitted to (the shared process pool unless an explicit
+  /// Sched was wired in). Campaigns sharing that pool overlap in time,
+  /// so a task can be attributed to every campaign whose delta covers
+  /// it — an upper bound, observational only.
+  SchedulerStats Sched;
+
+  double runCacheHitRate() const {
+    return RunCacheLookups == 0 ? 0
+                                : static_cast<double>(RunCacheHits) /
+                                      static_cast<double>(RunCacheLookups);
+  }
+
+  /// Folds \p Other into this: counters sum, FrontierSize takes the max.
+  /// The sharded engine folds per-shard snapshots into one campaign
+  /// total; campaign runners fold per-seed totals into one per-cell
+  /// total — mirroring exactly how each embedded stats struct was
+  /// already aggregated through its own sink.
+  void accumulate(const TelemetrySnapshot &Other) {
+    Executions += Other.Executions;
+    ValidInputs += Other.ValidInputs;
+    FrontierSize =
+        FrontierSize > Other.FrontierSize ? FrontierSize : Other.FrontierSize;
+    RunCacheLookups += Other.RunCacheLookups;
+    RunCacheHits += Other.RunCacheHits;
+    Speculation.accumulate(Other.Speculation);
+    Resume.accumulate(Other.Resume);
+    Locality.accumulate(Other.Locality);
+    Queue.accumulate(Other.Queue);
+    Sharding.accumulate(Other.Sharding);
+    Sched.accumulate(Other.Sched);
   }
 };
 
@@ -265,6 +327,20 @@ struct PFuzzerOptions {
   /// shard campaign being constructed. Callers never set this — the
   /// engine fills it for each shard it spawns.
   ShardEndpoint *SyncEndpoint = nullptr;
+
+  /// Optional out-param: the consolidated telemetry tree, filled when
+  /// the campaign finishes from the same sources as the individual
+  /// `*StatsOut` sinks above (which remain as thin views). Never part of
+  /// the report; filling it changes no report byte.
+  TelemetrySnapshot *TelemetryOut = nullptr;
+
+  /// Optional heartbeat stream (see support/Telemetry.h): every
+  /// HeartbeatEmitter::interval() executions the campaign samples its
+  /// shard-local state and emits one NDJSON record. Shared across shard
+  /// loops — they tick one common execution counter. Read-only with
+  /// respect to the search: one branch per execution when null, one
+  /// relaxed increment when armed, reports byte-identical either way.
+  HeartbeatEmitter *Heartbeat = nullptr;
 };
 
 /// The parser-directed fuzzer.

@@ -11,6 +11,7 @@
 #include "baselines/RandomFuzzer.h"
 #include "core/PFuzzer.h"
 #include "support/Scheduler.h"
+#include "support/Telemetry.h"
 
 #include <chrono>
 
@@ -18,6 +19,7 @@ using namespace pfuzz;
 
 SpeculationHint pfuzz::arbitrateSpeculation(int Requested, size_t Workers,
                                             unsigned Hardware) {
+  TELEMETRY_SPAN("speculation_arbitration");
   SpeculationHint Hint;
   if (Requested == 0)
     return Hint;
@@ -71,6 +73,8 @@ std::unique_ptr<Fuzzer> pfuzz::makeFuzzer(ToolKind Kind,
     if (Tools.PFuzzerShardSyncInterval != 0)
       Options.ShardSyncInterval = Tools.PFuzzerShardSyncInterval;
     Options.ShardStatsOut = Tools.PFuzzerShardStatsOut;
+    Options.TelemetryOut = Tools.PFuzzerTelemetryOut;
+    Options.Heartbeat = Tools.PFuzzerHeartbeat;
     return std::make_unique<PFuzzer>(Options);
   }
   case ToolKind::Afl:
@@ -137,6 +141,7 @@ struct SeedRunOutcome {
   LocalityStats Locality;
   QueueStats Queue;
   ShardStats Shards;
+  TelemetrySnapshot Telemetry;
 };
 
 /// Runs one seed of one cell. Everything mutable (fuzzer, Rng, token
@@ -153,6 +158,7 @@ SeedRunOutcome runOneSeed(ToolKind Kind, const Subject &S,
   SeedTools.PFuzzerLocalityStatsOut = &Out.Locality;
   SeedTools.PFuzzerQueueStatsOut = &Out.Queue;
   SeedTools.PFuzzerShardStatsOut = &Out.Shards;
+  SeedTools.PFuzzerTelemetryOut = &Out.Telemetry;
   std::unique_ptr<Fuzzer> Tool = makeFuzzer(Kind, SeedTools);
   TokenCoverage Tokens(S.name());
   FuzzerOptions Opts;
@@ -186,6 +192,7 @@ CampaignResult reduceCell(ToolKind Kind, const Subject &S,
     Best.Locality.accumulate(Out.Locality);
     Best.Queue.accumulate(Out.Queue);
     Best.Shards.accumulate(Out.Shards);
+    Best.Telemetry.accumulate(Out.Telemetry);
     bool Better =
         !HaveBest ||
         Out.Report.ValidBranches.size() > Best.Report.ValidBranches.size() ||

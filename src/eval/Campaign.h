@@ -129,6 +129,20 @@ struct ToolOptions {
   /// (aggregated into CampaignResult::Shards).
   ShardStats *PFuzzerShardStatsOut = nullptr;
 
+  /// Like PFuzzerResumeStatsOut, for the consolidated telemetry snapshot
+  /// (aggregated into CampaignResult::Telemetry). The campaign runners
+  /// manage a per-seed sink automatically, so callers normally leave
+  /// this null and read CampaignResult::Telemetry instead.
+  TelemetrySnapshot *PFuzzerTelemetryOut = nullptr;
+
+  /// Heartbeat emitter threaded through to every pFuzzer the runners
+  /// create (PFuzzerOptions::Heartbeat). Unlike the stats sinks this is
+  /// shared, not per-seed: the emitter is internally synchronized and
+  /// stamps each record with the shard index, so concurrent seed runs
+  /// interleave records in one NDJSON stream. Null disables heartbeats.
+  /// Purely observational: reports are byte-identical with or without.
+  HeartbeatEmitter *PFuzzerHeartbeat = nullptr;
+
   /// Work-stealing scheduler the campaign runners fan seed runs out on
   /// and thread through to every fuzzer they create
   /// (PFuzzerOptions::Sched). Null (the default) uses the process-global
@@ -226,6 +240,12 @@ struct CampaignResult {
   /// are maxed — see ShardStats::accumulate); all zero for unsharded
   /// campaigns. Diagnostic only.
   ShardStats Shards;
+
+  /// Consolidated telemetry accumulated over every run of the cell: the
+  /// one tree holding executions plus the Speculation/Resume/Locality/
+  /// Queue/Sharding/Sched subtrees (see TelemetrySnapshot::accumulate
+  /// for the per-field sum/max semantics). Diagnostic only.
+  TelemetrySnapshot Telemetry;
 
   /// Throughput over all runs of the cell; 0 when nothing was timed.
   double execsPerSec() const {

@@ -6,6 +6,8 @@
 
 #include "runtime/PrefixResumeCache.h"
 
+#include "support/Telemetry.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -224,7 +226,12 @@ const RunResult &PrefixResumeEngine::execute(std::string_view Input,
     ++Stats.HitsByRung[std::min<size_t>(Hit->RungDepth,
                                         ResumeStats::RungBuckets - 1)];
     Stats.BytesSkipped += Hit->Prefix.size();
-    Ctx->restoreFrom(*Hit->Final, Hit->Mark, Input);
+    {
+      // Times the state restoration alone (snapshot copy-in + remap),
+      // not the resumed execution that follows it.
+      TELEMETRY_SPAN("resume_restore");
+      Ctx->restoreFrom(*Hit->Final, Hit->Mark, Input);
+    }
     F.resumeAt(Hit->Stack);
   } else {
     ++Stats.ColdRuns;

@@ -49,8 +49,13 @@ int64_t CommandLine::getInt(const std::string &Name, int64_t Default) const {
   if (It == Values.end())
     return Default;
   char *End = nullptr;
+  errno = 0;
   int64_t Value = std::strtoll(It->second.c_str(), &End, 10);
-  if (End == It->second.c_str() || *End != '\0')
+  // A value past the int64 boundary saturates inside strtoll; returning
+  // the saturated LLONG_MAX/LLONG_MIN would make "--execs=1e50 typed as
+  // digits" run an effectively unbounded campaign. Treat overflow like
+  // any other malformed value and keep the default.
+  if (End == It->second.c_str() || *End != '\0' || errno == ERANGE)
     return Default;
   return Value;
 }

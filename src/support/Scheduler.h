@@ -92,6 +92,27 @@ struct SchedulerStats {
                                     static_cast<double>(StealAttempts);
   }
 
+  /// Sums \p Other's counters into this (QueueDepth, a point-in-time
+  /// reading, takes the max). Campaign runners fold per-seed scheduler
+  /// deltas into one per-cell total; concurrent seeds share one pool, so
+  /// the same underlying task can land in several overlapping deltas —
+  /// the total is an attribution upper bound, observational only.
+  void accumulate(const SchedulerStats &Other) {
+    for (unsigned C = 0; C != NumTaskClasses; ++C) {
+      Submitted[C] += Other.Submitted[C];
+      Executed[C] += Other.Executed[C];
+      QueueDepth[C] = QueueDepth[C] > Other.QueueDepth[C]
+                          ? QueueDepth[C]
+                          : Other.QueueDepth[C];
+    }
+    RanInline += Other.RanInline;
+    Stolen += Other.Stolen;
+    Cancelled += Other.Cancelled;
+    StealAttempts += Other.StealAttempts;
+    StealHits += Other.StealHits;
+    IdleSeconds += Other.IdleSeconds;
+  }
+
   /// Counter delta of this snapshot against an earlier one. QueueDepth is
   /// a point-in-time value and keeps this snapshot's reading.
   SchedulerStats minus(const SchedulerStats &Before) const {

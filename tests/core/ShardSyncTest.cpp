@@ -134,6 +134,76 @@ TEST(ShardSyncTest, ThreeShardsWithUnevenLifetimes) {
   EXPECT_EQ(Published, Expected);
 }
 
+TEST(ShardSyncTest, RingPublishDrainHammer) {
+  // Two threads hammer one ring far past its capacity so both sleep
+  // paths (producer-full, consumer-empty) engage thousands of times.
+  // Run under TSan this pins the ring's synchronization contract: the
+  // acquire/release index handoff publishes the slot contents, and the
+  // lock-before-notify discipline in notify() admits no lost wakeup —
+  // a single missed notify deadlocks the test instead of passing slowly.
+  ShardPacketRing Ring;
+  const uint64_t Packets = 20000;
+  std::thread Producer([&Ring] {
+    for (uint64_t E = 1; E <= Packets; ++E) {
+      ShardPacket P = makePacket(E, {static_cast<uint32_t>(E)});
+      P.CandidateBytes.assign(static_cast<size_t>(E % 64), 'x');
+      Ring.push(std::move(P));
+    }
+  });
+  uint64_t Next = 1;
+  ShardPacket P;
+  while (Next <= Packets) {
+    // Alternate the opportunistic and blocking consumer paths — the
+    // end-of-campaign drain uses both, back to back.
+    if (Next % 3 == 0) {
+      if (!Ring.tryPop(P))
+        continue;
+    } else {
+      Ring.pop(P);
+    }
+    ASSERT_EQ(P.Epoch, Next);
+    ASSERT_EQ(P.Branches.size(), 1u);
+    ASSERT_EQ(P.Branches[0], static_cast<uint32_t>(Next));
+    ASSERT_EQ(P.CandidateBytes.size(), static_cast<size_t>(Next % 64));
+    ++Next;
+  }
+  Producer.join();
+  EXPECT_FALSE(Ring.tryPop(P));
+}
+
+TEST(ShardSyncTest, DrainRacesInFlightFinalPackets) {
+  // One shard publishes a burst ending in Final while its peer is
+  // already inside drainAll: the opportunistic sweep keeps hitting empty
+  // rings mid-burst, and the drain must still fall through to blocking
+  // waits until the Final packet itself is consumed — never terminate on
+  // an empty ring that merely hasn't received Final yet. Repeated so the
+  // sweep lands at different points of the burst.
+  for (int Round = 0; Round != 50; ++Round) {
+    ShardHub Hub(2);
+    const uint64_t Epochs = 12;
+    std::thread Publisher([&Hub] {
+      ShardEndpoint &Self = Hub.endpoint(1);
+      for (uint64_t E = 1; E <= Epochs; ++E)
+        Self.publish(makePacket(E, {static_cast<uint32_t>(E)}));
+      Self.publish(makePacket(Epochs + 1, {}, /*Final=*/true));
+      Self.drainAll([](const ShardPacket &) {});
+    });
+    ShardEndpoint &Drainer = Hub.endpoint(0);
+    Drainer.publish(makePacket(1, {}, /*Final=*/true));
+    uint64_t Consumed = 0;
+    bool SawFinal = false;
+    Drainer.drainAll([&](const ShardPacket &P) {
+      ++Consumed;
+      SawFinal |= P.Final;
+    });
+    Publisher.join();
+    EXPECT_TRUE(SawFinal);
+    EXPECT_EQ(Consumed, Epochs + 1);
+    EXPECT_EQ(Drainer.Stats.DeltasMerged, Epochs + 1);
+    EXPECT_EQ(Hub.endpoint(1).Stats.DeltasMerged, 1u);
+  }
+}
+
 TEST(ShardSyncTest, MigrationLedgerBalances) {
   ShardHub Hub(2);
   const int Epochs = 5;

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <climits>
+
 using namespace pfuzz;
 
 static CommandLine parse(std::vector<const char *> Args) {
@@ -102,6 +104,71 @@ TEST(CommandLineTest, GetCountHonorsSentinelFloor) {
   EXPECT_FALSE(C.ok());
   ASSERT_EQ(C.errors().size(), 1u);
   EXPECT_NE(C.errors()[0].find(">= -1"), std::string::npos);
+}
+
+TEST(CommandLineTest, IntBoundariesExactValuesAccepted) {
+  // The extreme representable values parse exactly; one past either end
+  // must NOT saturate to them (see the rejection tests below).
+  CommandLine C = parse({"--max=9223372036854775807",
+                         "--min=-9223372036854775808"});
+  EXPECT_EQ(C.getInt("max", 0), INT64_MAX);
+  EXPECT_EQ(C.getInt("min", 0), INT64_MIN);
+  EXPECT_EQ(C.getCount("max", 0), INT64_MAX);
+}
+
+TEST(CommandLineTest, IntOverflowFallsBackInsteadOfSaturating) {
+  // strtoll clamps out-of-range input to LLONG_MAX/LLONG_MIN with
+  // errno=ERANGE; getInt must not hand that clamp to the caller —
+  // "--execs=<too many digits>" would silently run a near-unbounded
+  // campaign instead of surfacing the typo.
+  CommandLine C = parse({"--a=9223372036854775808",
+                         "--b=-9223372036854775809",
+                         "--c=18446744073709551616",
+                         "--d=99999999999999999999999999"});
+  EXPECT_EQ(C.getInt("a", -7), -7);
+  EXPECT_EQ(C.getInt("b", -7), -7);
+  EXPECT_EQ(C.getInt("c", -7), -7);
+  EXPECT_EQ(C.getInt("d", -7), -7);
+}
+
+TEST(CommandLineTest, GetCountRejectsIntBoundaryOverflow) {
+  // Same boundary discipline as getInt, but loud: counts push a usage
+  // error instead of silently keeping the default.
+  CommandLine C = parse({"--jobs=9223372036854775808",
+                         "--runs=18446744073709551616"});
+  EXPECT_EQ(C.getCount("jobs", 1), 1);
+  EXPECT_EQ(C.getCount("runs", 3), 3);
+  EXPECT_FALSE(C.ok());
+  EXPECT_EQ(C.errors().size(), 2u);
+}
+
+TEST(CommandLineTest, PlusPrefixedIntegersAccepted) {
+  // strtoll admits an explicit sign; pin that so a future rewrite with a
+  // stricter hand-rolled parser fails this test rather than silently
+  // changing flag acceptance.
+  CommandLine C = parse({"--n=+5", "--jobs=+8"});
+  EXPECT_EQ(C.getInt("n", 0), 5);
+  EXPECT_EQ(C.getCount("jobs", 1), 8);
+  EXPECT_TRUE(C.errors().empty());
+}
+
+TEST(CommandLineTest, NonAsciiDigitsRejected) {
+  // Locale or Unicode digits (Arabic-Indic five here) never parse —
+  // strtoll is byte-oriented and stops at the first non-ASCII byte.
+  CommandLine C = parse({"--n=\xd9\xa5", "--jobs=\xd9\xa5"});
+  EXPECT_EQ(C.getInt("n", -7), -7);
+  EXPECT_EQ(C.getCount("jobs", 1), 1);
+  EXPECT_FALSE(C.ok());
+  EXPECT_EQ(C.errors().size(), 1u);
+}
+
+TEST(CommandLineTest, HexAndWhitespaceForms) {
+  // Base-10 only: hex rejects. Leading whitespace is consumed by
+  // strtoll (pinned, not endorsed); trailing whitespace is junk.
+  CommandLine C = parse({"--hex=0x10", "--lead= 5", "--trail=5 "});
+  EXPECT_EQ(C.getInt("hex", -7), -7);
+  EXPECT_EQ(C.getInt("lead", -7), 5);
+  EXPECT_EQ(C.getInt("trail", -7), -7);
 }
 
 TEST(CommandLineTest, BoolParsesCommonSpellings) {
